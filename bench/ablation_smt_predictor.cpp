@@ -1,0 +1,94 @@
+// Ablation: branch-predictor resource sharing under Hyper-Threading.
+// The paper (finding 6) observes 2LPx mispredicts significantly more
+// than 1LPx or 2PPx on the same workload and blames sharing of physical
+// predictor resources between the two logical streams. This bench runs
+// the same two SV streams on 2LPx (one core, shared tables + history)
+// and on 2PPx (two cores, private predictors): same thread count, same
+// traces — the BrMPR delta isolates the sharing.
+
+#include <cstdio>
+
+#include "xaon/aon/capture.hpp"
+#include "xaon/uarch/system.hpp"
+#include "xaon/util/flags.hpp"
+#include "xaon/util/str.hpp"
+#include "xaon/util/table.hpp"
+
+using namespace xaon;
+
+namespace {
+
+uarch::Counters run_platform(const uarch::PlatformConfig& platform,
+                             const std::vector<const uarch::Trace*>& traces,
+                             std::uint32_t repeats) {
+  uarch::System system(platform);
+  (void)system.run(traces);
+  uarch::Counters total;
+  for (std::uint32_t i = 0; i < repeats; ++i) {
+    total += system.run(traces).total;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto repeats = static_cast<std::uint32_t>(
+      flags.i64("repeats", 2, "measured trace replays"));
+  if (flags.help_requested()) {
+    std::fputs(flags.usage().c_str(), stderr);
+    return 0;
+  }
+
+  std::printf(
+      "Ablation: SMT predictor sharing (same SV streams, 2LPx vs 2PPx)\n");
+  aon::CaptureConfig c0, c1;
+  c1.data_base = 0x2000'0000;
+  c1.message_seed = 1000;
+  const uarch::Trace t0 =
+      capture_use_case_trace(aon::UseCase::kSchemaValidation, c0);
+  const uarch::Trace t1 =
+      capture_use_case_trace(aon::UseCase::kSchemaValidation, c1);
+
+  const uarch::Counters base =
+      run_platform(uarch::platform_1lpx(), {&t0}, repeats);
+  const uarch::Counters smt =
+      run_platform(uarch::platform_2lpx(), {&t0, &t1}, repeats);
+  const uarch::Counters dual =
+      run_platform(uarch::platform_2ppx(), {&t0, &t1}, repeats);
+
+  // Counterfactual: Hyper-Threading with per-thread history registers
+  // (tables still shared — history pollution is the tunable half).
+  uarch::PlatformConfig no_hist_share = uarch::platform_2lpx();
+  no_hist_share.arch.predictor.shared_history = false;
+  const uarch::Counters split_hist =
+      run_platform(no_hist_share, {&t0, &t1}, repeats);
+
+  util::TextTable table("Ablation: predictor sharing under SMT");
+  table.set_header({"Config", "BrMPR (%)", "CPI"});
+  table.set_tsv(true);
+  auto row = [&](const char* name, const uarch::Counters& c) {
+    table.add_row({name, util::format("%.2f", c.brmpr()),
+                   util::format("%.2f", c.cpi())});
+  };
+  row("1LPx (one stream, private predictor)", base);
+  row("2PPx (two streams, private predictors)", dual);
+  row("2LPx (two streams, SHARED predictor)", smt);
+  row("2LPx + per-thread history (hypothetical)", split_hist);
+  table.print();
+
+  // The paper's effects: sharing raises BrMPR over both 1LPx and 2PPx;
+  // thread count alone (2PPx) leaves BrMPR untouched.
+  const bool sharing_hurts = smt.brmpr() > base.brmpr() * 1.05 &&
+                             smt.brmpr() > dual.brmpr() * 1.05;
+  const bool count_is_free =
+      std::abs(dual.brmpr() - base.brmpr()) / base.brmpr() < 0.10;
+  std::printf(
+      "SMT sharing raises BrMPR (+%.0f%% vs 1LPx, +%.0f%% vs 2PPx): %s\n"
+      "thread count alone leaves BrMPR unchanged (2PPx vs 1LPx): %s\n",
+      (smt.brmpr() / base.brmpr() - 1.0) * 100.0,
+      (smt.brmpr() / dual.brmpr() - 1.0) * 100.0,
+      sharing_hurts ? "PASS" : "FAIL", count_is_free ? "PASS" : "FAIL");
+  return (sharing_hurts && count_is_free) ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Reproduces Figure 2: netperf TCP_STREAM throughput in loopback and
+// end-to-end (Gigabit Ethernet) modes on all five platforms.
+
+#include "bench_common.hpp"
+
+#include "xaon/util/table.hpp"
+
+using namespace xaon;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const perf::NetperfExperimentConfig config =
+      bench::netperf_config_from_flags(flags);
+  if (bench::handle_help(flags)) return 0;
+
+  std::printf("Reproducing Figure 2 (netperf throughput, Mbps)\n");
+  const perf::WorkloadResults loopback = perf::run_netperf_loopback(config);
+  const perf::WorkloadResults e2e = perf::run_netperf_endtoend(config);
+
+  util::BarChart chart("Figure 2: netperf throughput (Mbps)");
+  chart.set_series({"loopback", "end-to-end"});
+  chart.set_precision(0);
+  for (std::size_t i = 0; i < loopback.runs.size(); ++i) {
+    chart.add_group(loopback.runs[i].notation,
+                    {loopback.runs[i].throughput, e2e.runs[i].throughput});
+  }
+  chart.print();
+
+  util::TextTable table("Figure 2: netperf throughput (Mbps)");
+  table.set_header({"Mode", "1CPm", "2CPm", "1LPx", "2LPx", "2PPx"});
+  table.set_tsv(true);
+  auto row_of = [](const perf::WorkloadResults& w, const char* label) {
+    std::vector<std::string> row{label};
+    for (const auto& r : w.runs) {
+      row.push_back(util::format("%.0f", r.throughput));
+    }
+    return row;
+  };
+  table.add_row(row_of(loopback, "Netperf-loopback"));
+  table.add_row(row_of(e2e, "Netperf"));
+  table.print();
+
+  util::TextTable ref("Figure 2 — paper reported (Mbps)");
+  ref.set_header({"Mode", "1CPm", "2CPm", "1LPx", "2LPx", "2PPx"});
+  ref.add_row({"Netperf-loopback", "9550", "6252", "8897", "8496", "2823"});
+  ref.add_row({"Netperf", "940", "936", "940", "936", "920"});
+  ref.print();
+
+  bool ok = true;
+  // End-to-end: every configuration saturates GigE (~94% of 1 Gbps).
+  for (const auto& r : e2e.runs) {
+    const bool saturated = r.throughput > 900 && r.throughput < 960;
+    std::printf("shape e2e %s saturates GigE (%.0f Mbps): %s\n",
+                r.notation.c_str(), r.throughput,
+                saturated ? "PASS" : "FAIL");
+    ok = ok && saturated;
+  }
+  // Loopback orderings the paper calls out.
+  const auto lb = [&](const char* n) {
+    return loopback.find(n)->throughput;
+  };
+  const bool pm_degrades = lb("2CPm") < lb("1CPm");
+  const bool xeon_collapses = lb("2PPx") < 0.45 * lb("1LPx");
+  const bool collapse_worse_than_pm =
+      lb("2PPx") / lb("1LPx") < lb("2CPm") / lb("1CPm");
+  std::printf(
+      "shape loopback: degrades 1CPm->2CPm: %s; collapses 1LPx->2PPx: %s; "
+      "Xeon dual hit worse than PM dual: %s\n",
+      pm_degrades ? "PASS" : "FAIL", xeon_collapses ? "PASS" : "FAIL",
+      collapse_worse_than_pm ? "PASS" : "FAIL");
+  ok = ok && pm_degrades && xeon_collapses && collapse_worse_than_pm;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Reproduces Figure 3: dual-processor throughput scaling for the three
+// AON use cases across the three single->dual transitions.
+
+#include "bench_common.hpp"
+
+#include "xaon/util/table.hpp"
+
+using namespace xaon;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const perf::AonExperimentConfig config =
+      bench::aon_config_from_flags(flags);
+  if (bench::handle_help(flags)) return 0;
+
+  std::printf("Reproducing Figure 3 (dual-processor throughput scaling)\n");
+  const auto workloads = perf::run_all_aon_experiments(config);
+
+  struct Transition {
+    const char* label;
+    const char* from;
+    const char* to;
+  };
+  const Transition transitions[] = {
+      {"1CPm->2CPm", "1CPm", "2CPm"},
+      {"1LPx->2LPx", "1LPx", "2LPx"},
+      {"1LPx->2PPx", "1LPx", "2PPx"},
+  };
+  // Paper Figure 3 values, rows SV/CBR/FR.
+  const double paper[3][3] = {
+      {1.91, 1.12, 1.97},  // SV
+      {1.84, 1.32, 1.98},  // CBR
+      {1.51, 1.49, 1.97},  // FR
+  };
+
+  util::TextTable table("Figure 3: dual-processor throughput scaling");
+  table.set_header({"Workload", "1CPm->2CPm", "1LPx->2LPx", "1LPx->2PPx"});
+  table.set_tsv(true);
+  util::TextTable ref("Figure 3 — paper reported");
+  ref.set_header({"Workload", "1CPm->2CPm", "1LPx->2LPx", "1LPx->2PPx"});
+
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    std::vector<std::string> row{workloads[w].workload};
+    std::vector<std::string> paper_row{workloads[w].workload};
+    for (std::size_t t = 0; t < 3; ++t) {
+      row.push_back(util::format(
+          "%.2f",
+          perf::scaling(workloads[w], transitions[t].from,
+                        transitions[t].to)));
+      paper_row.push_back(util::format("%.2f", paper[w][t]));
+    }
+    table.add_row(std::move(row));
+    ref.add_row(std::move(paper_row));
+  }
+  table.print();
+  ref.print();
+
+  // The paper's headline claims as explicit checks.
+  const double pm_sv = perf::scaling(workloads[0], "1CPm", "2CPm");
+  const double pm_fr = perf::scaling(workloads[2], "1CPm", "2CPm");
+  const double ht_sv = perf::scaling(workloads[0], "1LPx", "2LPx");
+  const double ht_fr = perf::scaling(workloads[2], "1LPx", "2LPx");
+  std::printf(
+      "\nshape checks:\n"
+      "  dual-core PM scaling rises with CPU intensity (FR<SV): %s "
+      "(%.2f < %.2f)\n"
+      "  Hyper-Threading scaling FALLS with CPU intensity (SV<FR): %s "
+      "(%.2f < %.2f)\n",
+      pm_fr < pm_sv ? "PASS" : "FAIL", pm_fr, pm_sv,
+      ht_sv < ht_fr ? "PASS" : "FAIL", ht_sv, ht_fr);
+  return (pm_fr < pm_sv && ht_sv < ht_fr) ? 0 : 1;
+}

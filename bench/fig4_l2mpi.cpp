@@ -1,0 +1,59 @@
+// Reproduces Figure 4: L2 cache misses per retired instruction for the
+// AON use cases (values are percentages, read off the paper's chart).
+
+#include "bench_common.hpp"
+
+using namespace xaon;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const perf::AonExperimentConfig config =
+      bench::aon_config_from_flags(flags);
+  if (bench::handle_help(flags)) return 0;
+
+  std::printf("Reproducing Figure 4 (L2 misses per retired instruction)\n");
+  const auto workloads = perf::run_all_aon_experiments(config);
+
+  util::BarChart chart = perf::metric_chart(
+      "Figure 4: L2MPI (%)", workloads, perf::metric_l2mpi, 3);
+  chart.print();
+  util::TextTable table =
+      perf::metric_table("Figure 4: L2MPI (%)", workloads,
+                         perf::metric_l2mpi, 3);
+  table.set_tsv(true);
+  bench::print_with_paper(
+      table,
+      // Approximate values read off the paper's Figure 4 (chart-only).
+      bench::PaperTable{"Figure 4: L2MPI (%)",
+                        {"SV", "CBR", "FR"},
+                        {{0.30, 0.55, 0.55, 0.45, 0.55},
+                         {0.55, 0.90, 1.10, 0.90, 1.10},
+                         {1.40, 1.75, 2.80, 2.40, 2.80}}},
+      3);
+
+  bool ok = true;
+  for (const std::string& p : bench::platforms()) {
+    const double sv = workloads[0].find(p)->counters.l2mpi();
+    const double cbr = workloads[1].find(p)->counters.l2mpi();
+    const double fr = workloads[2].find(p)->counters.l2mpi();
+    const bool ordering = sv < cbr && cbr < fr;
+    std::printf("shape %s: L2MPI(SV) < L2MPI(CBR) < L2MPI(FR): %s\n",
+                p.c_str(), ordering ? "PASS" : "FAIL");
+    ok = ok && ordering;
+  }
+  for (const auto& w : workloads) {
+    // Dual physical Xeons keep single-Xeon L2MPI (private L2s).
+    const double one = w.find("1LPx")->counters.l2mpi();
+    const double two = w.find("2PPx")->counters.l2mpi();
+    const bool same = one > 0 && std::abs(two - one) / one < 0.15;
+    // Shared-L2 dual core does not reduce L2MPI.
+    const bool shared_up = w.find("2CPm")->counters.l2mpi() >=
+                           w.find("1CPm")->counters.l2mpi() * 0.95;
+    std::printf("shape %s: L2MPI(2PPx) ~= L2MPI(1LPx): %s; "
+                "L2MPI(2CPm) >= L2MPI(1CPm): %s\n",
+                w.workload.c_str(), same ? "PASS" : "FAIL",
+                shared_up ? "PASS" : "FAIL");
+    ok = ok && same && shared_up;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Reproduces Figure 5: bus transactions per retired instruction (%) for
+// the AON use cases.
+
+#include "bench_common.hpp"
+
+using namespace xaon;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const perf::AonExperimentConfig config =
+      bench::aon_config_from_flags(flags);
+  if (bench::handle_help(flags)) return 0;
+
+  std::printf(
+      "Reproducing Figure 5 (bus transactions per retired instruction)\n");
+  const auto workloads = perf::run_all_aon_experiments(config);
+
+  util::BarChart chart = perf::metric_chart("Figure 5: BTPI (%)", workloads,
+                                            perf::metric_btpi, 2);
+  chart.print();
+  util::TextTable table = perf::metric_table("Figure 5: BTPI (%)",
+                                             workloads, perf::metric_btpi);
+  table.set_tsv(true);
+  bench::print_with_paper(
+      table,
+      // Approximate values read off the paper's Figure 5 (chart-only).
+      bench::PaperTable{"Figure 5: BTPI (%)",
+                        {"SV", "CBR", "FR"},
+                        {{0.55, 1.30, 0.80, 0.70, 0.80},
+                         {1.00, 1.90, 1.40, 1.20, 1.40},
+                         {2.20, 3.50, 2.40, 2.20, 2.40}}});
+
+  bool ok = true;
+  for (const std::string& p : bench::platforms()) {
+    const double sv = workloads[0].find(p)->counters.btpi();
+    const double fr = workloads[2].find(p)->counters.btpi();
+    const bool rises = sv < fr;
+    std::printf("shape %s: BTPI(SV) < BTPI(FR): %s\n", p.c_str(),
+                rises ? "PASS" : "FAIL");
+    ok = ok && rises;
+  }
+  for (const auto& w : workloads) {
+    // Smart Memory Access: PM's prefetch traffic keeps 1CPm's BTPI near
+    // 1LPx's despite PM's double-size L2 (paper §5.4 point 2).
+    const double pm = w.find("1CPm")->counters.btpi();
+    const double xeon = w.find("1LPx")->counters.btpi();
+    const bool near = pm > 0.5 * xeon;  // not cut in half by the big L2
+    // 2CPm > 2PPx (shared L2 + prefetchers vs private L2s, §5.4 pt 4).
+    const bool dualcore_higher =
+        w.find("2CPm")->counters.btpi() > w.find("2PPx")->counters.btpi();
+    std::printf(
+        "shape %s: BTPI(1CPm) not halved vs 1LPx: %s; "
+        "BTPI(2CPm) > BTPI(2PPx): %s\n",
+        w.workload.c_str(), near ? "PASS" : "FAIL",
+        dualcore_higher ? "PASS" : "FAIL");
+    ok = ok && near && dualcore_higher;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Extension bench: the paper's future work (§6) asks for the same
+// dual-processing characterization of "deep packet inspection ... and
+// crypto functions". This binary runs the DPI and SEC use cases through
+// the identical five-platform campaign and reports where they land on
+// the paper's network-I/O <-> CPU-intensive spectrum.
+
+#include "bench_common.hpp"
+
+using namespace xaon;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const perf::AonExperimentConfig config =
+      bench::aon_config_from_flags(flags);
+  if (bench::handle_help(flags)) return 0;
+
+  std::printf(
+      "Future-work extension: DPI and crypto (SEC) use cases across the "
+      "paper's platforms\n");
+  std::vector<perf::WorkloadResults> workloads;
+  workloads.push_back(
+      perf::run_aon_experiment(aon::UseCase::kSchemaValidation, config));
+  workloads.push_back(
+      perf::run_aon_experiment(aon::UseCase::kMessageSecurity, config));
+  workloads.push_back(
+      perf::run_aon_experiment(aon::UseCase::kDeepInspection, config));
+  workloads.push_back(
+      perf::run_aon_experiment(aon::UseCase::kForwardRequest, config));
+
+  perf::metric_table("Future work: CPI", workloads, perf::metric_cpi)
+      .print();
+  perf::metric_table("Future work: L2MPI (%)", workloads,
+                     perf::metric_l2mpi, 3)
+      .print();
+  perf::metric_table("Future work: throughput (msg/s)", workloads,
+                     perf::metric_throughput, 0)
+      .print();
+
+  util::TextTable scaling_table("Future work: dual-processing scaling");
+  scaling_table.set_header(
+      {"Workload", "1CPm->2CPm", "1LPx->2LPx", "1LPx->2PPx"});
+  scaling_table.set_tsv(true);
+  for (const auto& w : workloads) {
+    scaling_table.add_row(
+        {w.workload,
+         util::format("%.2f", perf::scaling(w, "1CPm", "2CPm")),
+         util::format("%.2f", perf::scaling(w, "1LPx", "2LPx")),
+         util::format("%.2f", perf::scaling(w, "1LPx", "2PPx"))});
+  }
+  scaling_table.print();
+
+  // Expectations extrapolated from the paper's model: SEC (pure crypto
+  // sweep) behaves CPU-intensive — HT scales it worst; DPI sits between
+  // FR and SV.
+  const auto& sec = workloads[1];
+  const auto& dpi = workloads[2];
+  const auto& fr = workloads[3];
+  const double ht_sec = perf::scaling(sec, "1LPx", "2LPx");
+  const double ht_dpi = perf::scaling(dpi, "1LPx", "2LPx");
+  const double ht_fr = perf::scaling(fr, "1LPx", "2LPx");
+  const bool sec_cpu_like = ht_sec < ht_fr;
+  // DPI scans bytes with hot tables: compute-bound, low L2MPI — it
+  // lands on the CPU-intensive side of the spectrum like SV, not the
+  // I/O side like FR.
+  const bool dpi_cpu_like =
+      ht_dpi < ht_fr && dpi.find("1CPm")->counters.l2mpi() <
+                            fr.find("1CPm")->counters.l2mpi();
+  std::printf(
+      "\nshape: SEC behaves CPU-intensive under HT (%.2f < FR %.2f): %s\n"
+      "shape: DPI behaves CPU-intensive (HT %.2f < FR %.2f, lower "
+      "L2MPI): %s\n",
+      ht_sec, ht_fr, sec_cpu_like ? "PASS" : "FAIL", ht_dpi, ht_fr,
+      dpi_cpu_like ? "PASS" : "FAIL");
+  return (sec_cpu_like && dpi_cpu_like) ? 0 : 1;
+}

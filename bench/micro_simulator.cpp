@@ -1,0 +1,87 @@
+// Google-benchmark microbenchmarks for the simulation substrate: cache
+// model, branch predictors, trace execution rate and the network
+// simulator — how fast the reproduction machinery itself runs.
+
+#include <benchmark/benchmark.h>
+
+#include "xaon/netsim/netperf.hpp"
+#include "xaon/uarch/cache.hpp"
+#include "xaon/uarch/predictor.hpp"
+#include "xaon/uarch/system.hpp"
+#include "xaon/util/rng.hpp"
+#include "xaon/wload/synth.hpp"
+
+namespace {
+
+using namespace xaon;
+
+void BM_CacheAccess(benchmark::State& state) {
+  uarch::Cache cache(uarch::CacheConfig{
+      static_cast<std::uint64_t>(state.range(0)) * 1024, 64, 8});
+  util::Xoshiro256ss rng(1);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    addr = rng.next_below(1 << 22);
+    benchmark::DoNotOptimize(cache.access(addr, (addr & 7) == 0).hit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(32)->Arg(1024)->Arg(2048);
+
+void BM_BranchPredictor(benchmark::State& state) {
+  uarch::BranchPredictor predictor(uarch::PredictorConfig{});
+  util::Xoshiro256ss rng(2);
+  std::uint64_t pc = 0x1000;
+  for (auto _ : state) {
+    pc = 0x1000 + (rng.next() & 0xFF) * 4;
+    benchmark::DoNotOptimize(
+        predictor.predict_and_update(0, pc, rng.next_bool(0.8)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BranchPredictor);
+
+void BM_SystemOpsPerSecond(benchmark::State& state) {
+  wload::SynthConfig config;
+  config.ops = 200'000;
+  config.working_set_bytes = 1 << 20;
+  const uarch::Trace trace = make_synthetic_trace(config);
+  uarch::System system(uarch::platform_1cpm());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.run({&trace}).wall_ns);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(config.ops));
+}
+BENCHMARK(BM_SystemOpsPerSecond);
+
+void BM_SystemDualSmt(benchmark::State& state) {
+  wload::SynthConfig config;
+  config.ops = 100'000;
+  const uarch::Trace a = make_synthetic_trace(config);
+  config.seed = 2;
+  config.data_base = 0x5000'0000;
+  const uarch::Trace b = make_synthetic_trace(config);
+  uarch::System system(uarch::platform_2lpx());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.run({&a, &b}).wall_ns);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * config.ops));
+}
+BENCHMARK(BM_SystemDualSmt);
+
+void BM_NetsimTcpStream(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = netsim::run_tcp_stream(netsim::Link::gigabit_ethernet(),
+                                    netsim::TcpConfig{}, 4 * 1024 * 1024);
+    benchmark::DoNotOptimize(r.goodput_mbps);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4 * 1024 * 1024);
+}
+BENCHMARK(BM_NetsimTcpStream);
+
+}  // namespace
+
+BENCHMARK_MAIN();

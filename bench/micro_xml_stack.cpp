@@ -1,0 +1,144 @@
+// Google-benchmark microbenchmarks for the XML software stack: parse,
+// XPath evaluation, schema validation, HTTP round trip and regex — the
+// per-message primitives every AON experiment composes.
+
+#include <benchmark/benchmark.h>
+
+#include "xaon/aon/messages.hpp"
+#include "xaon/aon/pipeline.hpp"
+#include "xaon/http/parser.hpp"
+#include "xaon/xml/parser.hpp"
+#include "xaon/xpath/xpath.hpp"
+#include "xaon/xsd/loader.hpp"
+#include "xaon/xsd/regex.hpp"
+#include "xaon/xsd/validator.hpp"
+
+namespace {
+
+using namespace xaon;
+
+const std::string& message() {
+  static const std::string m = aon::make_order_message();
+  return m;
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  const std::string& doc = message();
+  for (auto _ : state) {
+    auto r = xml::parse(doc);
+    benchmark::DoNotOptimize(r.document.root());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(doc.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_XmlParseSizeSweep(benchmark::State& state) {
+  aon::MessageSpec spec;
+  spec.target_bytes = static_cast<std::size_t>(state.range(0));
+  const std::string doc = aon::make_order_message(spec);
+  for (auto _ : state) {
+    auto r = xml::parse(doc);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(doc.size()));
+}
+BENCHMARK(BM_XmlParseSizeSweep)->Arg(1024)->Arg(5 * 1024)->Arg(64 * 1024);
+
+void BM_XPathCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    auto x = xpath::XPath::compile("//quantity/text()");
+    benchmark::DoNotOptimize(x.valid());
+  }
+}
+BENCHMARK(BM_XPathCompile);
+
+void BM_XPathEvaluate(benchmark::State& state) {
+  auto parsed = xml::parse(message());
+  auto x = xpath::XPath::compile("//quantity/text()");
+  for (auto _ : state) {
+    auto v = x.evaluate(parsed.document.root());
+    benchmark::DoNotOptimize(v.to_boolean());
+  }
+}
+BENCHMARK(BM_XPathEvaluate);
+
+void BM_SchemaLoad(benchmark::State& state) {
+  const std::string xsd = aon::order_schema_xsd();
+  for (auto _ : state) {
+    auto r = xsd::load_schema(xsd);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_SchemaLoad);
+
+void BM_SchemaValidate(benchmark::State& state) {
+  auto loaded = xsd::load_schema(aon::order_schema_xsd());
+  auto parsed = xml::parse(message());
+  const xml::Node* payload =
+      parsed.document.root()->child_element("Body")->first_child_element();
+  const xsd::ElementDecl* decl =
+      loaded.schema.find_global_element(payload->ns_uri, payload->local);
+  xsd::Validator validator(loaded.schema);
+  for (auto _ : state) {
+    auto r = validator.validate_element(payload, decl);
+    benchmark::DoNotOptimize(r.valid());
+  }
+}
+BENCHMARK(BM_SchemaValidate);
+
+void BM_HttpParse(benchmark::State& state) {
+  const std::string wire = aon::make_post_wire();
+  for (auto _ : state) {
+    http::RequestParser parser;
+    parser.feed(wire);
+    benchmark::DoNotOptimize(parser.done());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_HttpParse);
+
+void BM_RegexMatch(benchmark::State& state) {
+  auto re = xsd::Regex::compile("[A-Z]{2}-\\d{3}");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re.match("AB-123"));
+    benchmark::DoNotOptimize(re.match("not-a-sku"));
+  }
+}
+BENCHMARK(BM_RegexMatch);
+
+void BM_PipelineFR(benchmark::State& state) {
+  aon::Pipeline pipeline(aon::UseCase::kForwardRequest);
+  const std::string wire = aon::make_post_wire();
+  for (auto _ : state) {
+    auto out = pipeline.process_wire(wire);
+    benchmark::DoNotOptimize(out.ok);
+  }
+}
+BENCHMARK(BM_PipelineFR);
+
+void BM_PipelineCBR(benchmark::State& state) {
+  aon::Pipeline pipeline(aon::UseCase::kContentBasedRouting);
+  const std::string wire = aon::make_post_wire();
+  for (auto _ : state) {
+    auto out = pipeline.process_wire(wire);
+    benchmark::DoNotOptimize(out.routed_primary);
+  }
+}
+BENCHMARK(BM_PipelineCBR);
+
+void BM_PipelineSV(benchmark::State& state) {
+  aon::Pipeline pipeline(aon::UseCase::kSchemaValidation);
+  const std::string wire = aon::make_post_wire();
+  for (auto _ : state) {
+    auto out = pipeline.process_wire(wire);
+    benchmark::DoNotOptimize(out.routed_primary);
+  }
+}
+BENCHMARK(BM_PipelineSV);
+
+}  // namespace
+
+BENCHMARK_MAIN();

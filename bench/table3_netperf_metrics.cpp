@@ -1,0 +1,99 @@
+// Reproduces Table 3: microarchitectural metrics for netperf in
+// loopback and end-to-end modes.
+
+#include "bench_common.hpp"
+
+using namespace xaon;
+
+namespace {
+
+void print_mode(const perf::WorkloadResults& results,
+                const double paper_cpi[5], const double paper_brf[5],
+                const double paper_brmpr[5]) {
+  util::TextTable table("Table 3: " + results.workload);
+  table.set_header({"Metric", "1CPm", "2CPm", "1LPx", "2LPx", "2PPx"});
+  table.set_tsv(true);
+  auto add_metric = [&](const char* name, auto fn, int precision) {
+    std::vector<std::string> row{name};
+    for (const auto& r : results.runs) {
+      row.push_back(util::format("%.*f", precision, fn(r)));
+    }
+    table.add_row(std::move(row));
+  };
+  add_metric("CPI", [](const perf::PlatformRun& r) { return r.counters.cpi(); }, 2);
+  add_metric("L2MPI (%)",
+             [](const perf::PlatformRun& r) { return r.counters.l2mpi(); }, 3);
+  add_metric("Bus transactions per inst (%)",
+             [](const perf::PlatformRun& r) { return r.counters.btpi(); }, 2);
+  add_metric("Branch inst per inst (%)",
+             [](const perf::PlatformRun& r) {
+               return r.counters.branch_frequency();
+             },
+             0);
+  add_metric("BrMPR (%)",
+             [](const perf::PlatformRun& r) { return r.counters.brmpr(); }, 2);
+  table.print();
+
+  util::TextTable ref("Table 3: " + results.workload + " — paper reported");
+  ref.set_header({"Metric", "1CPm", "2CPm", "1LPx", "2LPx", "2PPx"});
+  auto paper_row = [&](const char* name, const double v[5], int precision) {
+    std::vector<std::string> row{name};
+    for (int i = 0; i < 5; ++i) {
+      row.push_back(util::format("%.*f", precision, v[i]));
+    }
+    ref.add_row(std::move(row));
+  };
+  paper_row("CPI", paper_cpi, 2);
+  paper_row("Branch inst per inst (%)", paper_brf, 0);
+  paper_row("BrMPR (%)", paper_brmpr, 2);
+  ref.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const perf::NetperfExperimentConfig config =
+      bench::netperf_config_from_flags(flags);
+  if (bench::handle_help(flags)) return 0;
+
+  std::printf("Reproducing Table 3 (netperf microarchitectural metrics)\n");
+  const perf::WorkloadResults loopback = perf::run_netperf_loopback(config);
+  const perf::WorkloadResults e2e = perf::run_netperf_endtoend(config);
+
+  const double lb_cpi[5] = {3.03, 6.05, 6.38, 7.70, 22.13};
+  const double lb_brf[5] = {36, 34, 18, 19, 18};
+  const double lb_brmpr[5] = {0.96, 0.70, 3.23, 3.04, 2.30};
+  print_mode(loopback, lb_cpi, lb_brf, lb_brmpr);
+
+  const double e2e_cpi[5] = {3.46, 6.27, 8.10, 18.52, 11.53};
+  const double e2e_brf[5] = {33, 34, 18, 19, 17};
+  const double e2e_brmpr[5] = {0.85, 0.83, 1.68, 3.96, 1.87};
+  print_mode(e2e, e2e_cpi, e2e_brf, e2e_brmpr);
+
+  bool ok = true;
+  // CPI roughly doubles from single to dual units in e2e mode (the
+  // idle second unit burns counted cycles — paper pt 1).
+  const double r_pm = e2e.find("2CPm")->counters.cpi() /
+                      e2e.find("1CPm")->counters.cpi();
+  const double r_x = e2e.find("2PPx")->counters.cpi() /
+                     e2e.find("1LPx")->counters.cpi();
+  const bool doubling = r_pm > 1.6 && r_pm < 2.4 && r_x > 1.4 && r_x < 2.4;
+  std::printf("shape e2e: CPI ~doubles 1->2 units (PM %.2fx, Xeon %.2fx): %s\n",
+              r_pm, r_x, doubling ? "PASS" : "FAIL");
+  ok = ok && doubling;
+  // Loopback 2PPx CPI explodes (FSB coherence thrash — paper pt 1/3).
+  const bool explode = loopback.find("2PPx")->counters.cpi() >
+                       3.0 * loopback.find("1LPx")->counters.cpi();
+  std::printf("shape loopback: 2PPx CPI explodes vs 1LPx: %s\n",
+              explode ? "PASS" : "FAIL");
+  ok = ok && explode;
+  // PM branch frequency ~2x Xeon in both modes.
+  const double brf_ratio = loopback.find("1CPm")->counters.branch_frequency() /
+                           loopback.find("1LPx")->counters.branch_frequency();
+  const bool brf_ok = brf_ratio > 1.6 && brf_ratio < 2.4;
+  std::printf("shape: PM/Xeon branch frequency ratio %.2f: %s\n", brf_ratio,
+              brf_ok ? "PASS" : "FAIL");
+  ok = ok && brf_ok;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table 4: CPIs of the AON use cases on all five platforms.
+
+#include "bench_common.hpp"
+
+using namespace xaon;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const perf::AonExperimentConfig config =
+      bench::aon_config_from_flags(flags);
+  if (bench::handle_help(flags)) return 0;
+
+  std::printf("Reproducing Table 4 (cycles per instruction)\n");
+  const auto workloads = perf::run_all_aon_experiments(config);
+
+  util::TextTable table =
+      perf::metric_table("Table 4: CPI", workloads, perf::metric_cpi);
+  table.set_tsv(true);
+  bench::print_with_paper(
+      table,
+      bench::PaperTable{"Table 4: CPI",
+                        {"SV", "CBR", "FR"},
+                        {{1.02, 1.05, 1.91, 3.50, 1.96},
+                         {1.12, 1.22, 2.26, 4.34, 2.32},
+                         {2.24, 2.96, 5.71, 7.65, 5.92}}});
+
+  // Shape checks per the paper's Section 5.2 analysis.
+  bool ok = true;
+  for (const auto& w : workloads) {
+    const double pm = w.find("1CPm")->counters.cpi();
+    const double xeon = w.find("1LPx")->counters.cpi();
+    const double ht = w.find("2LPx")->counters.cpi();
+    const double dual = w.find("2PPx")->counters.cpi();
+    const bool pm_wins = pm < xeon;
+    const bool ht_worst = ht > xeon && ht > dual;
+    const bool dual_matches_single = dual / xeon < 1.25;
+    std::printf(
+        "shape %s: PM CPI < Xeon: %s; 2LPx highest Xeon CPI: %s; "
+        "2PPx ~= 1LPx: %s\n",
+        w.workload.c_str(), pm_wins ? "PASS" : "FAIL",
+        ht_worst ? "PASS" : "FAIL", dual_matches_single ? "PASS" : "FAIL");
+    ok = ok && pm_wins && ht_worst && dual_matches_single;
+  }
+  // CPI rises from CPU-intensive (SV) to I/O-intensive (FR) everywhere.
+  for (const std::string& p : bench::platforms()) {
+    const double sv = workloads[0].find(p)->counters.cpi();
+    const double fr = workloads[2].find(p)->counters.cpi();
+    const bool rises = sv < fr;
+    std::printf("shape %s: CPI(SV) < CPI(FR): %s\n", p.c_str(),
+                rises ? "PASS" : "FAIL");
+    ok = ok && rises;
+  }
+  return ok ? 0 : 1;
+}

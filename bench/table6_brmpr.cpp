@@ -1,0 +1,56 @@
+// Reproduces Table 6: branch misprediction ratios (%).
+
+#include "bench_common.hpp"
+
+using namespace xaon;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const perf::AonExperimentConfig config =
+      bench::aon_config_from_flags(flags);
+  if (bench::handle_help(flags)) return 0;
+
+  std::printf("Reproducing Table 6 (branch misprediction ratio)\n");
+  const auto workloads = perf::run_all_aon_experiments(config);
+
+  util::TextTable table = perf::metric_table(
+      "Table 6: BrMPR (%)", workloads, perf::metric_brmpr);
+  table.set_tsv(true);
+  bench::print_with_paper(
+      table,
+      bench::PaperTable{"Table 6: BrMPR (%)",
+                        {"SV", "CBR", "FR"},
+                        {{1.98, 1.97, 3.62, 4.61, 3.65},
+                         {1.07, 1.04, 2.01, 2.91, 1.96},
+                         {1.13, 1.21, 2.65, 3.96, 2.71}}});
+
+  bool ok = true;
+  for (const auto& w : workloads) {
+    const double pm1 = w.find("1CPm")->counters.brmpr();
+    const double pm2 = w.find("2CPm")->counters.brmpr();
+    const double x1 = w.find("1LPx")->counters.brmpr();
+    const double ht = w.find("2LPx")->counters.brmpr();
+    const double x2 = w.find("2PPx")->counters.brmpr();
+    // PM predicts better than Xeon (paper pt 2).
+    const bool pm_better = pm1 < x1;
+    // Unit count alone doesn't change BrMPR (pt 3)...
+    const bool stable = std::abs(pm2 - pm1) / pm1 < 0.15 &&
+                        std::abs(x2 - x1) / x1 < 0.15;
+    // ...but Hyper-Threading does: shared tables alias (pt 3/6).
+    const bool ht_worse = ht > x1 * 1.05;
+    std::printf(
+        "shape %s: PM < Xeon: %s; stable 1->2 units: %s; "
+        "2LPx raises BrMPR (+%.0f%%): %s\n",
+        w.workload.c_str(), pm_better ? "PASS" : "FAIL",
+        stable ? "PASS" : "FAIL", (ht / x1 - 1.0) * 100.0,
+        ht_worse ? "PASS" : "FAIL");
+    ok = ok && pm_better && stable && ht_worse;
+  }
+  // SV mispredicts more than the I/O-heavy cases (pt 1).
+  const double sv = workloads[0].find("1CPm")->counters.brmpr();
+  const double fr = workloads[2].find("1CPm")->counters.brmpr();
+  std::printf("shape: BrMPR(SV) > BrMPR(FR) on PM: %s (%.2f > %.2f)\n",
+              sv > fr ? "PASS" : "FAIL", sv, fr);
+  ok = ok && sv > fr;
+  return ok ? 0 : 1;
+}

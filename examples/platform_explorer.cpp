@@ -1,0 +1,123 @@
+// platform_explorer: what-if studies beyond the paper's five
+// configurations — sweep L2 size, toggle SMT, scale core count and
+// watch the AON metrics respond. (The paper's "future work" asks about
+// multi-core AON devices; this is the tool for that question.)
+//
+//   ./build/examples/platform_explorer --use_case=SV --sweep=l2
+//   ./build/examples/platform_explorer --use_case=FR --sweep=cores
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "xaon/aon/capture.hpp"
+#include "xaon/uarch/system.hpp"
+#include "xaon/util/flags.hpp"
+#include "xaon/util/str.hpp"
+#include "xaon/util/table.hpp"
+
+using namespace xaon;
+
+namespace {
+
+aon::UseCase parse_use_case(const std::string& s) {
+  if (s == "FR") return aon::UseCase::kForwardRequest;
+  if (s == "CBR") return aon::UseCase::kContentBasedRouting;
+  return aon::UseCase::kSchemaValidation;
+}
+
+struct Row {
+  std::string label;
+  double throughput;
+  uarch::Counters counters;
+};
+
+Row run_config(const std::string& label, const uarch::PlatformConfig& p,
+               const std::vector<const uarch::Trace*>& traces,
+               double messages) {
+  uarch::System system(p);
+  (void)system.run(traces);
+  const auto r = system.run(traces);
+  return Row{label, r.items_per_second(messages), r.total};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string use_case_name =
+      flags.str("use_case", "SV", "FR | CBR | SV");
+  const std::string sweep =
+      flags.str("sweep", "l2", "l2 | cores | smt | bus");
+  if (flags.help_requested()) {
+    std::fputs(flags.usage().c_str(), stderr);
+    return 0;
+  }
+  const aon::UseCase use_case = parse_use_case(use_case_name);
+
+  // One captured stream per potential hardware thread (up to 8 cores).
+  std::printf("capturing %s message streams...\n", use_case_name.c_str());
+  std::vector<uarch::Trace> traces;
+  for (int t = 0; t < 8; ++t) {
+    aon::CaptureConfig capture;
+    capture.data_base =
+        0x1000'0000ull + static_cast<std::uint64_t>(t) * 0x1000'0000ull;
+    capture.message_seed = 1 + static_cast<std::uint64_t>(t) * 1000;
+    traces.push_back(capture_use_case_trace(use_case, capture));
+  }
+  const double msgs_per_trace =
+      static_cast<double>(aon::default_messages(use_case));
+
+  util::TextTable table("platform explorer: " + use_case_name + " / " +
+                        sweep + " sweep");
+  table.set_header({"Config", "msgs/s", "CPI", "L2MPI (%)", "BTPI (%)"});
+  table.set_tsv(true);
+  std::vector<Row> rows;
+
+  if (sweep == "l2") {
+    for (const std::uint64_t kb : {512, 1024, 2048, 4096, 8192}) {
+      uarch::PlatformConfig p = uarch::platform_2cpm();
+      p.l2.size_bytes = kb * 1024;
+      rows.push_back(run_config(util::format("2CPm, %llu KB shared L2",
+                                             static_cast<unsigned long long>(kb)),
+                                p, {&traces[0], &traces[1]},
+                                2 * msgs_per_trace));
+    }
+  } else if (sweep == "cores") {
+    for (const int cores : {1, 2, 4, 8}) {
+      uarch::PlatformConfig p = uarch::platform_2cpm();
+      p.cores_per_chip = cores;
+      std::vector<const uarch::Trace*> ptrs;
+      for (int t = 0; t < cores; ++t) ptrs.push_back(&traces[static_cast<std::size_t>(t)]);
+      rows.push_back(run_config(util::format("%d-core PM, shared 2MB L2",
+                                             cores),
+                                p, ptrs, cores * msgs_per_trace));
+    }
+  } else if (sweep == "smt") {
+    rows.push_back(run_config("Xeon, HT off", uarch::platform_1lpx(),
+                              {&traces[0]}, msgs_per_trace));
+    rows.push_back(run_config("Xeon, HT on", uarch::platform_2lpx(),
+                              {&traces[0], &traces[1]},
+                              2 * msgs_per_trace));
+    rows.push_back(run_config("2x Xeon, HT off", uarch::platform_2ppx(),
+                              {&traces[0], &traces[1]},
+                              2 * msgs_per_trace));
+  } else {  // bus
+    for (const double mhz : {333.0, 667.0, 1333.0}) {
+      uarch::PlatformConfig p = uarch::platform_2ppx();
+      p.bus_freq_mhz = mhz;
+      rows.push_back(run_config(util::format("2PPx, %.0f MHz FSB", mhz), p,
+                                {&traces[0], &traces[1]},
+                                2 * msgs_per_trace));
+    }
+  }
+
+  for (const Row& r : rows) {
+    table.add_row({r.label, util::format("%.0f", r.throughput),
+                   util::format("%.2f", r.counters.cpi()),
+                   util::format("%.3f", r.counters.l2mpi()),
+                   util::format("%.2f", r.counters.btpi())});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// trace_inspector: capture, save, load and dissect workload traces —
+// the debugging loupe for the reproduction. Shows the instruction mix,
+// footprints and per-region access counts of any use case, and replays
+// a saved trace on a chosen platform.
+//
+//   ./build/examples/trace_inspector --use_case=CBR --save=/tmp/cbr.trc
+//   ./build/examples/trace_inspector --load=/tmp/cbr.trc --platform=2LPx
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "xaon/aon/capture.hpp"
+#include "xaon/uarch/system.hpp"
+#include "xaon/uarch/trace_io.hpp"
+#include "xaon/util/flags.hpp"
+#include "xaon/util/str.hpp"
+#include "xaon/util/table.hpp"
+
+using namespace xaon;
+
+namespace {
+
+aon::UseCase parse_use_case(const std::string& s) {
+  if (s == "FR") return aon::UseCase::kForwardRequest;
+  if (s == "CBR") return aon::UseCase::kContentBasedRouting;
+  if (s == "DPI") return aon::UseCase::kDeepInspection;
+  if (s == "SEC") return aon::UseCase::kMessageSecurity;
+  return aon::UseCase::kSchemaValidation;
+}
+
+uarch::PlatformConfig parse_platform(const std::string& s) {
+  for (const auto& p : uarch::all_platforms()) {
+    if (p.notation == s) return p;
+  }
+  return uarch::platform_1cpm();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string use_case_name =
+      flags.str("use_case", "CBR", "FR | CBR | SV | DPI | SEC");
+  const std::string save_path =
+      flags.str("save", "", "write the captured trace here");
+  const std::string load_path =
+      flags.str("load", "", "load a trace instead of capturing");
+  const std::string platform_name =
+      flags.str("platform", "1CPm", "1CPm | 2CPm | 1LPx | 2LPx | 2PPx");
+  const auto messages = static_cast<std::uint32_t>(
+      flags.i64("messages", 16, "messages to capture (0 = default)"));
+  if (flags.help_requested()) {
+    std::fputs(flags.usage().c_str(), stderr);
+    return 0;
+  }
+
+  uarch::Trace trace;
+  if (!load_path.empty()) {
+    auto loaded = uarch::load_trace(load_path);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "load failed: %s\n", loaded.error.c_str());
+      return 1;
+    }
+    trace = std::move(loaded.trace);
+    std::printf("loaded %zu ops from %s\n", trace.size(),
+                load_path.c_str());
+  } else {
+    aon::CaptureConfig config;
+    config.messages = messages;
+    std::printf("capturing %u %s messages...\n", messages,
+                use_case_name.c_str());
+    trace = capture_use_case_trace(parse_use_case(use_case_name), config);
+  }
+
+  // --- dissect -------------------------------------------------------------
+  const uarch::TraceStats stats = uarch::compute_stats(trace);
+  std::set<std::uint64_t> data_pages, code_lines;
+  std::map<std::uint64_t, std::uint64_t> region_ops;  // by 256MB region
+  for (const auto& op : trace) {
+    code_lines.insert(op.pc / 64);
+    if (op.kind == uarch::OpKind::kLoad ||
+        op.kind == uarch::OpKind::kStore) {
+      data_pages.insert(op.addr >> 12);
+      ++region_ops[op.addr >> 28];
+    }
+  }
+
+  util::TextTable table("trace anatomy");
+  table.set_header({"Property", "Value"});
+  table.add_row({"ops", std::to_string(stats.total)});
+  table.add_row({"ALU / loads / stores / branches",
+                 util::format("%llu / %llu / %llu / %llu",
+                              (unsigned long long)stats.alu,
+                              (unsigned long long)stats.loads,
+                              (unsigned long long)stats.stores,
+                              (unsigned long long)stats.branches)});
+  table.add_row({"branch fraction",
+                 util::format("%.1f%%", 100 * stats.branch_fraction())});
+  table.add_row({"taken-branch share",
+                 util::format("%.1f%%",
+                              stats.branches
+                                  ? 100.0 * stats.taken_branches /
+                                        stats.branches
+                                  : 0.0)});
+  table.add_row({"data footprint",
+                 util::format("%.1f KiB (%zu pages)",
+                              data_pages.size() * 4096.0 / 1024,
+                              data_pages.size())});
+  table.add_row({"code footprint",
+                 util::format("%.1f KiB (%zu lines)",
+                              code_lines.size() * 64.0 / 1024,
+                              code_lines.size())});
+  table.print();
+
+  util::TextTable regions("memory ops by 256 MiB region");
+  regions.set_header({"Region base", "ops"});
+  for (const auto& [region, n] : region_ops) {
+    regions.add_row({util::format("0x%08llx",
+                                  (unsigned long long)(region << 28)),
+                     std::to_string(n)});
+  }
+  regions.print();
+
+  if (!save_path.empty()) {
+    if (!uarch::save_trace(trace, save_path)) {
+      std::fprintf(stderr, "save failed: %s\n", save_path.c_str());
+      return 1;
+    }
+    std::printf("saved to %s\n", save_path.c_str());
+  }
+
+  // --- replay --------------------------------------------------------------
+  const uarch::PlatformConfig platform = parse_platform(platform_name);
+  uarch::System system(platform);
+  (void)system.run({&trace});
+  const auto result = system.run({&trace});
+  std::printf("\nreplay on %s: wall %.2f ms, %s\n",
+              platform.notation.c_str(), result.wall_ns / 1e6,
+              result.total.to_string().c_str());
+  return 0;
+}

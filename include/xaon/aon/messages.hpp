@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "xaon/http/message.hpp"
+
+/// \file messages.hpp
+/// AONBench-style test messages (the paper, §3.2.1, uses a 5 KB SOAP
+/// message whose Body carries an order with a <quantity> element; CBR
+/// routes on `//quantity/text() = "1"`, SV validates the order against
+/// a schema; filler elements pad the message to the AONBench-specified
+/// 5 KB).
+
+namespace xaon::aon {
+
+struct MessageSpec {
+  std::size_t target_bytes = 5 * 1024;  ///< AONBench message size
+  std::uint32_t items = 3;              ///< order line items
+  std::uint32_t quantity = 1;           ///< first item's quantity (CBR key)
+  std::uint64_t seed = 1;               ///< varies filler/skus per message
+  bool valid_for_schema = true;         ///< false: inject an SV violation
+};
+
+/// The SOAP envelope + order payload, padded with filler to
+/// ~target_bytes.
+std::string make_order_message(const MessageSpec& spec = {});
+
+/// The XSD the SV use case validates order payloads against.
+std::string order_schema_xsd();
+
+/// Wraps a message body in the HTTP POST the AON gateway receives.
+http::Request make_post_request(std::string body,
+                                std::string target = "/aon/service");
+
+/// Serialized wire form of the POST (what arrives from the network).
+std::string make_post_wire(const MessageSpec& spec = {});
+
+}  // namespace xaon::aon

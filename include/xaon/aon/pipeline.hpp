@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xaon/http/message.hpp"
+#include "xaon/xml/parser.hpp"
+#include "xaon/xpath/xpath.hpp"
+#include "xaon/xsd/validator.hpp"
+
+/// \file pipeline.hpp
+/// The three AON use cases of the paper (§3.2.1):
+///
+///  * **FR** — HTTP Forward Request: proxy the POST to the default
+///    endpoint untouched. Pure network I/O; the throughput baseline.
+///  * **CBR** — Content Based Routing: parse the XML, evaluate
+///    `//quantity/text()`; route to the primary endpoint when it equals
+///    "1", else to the error endpoint.
+///  * **SV** — Schema Validation: validate the order payload inside the
+///    SOAP Body against the order schema; route valid messages to the
+///    primary endpoint, invalid ones to the error endpoint.
+
+namespace xaon::aon {
+
+enum class UseCase : std::uint8_t {
+  kForwardRequest,
+  kContentBasedRouting,
+  kSchemaValidation,
+  // Extensions implementing the paper's stated future work ("deep
+  // packet inspection ... and crypto functions", §6):
+  kDeepInspection,   ///< DPI: payload scanned against attack signatures
+  kMessageSecurity,  ///< SEC: HMAC-SHA1 message signing / verification
+};
+
+/// Paper notation: FR / CBR / SV (extensions: DPI / SEC).
+std::string_view use_case_notation(UseCase use_case);
+
+/// The built-in DPI signature patterns (unanchored regexes over the
+/// payload bytes — injection attempts, script smuggling, entity bombs).
+const std::vector<std::string>& default_dpi_signatures();
+
+/// Header carrying the HMAC-SHA1 signature in the SEC use case.
+inline constexpr const char* kSignatureHeader = "X-AON-Signature";
+
+struct Endpoints {
+  std::string primary = "http://backend.example:8080/orders";
+  std::string error = "http://backend.example:8080/errors";
+};
+
+/// One message-processing engine. Construction compiles the XPath /
+/// loads the schema; `process*` is const and thread-compatible, so the
+/// host-mode server shares one Pipeline across workers.
+class Pipeline {
+ public:
+  struct Outcome {
+    bool ok = false;             ///< message handled (even if routed to error)
+    bool routed_primary = false; ///< primary vs error endpoint
+    std::string forwarded_to;    ///< endpoint URL chosen
+    std::string forwarded_wire;  ///< serialized outbound request
+    http::Response response;     ///< reply to the original client
+    std::string detail;          ///< routing/validation diagnostics
+  };
+
+  explicit Pipeline(UseCase use_case, Endpoints endpoints = {});
+
+  UseCase use_case() const { return use_case_; }
+
+  /// Per-message state the pipeline normally frees on return. Trace
+  /// capture passes one per message and keeps them alive so the
+  /// recorded address stream reflects a live message stream rather
+  /// than allocator page recycling.
+  struct ProcessScratch {
+    http::Request request;
+    xml::ParseResult parsed;
+  };
+
+  /// Processes an already-parsed request.
+  Outcome process(const http::Request& request,
+                  ProcessScratch* scratch = nullptr) const;
+
+  /// Processes raw wire bytes: HTTP parse + use case + forward
+  /// serialization — the full per-message path the paper measures.
+  Outcome process_wire(std::string_view wire,
+                       ProcessScratch* scratch = nullptr) const;
+
+ private:
+  Outcome forward(const http::Request& request, bool primary,
+                  std::string detail) const;
+
+  UseCase use_case_;
+  Endpoints endpoints_;
+  xpath::XPath quantity_xpath_;
+  xsd::Schema schema_;
+  std::vector<xsd::Regex> signatures_;  ///< DPI
+  std::string hmac_key_;                ///< SEC
+};
+
+}  // namespace xaon::aon

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xaon/aon/pipeline.hpp"
+
+/// \file server.hpp
+/// Host-mode AON server: the paper's "XML server application" threading
+/// model — POSIX threads, one worker per (logical) CPU, each draining a
+/// message queue. Runs natively (no simulation) for functional
+/// integration tests, the examples and real-throughput measurements.
+
+namespace xaon::aon {
+
+struct ServerConfig {
+  UseCase use_case = UseCase::kForwardRequest;
+  std::size_t workers = 2;  ///< kept equal to CPUs, per the paper
+  std::size_t queue_capacity = 512;
+};
+
+struct LoadResult {
+  std::uint64_t messages = 0;
+  std::uint64_t routed_primary = 0;
+  std::uint64_t routed_error = 0;
+  std::uint64_t failed = 0;  ///< HTTP/XML-level rejections
+  double seconds = 0;
+
+  double messages_per_second() const {
+    return seconds > 0 ? static_cast<double>(messages) / seconds : 0.0;
+  }
+};
+
+class Server {
+ public:
+  explicit Server(const ServerConfig& config);
+
+  /// Processes `total_messages`, cycling through `wires` (pre-built
+  /// request bytes), distributed round-robin across workers. Blocks
+  /// until done.
+  LoadResult run_load(const std::vector<std::string>& wires,
+                      std::uint64_t total_messages);
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  ServerConfig config_;
+  Pipeline pipeline_;
+};
+
+}  // namespace xaon::aon

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file sha1.hpp
+/// SHA-1 and HMAC-SHA1, implemented from scratch (FIPS 180-1 /
+/// RFC 2104).
+///
+/// The paper's future-work list names "crypto functions" as the next
+/// AON operation class to characterize; WS-Security in the paper's era
+/// signed SOAP messages with HMAC-SHA1. SHA-1 is cryptographically
+/// broken today — this implementation exists to reproduce the
+/// *performance* character of 2006-era message security (integer
+/// rounds, byte sweeps), not to protect anything.
+
+namespace xaon::crypto {
+
+/// Streaming SHA-1.
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestBytes = 20;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Sha1() { reset(); }
+
+  /// Absorbs `data`; may be called repeatedly.
+  void update(std::string_view data);
+
+  /// Finalizes and returns the digest. The object must be reset()
+  /// before reuse.
+  Digest finish();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[5];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// HMAC-SHA1 per RFC 2104.
+Sha1::Digest hmac_sha1(std::string_view key, std::string_view message);
+
+/// Lower-case hex of a digest ("a9993e36...").
+std::string to_hex(const Sha1::Digest& digest);
+
+/// Constant-time digest comparison.
+bool digest_equal(const Sha1::Digest& a, const Sha1::Digest& b);
+
+}  // namespace xaon::crypto

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file message.hpp
+/// HTTP/1.1 message model. The AON server proxies HTTP POST requests
+/// carrying XML payloads (the paper's FR/CBR/SV use cases all arrive
+/// this way), so requests and responses are first-class values here.
+
+namespace xaon::http {
+
+/// Ordered header list with case-insensitive name lookup (HTTP header
+/// names are case-insensitive; order is preserved for proxying
+/// fidelity).
+class HeaderMap {
+ public:
+  void add(std::string name, std::string value);
+
+  /// Replaces every existing `name` header with one instance.
+  void set(std::string name, std::string value);
+
+  /// First value for `name`, or nullopt.
+  std::optional<std::string_view> get(std::string_view name) const;
+
+  /// All values for `name` in order.
+  std::vector<std::string_view> get_all(std::string_view name) const;
+
+  bool has(std::string_view name) const { return get(name).has_value(); }
+
+  /// Removes every `name` header; returns how many were removed.
+  std::size_t remove(std::string_view name);
+
+  std::size_t size() const { return headers_.size(); }
+
+  struct Entry {
+    std::string name;
+    std::string value;
+  };
+  const std::vector<Entry>& entries() const { return headers_; }
+
+ private:
+  std::vector<Entry> headers_;
+};
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  /// Content-Length as parsed, or nullopt.
+  std::optional<std::uint64_t> content_length() const;
+
+  /// True when Connection: close (or HTTP/1.0 without keep-alive).
+  bool wants_close() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+};
+
+/// Serializes with a correct Content-Length (overriding any present).
+std::string write_request(const Request& request);
+std::string write_response(const Response& response);
+
+/// Standard reason phrase for a status code ("OK", "Not Found", ...).
+std::string_view reason_phrase(int status);
+
+}  // namespace xaon::http

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "xaon/http/message.hpp"
+
+/// \file parser.hpp
+/// Incremental HTTP/1.1 parsing. `feed()` accepts arbitrary byte chunks
+/// (the network simulator delivers segment-sized pieces); a message is
+/// ready when state() == kDone. Supports Content-Length and chunked
+/// transfer-coding bodies.
+
+namespace xaon::http {
+
+enum class ParseState : std::uint8_t {
+  kStartLine,
+  kHeaders,
+  kBody,
+  kChunkSize,
+  kChunkData,
+  kChunkTrailer,
+  kDone,
+  kError,
+};
+
+namespace detail {
+
+/// Shared machinery for request/response parsing.
+class MessageParser {
+ public:
+  ParseState state() const { return state_; }
+  bool done() const { return state_ == ParseState::kDone; }
+  bool failed() const { return state_ == ParseState::kError; }
+  const std::string& error() const { return error_; }
+
+  /// Total body bytes limit (default 16 MiB) — an AON device bounds
+  /// message sizes defensively.
+  void set_max_body(std::size_t n) { max_body_ = n; }
+
+ protected:
+  /// Consumes as much of `data` as possible; returns bytes consumed.
+  /// Trailing bytes beyond the message end are left unconsumed
+  /// (pipelining).
+  std::size_t feed_impl(std::string_view data, HeaderMap* headers,
+                        std::string* body);
+
+  virtual bool parse_start_line(std::string_view line) = 0;
+  virtual ~MessageParser() = default;
+
+  void reset_impl();
+
+  bool fail(std::string message) {
+    state_ = ParseState::kError;
+    error_ = std::move(message);
+    return false;
+  }
+
+  ParseState state_ = ParseState::kStartLine;
+  std::string error_;
+  std::string line_buf_;
+  std::size_t body_remaining_ = 0;
+  bool chunked_ = false;
+  bool has_length_ = false;
+  std::size_t max_body_ = 16 * 1024 * 1024;
+};
+
+}  // namespace detail
+
+class RequestParser : public detail::MessageParser {
+ public:
+  /// Feeds bytes; returns how many were consumed. Check done()/failed().
+  std::size_t feed(std::string_view data);
+
+  /// The parsed request; valid once done().
+  const Request& request() const { return request_; }
+  Request take_request();
+
+  /// Prepares for the next message on the same connection.
+  void reset();
+
+ private:
+  bool parse_start_line(std::string_view line) override;
+  Request request_;
+};
+
+class ResponseParser : public detail::MessageParser {
+ public:
+  std::size_t feed(std::string_view data);
+  const Response& response() const { return response_; }
+  Response take_response();
+  void reset();
+
+ private:
+  bool parse_start_line(std::string_view line) override;
+  Response response_;
+};
+
+}  // namespace xaon::http

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "xaon/netsim/simulator.hpp"
+
+/// \file link.hpp
+/// Point-to-point link: FIFO serialization at a fixed bandwidth plus
+/// propagation latency. A Gigabit Ethernet instance (with per-frame
+/// overhead) is the paper's end-to-end netperf substrate; a loopback
+/// instance has effectively infinite bandwidth and zero latency,
+/// leaving the host CPU as the bottleneck — matching the paper's two
+/// netperf modes.
+
+namespace xaon::netsim {
+
+struct LinkConfig {
+  double bandwidth_bps = 1e9;   ///< serialization rate
+  SimTime latency_ns = 50'000;  ///< propagation delay (50 us default)
+  /// Per-frame bytes that consume wire time but not payload: Ethernet
+  /// preamble(8) + header(14) + CRC(4) + interframe gap(12).
+  std::uint32_t frame_overhead_bytes = 38;
+  std::uint32_t mtu_bytes = 1500;  ///< max L3 payload per frame
+  /// Independent per-frame drop probability (0 = lossless, the
+  /// default — the paper's testbed LAN). Drops are deterministic given
+  /// `loss_seed`.
+  double loss_rate = 0.0;
+  std::uint64_t loss_seed = 0x10552;
+};
+
+struct LinkStats {
+  std::uint64_t frames = 0;
+  std::uint64_t dropped_frames = 0;
+  std::uint64_t payload_bytes = 0;  ///< excludes frame overhead
+  SimTime busy_ns = 0;              ///< total serialization time
+
+  /// Utilization over an interval.
+  double utilization(SimTime interval_ns) const {
+    return interval_ns <= 0 ? 0.0
+                            : static_cast<double>(busy_ns) /
+                                  static_cast<double>(interval_ns);
+  }
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(std::uint32_t bytes)>;
+
+  Link(Simulator& sim, const LinkConfig& config)
+      : sim_(sim), config_(config), loss_state_(config.loss_seed) {}
+
+  /// Queues one frame of `bytes` L3 payload (must be <= MTU). The
+  /// callback fires at the receiver after serialization + latency.
+  /// A lost frame (loss_rate) consumes wire time but never delivers;
+  /// `dropped` (optional) fires at the would-be arrival time instead —
+  /// transports use it to model their retransmission timers.
+  void transmit(std::uint32_t bytes, DeliverFn deliver,
+                DeliverFn dropped = nullptr);
+
+  const LinkConfig& config() const { return config_; }
+  const LinkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = LinkStats{}; }
+
+  /// Gigabit Ethernet preset.
+  static LinkConfig gigabit_ethernet() { return LinkConfig{}; }
+
+  /// Loopback preset: 100 Gbps, 1 us, no frame overhead (the kernel
+  /// copies; the CPU resource models its cost).
+  static LinkConfig loopback() {
+    LinkConfig c;
+    c.bandwidth_bps = 100e9;
+    c.latency_ns = 1'000;
+    c.frame_overhead_bytes = 0;
+    c.mtu_bytes = 65536;
+    return c;
+  }
+
+ private:
+  Simulator& sim_;
+  LinkConfig config_;
+  LinkStats stats_;
+  SimTime tx_free_ns_ = 0;  ///< when the transmitter becomes idle
+  std::uint64_t loss_state_;  ///< splitmix64 state for drop decisions
+};
+
+}  // namespace xaon::netsim

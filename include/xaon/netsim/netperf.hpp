@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "xaon/netsim/link.hpp"
+#include "xaon/netsim/tcp.hpp"
+
+/// \file netperf.hpp
+/// The netperf "TCP Stream Test" driver: netperf (client) blasts
+/// buffers at netserver over one TCP stream as fast as the window,
+/// link and CPUs allow — exactly the benchmark the paper baselines
+/// with (Section 3.2.2, Figure 2, Table 3).
+
+namespace xaon::netsim {
+
+struct TcpStreamResult {
+  double goodput_mbps = 0;     ///< application payload rate
+  SimTime duration_ns = 0;
+  std::uint64_t bytes_delivered = 0;
+  TcpStats tcp;
+  LinkStats data_link;
+};
+
+/// Streams `total_bytes` through a fresh simulation. `sender_cpu` /
+/// `receiver_cpu` (optional) model the hosts' protocol-processing
+/// capacity; pass the same resource for both to model loopback's single
+/// shared machine (netperf + netserver on one host).
+TcpStreamResult run_tcp_stream(const LinkConfig& link_config,
+                               const TcpConfig& tcp_config,
+                               std::uint64_t total_bytes,
+                               CpuResource* sender_cpu = nullptr,
+                               CpuResource* receiver_cpu = nullptr);
+
+}  // namespace xaon::netsim

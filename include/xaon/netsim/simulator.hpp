@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+/// \file simulator.hpp
+/// Discrete-event simulation core. Time is in integer nanoseconds;
+/// events with equal timestamps fire in scheduling order
+/// (deterministic).
+
+namespace xaon::netsim {
+
+using SimTime = std::int64_t;  ///< nanoseconds
+
+inline constexpr SimTime kSimTimeMax =
+    std::numeric_limits<SimTime>::max();
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void at(SimTime t, Callback fn);
+
+  /// Schedules `fn` `delay` ns from now.
+  void after(SimTime delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Runs the earliest event; false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or the next event is past `until`.
+  /// Returns the number of events processed.
+  std::size_t run(SimTime until = kSimTimeMax);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  ///< FIFO tie-break
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// A serially-used resource with a time-based acquire (a host CPU, a
+/// DMA engine): requests at time `t` start at max(t, free) and occupy
+/// for `cost`.
+class CpuResource {
+ public:
+  /// Returns the completion time of work submitted at `t`.
+  SimTime acquire(SimTime t, SimTime cost) {
+    const SimTime start = t > busy_until_ ? t : busy_until_;
+    busy_until_ = start + cost;
+    busy_total_ += cost;
+    return busy_until_;
+  }
+
+  SimTime busy_until() const { return busy_until_; }
+  SimTime busy_total() const { return busy_total_; }
+  void reset() { busy_until_ = 0; busy_total_ = 0; }
+
+ private:
+  SimTime busy_until_ = 0;
+  SimTime busy_total_ = 0;
+};
+
+}  // namespace xaon::netsim

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "xaon/netsim/link.hpp"
+#include "xaon/netsim/simulator.hpp"
+
+/// \file tcp.hpp
+/// Simplified unidirectional TCP stream: MSS segmentation, slow start
+/// and congestion avoidance over a (lossless) link pair, cumulative
+/// per-segment ACKs, a fixed receive window, and optional per-segment
+/// CPU costs at both ends (the sender/receiver kernel path). This is
+/// the machinery behind the netperf TCP_STREAM reproduction: goodput
+/// converges to ~94% of a GigE link (TCP/IP + Ethernet framing
+/// overhead), or to the CPU-limited rate in loopback mode — the two
+/// regimes of the paper's Figure 2.
+
+namespace xaon::netsim {
+
+struct TcpConfig {
+  std::uint32_t mss = 1460;           ///< max segment payload
+  std::uint32_t header_bytes = 40;    ///< IP + TCP headers
+  std::uint32_t initial_cwnd_segments = 10;
+  std::uint32_t rwnd_bytes = 256 * 1024;
+  /// Per-segment CPU cost at each end (kernel protocol processing), plus
+  /// per-byte copy cost. Zero = infinitely fast host.
+  SimTime sender_cpu_ns_per_segment = 0;
+  double sender_cpu_ns_per_byte = 0;
+  SimTime receiver_cpu_ns_per_segment = 0;
+  double receiver_cpu_ns_per_byte = 0;
+  /// Retransmission timeout for segments lost on a lossy link.
+  SimTime retransmit_timeout_ns = 10'000'000;  // 10 ms
+};
+
+struct TcpStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t bytes_delivered = 0;  ///< application payload
+  std::uint32_t cwnd_bytes = 0;       ///< final congestion window
+};
+
+/// One-directional data stream; the reverse link carries ACKs.
+class TcpStream {
+ public:
+  /// `sender_cpu` / `receiver_cpu` may be nullptr (no CPU modeling) or
+  /// shared across streams to model competing processes on one core.
+  TcpStream(Simulator& sim, Link& data_link, Link& ack_link,
+            const TcpConfig& config, CpuResource* sender_cpu = nullptr,
+            CpuResource* receiver_cpu = nullptr);
+
+  /// Appends application bytes to the send queue and starts
+  /// transmitting.
+  void send(std::uint64_t bytes);
+
+  /// Fires at the receiver as payload arrives (after CPU cost).
+  void set_on_deliver(std::function<void(std::uint32_t)> fn) {
+    on_deliver_ = std::move(fn);
+  }
+
+  std::uint64_t delivered() const { return stats_.bytes_delivered; }
+  bool idle() const { return pending_ == 0 && in_flight_ == 0; }
+  const TcpStats& stats() const { return stats_; }
+
+ private:
+  void pump();
+  void send_segment(std::uint32_t payload, bool is_retransmit);
+  void on_segment_arrival(std::uint32_t payload);
+  void on_segment_lost(std::uint32_t payload);
+  void send_ack(std::uint32_t payload);
+  void on_ack(std::uint32_t acked_payload);
+
+  Simulator& sim_;
+  Link& data_link_;
+  Link& ack_link_;
+  TcpConfig config_;
+  CpuResource* sender_cpu_;
+  CpuResource* receiver_cpu_;
+
+  std::uint64_t pending_ = 0;    ///< bytes queued, not yet segmented
+  std::uint64_t in_flight_ = 0;  ///< bytes sent, not yet acked
+  double cwnd_ = 0;              ///< congestion window in bytes
+  double ssthresh_ = 0;
+  TcpStats stats_;
+  std::function<void(std::uint32_t)> on_deliver_;
+};
+
+}  // namespace xaon::netsim

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xaon/perf/experiment.hpp"
+#include "xaon/util/table.hpp"
+
+/// \file report.hpp
+/// Renders experiment results in the paper's table/figure layouts:
+/// workloads as rows, the five platform notations as columns.
+
+namespace xaon::perf {
+
+/// Extracts one scalar from a platform run (e.g. CPI).
+using MetricFn = std::function<double(const PlatformRun&)>;
+
+/// Builds a paper-style table: one row per workload, one column per
+/// platform, cells formatted with `precision` decimals.
+util::TextTable metric_table(const std::string& title,
+                             const std::vector<WorkloadResults>& workloads,
+                             const MetricFn& metric, int precision = 2);
+
+/// Builds a grouped bar chart (one group per platform, one bar per
+/// workload) — the textual analogue of the paper's figures.
+util::BarChart metric_chart(const std::string& title,
+                            const std::vector<WorkloadResults>& workloads,
+                            const MetricFn& metric, int precision = 2);
+
+/// Canonical metric extractors (paper definitions).
+double metric_cpi(const PlatformRun& run);
+double metric_l2mpi(const PlatformRun& run);
+double metric_btpi(const PlatformRun& run);
+double metric_branch_frequency(const PlatformRun& run);
+double metric_brmpr(const PlatformRun& run);
+double metric_throughput(const PlatformRun& run);
+
+}  // namespace xaon::perf

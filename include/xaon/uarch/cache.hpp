@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file cache.hpp
+/// Set-associative write-back/write-allocate cache with true-LRU
+/// replacement — the model behind every L1/L2 in the simulated
+/// platforms (Table 1 of the paper gives the geometries).
+
+namespace xaon::uarch {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t associativity = 8;
+
+  std::uint64_t num_sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) *
+                         associativity);
+  }
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;  ///< dirty evictions
+
+  double miss_rate() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+/// Result of one cache access.
+struct AccessResult {
+  bool hit = false;
+  bool writeback = false;       ///< a dirty line was evicted
+  std::uint64_t victim_line = 0;  ///< line address of the eviction victim
+  bool evicted = false;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Looks up / fills `addr`. A miss allocates the line (victim evicted
+  /// per LRU). `is_write` marks the line dirty.
+  AccessResult access(std::uint64_t addr, bool is_write);
+
+  /// True without side effects.
+  bool contains(std::uint64_t addr) const;
+
+  /// Invalidates the line if present (coherence). Returns true when the
+  /// invalidated line was dirty.
+  bool invalidate(std::uint64_t addr);
+
+  /// Inserts a line without counting an access (prefetch fill).
+  /// Returns the access result of the fill (hit = already present).
+  AccessResult fill(std::uint64_t addr);
+
+  void reset_stats() { stats_ = CacheStats{}; }
+  const CacheStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return config_; }
+
+  std::uint64_t line_of(std::uint64_t addr) const {
+    return addr / config_.line_bytes;
+  }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< larger = more recent
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  AccessResult touch(std::uint64_t addr, bool is_write, bool count);
+
+  CacheConfig config_;
+  std::uint64_t set_mask_;
+  std::vector<Way> ways_;  ///< sets * associativity, row-major
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace xaon::uarch

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file counters.hpp
+/// The on-chip performance-counter set the paper samples with VTune,
+/// reproduced over the simulated hardware. One instance per hardware
+/// thread; aggregate with operator+=.
+
+namespace xaon::uarch {
+
+struct Counters {
+  // Raw event counts (names follow the VTune events the paper lists).
+  std::uint64_t clockticks = 0;            ///< cycles incl. idle
+  std::uint64_t busy_cycles = 0;           ///< cycles doing work
+  std::uint64_t inst_retired = 0;          ///< post-uop-expansion
+  std::uint64_t ops = 0;                   ///< trace ops executed
+  std::uint64_t branch_retired = 0;
+  std::uint64_t branch_mispredicted = 0;
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l1i_accesses = 0;
+  std::uint64_t l1i_misses = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t bus_transactions = 0;      ///< incl. prefetch + coherence
+  std::uint64_t bus_wait_cycles = 0;       ///< stall cycles from arbitration
+  std::uint64_t coherence_invalidations = 0;
+  std::uint64_t prefetch_fills = 0;
+
+  Counters& operator+=(const Counters& other);
+
+  // Derived metrics exactly as the paper defines them.
+  double cpi() const;     ///< clockticks / instructions retired
+  double l2mpi() const;   ///< L2 misses per retired instruction (as %)
+  double btpi() const;    ///< bus transactions per retired instruction (%)
+  double branch_frequency() const;  ///< branch/inst retired (%)
+  double brmpr() const;   ///< mispredictions per retired branch (%)
+
+  std::string to_string() const;
+};
+
+}  // namespace xaon::uarch

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file predictor.hpp
+/// Branch predictors. The Pentium M model is a hybrid (bimodal + gshare
+/// with a chooser, large tables — Intel's "advanced branch prediction");
+/// the Netburst Xeon model is a smaller gshare. Under Hyper-Threading
+/// both logical CPUs share the same tables (and optionally the global
+/// history register), which is exactly the aliasing mechanism the paper
+/// blames for the 2LPx misprediction increase.
+
+namespace xaon::uarch {
+
+struct PredictorConfig {
+  std::uint32_t bimodal_bits = 12;  ///< log2 of bimodal table entries
+  std::uint32_t gshare_bits = 12;   ///< log2 of gshare table entries
+  std::uint32_t history_bits = 12;  ///< global history length
+  bool hybrid = true;               ///< use chooser between the two
+  bool shared_history = false;      ///< SMT threads share the history reg
+};
+
+struct PredictorStats {
+  std::uint64_t predictions = 0;
+  std::uint64_t mispredictions = 0;
+
+  double miss_ratio() const {
+    return predictions == 0 ? 0.0
+                            : static_cast<double>(mispredictions) /
+                                  static_cast<double>(predictions);
+  }
+};
+
+/// One predictor instance = one physical core's tables. `thread` selects
+/// the logical CPU (affects only the history register unless
+/// shared_history).
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const PredictorConfig& config);
+
+  /// Predicts, updates tables with the outcome, and reports whether the
+  /// prediction was wrong.
+  bool predict_and_update(std::uint32_t thread, std::uint64_t pc,
+                          bool taken);
+
+  const PredictorStats& stats(std::uint32_t thread) const {
+    return stats_[thread & 1];
+  }
+  PredictorStats total_stats() const;
+  void reset_stats();
+
+ private:
+  static bool counter_taken(std::uint8_t c) { return c >= 2; }
+  static std::uint8_t bump(std::uint8_t c, bool taken) {
+    if (taken) return c < 3 ? static_cast<std::uint8_t>(c + 1) : c;
+    return c > 0 ? static_cast<std::uint8_t>(c - 1) : c;
+  }
+
+  PredictorConfig config_;
+  std::vector<std::uint8_t> bimodal_;
+  std::vector<std::uint8_t> gshare_;
+  std::vector<std::uint8_t> chooser_;
+  std::uint64_t history_[2] = {0, 0};
+  PredictorStats stats_[2];
+};
+
+}  // namespace xaon::uarch

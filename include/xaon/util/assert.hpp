@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file assert.hpp
+/// Lightweight runtime check macros used across the library.
+///
+/// `XAON_CHECK` is always on (cheap, used on API boundaries and invariants
+/// whose violation would corrupt results). `XAON_DCHECK` compiles out in
+/// NDEBUG builds and is used on hot paths.
+
+namespace xaon::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "XAON_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace xaon::detail
+
+#define XAON_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::xaon::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define XAON_CHECK_MSG(expr, msg)                                  \
+  do {                                                             \
+    if (!(expr))                                                   \
+      ::xaon::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define XAON_DCHECK(expr) ((void)0)
+#else
+#define XAON_DCHECK(expr) XAON_CHECK(expr)
+#endif

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file flags.hpp
+/// Minimal command-line flag parsing for the example and benchmark
+/// binaries. Flags take the forms `--name=value`, `--name value` and the
+/// boolean shorthand `--name` / `--no-name`.
+
+namespace xaon::util {
+
+class Flags {
+ public:
+  /// Parses argv. Unknown `--flags` are collected as errors; bare
+  /// arguments are collected as positional.
+  Flags(int argc, const char* const* argv);
+
+  /// Declares flags (with defaults) and returns the effective value.
+  /// Declaring also registers the flag for --help and unknown-flag checks.
+  std::string str(std::string_view name, std::string_view default_value,
+                  std::string_view help);
+  std::int64_t i64(std::string_view name, std::int64_t default_value,
+                   std::string_view help);
+  double f64(std::string_view name, double default_value,
+             std::string_view help);
+  bool boolean(std::string_view name, bool default_value,
+               std::string_view help);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True when --help was passed; callers should print usage() and exit.
+  bool help_requested() const { return help_; }
+
+  /// Usage text listing every declared flag with its default and help.
+  std::string usage() const;
+
+  /// Flags present on the command line but never declared. Non-empty
+  /// after all declarations means the invocation had a typo.
+  std::vector<std::string> unknown() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  struct Given {
+    std::string name;
+    std::optional<std::string> value;  // nullopt: bare boolean form
+    bool negated = false;              // --no-name
+    bool consumed = false;
+  };
+  struct Decl {
+    std::string name;
+    std::string default_repr;
+    std::string help;
+  };
+
+  Given* find(std::string_view name);
+
+  std::string program_;
+  std::vector<Given> given_;
+  std::vector<Decl> decls_;
+  std::vector<std::string> positional_;
+  bool help_ = false;
+};
+
+}  // namespace xaon::util

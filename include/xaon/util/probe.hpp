@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file probe.hpp
+/// Workload instrumentation layer.
+///
+/// The paper measures its workloads with on-chip performance counters
+/// (VTune). We have no 2006 silicon, so the library's XML / XPath / XSD /
+/// HTTP hot paths carry lightweight probes instead: each significant
+/// memory touch, branch decision and batch of ALU work is reported to a
+/// thread-local `Recorder`. A workload-characterization pass installs a
+/// recorder, runs the *real* code on the *real* message, and converts the
+/// event stream into an instruction trace that the microarchitecture
+/// simulator replays on each modeled platform.
+///
+/// When no recorder is installed (the common case — e.g. the host-mode
+/// AON server under load) every probe is a thread-local load plus one
+/// predictable branch, cheap enough to leave compiled in.
+///
+/// Branch probes carry a *site id* so the simulated branch predictors see
+/// distinct PCs with realistic per-site outcome streams: the predictor
+/// accuracy the paper reports then emerges from the actual data-dependent
+/// behaviour of the code rather than from an assumed misprediction rate.
+
+namespace xaon::probe {
+
+/// Classifies a probe site; used by trace expansion to synthesize
+/// instruction-fetch locality (loop bodies are tight; call sites jump).
+enum class SiteKind : std::uint8_t {
+  kLoop,  ///< back-edge of a loop (usually strongly biased taken)
+  kData,  ///< data-dependent conditional (parser dispatch, compares)
+  kCall,  ///< call/dispatch site (indirect or virtual)
+};
+
+/// Interface the workload characterizer implements to observe execution.
+/// All sizes are in bytes; pointers are real host addresses that the
+/// recorder remaps into a deterministic simulated address space.
+class Recorder {
+ public:
+  virtual ~Recorder() = default;
+  virtual void on_load(const void* addr, std::uint32_t bytes) = 0;
+  virtual void on_store(const void* addr, std::uint32_t bytes) = 0;
+  virtual void on_branch(std::uint32_t site, bool taken) = 0;
+  /// `count` straight-line non-memory instructions executed.
+  virtual void on_alu(std::uint32_t count) = 0;
+};
+
+/// Registers (or looks up) the stable id for a named probe site.
+/// Ids are assigned in first-registration order and are process-global;
+/// registering the same name twice returns the same id. Thread-safe.
+std::uint32_t register_site(std::string_view name, SiteKind kind);
+
+/// Number of registered sites.
+std::uint32_t site_count();
+
+/// Name/kind lookup for a registered site id (aborts on bad id).
+std::string_view site_name(std::uint32_t id);
+SiteKind site_kind(std::uint32_t id);
+
+/// Installs `r` as the calling thread's recorder (nullptr disables).
+/// Returns the previously installed recorder.
+Recorder* set_recorder(Recorder* r);
+
+/// The calling thread's recorder, or nullptr.
+Recorder* recorder();
+
+namespace detail {
+extern thread_local Recorder* tl_recorder;
+}  // namespace detail
+
+/// Convenience wrapper: registers the site once per call site.
+/// Usage:  static const std::uint32_t s = probe::site("xml.lex.lt",
+///                                                    probe::SiteKind::kData);
+inline std::uint32_t site(std::string_view name, SiteKind kind) {
+  return register_site(name, kind);
+}
+
+inline void load(const void* addr, std::uint32_t bytes) {
+  if (Recorder* r = detail::tl_recorder) r->on_load(addr, bytes);
+}
+
+inline void store(const void* addr, std::uint32_t bytes) {
+  if (Recorder* r = detail::tl_recorder) r->on_store(addr, bytes);
+}
+
+/// Records the branch decision and returns `taken` so probes can wrap
+/// conditions in place:  if (probe::branch(kSite, c == '<')) { ... }
+inline bool branch(std::uint32_t site_id, bool taken) {
+  if (Recorder* r = detail::tl_recorder) r->on_branch(site_id, taken);
+  return taken;
+}
+
+inline void alu(std::uint32_t count) {
+  if (Recorder* r = detail::tl_recorder) r->on_alu(count);
+}
+
+/// RAII guard installing a recorder for the current scope.
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(Recorder* r) : prev_(set_recorder(r)) {}
+  ~ScopedRecorder() { set_recorder(prev_); }
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  Recorder* prev_;
+};
+
+}  // namespace xaon::probe

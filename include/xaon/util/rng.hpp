@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.hpp
+/// Deterministic, fast pseudo-random number generation.
+///
+/// All stochastic components of the workload models and simulators draw
+/// from `Xoshiro256ss` seeded explicitly, so every experiment in the paper
+/// reproduction is bit-for-bit repeatable. Never use std::rand or
+/// std::random_device in library code.
+
+namespace xaon::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the library-wide PRNG (public-domain algorithm by
+/// Blackman & Vigna). Not cryptographic; statistical quality is ample for
+/// workload synthesis.
+class Xoshiro256ss {
+ public:
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit constexpr Xoshiro256ss(std::uint64_t seed = 0x9E3779B9D1B54A32ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias for practical use
+  /// (Lemire's multiply-shift reduction).
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  constexpr bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace xaon::util

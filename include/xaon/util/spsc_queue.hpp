@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <vector>
+
+#include "xaon/util/assert.hpp"
+
+/// \file spsc_queue.hpp
+/// Bounded single-producer/single-consumer ring buffer.
+///
+/// Used as the per-worker message queue in the host-mode AON server: the
+/// acceptor thread produces parsed messages, one worker per (logical) CPU
+/// consumes them. Lock-free with acquire/release ordering only; head and
+/// tail live on separate cache lines to avoid false sharing between the
+/// producer and consumer cores.
+
+namespace xaon::util {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kCacheLine =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kCacheLine = 64;
+#endif
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity.
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity + 1) cap <<= 1;  // one slot kept empty
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buffer_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    std::optional<T> out(std::move(buffer_[tail]));
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return out;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace xaon::util

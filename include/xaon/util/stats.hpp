@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file stats.hpp
+/// Streaming statistics and fixed-bucket histograms used by the
+/// experiment harness and the simulators' internal accounting.
+
+namespace xaon::util {
+
+/// Welford-style streaming mean/variance plus min/max. O(1) per sample,
+/// numerically stable, no sample storage.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Log-scaled latency histogram: power-of-two buckets from 1 to 2^63.
+/// Used for per-message service time distributions in the AON server.
+class LogHistogram {
+ public:
+  void add(std::uint64_t value);
+
+  std::uint64_t count() const { return total_; }
+  /// Approximate quantile (q in [0,1]): returns the upper bound of the
+  /// bucket containing the q-th sample. 0 when empty.
+  std::uint64_t quantile(double q) const;
+
+  static constexpr int kBuckets = 64;
+  std::uint64_t bucket(int i) const { return buckets_[i]; }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile over a stored sample vector (used in tests and for
+/// small result sets where exactness matters). `q` in [0,1]. Sorts a copy.
+double percentile(std::vector<double> samples, double q);
+
+/// Geometric mean of strictly positive values; 0 if empty or any v<=0.
+double geomean(const std::vector<double>& values);
+
+}  // namespace xaon::util

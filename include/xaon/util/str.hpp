@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file str.hpp
+/// ASCII string helpers shared by the XML, HTTP and CLI layers.
+/// Locale-independent on purpose: XML and HTTP define their own ASCII
+/// rules and must not be affected by the process locale.
+
+namespace xaon::util {
+
+constexpr bool is_ascii_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+         c == '\v';
+}
+
+constexpr bool is_ascii_digit(char c) { return c >= '0' && c <= '9'; }
+
+constexpr bool is_ascii_alpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+constexpr char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// Case-insensitive ASCII equality (HTTP header names, XML charset names).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lowercases ASCII letters; other bytes pass through.
+std::string to_lower(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single separator char; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool contains(std::string_view haystack, std::string_view needle);
+
+/// Strict decimal parse of the full string; nullopt on any deviation
+/// (sign handled for i64, not for u64).
+std::optional<std::int64_t> parse_i64(std::string_view s);
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+std::optional<double> parse_f64(std::string_view s);
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string format(const char* fmt, ...);
+
+}  // namespace xaon::util

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file table.hpp
+/// ASCII rendering of result tables and bar "figures".
+///
+/// The benchmark binaries print every reproduced table and figure in the
+/// same row/column layout the paper uses; these helpers keep that output
+/// consistent and machine-greppable (`<table>\t<row>\t<col>\t<value>` TSV
+/// lines follow each rendered block when tsv(true) is set).
+
+namespace xaon::util {
+
+/// Column-aligned text table. Cells are strings; callers format numbers
+/// with the precision the paper uses.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row (first column is the row-label column).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match header width once a header is set.
+  void add_row(std::vector<std::string> row);
+
+  /// Also emit TSV lines (for scripted consumption) after the table.
+  void set_tsv(bool enabled) { tsv_ = enabled; }
+
+  /// Renders the table with box-drawing rules.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  const std::string& title() const { return title_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  bool tsv_ = false;
+};
+
+/// Horizontal bar chart: one group per label, one bar per series —
+/// the textual equivalent of the paper's grouped-bar figures.
+class BarChart {
+ public:
+  explicit BarChart(std::string title) : title_(std::move(title)) {}
+
+  /// Names the series (bar per group), in display order.
+  void set_series(std::vector<std::string> series);
+
+  /// Adds a group (e.g. a platform) with one value per series.
+  void add_group(std::string label, std::vector<double> values);
+
+  /// Max bar width in characters (default 48).
+  void set_width(int w) { width_ = w; }
+
+  /// Value formatting precision (digits after the decimal point).
+  void set_precision(int p) { precision_ = p; }
+
+  std::string render() const;
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> series_;
+  struct Group {
+    std::string label;
+    std::vector<double> values;
+  };
+  std::vector<Group> groups_;
+  int width_ = 48;
+  int precision_ = 2;
+};
+
+}  // namespace xaon::util

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool mirroring the paper's server threading model:
+/// "XML server application consists of multiple threads, which are kept
+/// equal to the number of (logical) CPUs". The host-mode AON server and
+/// the parallel experiment runner both use it.
+
+namespace xaon::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>=1 enforced).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; an escaping exception
+  /// terminates the process (by design — workloads are noexcept-clean).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;        // signals workers: work or stop
+  std::condition_variable idle_cv_;   // signals wait_idle()
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace xaon::util

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "xaon/uarch/trace.hpp"
+
+/// \file netperf_traces.hpp
+/// Instruction-trace models of the netperf TCP_STREAM benchmark for the
+/// microarchitecture simulator (the network-timing side lives in
+/// netsim).
+///
+/// Loopback mode is a producer/consumer pair: netperf copies
+/// application buffers into the kernel socket ring (stores), netserver
+/// reads them back out (loads of the *same* simulated addresses — this
+/// sharing is what makes the 2PPx loopback collapse of Figure 2 emerge
+/// from cross-package coherence). End-to-end mode is the sender-side
+/// kernel path only; the wire is netsim's job.
+
+namespace xaon::wload {
+
+struct NetperfTraceConfig {
+  std::uint64_t buffer_bytes = 16 * 1024;  ///< netperf send size
+  std::uint32_t iterations = 32;           ///< buffers per trace
+  std::uint64_t socket_ring_bytes = 256 * 1024;
+  std::uint32_t mss = 1460;
+
+  std::uint64_t app_buffer_base = 0x2000'0000;
+  std::uint64_t sink_buffer_base = 0x3000'0000;
+  std::uint64_t socket_ring_base = 0x4000'0000;
+  /// Kernel TCP path code footprint (shared by sender and receiver —
+  /// it is the same kernel).
+  std::uint64_t code_base = 0x0080'0000;
+  std::uint64_t code_footprint_bytes = 24 * 1024;
+
+  /// Copy-loop granularity (bytes moved per load/store pair).
+  std::uint32_t copy_chunk_bytes = 16;
+};
+
+/// Total payload bytes one trace represents.
+std::uint64_t netperf_trace_bytes(const NetperfTraceConfig& config);
+
+/// The sending process (netperf): app buffer -> socket ring + protocol
+/// work per MSS. Used alone for end-to-end mode.
+uarch::Trace make_netperf_sender_trace(const NetperfTraceConfig& config);
+
+/// The receiving process (netserver): socket ring -> sink buffer.
+uarch::Trace make_netperf_receiver_trace(const NetperfTraceConfig& config);
+
+/// Both roles interleaved buffer-by-buffer — the single-CPU loopback
+/// case where netperf and netserver timeshare one processor.
+uarch::Trace make_netperf_loopback_timeshared_trace(
+    const NetperfTraceConfig& config);
+
+}  // namespace xaon::wload

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "xaon/uarch/trace.hpp"
+
+/// \file synth.hpp
+/// Parameterized synthetic trace generation for tests, ablations and
+/// calibration sweeps (the recorded AON traces come from recorder.hpp;
+/// this is the knob-driven counterpart).
+
+namespace xaon::wload {
+
+enum class AddressPattern : std::uint8_t {
+  kSequential,  ///< streaming with a fixed stride
+  kRandom,      ///< uniform over the working set (line-aligned)
+  kZipf,        ///< hot-cold skew (80/20-style temporal locality)
+};
+
+struct SynthConfig {
+  std::uint64_t ops = 100'000;
+  double branch_fraction = 0.2;
+  double memory_fraction = 0.35;
+  double store_fraction = 0.3;    ///< of memory ops
+  double branch_taken_bias = 0.85;
+  /// 0 = perfectly predictable outcomes (loop-like), 1 = i.i.d. random
+  /// at `branch_taken_bias`.
+  double branch_entropy = 1.0;
+
+  std::uint64_t data_base = 0x1000'0000;
+  std::uint64_t working_set_bytes = 64 * 1024;
+  std::uint64_t stride_bytes = 16;
+  AddressPattern pattern = AddressPattern::kRandom;
+
+  std::uint64_t code_base = 0x0040'0000;
+  std::uint64_t code_footprint_bytes = 16 * 1024;
+  std::uint32_t branch_sites = 32;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generates a trace matching the configuration.
+uarch::Trace make_synthetic_trace(const SynthConfig& config);
+
+}  // namespace xaon::wload

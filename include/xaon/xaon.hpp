@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file xaon.hpp
+/// Umbrella header for the xaon library — everything a downstream user
+/// needs to parse XML, evaluate XPath, validate against XSD, proxy
+/// HTTP, run the AON gateway pipelines, and reproduce the paper's
+/// dual-processor characterization on the simulated platforms.
+
+#include "xaon/aon/capture.hpp"      // IWYU pragma: export
+#include "xaon/aon/messages.hpp"     // IWYU pragma: export
+#include "xaon/aon/pipeline.hpp"     // IWYU pragma: export
+#include "xaon/aon/server.hpp"       // IWYU pragma: export
+#include "xaon/crypto/sha1.hpp"      // IWYU pragma: export
+#include "xaon/http/message.hpp"     // IWYU pragma: export
+#include "xaon/http/parser.hpp"      // IWYU pragma: export
+#include "xaon/netsim/netperf.hpp"   // IWYU pragma: export
+#include "xaon/perf/experiment.hpp"  // IWYU pragma: export
+#include "xaon/perf/report.hpp"      // IWYU pragma: export
+#include "xaon/uarch/platform.hpp"   // IWYU pragma: export
+#include "xaon/uarch/system.hpp"     // IWYU pragma: export
+#include "xaon/wload/synth.hpp"      // IWYU pragma: export
+#include "xaon/xml/builder.hpp"      // IWYU pragma: export
+#include "xaon/xml/parser.hpp"       // IWYU pragma: export
+#include "xaon/xml/writer.hpp"       // IWYU pragma: export
+#include "xaon/xpath/xpath.hpp"      // IWYU pragma: export
+#include "xaon/xsd/loader.hpp"       // IWYU pragma: export
+#include "xaon/xsd/validator.hpp"    // IWYU pragma: export
+
+namespace xaon {
+
+/// Library version (semantic).
+inline constexpr const char* kVersion = "1.0.0";
+
+}  // namespace xaon

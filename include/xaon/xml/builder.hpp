@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xaon/xml/dom.hpp"
+
+/// \file builder.hpp
+/// Programmatic document construction — the write-side counterpart of
+/// the parser. The AON gateway uses it to synthesize routing headers
+/// and error reports; tests use it to build fixtures without string
+/// concatenation.
+///
+/// Usage:
+///   xml::Builder b("order");
+///   b.attribute("id", "42")
+///    .child("customer").text("ACME").up()
+///    .child("item")
+///      .child("sku").text("AB-123").up()
+///      .child("quantity").text("1").up()
+///    .up();
+///   xml::Document doc = b.take();
+
+namespace xaon::xml {
+
+class Builder {
+ public:
+  /// Starts a document whose root element is `root_qname`.
+  explicit Builder(std::string_view root_qname);
+
+  Builder(const Builder&) = delete;
+  Builder& operator=(const Builder&) = delete;
+
+  /// Opens a child element under the cursor and moves the cursor into
+  /// it. Returns *this for chaining.
+  Builder& child(std::string_view qname);
+
+  /// Closes the current element, moving the cursor to its parent.
+  /// Aborts if already at the root.
+  Builder& up();
+
+  /// Adds an attribute to the cursor element. Later duplicates of the
+  /// same name are rejected (aborts) — mirroring parser behaviour.
+  Builder& attribute(std::string_view name, std::string_view value);
+
+  /// Appends a text node under the cursor.
+  Builder& text(std::string_view data);
+
+  /// Appends a CDATA node under the cursor.
+  Builder& cdata(std::string_view data);
+
+  /// Appends a comment node under the cursor.
+  Builder& comment(std::string_view data);
+
+  /// Binds a namespace prefix on the cursor element (emits the xmlns
+  /// attribute and resolves names of the subtree when serialized and
+  /// re-parsed). Pass an empty prefix for the default namespace.
+  Builder& namespace_binding(std::string_view prefix, std::string_view uri);
+
+  /// The element the cursor points at (for direct inspection).
+  const Node* cursor() const { return cursor_; }
+
+  /// Finalizes and returns the document; the Builder must not be used
+  /// afterwards. The cursor may be at any depth (remaining elements are
+  /// implicitly closed).
+  Document take();
+
+ private:
+  Node* new_node(NodeType type);
+
+  Document doc_;
+  Node* cursor_ = nullptr;
+};
+
+}  // namespace xaon::xml

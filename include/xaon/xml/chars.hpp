@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file chars.hpp
+/// XML 1.0 character classification (ASCII-exact, permissive pass-through
+/// for UTF-8 continuation/lead bytes — multi-byte characters are treated
+/// as opaque name/text characters, which is sufficient for the AON
+/// workloads and keeps the hot loops branch-light).
+
+namespace xaon::xml {
+
+constexpr bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// NameStartChar per XML 1.0 5th ed., ASCII subset + any byte >= 0x80.
+constexpr bool is_name_start(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || u >= 0x80;
+}
+
+/// NameChar: NameStartChar plus digits, '-' and '.'.
+constexpr bool is_name_char(char c) {
+  return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+/// Characters legal in XML content (excludes most C0 controls).
+constexpr bool is_char(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  return u >= 0x20 || c == '\t' || c == '\n' || c == '\r';
+}
+
+constexpr bool is_hex_digit(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+constexpr int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Encodes a Unicode code point as UTF-8 into buf (must hold 4 bytes);
+/// returns the byte count, or 0 for an invalid code point.
+int utf8_encode(std::uint32_t cp, char* buf);
+
+/// Resolves the five predefined entities (lt, gt, amp, apos, quot);
+/// returns the replacement char or '\0' when `name` is not predefined.
+char predefined_entity(std::string_view name);
+
+}  // namespace xaon::xml

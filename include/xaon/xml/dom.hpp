@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "xaon/util/arena.hpp"
+
+/// \file dom.hpp
+/// Arena-backed XML document object model.
+///
+/// Nodes are POD-style structs allocated from the owning Document's arena:
+/// no per-node heap traffic, perfect locality for tree walks (which the
+/// probe layer turns into the address streams the cache simulator sees),
+/// and O(1) wholesale teardown. All string_views point into the arena and
+/// live exactly as long as the Document.
+
+namespace xaon::xml {
+
+enum class NodeType : std::uint8_t {
+  kDocument,
+  kElement,
+  kText,
+  kCData,
+  kComment,
+  kProcessingInstruction,
+};
+
+/// Attribute: singly-linked per element, in document order.
+struct Attr {
+  std::string_view qname;   ///< as written, e.g. "soap:encodingStyle"
+  std::string_view prefix;  ///< "" when unprefixed
+  std::string_view local;   ///< local part
+  std::string_view ns_uri;  ///< resolved namespace URI ("" = none)
+  std::string_view value;   ///< entity-decoded, normalized value
+  Attr* next = nullptr;
+};
+
+/// A DOM node. Element nodes use the name/ns fields and children;
+/// text-like nodes use `text`.
+struct Node {
+  NodeType type = NodeType::kElement;
+
+  std::string_view qname;   ///< element qname / PI target
+  std::string_view prefix;
+  std::string_view local;
+  std::string_view ns_uri;
+  std::string_view text;    ///< text/cdata/comment content, PI data
+
+  Node* parent = nullptr;
+  Node* first_child = nullptr;
+  Node* last_child = nullptr;
+  Node* prev_sibling = nullptr;
+  Node* next_sibling = nullptr;
+  Attr* first_attr = nullptr;
+
+  std::uint32_t child_count = 0;
+  std::uint32_t depth = 0;      ///< root element has depth 1
+  std::uint32_t doc_order = 0;  ///< creation index; monotone in doc order
+
+  bool is_element() const { return type == NodeType::kElement; }
+  bool is_text() const {
+    return type == NodeType::kText || type == NodeType::kCData;
+  }
+
+  /// First child element with the given local name (any namespace),
+  /// or nullptr.
+  const Node* child_element(std::string_view local_name) const;
+
+  /// First child element of any name, or nullptr.
+  const Node* first_child_element() const;
+
+  /// Next sibling element, or nullptr.
+  const Node* next_sibling_element() const;
+
+  /// Attribute lookup by qname as written; nullptr when absent.
+  const Attr* attr(std::string_view attr_qname) const;
+
+  /// Concatenation of all descendant text/CDATA (allocates).
+  std::string text_content() const;
+};
+
+/// An owned, parsed document. Move-only; nodes live in the arena.
+class Document {
+ public:
+  Document() = default;
+  Document(Document&&) noexcept = default;
+  Document& operator=(Document&&) noexcept = default;
+
+  /// The synthetic document node (type kDocument); never null after a
+  /// successful parse.
+  Node* doc_node() { return doc_; }
+  const Node* doc_node() const { return doc_; }
+
+  /// The root element, or nullptr for an empty document.
+  Node* root();
+  const Node* root() const;
+
+  util::Arena& arena() { return arena_; }
+  const util::Arena& arena() const { return arena_; }
+
+  /// Total nodes created by the parser (elements + text-likes + document).
+  std::size_t node_count() const { return node_count_; }
+
+ private:
+  friend class DomBuilder;
+  friend class Builder;
+  util::Arena arena_{16 * 1024};
+  Node* doc_ = nullptr;
+  std::size_t node_count_ = 0;
+};
+
+/// Counts element nodes in the subtree rooted at `n` (inclusive when `n`
+/// is an element).
+std::size_t count_elements(const Node* n);
+
+}  // namespace xaon::xml

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+/// \file error.hpp
+/// Parse/validation diagnostics with input position.
+
+namespace xaon::xml {
+
+struct Error {
+  std::size_t offset = 0;  ///< byte offset into the input
+  std::size_t line = 0;    ///< 1-based; 0 when not applicable
+  std::size_t column = 0;  ///< 1-based byte column
+  std::string message;
+
+  bool empty() const { return message.empty(); }
+  std::string to_string() const;
+};
+
+}  // namespace xaon::xml

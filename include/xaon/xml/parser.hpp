@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string_view>
+
+#include "xaon/xml/dom.hpp"
+#include "xaon/xml/error.hpp"
+
+/// \file parser.hpp
+/// Non-validating, namespace-aware XML 1.0 parser producing the arena DOM.
+///
+/// Supported: elements, attributes, character data, CDATA, comments,
+/// processing instructions, predefined + numeric character references,
+/// namespace declarations/resolution, XML declaration, DOCTYPE skipping
+/// (internal subsets without entity definitions). Unsupported by design:
+/// custom DTD entities, external entities (an AON device never resolves
+/// those — they are a classic attack vector).
+
+namespace xaon::xml {
+
+struct ParseOptions {
+  bool namespace_aware = true;  ///< resolve prefixes to URIs
+  bool keep_comments = false;   ///< retain comment nodes in the DOM
+  bool keep_pis = false;        ///< retain processing-instruction nodes
+  bool keep_whitespace_text = false;  ///< retain whitespace-only text nodes
+  std::size_t max_depth = 256;  ///< element nesting limit
+};
+
+struct ParseResult {
+  Document document;
+  Error error;
+  bool ok = false;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Parses `input` into a Document. On failure `ok` is false and `error`
+/// carries the first diagnostic; the partially-built document is
+/// discarded.
+ParseResult parse(std::string_view input, const ParseOptions& options = {});
+
+}  // namespace xaon::xml

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "xaon/xml/error.hpp"
+#include "xaon/xml/parser.hpp"
+
+/// \file sax.hpp
+/// Streaming (SAX-style) parse interface over the same tokenizer the DOM
+/// parser uses. The schema validator's streaming mode and the HTTP
+/// fast-paths consume this; no tree is materialized.
+
+namespace xaon::xml {
+
+/// One attribute as delivered to a SaxHandler. Views are valid only for
+/// the duration of the callback.
+struct SaxAttr {
+  std::string_view qname;
+  std::string_view prefix;
+  std::string_view local;
+  std::string_view ns_uri;
+  std::string_view value;
+};
+
+/// Event callbacks. Return false from any callback to abort the parse
+/// (parse_sax then returns ok=true with aborted=true).
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  virtual bool on_start_element(std::string_view qname,
+                                std::string_view local,
+                                std::string_view ns_uri,
+                                const SaxAttr* attrs, std::size_t n_attrs) {
+    (void)qname; (void)local; (void)ns_uri; (void)attrs; (void)n_attrs;
+    return true;
+  }
+  virtual bool on_end_element(std::string_view qname, std::string_view local,
+                              std::string_view ns_uri) {
+    (void)qname; (void)local; (void)ns_uri;
+    return true;
+  }
+  virtual bool on_text(std::string_view text, bool is_cdata) {
+    (void)text; (void)is_cdata;
+    return true;
+  }
+  virtual bool on_comment(std::string_view text) {
+    (void)text;
+    return true;
+  }
+  virtual bool on_processing_instruction(std::string_view target,
+                                         std::string_view data) {
+    (void)target; (void)data;
+    return true;
+  }
+};
+
+struct SaxResult {
+  Error error;
+  bool ok = false;
+  bool aborted = false;  ///< a handler returned false
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Streams `input` through `handler`.
+SaxResult parse_sax(std::string_view input, SaxHandler& handler,
+                    const ParseOptions& options = {});
+
+}  // namespace xaon::xml

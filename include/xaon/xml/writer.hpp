@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "xaon/xml/dom.hpp"
+
+/// \file writer.hpp
+/// DOM serialization back to XML text.
+
+namespace xaon::xml {
+
+struct WriteOptions {
+  bool declaration = true;   ///< emit <?xml version="1.0"?>
+  bool pretty = false;       ///< indent children (2 spaces per depth)
+  bool self_close_empty = true;  ///< <a/> instead of <a></a>
+};
+
+/// Serializes the subtree rooted at `node` (pass Document::doc_node() for
+/// the whole document). Text is re-escaped; attribute values quoted with
+/// '"'.
+std::string write(const Node* node, const WriteOptions& options = {});
+
+/// Escapes `s` for use as XML character data (&, <, >).
+std::string escape_text(std::string_view s);
+
+/// Escapes `s` for use inside a double-quoted attribute value.
+std::string escape_attr(std::string_view s);
+
+}  // namespace xaon::xml

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xaon/xml/dom.hpp"
+
+/// \file value.hpp
+/// XPath 1.0 value model: boolean, number, string, node-set.
+
+namespace xaon::xpath {
+
+/// A member of a node-set: either a tree node or an attribute "node"
+/// (XPath treats attributes as nodes; our DOM stores them off-tree).
+struct NodeRef {
+  const xml::Node* node = nullptr;  ///< owner element for attributes
+  const xml::Attr* attr = nullptr;  ///< non-null => attribute node
+
+  bool is_attr() const { return attr != nullptr; }
+
+  friend bool operator==(const NodeRef&, const NodeRef&) = default;
+};
+
+/// Node-sets are kept sorted in document order, without duplicates.
+using NodeSet = std::vector<NodeRef>;
+
+/// XPath string-value of a node (XPath 1.0 §5): element/root -> all
+/// descendant text; text/cdata -> the text; attribute -> its value;
+/// comment/PI -> content.
+std::string string_value(const NodeRef& ref);
+
+/// Document-order comparison key for sorting node-sets.
+bool doc_order_less(const NodeRef& a, const NodeRef& b);
+
+/// Sorts in document order and removes duplicates, in place.
+void normalize(NodeSet& set);
+
+enum class ValueKind : std::uint8_t { kBoolean, kNumber, kString, kNodeSet };
+
+/// Tagged union of the four XPath 1.0 types with the standard conversion
+/// rules. Copyable; node-sets share no ownership (they view the DOM).
+class Value {
+ public:
+  Value() : kind_(ValueKind::kBoolean), boolean_(false) {}
+  explicit Value(bool b) : kind_(ValueKind::kBoolean), boolean_(b) {}
+  explicit Value(double d) : kind_(ValueKind::kNumber), number_(d) {}
+  explicit Value(std::string s)
+      : kind_(ValueKind::kString), string_(std::move(s)) {}
+  explicit Value(NodeSet nodes)
+      : kind_(ValueKind::kNodeSet), nodes_(std::move(nodes)) {}
+
+  ValueKind kind() const { return kind_; }
+  bool is_node_set() const { return kind_ == ValueKind::kNodeSet; }
+
+  /// XPath boolean(): number!=0 && !NaN; string non-empty; node-set
+  /// non-empty.
+  bool to_boolean() const;
+
+  /// XPath number(): strings parsed per XPath (NaN on failure);
+  /// booleans 0/1; node-set -> number(string-value of first node).
+  double to_number() const;
+
+  /// XPath string(): numbers formatted per XPath §4.2 (integers without
+  /// decimal point, NaN/Infinity spelled out); node-set -> string-value
+  /// of first node in document order, "" if empty.
+  std::string to_string() const;
+
+  /// Node-set accessor; aborts if kind() != kNodeSet.
+  const NodeSet& nodes() const;
+
+  /// XPath number formatting (shared with string()).
+  static std::string format_number(double d);
+
+  /// XPath string->number (whitespace-trimmed decimal; NaN otherwise).
+  static double parse_number(std::string_view s);
+
+ private:
+  ValueKind kind_;
+  bool boolean_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  NodeSet nodes_;
+};
+
+/// XPath '=' with the full node-set existential semantics.
+bool compare_equal(const Value& a, const Value& b);
+
+/// XPath '!=' — itself existential over node-sets (NOT the negation of
+/// '='; a set can satisfy both `= v` and `!= v`).
+bool compare_not_equal(const Value& a, const Value& b);
+
+/// XPath relational ops; `op` one of '<', '>', 'l' (<=), 'g' (>=).
+bool compare_relational(const Value& a, const Value& b, char op);
+
+}  // namespace xaon::xpath

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "xaon/xpath/value.hpp"
+
+/// \file xpath.hpp
+/// Compiled XPath 1.0 expressions.
+///
+/// Supported: full expression grammar (or/and/relational/arithmetic/
+/// union), location paths over the child, descendant(-or-self), self,
+/// parent, ancestor(-or-self), attribute, following-sibling and
+/// preceding-sibling axes, all abbreviations (`//`, `.`, `..`, `@`),
+/// positional and boolean predicates, and the XPath 1.0 core function
+/// library (minus `id()` and `lang()`, which need infrastructure an AON
+/// message gateway doesn't have).
+///
+/// Expressions compile once into an arena-backed AST and can be
+/// evaluated many times against different documents — the pattern the
+/// paper's CBR (content-based routing) use case depends on.
+
+namespace xaon::xpath {
+
+namespace detail {
+struct Compiled;
+}
+
+struct CompileError {
+  std::size_t offset = 0;  ///< character offset into the expression
+  std::string message;
+
+  bool empty() const { return message.empty(); }
+};
+
+/// Prefix -> namespace-URI bindings used at compile time to resolve
+/// prefixed name tests. A binding with an empty prefix gives unprefixed
+/// name tests a default namespace (an extension over strict XPath 1.0,
+/// handy with default-namespaced SOAP payloads).
+using NamespaceBindings =
+    std::vector<std::pair<std::string, std::string>>;
+
+class XPath {
+ public:
+  /// An invalid (never-compiled) expression; evaluate() aborts.
+  XPath() = default;
+
+  /// Compiles `expr`. On failure returns an invalid XPath and fills
+  /// `error` (if non-null).
+  static XPath compile(std::string_view expr, CompileError* error = nullptr,
+                       const NamespaceBindings& ns = {});
+
+  bool valid() const { return impl_ != nullptr; }
+
+  /// The original expression text.
+  std::string_view expression() const;
+
+  /// Evaluates with `context` as the context node (position 1 of 1).
+  /// Runtime type mismatches (e.g. count() of a number) yield empty/zero
+  /// values rather than hard errors — an AON device must not crash on a
+  /// weird message.
+  Value evaluate(const xml::Node* context) const;
+
+  /// evaluate() then coerced: node-set result (empty when the expression
+  /// yields a non-node-set).
+  NodeSet select(const xml::Node* context) const;
+
+  /// evaluate() then boolean() — the CBR routing decision.
+  bool test(const xml::Node* context) const;
+
+  /// evaluate() then string().
+  std::string string(const xml::Node* context) const;
+
+  /// evaluate() then number().
+  double number(const xml::Node* context) const;
+
+ private:
+  explicit XPath(std::shared_ptr<const detail::Compiled> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<const detail::Compiled> impl_;
+};
+
+}  // namespace xaon::xpath

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xaon/xml/parser.hpp"
+#include "xaon/xsd/model.hpp"
+
+/// \file loader.hpp
+/// Builds a Schema from an XSD document (`<xs:schema>`).
+///
+/// Supported constructs: global/local `xs:element` (name=/ref=/type=,
+/// inline anonymous types, minOccurs/maxOccurs), named and anonymous
+/// `xs:complexType` (sequence / choice / all, nested groups, mixed,
+/// simpleContent extension, attributes with use=/fixed=), named and
+/// anonymous `xs:simpleType` restrictions with the facets in model.hpp,
+/// targetNamespace + elementFormDefault. Imports/includes/substitution
+/// groups/keys are out of scope (the AON workloads never use them);
+/// encountering one is a load error, not a silent skip.
+
+namespace xaon::xsd {
+
+struct LoadResult {
+  Schema schema;
+  std::string error;
+  bool ok = false;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Parses and loads an XSD from text. The result schema is finalized
+/// (content models compiled) and ready for Validator.
+LoadResult load_schema(std::string_view xsd_text);
+
+/// Loads from an already-parsed document (must outlive the call only;
+/// the schema copies what it needs).
+LoadResult load_schema(const xml::Document& doc);
+
+}  // namespace xaon::xsd

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xaon/xsd/regex.hpp"
+#include "xaon/xsd/types.hpp"
+
+/// \file model.hpp
+/// Schema component model: simple types with facets, complex types with
+/// particle content models and attribute uses, element declarations, and
+/// the Schema container. Built either programmatically (Schema's add_*
+/// API) or from an XSD document (loader.hpp).
+
+namespace xaon::xsd {
+
+/// A user-defined (or anonymous) simple type: a restriction of a
+/// built-in with constraining facets.
+struct SimpleType {
+  std::string name;  ///< empty for anonymous types
+  BuiltinType base = BuiltinType::kString;
+
+  // Facets (absent = unconstrained).
+  std::optional<std::uint64_t> length;
+  std::optional<std::uint64_t> min_length;
+  std::optional<std::uint64_t> max_length;
+  std::vector<Regex> patterns;           ///< all must match (XSD ANDs steps)
+  std::vector<std::string> enumeration;  ///< any must match, post-whitespace
+  std::optional<double> min_inclusive;
+  std::optional<double> max_inclusive;
+  std::optional<double> min_exclusive;
+  std::optional<double> max_exclusive;
+  std::optional<std::uint32_t> total_digits;
+  std::optional<std::uint32_t> fraction_digits;
+  std::optional<Whitespace> whitespace;  ///< overrides the base default
+
+  /// The effective whitespace facet.
+  Whitespace effective_whitespace() const {
+    return whitespace.value_or(builtin_whitespace(base));
+  }
+
+  /// Validates a raw lexical value (whitespace processing applied
+  /// internally). On failure fills `error` when non-null.
+  bool validate(std::string_view raw, std::string* error = nullptr) const;
+};
+
+struct ElementDecl;
+
+enum class ParticleKind : std::uint8_t {
+  kElement,
+  kSequence,
+  kChoice,
+  kAll,  ///< only as the outermost particle; children are elements
+};
+
+/// maxOccurs="unbounded".
+inline constexpr std::uint32_t kUnbounded = 0xFFFFFFFFu;
+
+struct Particle {
+  ParticleKind kind = ParticleKind::kElement;
+  std::uint32_t min_occurs = 1;
+  std::uint32_t max_occurs = 1;
+  const ElementDecl* element = nullptr;  ///< kElement
+  std::vector<Particle> children;        ///< groups
+};
+
+struct AttributeUse {
+  std::string name;  ///< attribute local name (no-namespace attributes)
+  const SimpleType* type = nullptr;  ///< null = xs:string, unconstrained
+  bool required = false;
+  std::optional<std::string> fixed;  ///< value must equal this when present
+};
+
+enum class ContentKind : std::uint8_t {
+  kEmpty,        ///< no children, no text
+  kSimple,       ///< text only, validated against simple_content
+  kElementOnly,  ///< children per particle; whitespace-only text allowed
+  kMixed,        ///< children per particle; any text allowed
+};
+
+namespace detail {
+class ContentAutomaton;  // built lazily per complex type
+}
+
+struct ComplexType {
+  std::string name;  ///< empty for anonymous types
+  ContentKind content = ContentKind::kEmpty;
+  const SimpleType* simple_content = nullptr;  ///< kSimple
+  std::optional<Particle> particle;            ///< kElementOnly / kMixed
+  std::vector<AttributeUse> attributes;
+
+  /// Lazily compiled content-model automaton (thread-compatible: compile
+  /// happens in Schema::finalize, not during validation).
+  std::shared_ptr<const detail::ContentAutomaton> automaton;
+};
+
+struct ElementDecl {
+  std::string local;   ///< local name
+  std::string ns_uri;  ///< element namespace ("" = none)
+
+  // Exactly one of these is set (or neither: anyType — anything goes).
+  const SimpleType* simple_type = nullptr;
+  const ComplexType* complex_type = nullptr;
+
+  bool nillable = false;
+};
+
+/// A compiled schema. Owns every component; addresses are stable for the
+/// Schema's lifetime (components live in deques).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(Schema&&) noexcept = default;
+  Schema& operator=(Schema&&) noexcept = default;
+
+  /// Target namespace for global element names.
+  void set_target_namespace(std::string ns) { target_ns_ = std::move(ns); }
+  const std::string& target_namespace() const { return target_ns_; }
+
+  /// Component factories. Returned pointers are owned by the Schema and
+  /// stable. Named components are registered for lookup.
+  SimpleType* add_simple_type(std::string name);
+  ComplexType* add_complex_type(std::string name);
+  ElementDecl* add_element(std::string local, std::string ns_uri);
+
+  /// Marks an element declaration as a valid document root.
+  void add_global_element(const ElementDecl* decl);
+
+  /// Lookup by name; nullptr when absent.
+  const SimpleType* find_simple_type(std::string_view name) const;
+  const ComplexType* find_complex_type(std::string_view name) const;
+  const ElementDecl* find_global_element(std::string_view ns_uri,
+                                         std::string_view local) const;
+
+  const std::vector<const ElementDecl*>& global_elements() const {
+    return globals_;
+  }
+
+  /// Compiles every complex type's content model. Must be called after
+  /// construction and before validation; returns false (with `error`)
+  /// when a content model is invalid (e.g. explosive occurrence bounds).
+  bool finalize(std::string* error = nullptr);
+
+  std::size_t simple_type_count() const { return simple_types_.size(); }
+  std::size_t complex_type_count() const { return complex_types_.size(); }
+  std::size_t element_count() const { return elements_.size(); }
+
+ private:
+  std::string target_ns_;
+  std::deque<SimpleType> simple_types_;
+  std::deque<ComplexType> complex_types_;
+  std::deque<ElementDecl> elements_;
+  std::vector<const ElementDecl*> globals_;
+};
+
+}  // namespace xaon::xsd

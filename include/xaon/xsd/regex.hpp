@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+/// \file regex.hpp
+/// XML Schema pattern-facet regular expressions.
+///
+/// Implements the XSD regex dialect subset used by real-world schemas:
+/// literals, `.`, escapes (`\d \D \w \W \s \S \. \\ ...`), character
+/// classes with ranges and negation, groups, alternation, and the
+/// quantifiers `* + ? {n} {n,} {n,m}`. Matching is whole-string
+/// (XSD patterns are implicitly anchored) via a Thompson NFA simulated
+/// with a Pike-style VM — linear time, no backtracking, no pathological
+/// inputs (an AON device validates hostile messages).
+///
+/// Byte-oriented: multi-byte UTF-8 sequences match via `.`/negated
+/// classes byte-wise, which is sufficient for ASCII-dominant facets.
+
+namespace xaon::xsd {
+
+class Regex {
+ public:
+  /// Compiles `pattern`. On failure returns an invalid Regex and fills
+  /// `error` (if non-null).
+  static Regex compile(std::string_view pattern, std::string* error = nullptr);
+
+  Regex() = default;
+  bool valid() const { return prog_ != nullptr; }
+
+  /// Whole-string match (XSD anchoring).
+  bool match(std::string_view text) const;
+
+  /// Unanchored substring search (used by the deep-packet-inspection
+  /// extension): true when any substring of `text` matches. Same
+  /// linear-time Pike VM; a new match attempt starts at every input
+  /// position.
+  bool search(std::string_view text) const;
+
+  /// The source pattern.
+  std::string_view pattern() const;
+
+  /// Number of compiled VM instructions (exposed for tests/benchmarks).
+  std::size_t program_size() const;
+
+  /// Opaque compiled program (defined in regex.cpp).
+  struct Program;
+
+ private:
+  explicit Regex(std::shared_ptr<const Program> prog) : prog_(std::move(prog)) {}
+  std::shared_ptr<const Program> prog_;
+};
+
+}  // namespace xaon::xsd

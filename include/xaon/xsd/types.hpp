@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+/// \file types.hpp
+/// XML Schema built-in simple types (the subset that appears in
+/// enterprise message schemas) with lexical validation and the
+/// whitespace-facet machinery layered under user-defined restrictions.
+
+namespace xaon::xsd {
+
+enum class BuiltinType : std::uint8_t {
+  kAnySimpleType,
+  kString,
+  kNormalizedString,
+  kToken,
+  kLanguage,
+  kName,
+  kNCName,
+  kBoolean,
+  kDecimal,
+  kInteger,
+  kNonPositiveInteger,
+  kNegativeInteger,
+  kLong,
+  kInt,
+  kShort,
+  kByte,
+  kNonNegativeInteger,
+  kUnsignedLong,
+  kUnsignedInt,
+  kUnsignedShort,
+  kUnsignedByte,
+  kPositiveInteger,
+  kFloat,
+  kDouble,
+  kDate,
+  kTime,
+  kDateTime,
+  kAnyUri,
+  kHexBinary,
+  kBase64Binary,
+};
+
+/// Maps an XSD local name ("string", "int", ...) to the enum;
+/// nullopt for unsupported types.
+std::optional<BuiltinType> builtin_by_name(std::string_view local);
+
+/// Canonical local name for diagnostics.
+std::string_view builtin_name(BuiltinType t);
+
+enum class Whitespace : std::uint8_t {
+  kPreserve,  ///< as written
+  kReplace,   ///< tab/CR/LF -> space
+  kCollapse,  ///< replace, then collapse runs and trim
+};
+
+/// The whitespace facet each built-in fixes (string: preserve,
+/// normalizedString: replace, everything else: collapse).
+Whitespace builtin_whitespace(BuiltinType t);
+
+/// Applies a whitespace facet to a raw lexical value.
+std::string apply_whitespace(std::string_view raw, Whitespace ws);
+
+/// Validates the (already whitespace-processed) lexical value against
+/// the built-in's lexical space. On failure returns false and, when
+/// `error` is non-null, a human-readable reason.
+bool validate_builtin(BuiltinType t, std::string_view value,
+                      std::string* error = nullptr);
+
+/// True for types with an ordered numeric value space (range facets
+/// apply).
+bool builtin_is_numeric(BuiltinType t);
+
+/// Numeric value for range-facet comparison; nullopt when the value is
+/// not in the type's lexical space or the type is not numeric.
+std::optional<double> builtin_numeric_value(BuiltinType t,
+                                            std::string_view value);
+
+}  // namespace xaon::xsd

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xaon/xml/dom.hpp"
+#include "xaon/xsd/model.hpp"
+
+/// \file validator.hpp
+/// Validates parsed documents against a compiled Schema — the paper's SV
+/// (schema validation) use case.
+
+namespace xaon::xsd {
+
+struct ValidationError {
+  std::string path;     ///< /root/child[2]/leaf style location
+  std::string message;
+
+  std::string to_string() const { return path + ": " + message; }
+};
+
+struct ValidationResult {
+  std::vector<ValidationError> errors;
+
+  bool valid() const { return errors.empty(); }
+  std::string to_string() const;
+};
+
+class Validator {
+ public:
+  /// The schema must outlive the validator and have been finalize()d.
+  explicit Validator(const Schema& schema) : schema_(schema) {}
+
+  /// Validates the whole document (root element must match a global
+  /// element declaration).
+  ValidationResult validate(const xml::Document& doc) const;
+
+  /// Validates a subtree against a specific declaration.
+  ValidationResult validate_element(const xml::Node* element,
+                                    const ElementDecl* decl) const;
+
+  /// Hard cap on reported errors (default 64); validation continues
+  /// across sibling subtrees until the cap is hit.
+  void set_max_errors(std::size_t n) { max_errors_ = n; }
+
+ private:
+  const Schema& schema_;
+  std::size_t max_errors_ = 64;
+};
+
+}  // namespace xaon::xsd

@@ -1,0 +1,124 @@
+#include "xaon/aon/messages.hpp"
+
+#include "xaon/util/rng.hpp"
+#include "xaon/util/str.hpp"
+
+namespace xaon::aon {
+
+namespace {
+
+constexpr const char* kSoapNs = "http://schemas.xmlsoap.org/soap/envelope/";
+
+const char* const kFillerWords[] = {
+    "logistics", "fulfillment", "priority", "tracking",  "warehouse",
+    "carrier",   "manifest",    "routing",  "packaging", "customs",
+};
+
+}  // namespace
+
+std::string make_order_message(const MessageSpec& spec) {
+  util::Xoshiro256ss rng(spec.seed);
+  std::string body;
+  body.reserve(spec.target_bytes + 512);
+  body += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  body += "<soapenv:Envelope xmlns:soapenv=\"";
+  body += kSoapNs;
+  body += "\">\n<soapenv:Header/>\n<soapenv:Body>\n<order id=\"";
+  body += std::to_string(1 + rng.next_below(100000));
+  body += "\">\n  <customer>Customer-";
+  body += std::to_string(1 + rng.next_below(10000));
+  body += "</customer>\n";
+  for (std::uint32_t i = 0; i < spec.items; ++i) {
+    const std::uint32_t quantity =
+        i == 0 ? spec.quantity
+               : 1 + static_cast<std::uint32_t>(rng.next_below(9));
+    body += util::format(
+        "  <item>\n    <sku>%c%c-%03u</sku>\n"
+        "    <quantity>%u</quantity>\n    <price>%u.%02u</price>\n"
+        "  </item>\n",
+        static_cast<char>('A' + rng.next_below(26)),
+        static_cast<char>('A' + rng.next_below(26)),
+        static_cast<unsigned>(rng.next_below(1000)),
+        spec.valid_for_schema ? quantity : 0u,  // 0 violates the schema
+        static_cast<unsigned>(1 + rng.next_below(500)),
+        static_cast<unsigned>(rng.next_below(100)));
+  }
+  // Filler text elements pad to the AONBench 5 KB size (paper §3.2.1).
+  const std::string tail = "</order>\n</soapenv:Body>\n</soapenv:Envelope>\n";
+  int filler_index = 0;
+  while (body.size() + tail.size() + 64 < spec.target_bytes) {
+    body += util::format("  <note seq=\"%d\">", filler_index++);
+    const std::uint64_t words = 6 + rng.next_below(5);
+    for (std::uint64_t w = 0; w < words; ++w) {
+      body += kFillerWords[rng.next_below(10)];
+      if (w + 1 < words) body += ' ';
+    }
+    body += "</note>\n";
+  }
+  body += tail;
+  return body;
+}
+
+std::string order_schema_xsd() {
+  return R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="SkuType">
+    <xs:restriction base="xs:string">
+      <xs:pattern value="[A-Z]{2}-\d{3}"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:simpleType name="QuantityType">
+    <xs:restriction base="xs:positiveInteger">
+      <xs:maxInclusive value="10000"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:simpleType name="PriceType">
+    <xs:restriction base="xs:decimal">
+      <xs:minInclusive value="0"/>
+      <xs:fractionDigits value="2"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:complexType name="ItemType">
+    <xs:sequence>
+      <xs:element name="sku" type="SkuType"/>
+      <xs:element name="quantity" type="QuantityType"/>
+      <xs:element name="price" type="PriceType"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:element name="order">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="customer" type="xs:string"/>
+        <xs:element name="item" type="ItemType" maxOccurs="unbounded"/>
+        <xs:element name="note" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:simpleContent>
+              <xs:extension base="xs:string">
+                <xs:attribute name="seq" type="xs:nonNegativeInteger"/>
+              </xs:extension>
+            </xs:simpleContent>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="id" type="xs:positiveInteger" use="required"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>)";
+}
+
+http::Request make_post_request(std::string body, std::string target) {
+  http::Request req;
+  req.method = "POST";
+  req.target = std::move(target);
+  req.headers.add("Host", "aon-gateway.example");
+  req.headers.add("Content-Type", "text/xml; charset=utf-8");
+  req.headers.add("SOAPAction", "\"urn:order/submit\"");
+  req.body = std::move(body);
+  return req;
+}
+
+std::string make_post_wire(const MessageSpec& spec) {
+  return http::write_request(make_post_request(make_order_message(spec)));
+}
+
+}  // namespace xaon::aon

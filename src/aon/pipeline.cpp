@@ -1,0 +1,219 @@
+#include "xaon/aon/pipeline.hpp"
+
+#include "xaon/aon/messages.hpp"
+#include "xaon/crypto/sha1.hpp"
+#include "xaon/http/parser.hpp"
+#include "xaon/util/assert.hpp"
+#include "xaon/util/probe.hpp"
+#include "xaon/xml/parser.hpp"
+#include "xaon/xsd/loader.hpp"
+
+namespace xaon::aon {
+
+std::string_view use_case_notation(UseCase use_case) {
+  switch (use_case) {
+    case UseCase::kForwardRequest: return "FR";
+    case UseCase::kContentBasedRouting: return "CBR";
+    case UseCase::kSchemaValidation: return "SV";
+    case UseCase::kDeepInspection: return "DPI";
+    case UseCase::kMessageSecurity: return "SEC";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& default_dpi_signatures() {
+  // A small signature set in the spirit of 2006-era XML firewalls:
+  // injection fragments, script smuggling, entity-expansion bombs,
+  // path traversal.
+  static const std::vector<std::string>* signatures =
+      new std::vector<std::string>{
+          "<!ENTITY",
+          "<script",
+          "(UNION|union) +(SELECT|select)",
+          "';( )?(DROP|drop) ",
+          "\\.\\./\\.\\./",
+          "cmd\\.exe",
+          "/etc/passwd",
+          "(%3C|%3c)script",
+      };
+  return *signatures;
+}
+
+Pipeline::Pipeline(UseCase use_case, Endpoints endpoints)
+    : use_case_(use_case), endpoints_(std::move(endpoints)) {
+  if (use_case_ == UseCase::kContentBasedRouting) {
+    // The paper's exact CBR expression.
+    xpath::CompileError error;
+    quantity_xpath_ = xpath::XPath::compile("//quantity/text()", &error);
+    XAON_CHECK_MSG(quantity_xpath_.valid(), "CBR XPath failed to compile");
+  }
+  if (use_case_ == UseCase::kSchemaValidation) {
+    auto loaded = xsd::load_schema(order_schema_xsd());
+    XAON_CHECK_MSG(loaded.ok, "order schema failed to load");
+    schema_ = std::move(loaded.schema);
+  }
+  if (use_case_ == UseCase::kDeepInspection) {
+    for (const std::string& pattern : default_dpi_signatures()) {
+      std::string error;
+      xsd::Regex re = xsd::Regex::compile(pattern, &error);
+      XAON_CHECK_MSG(re.valid(), "DPI signature failed to compile");
+      signatures_.push_back(std::move(re));
+    }
+  }
+  if (use_case_ == UseCase::kMessageSecurity) {
+    hmac_key_ = "xaon-gateway-shared-secret-2007";
+  }
+}
+
+Pipeline::Outcome Pipeline::forward(const http::Request& request,
+                                    bool primary, std::string detail) const {
+  Outcome out;
+  out.ok = true;
+  out.routed_primary = primary;
+  out.forwarded_to = primary ? endpoints_.primary : endpoints_.error;
+  out.detail = std::move(detail);
+
+  // Build the outbound request: same body, adjusted target/Via — then
+  // serialize (this copy is the proxy's transmit path).
+  http::Request outbound = request;
+  outbound.target = out.forwarded_to;
+  outbound.headers.set("Via", "1.1 xaon-gateway");
+  out.forwarded_wire = http::write_request(outbound);
+
+  out.response.status = 200;
+  out.response.reason = "OK";
+  out.response.headers.add("Content-Type", "text/plain");
+  out.response.body = primary ? "routed" : "routed-error";
+  return out;
+}
+
+Pipeline::Outcome Pipeline::process(const http::Request& request,
+                                    ProcessScratch* scratch) const {
+  ProcessScratch local;
+  ProcessScratch& state = scratch != nullptr ? *scratch : local;
+  switch (use_case_) {
+    case UseCase::kForwardRequest:
+      // No content processing at all: the network-I/O extreme.
+      return forward(request, /*primary=*/true, "forwarded");
+
+    case UseCase::kContentBasedRouting: {
+      auto& parsed = state.parsed;
+      parsed = xml::parse(request.body);
+      if (!parsed.ok) {
+        Outcome out;
+        out.response.status = 400;
+        out.response.reason = "Bad Request";
+        out.response.body = "XML parse error: " + parsed.error.to_string();
+        out.detail = out.response.body;
+        return out;
+      }
+      // Paper: route primary iff //quantity/text() exists and equals "1".
+      const xpath::Value value =
+          quantity_xpath_.evaluate(parsed.document.root());
+      bool primary = false;
+      if (value.is_node_set() && !value.nodes().empty()) {
+        primary = xpath::string_value(value.nodes().front()) == "1";
+      }
+      return forward(request, primary,
+                     primary ? "quantity=1" : "quantity!=1");
+    }
+
+    case UseCase::kSchemaValidation: {
+      auto& parsed = state.parsed;
+      parsed = xml::parse(request.body);
+      if (!parsed.ok) {
+        Outcome out;
+        out.response.status = 400;
+        out.response.reason = "Bad Request";
+        out.response.body = "XML parse error: " + parsed.error.to_string();
+        out.detail = out.response.body;
+        return out;
+      }
+      // The order payload is the first element child of soap:Body (or
+      // the root itself for bare payloads).
+      const xml::Node* payload = parsed.document.root();
+      if (payload != nullptr && payload->local == "Envelope") {
+        if (const xml::Node* body = payload->child_element("Body")) {
+          // Skip Header etc.; first element in Body is the payload.
+          for (const xml::Node* c = body->first_child_element();
+               c != nullptr; c = c->next_sibling_element()) {
+            payload = c;
+            break;
+          }
+        }
+      }
+      const xsd::ElementDecl* decl =
+          payload == nullptr
+              ? nullptr
+              : schema_.find_global_element(payload->ns_uri, payload->local);
+      if (decl == nullptr) {
+        return forward(request, /*primary=*/false, "no declaration");
+      }
+      xsd::Validator validator(schema_);
+      const xsd::ValidationResult result =
+          validator.validate_element(payload, decl);
+      return forward(request, result.valid(),
+                     result.valid() ? "valid" : result.to_string());
+    }
+
+    case UseCase::kDeepInspection: {
+      // Future-work extension: scan the raw payload bytes against the
+      // signature set — no XML parsing at all, like an inline IPS.
+      for (std::size_t i = 0; i < signatures_.size(); ++i) {
+        if (signatures_[i].search(request.body)) {
+          return forward(request, /*primary=*/false,
+                         "signature match: '" +
+                             std::string(signatures_[i].pattern()) + "'");
+        }
+      }
+      return forward(request, /*primary=*/true, "clean");
+    }
+
+    case UseCase::kMessageSecurity: {
+      // Future-work extension: HMAC-SHA1 message security. Signed
+      // messages are verified; unsigned messages are signed on the way
+      // out (gateway-applied integrity).
+      if (auto provided = request.headers.get(kSignatureHeader)) {
+        const crypto::Sha1::Digest expected =
+            crypto::hmac_sha1(hmac_key_, request.body);
+        if (crypto::to_hex(expected) != *provided) {
+          Outcome out = forward(request, /*primary=*/false,
+                                "signature verification failed");
+          out.response.status = 403;
+          out.response.reason = "Forbidden";
+          return out;
+        }
+        return forward(request, /*primary=*/true, "signature verified");
+      }
+      const crypto::Sha1::Digest digest =
+          crypto::hmac_sha1(hmac_key_, request.body);
+      http::Request signed_request = request;
+      signed_request.headers.set(kSignatureHeader,
+                                 crypto::to_hex(digest));
+      Outcome out =
+          forward(signed_request, /*primary=*/true, "signed outbound");
+      return out;
+    }
+  }
+  XAON_CHECK_MSG(false, "unreachable use case");
+  return {};
+}
+
+Pipeline::Outcome Pipeline::process_wire(std::string_view wire,
+                                         ProcessScratch* scratch) const {
+  http::RequestParser parser;
+  const std::size_t consumed = parser.feed(wire);
+  if (!parser.done() || consumed != wire.size()) {
+    Outcome out;
+    out.response.status = 400;
+    out.response.reason = "Bad Request";
+    out.detail = parser.failed() ? parser.error() : "incomplete request";
+    return out;
+  }
+  ProcessScratch local;
+  ProcessScratch& state = scratch != nullptr ? *scratch : local;
+  state.request = parser.take_request();
+  return process(state.request, &state);
+}
+
+}  // namespace xaon::aon

@@ -1,0 +1,90 @@
+#include "xaon/aon/server.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "xaon/util/assert.hpp"
+#include "xaon/util/spsc_queue.hpp"
+
+namespace xaon::aon {
+
+Server::Server(const ServerConfig& config)
+    : config_(config), pipeline_(config.use_case) {
+  XAON_CHECK(config.workers >= 1);
+}
+
+LoadResult Server::run_load(const std::vector<std::string>& wires,
+                            std::uint64_t total_messages) {
+  XAON_CHECK_MSG(!wires.empty(), "need at least one message");
+  const std::size_t n_workers = config_.workers;
+
+  struct WorkerState {
+    explicit WorkerState(std::size_t capacity) : queue(capacity) {}
+    util::SpscQueue<const std::string*> queue;
+    std::uint64_t processed = 0;
+    std::uint64_t primary = 0;
+    std::uint64_t error = 0;
+    std::uint64_t failed = 0;
+  };
+
+  std::vector<std::unique_ptr<WorkerState>> states;
+  states.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    states.push_back(std::make_unique<WorkerState>(config_.queue_capacity));
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> workers;
+  workers.reserve(n_workers);
+  const auto start = std::chrono::steady_clock::now();
+
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    workers.emplace_back([this, &done, state = states[w].get()] {
+      for (;;) {
+        auto item = state->queue.try_pop();
+        if (!item) {
+          if (done.load(std::memory_order_acquire) && state->queue.empty()) {
+            return;
+          }
+          std::this_thread::yield();
+          continue;
+        }
+        const Pipeline::Outcome outcome = pipeline_.process_wire(**item);
+        ++state->processed;
+        if (!outcome.ok) {
+          ++state->failed;
+        } else if (outcome.routed_primary) {
+          ++state->primary;
+        } else {
+          ++state->error;
+        }
+      }
+    });
+  }
+
+  // Dispatch round-robin (the acceptor thread role).
+  for (std::uint64_t i = 0; i < total_messages; ++i) {
+    WorkerState& target = *states[i % n_workers];
+    const std::string* wire = &wires[i % wires.size()];
+    while (!target.queue.try_push(wire)) {
+      std::this_thread::yield();
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  LoadResult result;
+  for (const auto& s : states) {
+    result.messages += s->processed;
+    result.routed_primary += s->primary;
+    result.routed_error += s->error;
+    result.failed += s->failed;
+  }
+  result.seconds =
+      std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace xaon::aon

@@ -1,0 +1,182 @@
+#include "xaon/crypto/sha1.hpp"
+
+#include <cstring>
+
+#include "xaon/util/probe.hpp"
+
+namespace xaon::crypto {
+
+namespace {
+
+const std::uint32_t kRoundSite =
+    probe::site("crypto.sha1.round", probe::SiteKind::kLoop);
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  h_[0] = 0x67452301;
+  h_[1] = 0xEFCDAB89;
+  h_[2] = 0x98BADCFE;
+  h_[3] = 0x10325476;
+  h_[4] = 0xC3D2E1F0;
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  probe::load(block, 64);
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+    probe::branch(kRoundSite, i + 1 < 80);
+  }
+  probe::alu(80 * 6);
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(std::string_view data) {
+  total_bytes_ += data.size();
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t remaining = data.size();
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(remaining, 64 - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    remaining -= take;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (remaining >= 64) {
+    process_block(p);
+    p += 64;
+    remaining -= 64;
+  }
+  if (remaining > 0) {
+    std::memcpy(buffer_, p, remaining);
+    buffered_ = remaining;
+  }
+}
+
+Sha1::Digest Sha1::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  // Padding: 0x80, zeros, 64-bit big-endian length.
+  update(std::string_view("\x80", 1));
+  static const char kZeros[64] = {};
+  while (buffered_ != 56) {
+    update(std::string_view(kZeros, buffered_ < 56 ? 56 - buffered_
+                                                   : 64 - buffered_ + 56));
+  }
+  std::uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] =
+        static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  update(std::string_view(reinterpret_cast<const char*>(length_bytes), 8));
+
+  Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[static_cast<std::size_t>(i * 4)] =
+        static_cast<std::uint8_t>(h_[i] >> 24);
+    digest[static_cast<std::size_t>(i * 4 + 1)] =
+        static_cast<std::uint8_t>(h_[i] >> 16);
+    digest[static_cast<std::size_t>(i * 4 + 2)] =
+        static_cast<std::uint8_t>(h_[i] >> 8);
+    digest[static_cast<std::size_t>(i * 4 + 3)] =
+        static_cast<std::uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+Sha1::Digest Sha1::hash(std::string_view data) {
+  Sha1 sha;
+  sha.update(data);
+  return sha.finish();
+}
+
+Sha1::Digest hmac_sha1(std::string_view key, std::string_view message) {
+  std::uint8_t key_block[64] = {};
+  if (key.size() > 64) {
+    const Sha1::Digest key_digest = Sha1::hash(key);
+    std::memcpy(key_block, key_digest.data(), key_digest.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+  std::uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5C;
+  }
+  Sha1 inner;
+  inner.update(
+      std::string_view(reinterpret_cast<const char*>(ipad), 64));
+  inner.update(message);
+  const Sha1::Digest inner_digest = inner.finish();
+
+  Sha1 outer;
+  outer.update(
+      std::string_view(reinterpret_cast<const char*>(opad), 64));
+  outer.update(std::string_view(
+      reinterpret_cast<const char*>(inner_digest.data()),
+      inner_digest.size()));
+  return outer.finish();
+}
+
+std::string to_hex(const Sha1::Digest& digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(digest.size() * 2);
+  for (std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+bool digest_equal(const Sha1::Digest& a, const Sha1::Digest& b) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace xaon::crypto

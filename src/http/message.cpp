@@ -1,0 +1,157 @@
+#include "xaon/http/message.hpp"
+
+#include "xaon/util/probe.hpp"
+#include "xaon/util/str.hpp"
+
+namespace xaon::http {
+
+namespace {
+
+const std::uint32_t kHeaderSite =
+    probe::site("http.header.lookup", probe::SiteKind::kLoop);
+
+}  // namespace
+
+void HeaderMap::add(std::string name, std::string value) {
+  headers_.push_back(Entry{std::move(name), std::move(value)});
+}
+
+void HeaderMap::set(std::string name, std::string value) {
+  remove(name);
+  add(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  for (const Entry& e : headers_) {
+    probe::load(e.name.data(), static_cast<std::uint32_t>(e.name.size()));
+    if (probe::branch(kHeaderSite, util::iequals(e.name, name))) {
+      return std::string_view(e.value);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::get_all(
+    std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const Entry& e : headers_) {
+    if (util::iequals(e.name, name)) out.emplace_back(e.value);
+  }
+  return out;
+}
+
+std::size_t HeaderMap::remove(std::string_view name) {
+  std::size_t removed = 0;
+  for (auto it = headers_.begin(); it != headers_.end();) {
+    if (util::iequals(it->name, name)) {
+      it = headers_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::optional<std::uint64_t> Request::content_length() const {
+  auto v = headers.get("Content-Length");
+  if (!v) return std::nullopt;
+  return util::parse_u64(util::trim(*v));
+}
+
+bool Request::wants_close() const {
+  auto conn = headers.get("Connection");
+  if (conn && util::iequals(util::trim(*conn), "close")) return true;
+  if (version == "HTTP/1.0") {
+    return !(conn && util::iequals(util::trim(*conn), "keep-alive"));
+  }
+  return false;
+}
+
+namespace {
+
+void write_headers_and_body(const HeaderMap& headers,
+                            const std::string& body, std::string* out) {
+  bool wrote_length = false;
+  for (const auto& e : headers.entries()) {
+    if (util::iequals(e.name, "Content-Length")) {
+      if (wrote_length) continue;
+      out->append("Content-Length: ");
+      out->append(std::to_string(body.size()));
+      wrote_length = true;
+    } else if (util::iequals(e.name, "Transfer-Encoding")) {
+      continue;  // serialized messages always use Content-Length
+    } else {
+      out->append(e.name);
+      out->append(": ");
+      out->append(e.value);
+    }
+    out->append("\r\n");
+  }
+  if (!wrote_length && !body.empty()) {
+    out->append("Content-Length: ");
+    out->append(std::to_string(body.size()));
+    out->append("\r\n");
+  }
+  out->append("\r\n");
+  out->append(body);
+}
+
+}  // namespace
+
+std::string write_request(const Request& request) {
+  std::string out;
+  out.reserve(request.body.size() + 256);
+  out += request.method;
+  out += ' ';
+  out += request.target;
+  out += ' ';
+  out += request.version;
+  out += "\r\n";
+  write_headers_and_body(request.headers, request.body, &out);
+  probe::store(out.data(), static_cast<std::uint32_t>(out.size()));
+  return out;
+}
+
+std::string write_response(const Response& response) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out += response.version;
+  out += ' ';
+  out += std::to_string(response.status);
+  out += ' ';
+  out += response.reason.empty()
+             ? std::string(reason_phrase(response.status))
+             : response.reason;
+  out += "\r\n";
+  write_headers_and_body(response.headers, response.body, &out);
+  probe::store(out.data(), static_cast<std::uint32_t>(out.size()));
+  return out;
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 415: return "Unsupported Media Type";
+    case 422: return "Unprocessable Entity";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace xaon::http

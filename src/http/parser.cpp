@@ -1,0 +1,260 @@
+#include "xaon/http/parser.hpp"
+
+#include "xaon/util/probe.hpp"
+#include "xaon/util/str.hpp"
+#include "xaon/xml/chars.hpp"
+
+namespace xaon::http {
+
+namespace detail {
+
+namespace {
+
+const std::uint32_t kLineSite =
+    probe::site("http.parse.line", probe::SiteKind::kLoop);
+const std::uint32_t kStateSite =
+    probe::site("http.parse.state", probe::SiteKind::kData);
+
+bool parse_header_line(std::string_view line, HeaderMap* headers,
+                       std::string* error) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    *error = "malformed header line";
+    return false;
+  }
+  std::string_view name = line.substr(0, colon);
+  // No whitespace allowed in field names (RFC 7230 request smuggling
+  // defense).
+  for (char c : name) {
+    if (util::is_ascii_space(c)) {
+      *error = "whitespace in header name";
+      return false;
+    }
+  }
+  std::string_view value = util::trim(line.substr(colon + 1));
+  headers->add(std::string(name), std::string(value));
+  return true;
+}
+
+}  // namespace
+
+void MessageParser::reset_impl() {
+  state_ = ParseState::kStartLine;
+  error_.clear();
+  line_buf_.clear();
+  body_remaining_ = 0;
+  chunked_ = false;
+  has_length_ = false;
+}
+
+std::size_t MessageParser::feed_impl(std::string_view data,
+                                     HeaderMap* headers, std::string* body) {
+  std::size_t consumed = 0;
+  while (consumed < data.size() && state_ != ParseState::kDone &&
+         state_ != ParseState::kError) {
+    probe::branch(kStateSite, state_ == ParseState::kBody);
+    switch (state_) {
+      case ParseState::kStartLine:
+      case ParseState::kHeaders:
+      case ParseState::kChunkSize:
+      case ParseState::kChunkTrailer: {
+        // Line-oriented states: accumulate until CRLF (LF tolerated).
+        const char c = data[consumed];
+        ++consumed;
+        if (!probe::branch(kLineSite, c == '\n')) {
+          line_buf_.push_back(c);
+          if (line_buf_.size() > 64 * 1024) {
+            fail("header line too long");
+            return consumed;
+          }
+          break;
+        }
+        std::string_view line = line_buf_;
+        if (!line.empty() && line.back() == '\r') {
+          line.remove_suffix(1);
+        }
+        probe::load(line.data(), static_cast<std::uint32_t>(line.size()));
+
+        if (state_ == ParseState::kStartLine) {
+          if (line.empty()) break;  // tolerate leading blank lines
+          if (!parse_start_line(line)) {
+            if (state_ != ParseState::kError) fail("bad start line");
+            return consumed;
+          }
+          state_ = ParseState::kHeaders;
+        } else if (state_ == ParseState::kHeaders) {
+          if (!line.empty()) {
+            std::string err;
+            if (!parse_header_line(line, headers, &err)) {
+              fail(std::move(err));
+              return consumed;
+            }
+          } else {
+            // End of headers: determine body framing.
+            auto te = headers->get("Transfer-Encoding");
+            if (te && util::contains(util::to_lower(std::string(*te)),
+                                     "chunked")) {
+              chunked_ = true;
+              state_ = ParseState::kChunkSize;
+            } else if (auto cl = headers->get("Content-Length")) {
+              auto n = util::parse_u64(util::trim(*cl));
+              if (!n) {
+                fail("bad Content-Length");
+                return consumed;
+              }
+              if (*n > max_body_) {
+                fail("body exceeds limit");
+                return consumed;
+              }
+              body_remaining_ = static_cast<std::size_t>(*n);
+              has_length_ = true;
+              state_ = body_remaining_ > 0 ? ParseState::kBody
+                                           : ParseState::kDone;
+            } else {
+              state_ = ParseState::kDone;  // no body
+            }
+          }
+        } else if (state_ == ParseState::kChunkSize) {
+          // Size line (hex), optional extensions after ';'.
+          std::string_view size_str = line.substr(0, line.find(';'));
+          std::size_t size = 0;
+          bool any = false;
+          for (char h : size_str) {
+            if (!xml::is_hex_digit(h)) {
+              if (any) break;
+              fail("bad chunk size");
+              return consumed;
+            }
+            size = size * 16 + static_cast<std::size_t>(xml::hex_value(h));
+            any = true;
+            if (size > max_body_) {
+              fail("chunk exceeds limit");
+              return consumed;
+            }
+          }
+          if (!any) {
+            fail("bad chunk size");
+            return consumed;
+          }
+          if (size == 0) {
+            state_ = ParseState::kChunkTrailer;
+          } else {
+            body_remaining_ = size;
+            state_ = ParseState::kChunkData;
+          }
+        } else {  // kChunkTrailer
+          if (line.empty()) {
+            state_ = ParseState::kDone;
+          }
+          // Non-empty trailer lines are consumed and ignored.
+        }
+        line_buf_.clear();
+        break;
+      }
+      case ParseState::kBody: {
+        const std::size_t take =
+            std::min(body_remaining_, data.size() - consumed);
+        body->append(data.substr(consumed, take));
+        probe::load(data.data() + consumed, static_cast<std::uint32_t>(take));
+        consumed += take;
+        body_remaining_ -= take;
+        if (body_remaining_ == 0) state_ = ParseState::kDone;
+        break;
+      }
+      case ParseState::kChunkData: {
+        if (body_remaining_ > 0) {
+          const std::size_t take =
+              std::min(body_remaining_, data.size() - consumed);
+          if (body->size() + take > max_body_) {
+            fail("body exceeds limit");
+            return consumed;
+          }
+          body->append(data.substr(consumed, take));
+          consumed += take;
+          body_remaining_ -= take;
+          break;
+        }
+        // Consume the CRLF after the chunk payload.
+        const char c = data[consumed];
+        ++consumed;
+        if (c == '\n') state_ = ParseState::kChunkSize;
+        break;
+      }
+      case ParseState::kDone:
+      case ParseState::kError:
+        break;
+    }
+  }
+  return consumed;
+}
+
+}  // namespace detail
+
+std::size_t RequestParser::feed(std::string_view data) {
+  return feed_impl(data, &request_.headers, &request_.body);
+}
+
+bool RequestParser::parse_start_line(std::string_view line) {
+  const auto parts = util::split(line, ' ');
+  if (parts.size() != 3 || parts[0].empty() || parts[1].empty()) {
+    return fail("malformed request line");
+  }
+  if (!util::starts_with(parts[2], "HTTP/")) {
+    return fail("bad HTTP version");
+  }
+  request_.method = std::string(parts[0]);
+  request_.target = std::string(parts[1]);
+  request_.version = std::string(parts[2]);
+  return true;
+}
+
+Request RequestParser::take_request() {
+  Request out = std::move(request_);
+  reset();
+  return out;
+}
+
+void RequestParser::reset() {
+  reset_impl();
+  request_ = Request();
+  request_.method.clear();
+}
+
+std::size_t ResponseParser::feed(std::string_view data) {
+  return feed_impl(data, &response_.headers, &response_.body);
+}
+
+bool ResponseParser::parse_start_line(std::string_view line) {
+  // HTTP/1.1 200 OK
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return fail("malformed status line");
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string_view version = line.substr(0, sp1);
+  const std::string_view code = sp2 == std::string_view::npos
+                                    ? line.substr(sp1 + 1)
+                                    : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (!util::starts_with(version, "HTTP/")) return fail("bad HTTP version");
+  auto status = util::parse_u64(code);
+  if (!status || *status < 100 || *status > 599) {
+    return fail("bad status code");
+  }
+  response_.version = std::string(version);
+  response_.status = static_cast<int>(*status);
+  response_.reason = sp2 == std::string_view::npos
+                         ? std::string()
+                         : std::string(line.substr(sp2 + 1));
+  return true;
+}
+
+Response ResponseParser::take_response() {
+  Response out = std::move(response_);
+  reset();
+  return out;
+}
+
+void ResponseParser::reset() {
+  reset_impl();
+  response_ = Response();
+}
+
+}  // namespace xaon::http

@@ -1,0 +1,52 @@
+#include "xaon/netsim/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xaon/util/assert.hpp"
+
+namespace xaon::netsim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Link::transmit(std::uint32_t bytes, DeliverFn deliver,
+                    DeliverFn dropped) {
+  XAON_CHECK_MSG(bytes <= config_.mtu_bytes, "frame exceeds link MTU");
+  XAON_CHECK(deliver != nullptr);
+  const double wire_bytes =
+      static_cast<double>(bytes) + config_.frame_overhead_bytes;
+  const auto serialize_ns = static_cast<SimTime>(
+      std::llround(wire_bytes * 8.0 / config_.bandwidth_bps * 1e9));
+
+  const SimTime start = std::max(sim_.now(), tx_free_ns_);
+  tx_free_ns_ = start + serialize_ns;
+  ++stats_.frames;
+  stats_.payload_bytes += bytes;
+  stats_.busy_ns += serialize_ns;
+
+  const SimTime arrival = tx_free_ns_ + config_.latency_ns;
+  const bool lost =
+      config_.loss_rate > 0.0 &&
+      static_cast<double>(splitmix64(loss_state_) >> 11) * 0x1.0p-53 <
+          config_.loss_rate;
+  if (lost) {
+    ++stats_.dropped_frames;
+    if (dropped != nullptr) {
+      sim_.at(arrival,
+              [dropped = std::move(dropped), bytes] { dropped(bytes); });
+    }
+    return;
+  }
+  sim_.at(arrival, [deliver = std::move(deliver), bytes] { deliver(bytes); });
+}
+
+}  // namespace xaon::netsim

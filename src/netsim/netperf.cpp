@@ -1,0 +1,32 @@
+#include "xaon/netsim/netperf.hpp"
+
+namespace xaon::netsim {
+
+TcpStreamResult run_tcp_stream(const LinkConfig& link_config,
+                               const TcpConfig& tcp_config,
+                               std::uint64_t total_bytes,
+                               CpuResource* sender_cpu,
+                               CpuResource* receiver_cpu) {
+  Simulator sim;
+  Link data(sim, link_config);
+  // ACK path mirrors the data path's latency/bandwidth.
+  Link acks(sim, link_config);
+  TcpStream stream(sim, data, acks, tcp_config, sender_cpu, receiver_cpu);
+
+  stream.send(total_bytes);
+  sim.run();
+
+  TcpStreamResult result;
+  result.bytes_delivered = stream.delivered();
+  result.duration_ns = sim.now();
+  result.tcp = stream.stats();
+  result.data_link = data.stats();
+  if (result.duration_ns > 0) {
+    result.goodput_mbps = static_cast<double>(result.bytes_delivered) * 8.0 /
+                          (static_cast<double>(result.duration_ns) * 1e-9) /
+                          1e6;
+  }
+  return result;
+}
+
+}  // namespace xaon::netsim

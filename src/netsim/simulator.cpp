@@ -1,0 +1,34 @@
+#include "xaon/netsim/simulator.hpp"
+
+#include "xaon/util/assert.hpp"
+
+namespace xaon::netsim {
+
+void Simulator::at(SimTime t, Callback fn) {
+  XAON_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  XAON_CHECK(fn != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move via const_cast is the
+  // standard idiom here and safe because we pop immediately.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  event.fn();
+  return true;
+}
+
+std::size_t Simulator::run(SimTime until) {
+  std::size_t processed = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    step();
+    ++processed;
+  }
+  if (queue_.empty() && now_ < until && until != kSimTimeMax) now_ = until;
+  return processed;
+}
+
+}  // namespace xaon::netsim

@@ -1,0 +1,116 @@
+#include "xaon/netsim/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xaon::netsim {
+
+TcpStream::TcpStream(Simulator& sim, Link& data_link, Link& ack_link,
+                     const TcpConfig& config, CpuResource* sender_cpu,
+                     CpuResource* receiver_cpu)
+    : sim_(sim),
+      data_link_(data_link),
+      ack_link_(ack_link),
+      config_(config),
+      sender_cpu_(sender_cpu),
+      receiver_cpu_(receiver_cpu) {
+  cwnd_ = static_cast<double>(config.initial_cwnd_segments) * config.mss;
+  ssthresh_ = static_cast<double>(config.rwnd_bytes);
+}
+
+void TcpStream::send(std::uint64_t bytes) {
+  pending_ += bytes;
+  pump();
+}
+
+void TcpStream::pump() {
+  const double window =
+      std::min(cwnd_, static_cast<double>(config_.rwnd_bytes));
+  while (pending_ > 0 &&
+         static_cast<double>(in_flight_) + config_.mss <= window) {
+    const std::uint32_t payload = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(pending_, config_.mss));
+    pending_ -= payload;
+    in_flight_ += payload;
+    send_segment(payload, /*is_retransmit=*/false);
+  }
+}
+
+void TcpStream::send_segment(std::uint32_t payload, bool is_retransmit) {
+  ++stats_.segments_sent;
+  if (is_retransmit) ++stats_.retransmits;
+
+  auto transmit = [this, payload] {
+    data_link_.transmit(
+        payload + config_.header_bytes,
+        [this, payload](std::uint32_t) { on_segment_arrival(payload); },
+        [this, payload](std::uint32_t) { on_segment_lost(payload); });
+  };
+  if (sender_cpu_ != nullptr) {
+    const auto cost = static_cast<SimTime>(
+        config_.sender_cpu_ns_per_segment +
+        std::llround(config_.sender_cpu_ns_per_byte * payload));
+    const SimTime ready = sender_cpu_->acquire(sim_.now(), cost);
+    sim_.at(ready, transmit);
+  } else {
+    transmit();
+  }
+}
+
+void TcpStream::on_segment_lost(std::uint32_t payload) {
+  // Multiplicative decrease and a timer-driven retransmit (Reno-style,
+  // without SACK/fast-retransmit refinements).
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * config_.mss);
+  cwnd_ = ssthresh_;
+  stats_.cwnd_bytes = static_cast<std::uint32_t>(cwnd_);
+  sim_.after(config_.retransmit_timeout_ns, [this, payload] {
+    send_segment(payload, /*is_retransmit=*/true);
+  });
+}
+
+void TcpStream::on_segment_arrival(std::uint32_t payload) {
+  auto deliver_and_ack = [this, payload] {
+    stats_.bytes_delivered += payload;
+    if (on_deliver_) on_deliver_(payload);
+    send_ack(payload);
+  };
+  if (receiver_cpu_ != nullptr) {
+    const auto cost = static_cast<SimTime>(
+        config_.receiver_cpu_ns_per_segment +
+        std::llround(config_.receiver_cpu_ns_per_byte * payload));
+    const SimTime ready = receiver_cpu_->acquire(sim_.now(), cost);
+    sim_.at(ready, deliver_and_ack);
+  } else {
+    deliver_and_ack();
+  }
+}
+
+void TcpStream::send_ack(std::uint32_t payload) {
+  // A lost ACK is re-sent after the timeout — a simplification of
+  // cumulative-ACK recovery that keeps per-segment credit accounting
+  // exact on lossy links.
+  ack_link_.transmit(
+      config_.header_bytes,
+      [this, payload](std::uint32_t) { on_ack(payload); },
+      [this, payload](std::uint32_t) {
+        sim_.after(config_.retransmit_timeout_ns,
+                   [this, payload] { send_ack(payload); });
+      });
+}
+
+void TcpStream::on_ack(std::uint32_t acked_payload) {
+  ++stats_.acks_received;
+  in_flight_ -= acked_payload;
+  // Lossless network: slow start doubles per RTT (one MSS per ACK),
+  // congestion avoidance adds ~one MSS per RTT.
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += config_.mss;
+  } else {
+    cwnd_ += static_cast<double>(config_.mss) * config_.mss / cwnd_;
+  }
+  cwnd_ = std::min(cwnd_, static_cast<double>(config_.rwnd_bytes));
+  stats_.cwnd_bytes = static_cast<std::uint32_t>(cwnd_);
+  pump();
+}
+
+}  // namespace xaon::netsim

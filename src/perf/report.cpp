@@ -1,0 +1,56 @@
+#include "xaon/perf/report.hpp"
+
+#include "xaon/util/str.hpp"
+
+namespace xaon::perf {
+
+util::TextTable metric_table(const std::string& title,
+                             const std::vector<WorkloadResults>& workloads,
+                             const MetricFn& metric, int precision) {
+  util::TextTable table(title);
+  std::vector<std::string> header{"Workload"};
+  if (!workloads.empty()) {
+    for (const PlatformRun& run : workloads.front().runs) {
+      header.push_back(run.notation);
+    }
+  }
+  table.set_header(std::move(header));
+  for (const WorkloadResults& w : workloads) {
+    std::vector<std::string> row{w.workload};
+    for (const PlatformRun& run : w.runs) {
+      row.push_back(util::format("%.*f", precision, metric(run)));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::BarChart metric_chart(const std::string& title,
+                            const std::vector<WorkloadResults>& workloads,
+                            const MetricFn& metric, int precision) {
+  util::BarChart chart(title);
+  std::vector<std::string> series;
+  for (const WorkloadResults& w : workloads) series.push_back(w.workload);
+  chart.set_series(std::move(series));
+  chart.set_precision(precision);
+  if (workloads.empty()) return chart;
+  for (std::size_t p = 0; p < workloads.front().runs.size(); ++p) {
+    std::vector<double> values;
+    for (const WorkloadResults& w : workloads) {
+      values.push_back(p < w.runs.size() ? metric(w.runs[p]) : 0.0);
+    }
+    chart.add_group(workloads.front().runs[p].notation, std::move(values));
+  }
+  return chart;
+}
+
+double metric_cpi(const PlatformRun& run) { return run.counters.cpi(); }
+double metric_l2mpi(const PlatformRun& run) { return run.counters.l2mpi(); }
+double metric_btpi(const PlatformRun& run) { return run.counters.btpi(); }
+double metric_branch_frequency(const PlatformRun& run) {
+  return run.counters.branch_frequency();
+}
+double metric_brmpr(const PlatformRun& run) { return run.counters.brmpr(); }
+double metric_throughput(const PlatformRun& run) { return run.throughput; }
+
+}  // namespace xaon::perf

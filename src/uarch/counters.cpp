@@ -1,0 +1,64 @@
+#include "xaon/uarch/counters.hpp"
+
+#include "xaon/util/str.hpp"
+
+namespace xaon::uarch {
+
+Counters& Counters::operator+=(const Counters& other) {
+  clockticks += other.clockticks;
+  busy_cycles += other.busy_cycles;
+  inst_retired += other.inst_retired;
+  ops += other.ops;
+  branch_retired += other.branch_retired;
+  branch_mispredicted += other.branch_mispredicted;
+  l1d_accesses += other.l1d_accesses;
+  l1d_misses += other.l1d_misses;
+  l1i_accesses += other.l1i_accesses;
+  l1i_misses += other.l1i_misses;
+  l2_accesses += other.l2_accesses;
+  l2_misses += other.l2_misses;
+  bus_transactions += other.bus_transactions;
+  bus_wait_cycles += other.bus_wait_cycles;
+  coherence_invalidations += other.coherence_invalidations;
+  prefetch_fills += other.prefetch_fills;
+  return *this;
+}
+
+namespace {
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+double Counters::cpi() const { return ratio(clockticks, inst_retired); }
+
+double Counters::l2mpi() const {
+  return 100.0 * ratio(l2_misses, inst_retired);
+}
+
+double Counters::btpi() const {
+  return 100.0 * ratio(bus_transactions, inst_retired);
+}
+
+double Counters::branch_frequency() const {
+  return 100.0 * ratio(branch_retired, inst_retired);
+}
+
+double Counters::brmpr() const {
+  return 100.0 * ratio(branch_mispredicted, branch_retired);
+}
+
+std::string Counters::to_string() const {
+  return util::format(
+      "CPI=%.2f L2MPI=%.3f%% BTPI=%.2f%% BrF=%.1f%% BrMPR=%.2f%% "
+      "(inst=%llu l2m=%llu bus=%llu)",
+      cpi(), l2mpi(), btpi(), branch_frequency(), brmpr(),
+      static_cast<unsigned long long>(inst_retired),
+      static_cast<unsigned long long>(l2_misses),
+      static_cast<unsigned long long>(bus_transactions));
+}
+
+}  // namespace xaon::uarch

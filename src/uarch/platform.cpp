@@ -1,0 +1,136 @@
+#include "xaon/uarch/platform.hpp"
+
+namespace xaon::uarch {
+
+CoreArch pentium_m_arch() {
+  CoreArch arch;
+  arch.name = "Pentium M (Yonah-class)";
+  arch.freq_ghz = 1.83;
+  arch.uop_expansion = 1.0;
+  // Wide dynamic execution: efficient issue, short pipeline.
+  arch.issue_cycles_per_op = 0.75;
+  arch.mispredict_penalty = 11;
+  arch.l2_port_cycles = 6;
+  arch.l1i = CacheConfig{32 * 1024, 64, 8};
+  arch.l1d = CacheConfig{32 * 1024, 64, 8};
+  arch.l1_latency_cycles = 3;
+  arch.l2_latency_cycles = 10;
+  arch.memory_latency_ns = 90;
+  arch.load_stall_exposure = 0.65;
+  arch.store_stall_exposure = 0.12;
+  arch.ifetch_stall_exposure = 0.5;
+  // Large hybrid predictor ("advanced branch prediction").
+  arch.predictor.bimodal_bits = 13;
+  arch.predictor.gshare_bits = 13;
+  arch.predictor.history_bits = 13;
+  arch.predictor.hybrid = true;
+  // Smart Memory Access: two aggressive L2 prefetchers.
+  arch.prefetch.enabled = true;
+  arch.prefetch.streams = 16;
+  arch.prefetch.degree = 1;
+  arch.prefetch.train_hits = 3;
+  return arch;
+}
+
+CoreArch xeon_netburst_arch() {
+  CoreArch arch;
+  arch.name = "Xeon (Netburst)";
+  arch.freq_ghz = 3.16;
+  // Netburst retires ~2x more uops per x86 op than P6-family cores.
+  arch.uop_expansion = 1.9;
+  // Deep 31-stage pipeline: poor issue efficiency per op at the high
+  // clock, brutal mispredict penalty.
+  arch.issue_cycles_per_op = 2.4;
+  arch.mispredict_penalty = 30;
+  arch.l2_port_cycles = 18;  // L2 access fully occupies the shared port
+  // 12k-uop trace cache modeled as a small L1I; 16 KB L1D (Table 1).
+  arch.l1i = CacheConfig{12 * 1024, 64, 6};
+  arch.l1d = CacheConfig{16 * 1024, 64, 8};
+  arch.l1_latency_cycles = 4;
+  arch.l2_latency_cycles = 18;
+  arch.memory_latency_ns = 110;
+  arch.load_stall_exposure = 0.8;
+  arch.store_stall_exposure = 0.15;
+  arch.ifetch_stall_exposure = 0.5;
+  // Smaller, non-hybrid predictor.
+  arch.predictor.bimodal_bits = 10;
+  arch.predictor.gshare_bits = 10;
+  arch.predictor.history_bits = 10;
+  arch.predictor.hybrid = true;  // much smaller tables than the PM hybrid
+  arch.predictor.shared_history = true;  // SMT streams pollute the history
+  arch.prefetch.enabled = false;
+  return arch;
+}
+
+namespace {
+
+PlatformConfig base_pm() {
+  PlatformConfig p;
+  p.arch = pentium_m_arch();
+  p.l2 = CacheConfig{2 * 1024 * 1024, 64, 8};
+  p.bus_freq_mhz = 667;
+  return p;
+}
+
+PlatformConfig base_xeon() {
+  PlatformConfig p;
+  p.arch = xeon_netburst_arch();
+  p.l2 = CacheConfig{1 * 1024 * 1024, 64, 8};
+  p.bus_freq_mhz = 667;
+  return p;
+}
+
+}  // namespace
+
+PlatformConfig platform_1cpm() {
+  PlatformConfig p = base_pm();
+  p.notation = "1CPm";
+  p.description = "Pentium M, one of two cores (maxcpus=1)";
+  p.chips = 1;
+  p.cores_per_chip = 1;
+  return p;
+}
+
+PlatformConfig platform_2cpm() {
+  PlatformConfig p = base_pm();
+  p.notation = "2CPm";
+  p.description = "Pentium M, both cores, shared 2MB L2 (maxcpus=2)";
+  p.chips = 1;
+  p.cores_per_chip = 2;
+  return p;
+}
+
+PlatformConfig platform_1lpx() {
+  PlatformConfig p = base_xeon();
+  p.notation = "1LPx";
+  p.description = "one Xeon, Hyper-Threading disabled";
+  p.chips = 1;
+  p.cores_per_chip = 1;
+  return p;
+}
+
+PlatformConfig platform_2lpx() {
+  PlatformConfig p = base_xeon();
+  p.notation = "2LPx";
+  p.description = "one Xeon, Hyper-Threading enabled (2 logical CPUs)";
+  p.chips = 1;
+  p.cores_per_chip = 1;
+  p.smt = true;
+  return p;
+}
+
+PlatformConfig platform_2ppx() {
+  PlatformConfig p = base_xeon();
+  p.notation = "2PPx";
+  p.description = "two Xeon packages, HT disabled, shared FSB";
+  p.chips = 2;
+  p.cores_per_chip = 1;
+  return p;
+}
+
+std::vector<PlatformConfig> all_platforms() {
+  return {platform_1cpm(), platform_2cpm(), platform_1lpx(),
+          platform_2lpx(), platform_2ppx()};
+}
+
+}  // namespace xaon::uarch

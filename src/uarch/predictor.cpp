@@ -1,0 +1,60 @@
+#include "xaon/uarch/predictor.hpp"
+
+namespace xaon::uarch {
+
+BranchPredictor::BranchPredictor(const PredictorConfig& config)
+    : config_(config) {
+  bimodal_.assign(1ull << config.bimodal_bits, 1);  // weakly not-taken
+  gshare_.assign(1ull << config.gshare_bits, 1);
+  chooser_.assign(1ull << config.bimodal_bits, 2);  // weakly prefer gshare
+}
+
+bool BranchPredictor::predict_and_update(std::uint32_t thread,
+                                         std::uint64_t pc, bool taken) {
+  const std::uint32_t t = thread & 1;
+  const std::uint32_t h = config_.shared_history ? 0 : t;
+  const std::uint64_t bi_mask = bimodal_.size() - 1;
+  const std::uint64_t gs_mask = gshare_.size() - 1;
+  const std::uint64_t hist_mask = (1ull << config_.history_bits) - 1;
+
+  const std::uint64_t bi_idx = (pc >> 2) & bi_mask;
+  const std::uint64_t gs_idx = ((pc >> 2) ^ history_[h]) & gs_mask;
+
+  const bool bi_pred = counter_taken(bimodal_[bi_idx]);
+  const bool gs_pred = counter_taken(gshare_[gs_idx]);
+  bool prediction;
+  if (config_.hybrid) {
+    prediction = counter_taken(chooser_[bi_idx]) ? gs_pred : bi_pred;
+  } else {
+    prediction = gs_pred;
+  }
+
+  // Update components.
+  bimodal_[bi_idx] = bump(bimodal_[bi_idx], taken);
+  gshare_[gs_idx] = bump(gshare_[gs_idx], taken);
+  if (config_.hybrid && bi_pred != gs_pred) {
+    chooser_[bi_idx] = bump(chooser_[bi_idx], gs_pred == taken);
+  }
+  history_[h] = ((history_[h] << 1) | (taken ? 1 : 0)) & hist_mask;
+
+  ++stats_[t].predictions;
+  const bool mispredicted = prediction != taken;
+  if (mispredicted) ++stats_[t].mispredictions;
+  return mispredicted;
+}
+
+PredictorStats BranchPredictor::total_stats() const {
+  PredictorStats out;
+  for (const PredictorStats& s : stats_) {
+    out.predictions += s.predictions;
+    out.mispredictions += s.mispredictions;
+  }
+  return out;
+}
+
+void BranchPredictor::reset_stats() {
+  stats_[0] = PredictorStats{};
+  stats_[1] = PredictorStats{};
+}
+
+}  // namespace xaon::uarch

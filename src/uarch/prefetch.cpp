@@ -1,0 +1,56 @@
+#include "xaon/uarch/prefetch.hpp"
+
+#include <cstdlib>
+
+namespace xaon::uarch {
+
+StreamPrefetcher::StreamPrefetcher(const PrefetchConfig& config)
+    : config_(config) {
+  streams_.resize(config.streams);
+}
+
+void StreamPrefetcher::observe(std::uint64_t line,
+                               std::vector<std::uint64_t>* out) {
+  if (!config_.enabled) return;
+  ++tick_;
+
+  // Find a stream whose extrapolation matches this line (within a small
+  // window for next-line streams).
+  Stream* victim = &streams_[0];
+  for (Stream& s : streams_) {
+    if (!s.valid) {
+      victim = &s;
+      continue;
+    }
+    const std::int64_t delta =
+        static_cast<std::int64_t>(line) -
+        static_cast<std::int64_t>(s.last_line);
+    if (delta != 0 && std::llabs(delta) <= 4 &&
+        (s.stride == 0 || delta == s.stride)) {
+      // Stream hit: train or prefetch.
+      s.stride = delta;
+      s.last_line = line;
+      s.lru = tick_;
+      if (s.confidence < config_.train_hits) {
+        ++s.confidence;
+        if (s.confidence == config_.train_hits) ++stats_.trained;
+        return;
+      }
+      for (std::uint32_t d = 1; d <= config_.degree; ++d) {
+        out->push_back(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(line) + s.stride * d));
+        ++stats_.issued;
+      }
+      return;
+    }
+    if (victim->valid && s.lru < victim->lru) victim = &s;
+  }
+  // No stream matched: allocate.
+  victim->valid = true;
+  victim->last_line = line;
+  victim->stride = 0;
+  victim->confidence = 0;
+  victim->lru = tick_;
+}
+
+}  // namespace xaon::uarch

@@ -1,0 +1,22 @@
+#include "xaon/uarch/trace.hpp"
+
+namespace xaon::uarch {
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats s;
+  s.total = trace.size();
+  for (const Op& op : trace) {
+    switch (op.kind) {
+      case OpKind::kAlu: ++s.alu; break;
+      case OpKind::kLoad: ++s.loads; break;
+      case OpKind::kStore: ++s.stores; break;
+      case OpKind::kBranch:
+        ++s.branches;
+        if (op.taken) ++s.taken_branches;
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace xaon::uarch

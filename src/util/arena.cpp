@@ -1,0 +1,52 @@
+#include "xaon/util/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "xaon/util/assert.hpp"
+
+namespace xaon::util {
+
+void Arena::add_chunk(std::size_t min_bytes) {
+  const std::size_t size = std::max(chunk_bytes_, min_bytes);
+  auto chunk = std::make_unique<std::byte[]>(size);
+  cursor_ = chunk.get();
+  limit_ = cursor_ + size;
+  bytes_reserved_ += size;
+  chunks_.push_back(std::move(chunk));
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  XAON_DCHECK(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  std::uintptr_t aligned = (addr + (align - 1)) & ~(align - 1);
+  std::size_t needed = (aligned - addr) + bytes;
+  if (cursor_ == nullptr ||
+      needed > static_cast<std::size_t>(limit_ - cursor_)) {
+    add_chunk(bytes + align);
+    addr = reinterpret_cast<std::uintptr_t>(cursor_);
+    aligned = (addr + (align - 1)) & ~(align - 1);
+    needed = (aligned - addr) + bytes;
+  }
+  cursor_ += needed;
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+std::string_view Arena::intern(std::string_view s) {
+  char* p = static_cast<char*>(allocate(s.size() + 1, 1));
+  if (!s.empty()) std::memcpy(p, s.data(), s.size());
+  p[s.size()] = '\0';
+  return {p, s.size()};
+}
+
+void Arena::reset() {
+  chunks_.clear();
+  cursor_ = nullptr;
+  limit_ = nullptr;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace xaon::util

@@ -1,0 +1,129 @@
+#include "xaon/util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "xaon/util/str.hpp"
+
+namespace xaon::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg == "help") {
+      help_ = true;
+      continue;
+    }
+    Given g;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      g.name = std::string(arg.substr(0, eq));
+      g.value = std::string(arg.substr(eq + 1));
+    } else if (starts_with(arg, "no-")) {
+      g.name = std::string(arg.substr(3));
+      g.negated = true;
+    } else {
+      g.name = std::string(arg);
+      // `--name value` form: take the next token as value when it is not
+      // itself a flag. Booleans given bare still work because boolean()
+      // checks for an absent value first.
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        g.value = std::string(argv[i + 1]);
+        ++i;
+      }
+    }
+    given_.push_back(std::move(g));
+  }
+}
+
+Flags::Given* Flags::find(std::string_view name) {
+  for (auto& g : given_) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+std::string Flags::str(std::string_view name, std::string_view default_value,
+                       std::string_view help) {
+  decls_.push_back(
+      {std::string(name), std::string(default_value), std::string(help)});
+  if (Given* g = find(name)) {
+    g->consumed = true;
+    if (g->value) return *g->value;
+  }
+  return std::string(default_value);
+}
+
+std::int64_t Flags::i64(std::string_view name, std::int64_t default_value,
+                        std::string_view help) {
+  decls_.push_back(
+      {std::string(name), std::to_string(default_value), std::string(help)});
+  if (Given* g = find(name)) {
+    g->consumed = true;
+    if (g->value) {
+      if (auto v = parse_i64(*g->value)) return *v;
+      std::fprintf(stderr, "bad integer for --%s: %s\n", g->name.c_str(),
+                   g->value->c_str());
+      std::exit(2);
+    }
+  }
+  return default_value;
+}
+
+double Flags::f64(std::string_view name, double default_value,
+                  std::string_view help) {
+  decls_.push_back(
+      {std::string(name), format("%g", default_value), std::string(help)});
+  if (Given* g = find(name)) {
+    g->consumed = true;
+    if (g->value) {
+      if (auto v = parse_f64(*g->value)) return *v;
+      std::fprintf(stderr, "bad number for --%s: %s\n", g->name.c_str(),
+                   g->value->c_str());
+      std::exit(2);
+    }
+  }
+  return default_value;
+}
+
+bool Flags::boolean(std::string_view name, bool default_value,
+                    std::string_view help) {
+  decls_.push_back({std::string(name), default_value ? "true" : "false",
+                    std::string(help)});
+  if (Given* g = find(name)) {
+    g->consumed = true;
+    if (g->negated) return false;
+    if (!g->value) return true;
+    if (iequals(*g->value, "true") || *g->value == "1") return true;
+    if (iequals(*g->value, "false") || *g->value == "0") return false;
+    // `--flag something` where something was actually positional: treat
+    // the bare flag as true and restore the token.
+    positional_.push_back(*g->value);
+    return true;
+  }
+  return default_value;
+}
+
+std::string Flags::usage() const {
+  std::string out = "usage: " + program_ + " [flags]\n";
+  for (const auto& d : decls_) {
+    out += format("  --%-24s %s (default: %s)\n", d.name.c_str(),
+                  d.help.c_str(), d.default_repr.c_str());
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& g : given_) {
+    if (!g.consumed) out.push_back(g.name);
+  }
+  return out;
+}
+
+}  // namespace xaon::util

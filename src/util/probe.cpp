@@ -1,0 +1,78 @@
+#include "xaon/util/probe.hpp"
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "xaon/util/assert.hpp"
+
+namespace xaon::probe {
+
+namespace detail {
+thread_local Recorder* tl_recorder = nullptr;
+}  // namespace detail
+
+namespace {
+
+struct SiteInfo {
+  std::string name;
+  SiteKind kind;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string_view, std::uint32_t> by_name;
+  // deque: growth must not move stored strings — by_name keys view them.
+  std::deque<SiteInfo> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked intentionally: process-global
+  return *r;
+}
+
+}  // namespace
+
+std::uint32_t register_site(std::string_view name, SiteKind kind) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (auto it = reg.by_name.find(name); it != reg.by_name.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(reg.sites.size());
+  reg.sites.push_back(SiteInfo{std::string(name), kind});
+  // Key the map with a view of the stored string so lookups never dangle.
+  reg.by_name.emplace(std::string_view(reg.sites.back().name), id);
+  return id;
+}
+
+std::uint32_t site_count() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return static_cast<std::uint32_t>(reg.sites.size());
+}
+
+std::string_view site_name(std::uint32_t id) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  XAON_CHECK(id < reg.sites.size());
+  return reg.sites[id].name;
+}
+
+SiteKind site_kind(std::uint32_t id) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  XAON_CHECK(id < reg.sites.size());
+  return reg.sites[id].kind;
+}
+
+Recorder* set_recorder(Recorder* r) {
+  Recorder* prev = detail::tl_recorder;
+  detail::tl_recorder = r;
+  return prev;
+}
+
+Recorder* recorder() { return detail::tl_recorder; }
+
+}  // namespace xaon::probe

@@ -1,0 +1,128 @@
+#include "xaon/util/str.hpp"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace xaon::util {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = ascii_lower(c);
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_ascii_space(s[b])) ++b;
+  while (e > b && is_ascii_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  bool neg = false;
+  std::size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = (s[0] == '-');
+    i = 1;
+    if (s.size() == 1) return std::nullopt;
+  }
+  std::uint64_t acc = 0;
+  for (; i < s.size(); ++i) {
+    if (!is_ascii_digit(s[i])) return std::nullopt;
+    const auto d = static_cast<std::uint64_t>(s[i] - '0');
+    if (acc > (std::numeric_limits<std::uint64_t>::max() - d) / 10) {
+      return std::nullopt;
+    }
+    acc = acc * 10 + d;
+  }
+  const std::uint64_t limit =
+      neg ? static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::max()) +
+                1
+          : static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::max());
+  if (acc > limit) return std::nullopt;
+  return neg ? -static_cast<std::int64_t>(acc - 1) - 1
+             : static_cast<std::int64_t>(acc);
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t acc = 0;
+  for (char c : s) {
+    if (!is_ascii_digit(c)) return std::nullopt;
+    const auto d = static_cast<std::uint64_t>(c - '0');
+    if (acc > (std::numeric_limits<std::uint64_t>::max() - d) / 10) {
+      return std::nullopt;
+    }
+    acc = acc * 10 + d;
+  }
+  return acc;
+}
+
+std::optional<double> parse_f64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  // strtod needs NUL termination; copy into a small buffer.
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  return v;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace xaon::util

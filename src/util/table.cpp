@@ -1,0 +1,121 @@
+#include "xaon/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "xaon/util/assert.hpp"
+#include "xaon/util/str.hpp"
+
+namespace xaon::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    XAON_CHECK_MSG(row.size() == header_.size(),
+                   "row width must match header width");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  // Column widths.
+  std::vector<std::size_t> widths;
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  auto rule = [&] {
+    for (std::size_t w : widths) out += "+" + std::string(w + 2, '-');
+    out += "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += "| " + cell + std::string(widths[i] - cell.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& r : rows_) emit(r);
+  rule();
+
+  if (tsv_ && !header_.empty()) {
+    for (const auto& r : rows_) {
+      for (std::size_t i = 1; i < r.size(); ++i) {
+        out += title_ + "\t" + r[0] + "\t" + header_[i] + "\t" + r[i] + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+void TextTable::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+void BarChart::set_series(std::vector<std::string> series) {
+  series_ = std::move(series);
+}
+
+void BarChart::add_group(std::string label, std::vector<double> values) {
+  XAON_CHECK_MSG(values.size() == series_.size(),
+                 "group must have one value per series");
+  groups_.push_back(Group{std::move(label), std::move(values)});
+}
+
+std::string BarChart::render() const {
+  double vmax = 0.0;
+  for (const auto& g : groups_) {
+    for (double v : g.values) vmax = std::max(vmax, v);
+  }
+  if (vmax <= 0.0) vmax = 1.0;
+
+  std::size_t label_w = 0;
+  for (const auto& g : groups_) label_w = std::max(label_w, g.label.size());
+  std::size_t series_w = 0;
+  for (const auto& s : series_) series_w = std::max(series_w, s.size());
+
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  for (const auto& g : groups_) {
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      const double v = g.values[i];
+      const int len = static_cast<int>(
+          std::lround(v / vmax * static_cast<double>(width_)));
+      out += "  ";
+      out += (i == 0 ? g.label + std::string(label_w - g.label.size(), ' ')
+                     : std::string(label_w, ' '));
+      out += " ";
+      out += series_[i] + std::string(series_w - series_[i].size(), ' ');
+      out += " |" + std::string(static_cast<std::size_t>(len), '#');
+      out += format(" %.*f\n", precision_, v);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void BarChart::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace xaon::util

@@ -1,0 +1,139 @@
+#include "xaon/xml/builder.hpp"
+
+#include <vector>
+
+#include "xaon/util/assert.hpp"
+#include "xaon/util/str.hpp"
+
+namespace xaon::xml {
+
+namespace {
+
+/// Splits a qname into (prefix, local) views of the same storage.
+void split_qname(std::string_view qname, std::string_view* prefix,
+                 std::string_view* local) {
+  const std::size_t colon = qname.find(':');
+  if (colon == std::string_view::npos) {
+    *prefix = {};
+    *local = qname;
+  } else {
+    *prefix = qname.substr(0, colon);
+    *local = qname.substr(colon + 1);
+  }
+}
+
+}  // namespace
+
+Builder::Builder(std::string_view root_qname) {
+  doc_.doc_ = doc_.arena_.make<Node>();
+  doc_.doc_->type = NodeType::kDocument;
+  doc_.node_count_ = 1;
+  cursor_ = doc_.doc_;
+  child(root_qname);
+}
+
+Node* Builder::new_node(NodeType type) {
+  XAON_CHECK_MSG(cursor_ != nullptr, "builder already finalized");
+  Node* node = doc_.arena_.make<Node>();
+  node->type = type;
+  node->parent = cursor_;
+  node->depth = cursor_->depth + 1;
+  node->doc_order = static_cast<std::uint32_t>(doc_.node_count_);
+  if (cursor_->last_child == nullptr) {
+    cursor_->first_child = node;
+  } else {
+    cursor_->last_child->next_sibling = node;
+    node->prev_sibling = cursor_->last_child;
+  }
+  cursor_->last_child = node;
+  ++cursor_->child_count;
+  ++doc_.node_count_;
+  return node;
+}
+
+Builder& Builder::child(std::string_view qname) {
+  XAON_CHECK_MSG(!qname.empty(), "element name must be non-empty");
+  Node* node = new_node(NodeType::kElement);
+  node->qname = doc_.arena_.intern(qname);
+  split_qname(node->qname, &node->prefix, &node->local);
+  // Resolve the namespace from bindings on ancestors (xmlns attrs
+  // recorded by namespace_binding()).
+  const std::string decl = node->prefix.empty()
+                               ? std::string("xmlns")
+                               : "xmlns:" + std::string(node->prefix);
+  for (const Node* n = node; n != nullptr; n = n->parent) {
+    if (const Attr* a = n->attr(decl)) {
+      node->ns_uri = a->value;
+      break;
+    }
+  }
+  cursor_ = node;
+  return *this;
+}
+
+Builder& Builder::up() {
+  XAON_CHECK_MSG(cursor_ != nullptr, "builder already finalized");
+  XAON_CHECK_MSG(cursor_->parent != nullptr &&
+                     cursor_->parent->type != NodeType::kDocument,
+                 "up() past the root element");
+  cursor_ = cursor_->parent;
+  return *this;
+}
+
+Builder& Builder::attribute(std::string_view name, std::string_view value) {
+  XAON_CHECK_MSG(cursor_ != nullptr, "builder already finalized");
+  XAON_CHECK_MSG(cursor_->is_element(), "attributes only on elements");
+  XAON_CHECK_MSG(cursor_->attr(name) == nullptr, "duplicate attribute");
+  Attr* attr = doc_.arena_.make<Attr>();
+  attr->qname = doc_.arena_.intern(name);
+  split_qname(attr->qname, &attr->prefix, &attr->local);
+  attr->value = doc_.arena_.intern(value);
+  // Append preserving declaration order.
+  Attr** tail = &cursor_->first_attr;
+  while (*tail != nullptr) tail = &(*tail)->next;
+  *tail = attr;
+  return *this;
+}
+
+Builder& Builder::text(std::string_view data) {
+  Node* node = new_node(NodeType::kText);
+  node->text = doc_.arena_.intern(data);
+  cursor_ = node->parent;
+  return *this;
+}
+
+Builder& Builder::cdata(std::string_view data) {
+  Node* node = new_node(NodeType::kCData);
+  node->text = doc_.arena_.intern(data);
+  cursor_ = node->parent;
+  return *this;
+}
+
+Builder& Builder::comment(std::string_view data) {
+  Node* node = new_node(NodeType::kComment);
+  node->text = doc_.arena_.intern(data);
+  cursor_ = node->parent;
+  return *this;
+}
+
+Builder& Builder::namespace_binding(std::string_view prefix,
+                                    std::string_view uri) {
+  const std::string name =
+      prefix.empty() ? std::string("xmlns") : "xmlns:" + std::string(prefix);
+  attribute(name, uri);
+  // Re-resolve the cursor element itself if the binding applies to it.
+  std::string_view cursor_prefix = cursor_->prefix;
+  if (cursor_prefix == prefix) {
+    Node* mutable_cursor = cursor_;
+    mutable_cursor->ns_uri = doc_.arena_.intern(uri);
+  }
+  return *this;
+}
+
+Document Builder::take() {
+  XAON_CHECK_MSG(cursor_ != nullptr, "builder already finalized");
+  cursor_ = nullptr;
+  return std::move(doc_);
+}
+
+}  // namespace xaon::xml

@@ -1,0 +1,40 @@
+#include "xaon/xml/chars.hpp"
+
+namespace xaon::xml {
+
+int utf8_encode(std::uint32_t cp, char* buf) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return 0;
+  // XML 1.0 restricts chars; reject NUL and most C0 controls.
+  if (cp < 0x20 && cp != 0x09 && cp != 0x0A && cp != 0x0D) return 0;
+  if (cp < 0x80) {
+    buf[0] = static_cast<char>(cp);
+    return 1;
+  }
+  if (cp < 0x800) {
+    buf[0] = static_cast<char>(0xC0 | (cp >> 6));
+    buf[1] = static_cast<char>(0x80 | (cp & 0x3F));
+    return 2;
+  }
+  if (cp < 0x10000) {
+    buf[0] = static_cast<char>(0xE0 | (cp >> 12));
+    buf[1] = static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    buf[2] = static_cast<char>(0x80 | (cp & 0x3F));
+    return 3;
+  }
+  buf[0] = static_cast<char>(0xF0 | (cp >> 18));
+  buf[1] = static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+  buf[2] = static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+  buf[3] = static_cast<char>(0x80 | (cp & 0x3F));
+  return 4;
+}
+
+char predefined_entity(std::string_view name) {
+  if (name == "lt") return '<';
+  if (name == "gt") return '>';
+  if (name == "amp") return '&';
+  if (name == "apos") return '\'';
+  if (name == "quot") return '"';
+  return '\0';
+}
+
+}  // namespace xaon::xml

@@ -1,0 +1,91 @@
+#include "xaon/xml/dom.hpp"
+
+#include "xaon/util/probe.hpp"
+
+namespace xaon::xml {
+
+namespace {
+
+const std::uint32_t kChildScanSite =
+    probe::site("xml.dom.child_scan", probe::SiteKind::kLoop);
+
+}  // namespace
+
+const Node* Node::child_element(std::string_view local_name) const {
+  for (const Node* c = first_child; c != nullptr; c = c->next_sibling) {
+    probe::load(c, sizeof(Node));
+    if (probe::branch(kChildScanSite,
+                      c->is_element() && c->local == local_name)) {
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+const Node* Node::first_child_element() const {
+  for (const Node* c = first_child; c != nullptr; c = c->next_sibling) {
+    probe::load(c, sizeof(Node));
+    if (c->is_element()) return c;
+  }
+  return nullptr;
+}
+
+const Node* Node::next_sibling_element() const {
+  for (const Node* s = next_sibling; s != nullptr; s = s->next_sibling) {
+    probe::load(s, sizeof(Node));
+    if (s->is_element()) return s;
+  }
+  return nullptr;
+}
+
+const Attr* Node::attr(std::string_view attr_qname) const {
+  for (const Attr* a = first_attr; a != nullptr; a = a->next) {
+    probe::load(a, sizeof(Attr));
+    if (a->qname == attr_qname) return a;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void append_text(const Node* n, std::string* out) {
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    if (c->is_text()) {
+      out->append(c->text);
+    } else if (c->is_element()) {
+      append_text(c, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Node::text_content() const {
+  if (is_text()) return std::string(text);
+  std::string out;
+  append_text(this, &out);
+  return out;
+}
+
+Node* Document::root() {
+  if (doc_ == nullptr) return nullptr;
+  for (Node* c = doc_->first_child; c != nullptr; c = c->next_sibling) {
+    if (c->is_element()) return c;
+  }
+  return nullptr;
+}
+
+const Node* Document::root() const {
+  return const_cast<Document*>(this)->root();
+}
+
+std::size_t count_elements(const Node* n) {
+  if (n == nullptr) return 0;
+  std::size_t count = n->is_element() ? 1 : 0;
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    count += count_elements(c);
+  }
+  return count;
+}
+
+}  // namespace xaon::xml

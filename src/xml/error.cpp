@@ -1,0 +1,12 @@
+#include "xaon/xml/error.hpp"
+
+#include "xaon/util/str.hpp"
+
+namespace xaon::xml {
+
+std::string Error::to_string() const {
+  if (empty()) return "ok";
+  return util::format("%zu:%zu: %s", line, column, message.c_str());
+}
+
+}  // namespace xaon::xml

@@ -1,0 +1,103 @@
+#include "xaon/xml/parser.hpp"
+
+#include "parser_core.hpp"
+#include "xaon/util/probe.hpp"
+
+namespace xaon::xml {
+
+/// Builds the arena DOM from parser-core events.
+class DomBuilder final : public detail::EventSink {
+ public:
+  explicit DomBuilder(Document& doc) : doc_(doc) {
+    doc_.doc_ = doc_.arena_.make<Node>();
+    doc_.doc_->type = NodeType::kDocument;
+    doc_.node_count_ = 1;
+    current_ = doc_.doc_;
+  }
+
+  bool start_element(const detail::ResolvedName& name,
+                     const detail::AttrEvent* attrs, std::size_t n) override {
+    Node* node = new_node(NodeType::kElement);
+    node->qname = name.qname;
+    node->prefix = name.prefix;
+    node->local = name.local;
+    node->ns_uri = name.ns_uri;
+    Attr** tail = &node->first_attr;
+    for (std::size_t i = 0; i < n; ++i) {
+      Attr* a = doc_.arena_.make<Attr>();
+      probe::store(a, sizeof(Attr));
+      a->qname = attrs[i].name.qname;
+      a->prefix = attrs[i].name.prefix;
+      a->local = attrs[i].name.local;
+      a->ns_uri = attrs[i].name.ns_uri;
+      a->value = attrs[i].value;
+      *tail = a;
+      tail = &a->next;
+    }
+    current_ = node;
+    return true;
+  }
+
+  bool end_element(const detail::ResolvedName&) override {
+    current_ = current_->parent;
+    return true;
+  }
+
+  bool text(std::string_view data, bool is_cdata, bool) override {
+    Node* node = new_node(is_cdata ? NodeType::kCData : NodeType::kText);
+    node->text = data;
+    current_ = node->parent;  // text nodes are leaves
+    return true;
+  }
+
+  bool comment(std::string_view data) override {
+    Node* node = new_node(NodeType::kComment);
+    node->text = data;
+    current_ = node->parent;
+    return true;
+  }
+
+  bool pi(std::string_view target, std::string_view data) override {
+    Node* node = new_node(NodeType::kProcessingInstruction);
+    node->qname = target;
+    node->text = data;
+    current_ = node->parent;
+    return true;
+  }
+
+ private:
+  Node* new_node(NodeType type) {
+    Node* node = doc_.arena_.make<Node>();
+    probe::store(node, sizeof(Node));
+    node->type = type;
+    node->parent = current_;
+    node->depth = current_->depth + 1;
+    node->doc_order = static_cast<std::uint32_t>(doc_.node_count_);
+    if (current_->last_child == nullptr) {
+      current_->first_child = node;
+    } else {
+      current_->last_child->next_sibling = node;
+      node->prev_sibling = current_->last_child;
+    }
+    current_->last_child = node;
+    ++current_->child_count;
+    ++doc_.node_count_;
+    return node;
+  }
+
+  Document& doc_;
+  Node* current_ = nullptr;
+};
+
+ParseResult parse(std::string_view input, const ParseOptions& options) {
+  ParseResult result;
+  DomBuilder builder(result.document);
+  const detail::CoreResult core = detail::run_parse(
+      input, options, result.document.arena(), builder);
+  result.ok = core.ok && !core.aborted;  // DOM builder never aborts
+  result.error = core.error;
+  if (!result.ok) result.document = Document();
+  return result;
+}
+
+}  // namespace xaon::xml

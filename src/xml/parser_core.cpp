@@ -1,0 +1,652 @@
+#include "parser_core.hpp"
+
+#include <string>
+
+#include "xaon/util/probe.hpp"
+#include "xaon/util/str.hpp"
+#include "xaon/xml/chars.hpp"
+
+namespace xaon::xml::detail {
+
+namespace {
+
+namespace probe = xaon::probe;
+
+/// Probe sites for the tokenizer hot loops. Registered once per process;
+/// ids are stable, so the simulated branch predictors see consistent PCs.
+struct Sites {
+  std::uint32_t content_scan = probe::site("xml.lex.content", probe::SiteKind::kLoop);
+  std::uint32_t markup_dispatch = probe::site("xml.lex.dispatch", probe::SiteKind::kData);
+  std::uint32_t name_scan = probe::site("xml.lex.name", probe::SiteKind::kLoop);
+  std::uint32_t attr_more = probe::site("xml.lex.attr_more", probe::SiteKind::kData);
+  std::uint32_t entity = probe::site("xml.lex.entity", probe::SiteKind::kData);
+  std::uint32_t ns_lookup = probe::site("xml.ns.lookup", probe::SiteKind::kLoop);
+  std::uint32_t close_match = probe::site("xml.lex.close_match", probe::SiteKind::kData);
+};
+
+const Sites& sites() {
+  static const Sites s;
+  return s;
+}
+
+struct NsBinding {
+  std::string_view prefix;
+  std::string_view uri;
+  std::size_t depth;
+};
+
+class Core {
+ public:
+  Core(std::string_view input, const ParseOptions& options,
+       util::Arena& arena, EventSink& sink)
+      : in_(input), opt_(options), arena_(arena), sink_(sink) {}
+
+  CoreResult run();
+
+ private:
+  // --- cursor primitives -------------------------------------------------
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  char peek_at(std::size_t k) const {
+    return pos_ + k < in_.size() ? in_[pos_ + k] : '\0';
+  }
+  void advance() {
+    if (in_[pos_] == '\n') {
+      ++line_;
+      line_start_ = pos_ + 1;
+    }
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (!eof() && peek() == c) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool consume_str(std::string_view s) {
+    if (in_.substr(pos_).substr(0, s.size()) == s) {
+      for (std::size_t i = 0; i < s.size(); ++i) advance();
+      return true;
+    }
+    return false;
+  }
+  void skip_space() {
+    while (!eof() && is_space(peek())) advance();
+  }
+
+  [[nodiscard]] bool fail(std::string message) {
+    if (result_.error.empty()) {
+      result_.error.offset = pos_;
+      result_.error.line = line_;
+      result_.error.column = pos_ - line_start_ + 1;
+      result_.error.message = std::move(message);
+    }
+    return false;
+  }
+
+  // --- scanning ----------------------------------------------------------
+  bool scan_name(std::string_view* out);
+  bool scan_attr_value(std::string_view* out);
+  bool scan_reference(std::string* out);
+  bool parse_misc(bool prolog);
+  bool parse_doctype();
+  bool parse_comment(std::string_view* out);
+  bool parse_pi(std::string_view* target, std::string_view* data);
+  bool parse_cdata(std::string_view* out);
+  bool parse_element();
+  bool parse_content(const ResolvedName& parent);
+  bool parse_xml_decl();
+
+  // --- namespaces ----------------------------------------------------------
+  std::string_view lookup_ns(std::string_view prefix, bool for_attr) const;
+  bool resolve(std::string_view qname, bool is_attr, ResolvedName* out);
+
+  std::string_view intern(std::string_view s) {
+    std::string_view v = arena_.intern(s);
+    probe::store(v.data(), static_cast<std::uint32_t>(v.size()));
+    return v;
+  }
+
+  std::string_view in_;
+  ParseOptions opt_;
+  util::Arena& arena_;
+  EventSink& sink_;
+
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+  std::size_t depth_ = 0;
+  bool root_seen_ = false;
+  bool aborted_ = false;
+
+  std::vector<NsBinding> ns_;
+  std::vector<AttrEvent> attr_buf_;
+  std::string scratch_;
+
+  CoreResult result_;
+};
+
+bool Core::scan_name(std::string_view* out) {
+  const std::size_t start = pos_;
+  if (eof() || !is_name_start(peek())) return fail("expected name");
+  advance();
+  while (probe::branch(sites().name_scan, !eof() && is_name_char(peek()))) {
+    advance();
+  }
+  std::string_view raw = in_.substr(start, pos_ - start);
+  probe::load(raw.data(), static_cast<std::uint32_t>(raw.size()));
+  *out = raw;
+  return true;
+}
+
+bool Core::scan_reference(std::string* out) {
+  // Caller consumed '&'.
+  const std::size_t start = pos_;
+  if (consume('#')) {
+    std::uint32_t cp = 0;
+    bool hex = consume('x');
+    bool any = false;
+    while (!eof()) {
+      const char c = peek();
+      int v;
+      if (hex) {
+        if (!is_hex_digit(c)) break;
+        v = hex_value(c);
+        cp = cp * 16 + static_cast<std::uint32_t>(v);
+      } else {
+        if (!(c >= '0' && c <= '9')) break;
+        cp = cp * 10 + static_cast<std::uint32_t>(c - '0');
+      }
+      if (cp > 0x10FFFF) return fail("character reference out of range");
+      any = true;
+      advance();
+    }
+    if (!any || !consume(';')) return fail("malformed character reference");
+    char buf[4];
+    const int n = utf8_encode(cp, buf);
+    if (n == 0) return fail("invalid character reference");
+    out->append(buf, static_cast<std::size_t>(n));
+    probe::alu(4);
+    return true;
+  }
+  std::string_view name;
+  if (!scan_name(&name)) return fail("malformed entity reference");
+  if (!consume(';')) return fail("entity reference missing ';'");
+  const char c = predefined_entity(name);
+  if (probe::branch(sites().entity, c == '\0')) {
+    pos_ = start;  // report at the reference
+    return fail("unknown entity '&" + std::string(name) + ";'");
+  }
+  out->push_back(c);
+  return true;
+}
+
+bool Core::scan_attr_value(std::string_view* out) {
+  char quote = 0;
+  if (consume('"')) {
+    quote = '"';
+  } else if (consume('\'')) {
+    quote = '\'';
+  } else {
+    return fail("attribute value must be quoted");
+  }
+  scratch_.clear();
+  const std::size_t run_start = pos_;
+  while (!eof()) {
+    const char c = peek();
+    if (c == quote) {
+      probe::load(in_.data() + run_start,
+                  static_cast<std::uint32_t>(pos_ - run_start));
+      advance();
+      *out = intern(scratch_);
+      return true;
+    }
+    if (c == '<') return fail("'<' in attribute value");
+    if (c == '&') {
+      advance();
+      if (!scan_reference(&scratch_)) return false;
+      continue;
+    }
+    // Attribute-value normalization: whitespace -> space.
+    scratch_.push_back(is_space(c) ? ' ' : c);
+    advance();
+  }
+  return fail("unterminated attribute value");
+}
+
+bool Core::parse_comment(std::string_view* out) {
+  // Caller consumed "<!--".
+  const std::size_t start = pos_;
+  while (!eof()) {
+    if (peek() == '-' && peek_at(1) == '-') {
+      if (peek_at(2) != '>') return fail("'--' not allowed in comment");
+      std::string_view body = in_.substr(start, pos_ - start);
+      advance();
+      advance();
+      advance();
+      *out = body;
+      return true;
+    }
+    advance();
+  }
+  return fail("unterminated comment");
+}
+
+bool Core::parse_pi(std::string_view* target, std::string_view* data) {
+  // Caller consumed "<?".
+  std::string_view name;
+  if (!scan_name(&name)) return false;
+  if (util::iequals(name, "xml")) return fail("reserved PI target 'xml'");
+  skip_space();
+  const std::size_t start = pos_;
+  while (!eof()) {
+    if (peek() == '?' && peek_at(1) == '>') {
+      *target = name;
+      *data = in_.substr(start, pos_ - start);
+      advance();
+      advance();
+      return true;
+    }
+    advance();
+  }
+  return fail("unterminated processing instruction");
+}
+
+bool Core::parse_cdata(std::string_view* out) {
+  // Caller consumed "<![CDATA[".
+  const std::size_t start = pos_;
+  while (!eof()) {
+    if (peek() == ']' && peek_at(1) == ']' && peek_at(2) == '>') {
+      std::string_view body = in_.substr(start, pos_ - start);
+      probe::load(body.data(), static_cast<std::uint32_t>(body.size()));
+      advance();
+      advance();
+      advance();
+      *out = body;
+      return true;
+    }
+    advance();
+  }
+  return fail("unterminated CDATA section");
+}
+
+bool Core::parse_doctype() {
+  // Caller consumed "<!DOCTYPE". Skip to matching '>', honoring an
+  // internal subset in [...] and quoted strings. Entity declarations are
+  // not processed (documented limitation).
+  int bracket = 0;
+  while (!eof()) {
+    const char c = peek();
+    if (c == '"' || c == '\'') {
+      const char q = c;
+      advance();
+      while (!eof() && peek() != q) advance();
+      if (eof()) return fail("unterminated literal in DOCTYPE");
+      advance();
+      continue;
+    }
+    if (c == '[') ++bracket;
+    if (c == ']') --bracket;
+    if (c == '>' && bracket == 0) {
+      advance();
+      return true;
+    }
+    advance();
+  }
+  return fail("unterminated DOCTYPE");
+}
+
+bool Core::parse_xml_decl() {
+  // Caller consumed "<?xml". Accept version/encoding/standalone loosely.
+  while (!eof()) {
+    if (peek() == '?' && peek_at(1) == '>') {
+      advance();
+      advance();
+      return true;
+    }
+    advance();
+  }
+  return fail("unterminated XML declaration");
+}
+
+std::string_view Core::lookup_ns(std::string_view prefix,
+                                 bool for_attr) const {
+  if (prefix == "xml") return "http://www.w3.org/XML/1998/namespace";
+  if (prefix == "xmlns") return "http://www.w3.org/2000/xmlns/";
+  if (for_attr && prefix.empty()) return {};  // unprefixed attrs: no ns
+  for (auto it = ns_.rbegin(); it != ns_.rend(); ++it) {
+    probe::branch(sites().ns_lookup, it->prefix == prefix);
+    if (it->prefix == prefix) return it->uri;
+  }
+  return {};
+}
+
+bool Core::resolve(std::string_view qname, bool is_attr, ResolvedName* out) {
+  out->qname = qname;
+  const std::size_t colon = qname.find(':');
+  if (colon == std::string_view::npos) {
+    out->prefix = {};
+    out->local = qname;
+  } else {
+    out->prefix = qname.substr(0, colon);
+    out->local = qname.substr(colon + 1);
+    if (out->prefix.empty() || out->local.empty() ||
+        out->local.find(':') != std::string_view::npos) {
+      return fail("malformed QName '" + std::string(qname) + "'");
+    }
+  }
+  if (!opt_.namespace_aware) {
+    out->ns_uri = {};
+    return true;
+  }
+  out->ns_uri = lookup_ns(out->prefix, is_attr);
+  if (!out->prefix.empty() && out->ns_uri.empty() && out->prefix != "xmlns") {
+    return fail("unbound namespace prefix '" + std::string(out->prefix) +
+                "'");
+  }
+  return true;
+}
+
+bool Core::parse_element() {
+  // Caller consumed '<'; current char starts the name.
+  if (depth_ >= opt_.max_depth) return fail("maximum element depth exceeded");
+  std::string_view raw_name;
+  if (!scan_name(&raw_name)) return false;
+  const std::string_view qname = intern(raw_name);
+
+  // Collect attributes (raw); namespace decls take effect on this element.
+  const std::size_t ns_mark = ns_.size();
+  struct RawAttr {
+    std::string_view qname;
+    std::string_view value;
+  };
+  std::vector<RawAttr> raw_attrs;
+  bool self_closing = false;
+  for (;;) {
+    const bool had_space = !eof() && is_space(peek());
+    skip_space();
+    if (eof()) return fail("unterminated start tag");
+    const char c = peek();
+    if (c == '>') {
+      advance();
+      break;
+    }
+    if (c == '/') {
+      advance();
+      if (!consume('>')) return fail("expected '>' after '/'");
+      self_closing = true;
+      break;
+    }
+    if (probe::branch(sites().attr_more, !had_space)) {
+      return fail("expected whitespace before attribute");
+    }
+    std::string_view attr_name;
+    if (!scan_name(&attr_name)) return false;
+    skip_space();
+    if (!consume('=')) return fail("expected '=' after attribute name");
+    skip_space();
+    std::string_view value;
+    if (!scan_attr_value(&value)) return false;
+    const std::string_view name_i = intern(attr_name);
+    for (const RawAttr& a : raw_attrs) {
+      if (a.qname == name_i) {
+        return fail("duplicate attribute '" + std::string(name_i) + "'");
+      }
+    }
+    // Namespace declarations bind on this element; they are also kept as
+    // ordinary attributes so serialization round-trips.
+    if (opt_.namespace_aware) {
+      if (name_i == "xmlns") {
+        ns_.push_back(NsBinding{{}, value, depth_});
+      } else if (util::starts_with(name_i, "xmlns:")) {
+        const std::string_view p = name_i.substr(6);
+        if (p.empty()) return fail("empty xmlns prefix");
+        if (value.empty()) {
+          return fail("empty namespace URI for prefix '" + std::string(p) +
+                      "'");
+        }
+        ns_.push_back(NsBinding{p, value, depth_});
+      }
+    }
+    raw_attrs.push_back(RawAttr{name_i, value});
+  }
+
+  ResolvedName name;
+  if (!resolve(qname, /*is_attr=*/false, &name)) return false;
+
+  attr_buf_.clear();
+  for (const RawAttr& a : raw_attrs) {
+    AttrEvent ev;
+    if (!resolve(a.qname, /*is_attr=*/true, &ev.name)) return false;
+    ev.value = a.value;
+    attr_buf_.push_back(ev);
+  }
+  // Duplicate check under namespace rules ({uri,local} must be unique).
+  if (opt_.namespace_aware) {
+    for (std::size_t i = 0; i < attr_buf_.size(); ++i) {
+      for (std::size_t j = i + 1; j < attr_buf_.size(); ++j) {
+        if (attr_buf_[i].name.local == attr_buf_[j].name.local &&
+            attr_buf_[i].name.ns_uri == attr_buf_[j].name.ns_uri) {
+          return fail("duplicate attribute '{" +
+                      std::string(attr_buf_[i].name.ns_uri) + "}" +
+                      std::string(attr_buf_[i].name.local) + "'");
+        }
+      }
+    }
+  }
+
+  if (!sink_.start_element(name, attr_buf_.data(), attr_buf_.size())) {
+    aborted_ = true;
+    return false;
+  }
+  probe::alu(12);
+
+  if (!self_closing) {
+    ++depth_;
+    if (!parse_content(name)) return false;
+    --depth_;
+  }
+  if (!sink_.end_element(name)) {
+    aborted_ = true;
+    return false;
+  }
+  ns_.resize(ns_mark);
+  return true;
+}
+
+bool Core::parse_content(const ResolvedName& parent) {
+  scratch_.clear();
+  std::string pending_text;
+  bool pending_ws_only = true;
+
+  auto flush_text = [&]() -> bool {
+    if (pending_text.empty()) return true;
+    if (pending_ws_only && !opt_.keep_whitespace_text) {
+      pending_text.clear();
+      pending_ws_only = true;
+      return true;
+    }
+    const std::string_view t = intern(pending_text);
+    pending_text.clear();
+    const bool ws = pending_ws_only;
+    pending_ws_only = true;
+    if (!sink_.text(t, /*is_cdata=*/false, ws)) {
+      aborted_ = true;
+      return false;
+    }
+    return true;
+  };
+
+  while (!eof()) {
+    const char c = peek();
+    if (probe::branch(sites().content_scan, c != '<' && c != '&')) {
+      pending_ws_only = pending_ws_only && is_space(c);
+      pending_text.push_back(c);
+      advance();
+      continue;
+    }
+    if (c == '&') {
+      advance();
+      const std::size_t before = pending_text.size();
+      if (!scan_reference(&pending_text)) return false;
+      // References never count as ignorable whitespace.
+      (void)before;
+      pending_ws_only = false;
+      continue;
+    }
+    // Markup.
+    probe::branch(sites().markup_dispatch, true);
+    advance();  // '<'
+    if (eof()) return fail("unexpected end of input after '<'");
+    if (peek() == '/') {
+      advance();
+      std::string_view close_name;
+      if (!scan_name(&close_name)) return false;
+      skip_space();
+      if (!consume('>')) return fail("expected '>' in end tag");
+      if (probe::branch(sites().close_match, close_name != parent.qname)) {
+        return fail("mismatched end tag '</" + std::string(close_name) +
+                    ">' (expected '</" + std::string(parent.qname) + ">')");
+      }
+      return flush_text();
+    }
+    if (peek() == '!') {
+      advance();
+      if (consume_str("--")) {
+        std::string_view body;
+        if (!parse_comment(&body)) return false;
+        if (opt_.keep_comments) {
+          if (!flush_text()) return false;
+          if (!sink_.comment(intern(body))) {
+            aborted_ = true;
+            return false;
+          }
+        }
+        continue;
+      }
+      if (consume_str("[CDATA[")) {
+        std::string_view body;
+        if (!parse_cdata(&body)) return false;
+        if (!flush_text()) return false;
+        if (!sink_.text(intern(body), /*is_cdata=*/true,
+                        /*ws_only=*/false)) {
+          aborted_ = true;
+          return false;
+        }
+        continue;
+      }
+      return fail("unexpected markup in content");
+    }
+    if (peek() == '?') {
+      advance();
+      std::string_view target, data;
+      if (!parse_pi(&target, &data)) return false;
+      if (opt_.keep_pis) {
+        if (!flush_text()) return false;
+        if (!sink_.pi(intern(target), intern(data))) {
+          aborted_ = true;
+          return false;
+        }
+      }
+      continue;
+    }
+    // Child element.
+    if (!flush_text()) return false;
+    if (!parse_element()) return false;
+  }
+  return fail("unexpected end of input inside element '" +
+              std::string(parent.qname) + "'");
+}
+
+bool Core::parse_misc(bool prolog) {
+  // Whitespace / comments / PIs allowed outside the root element.
+  for (;;) {
+    skip_space();
+    if (eof()) return true;
+    if (peek() != '<') return fail("text outside the root element");
+    if (peek_at(1) == '!') {
+      if (in_.substr(pos_).substr(0, 4) == "<!--") {
+        pos_ += 0;
+        advance();
+        advance();
+        advance();
+        advance();
+        std::string_view body;
+        if (!parse_comment(&body)) return false;
+        if (opt_.keep_comments && !sink_.comment(intern(body))) {
+          aborted_ = true;
+          return false;
+        }
+        continue;
+      }
+      if (prolog && consume_str("<!DOCTYPE")) {
+        if (!parse_doctype()) return false;
+        continue;
+      }
+      return fail("unexpected markup outside root element");
+    }
+    if (peek_at(1) == '?') {
+      advance();
+      advance();
+      std::string_view target, data;
+      if (!parse_pi(&target, &data)) return false;
+      if (opt_.keep_pis && !sink_.pi(intern(target), intern(data))) {
+        aborted_ = true;
+        return false;
+      }
+      continue;
+    }
+    return true;  // start of an element
+  }
+}
+
+CoreResult Core::run() {
+  // Optional BOM.
+  if (in_.substr(0, 3) == "\xEF\xBB\xBF") {
+    pos_ = 3;
+    line_start_ = 3;
+  }
+  // Optional XML declaration (must be first).
+  if (in_.substr(pos_).substr(0, 5) == "<?xml" &&
+      (pos_ + 5 >= in_.size() || is_space(in_[pos_ + 5]) ||
+       in_[pos_ + 5] == '?')) {
+    for (int i = 0; i < 5; ++i) advance();
+    if (!parse_xml_decl()) goto done;
+  }
+  if (!parse_misc(/*prolog=*/true)) goto done;
+  if (eof()) {
+    (void)fail("no root element");
+    goto done;
+  }
+  if (!consume('<')) {
+    (void)fail("expected '<'");
+    goto done;
+  }
+  root_seen_ = true;
+  if (!parse_element()) goto done;
+  if (!parse_misc(/*prolog=*/false)) goto done;
+  if (!eof()) {
+    (void)fail("more than one root element");
+    goto done;
+  }
+  result_.ok = true;
+
+done:
+  if (aborted_) {
+    result_.ok = true;
+    result_.aborted = true;
+    result_.error = {};
+  }
+  return result_;
+}
+
+}  // namespace
+
+CoreResult run_parse(std::string_view input, const ParseOptions& options,
+                     util::Arena& arena, EventSink& sink) {
+  Core core(input, options, arena, sink);
+  return core.run();
+}
+
+}  // namespace xaon::xml::detail

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "xaon/util/arena.hpp"
+#include "xaon/xml/error.hpp"
+#include "xaon/xml/parser.hpp"
+
+/// \file parser_core.hpp  (internal)
+/// The single tokenizer/well-formedness core shared by the DOM parser
+/// (`parse`) and the streaming parser (`parse_sax`). Both install an
+/// EventSink; decoded strings are interned into the caller's arena and
+/// stay valid for the arena's lifetime.
+
+namespace xaon::xml::detail {
+
+struct ResolvedName {
+  std::string_view qname;
+  std::string_view prefix;
+  std::string_view local;
+  std::string_view ns_uri;
+};
+
+struct AttrEvent {
+  ResolvedName name;
+  std::string_view value;
+};
+
+/// Sink return value false aborts the parse without error.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual bool start_element(const ResolvedName& name,
+                             const AttrEvent* attrs, std::size_t n) = 0;
+  virtual bool end_element(const ResolvedName& name) = 0;
+  virtual bool text(std::string_view data, bool is_cdata,
+                    bool ws_only) = 0;
+  virtual bool comment(std::string_view data) = 0;
+  virtual bool pi(std::string_view target, std::string_view data) = 0;
+};
+
+struct CoreResult {
+  Error error;
+  bool ok = false;
+  bool aborted = false;
+};
+
+/// Runs a full document parse of `input`, interning strings into `arena`
+/// and delivering events to `sink`.
+CoreResult run_parse(std::string_view input, const ParseOptions& options,
+                     util::Arena& arena, EventSink& sink);
+
+}  // namespace xaon::xml::detail

@@ -1,0 +1,65 @@
+#include "xaon/xml/sax.hpp"
+
+#include <vector>
+
+#include "parser_core.hpp"
+
+namespace xaon::xml {
+
+namespace {
+
+/// Adapts the parser core's sink interface to the public SaxHandler.
+class SaxAdapter final : public detail::EventSink {
+ public:
+  explicit SaxAdapter(SaxHandler& handler) : handler_(handler) {}
+
+  bool start_element(const detail::ResolvedName& name,
+                     const detail::AttrEvent* attrs, std::size_t n) override {
+    attr_buf_.clear();
+    attr_buf_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      attr_buf_.push_back(SaxAttr{attrs[i].name.qname, attrs[i].name.prefix,
+                                  attrs[i].name.local, attrs[i].name.ns_uri,
+                                  attrs[i].value});
+    }
+    return handler_.on_start_element(name.qname, name.local, name.ns_uri,
+                                     attr_buf_.data(), attr_buf_.size());
+  }
+
+  bool end_element(const detail::ResolvedName& name) override {
+    return handler_.on_end_element(name.qname, name.local, name.ns_uri);
+  }
+
+  bool text(std::string_view data, bool is_cdata, bool) override {
+    return handler_.on_text(data, is_cdata);
+  }
+
+  bool comment(std::string_view data) override {
+    return handler_.on_comment(data);
+  }
+
+  bool pi(std::string_view target, std::string_view data) override {
+    return handler_.on_processing_instruction(target, data);
+  }
+
+ private:
+  SaxHandler& handler_;
+  std::vector<SaxAttr> attr_buf_;
+};
+
+}  // namespace
+
+SaxResult parse_sax(std::string_view input, SaxHandler& handler,
+                    const ParseOptions& options) {
+  util::Arena arena(16 * 1024);
+  SaxAdapter adapter(handler);
+  const detail::CoreResult core =
+      detail::run_parse(input, options, arena, adapter);
+  SaxResult result;
+  result.ok = core.ok;
+  result.aborted = core.aborted;
+  result.error = core.error;
+  return result;
+}
+
+}  // namespace xaon::xml

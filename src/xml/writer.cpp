@@ -1,0 +1,128 @@
+#include "xaon/xml/writer.hpp"
+
+#include "xaon/util/assert.hpp"
+
+namespace xaon::xml {
+
+std::string escape_text(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_attr(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\n': out += "&#10;"; break;
+      case '\t': out += "&#9;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_node(const Node* n, const WriteOptions& opt, int depth,
+                std::string* out) {
+  auto indent = [&](int d) {
+    if (opt.pretty) out->append(static_cast<std::size_t>(d) * 2, ' ');
+  };
+  switch (n->type) {
+    case NodeType::kDocument:
+      for (const Node* c = n->first_child; c != nullptr;
+           c = c->next_sibling) {
+        write_node(c, opt, depth, out);
+      }
+      break;
+    case NodeType::kElement: {
+      indent(depth);
+      out->push_back('<');
+      out->append(n->qname);
+      for (const Attr* a = n->first_attr; a != nullptr; a = a->next) {
+        out->push_back(' ');
+        out->append(a->qname);
+        out->append("=\"");
+        out->append(escape_attr(a->value));
+        out->push_back('"');
+      }
+      if (n->first_child == nullptr && opt.self_close_empty) {
+        out->append("/>");
+        if (opt.pretty) out->push_back('\n');
+        break;
+      }
+      out->push_back('>');
+      const bool text_only =
+          n->child_count > 0 && n->first_child_element() == nullptr;
+      if (opt.pretty && !text_only) out->push_back('\n');
+      for (const Node* c = n->first_child; c != nullptr;
+           c = c->next_sibling) {
+        write_node(c, opt, text_only ? 0 : depth + 1, out);
+      }
+      if (opt.pretty && !text_only) indent(depth);
+      out->append("</");
+      out->append(n->qname);
+      out->push_back('>');
+      if (opt.pretty) out->push_back('\n');
+      break;
+    }
+    case NodeType::kText:
+      if (opt.pretty && n->parent != nullptr &&
+          n->parent->first_child_element() != nullptr) {
+        break;  // drop mixed-content whitespace when pretty-printing
+      }
+      out->append(escape_text(n->text));
+      break;
+    case NodeType::kCData:
+      out->append("<![CDATA[");
+      out->append(n->text);
+      out->append("]]>");
+      break;
+    case NodeType::kComment:
+      indent(depth);
+      out->append("<!--");
+      out->append(n->text);
+      out->append("-->");
+      if (opt.pretty) out->push_back('\n');
+      break;
+    case NodeType::kProcessingInstruction:
+      indent(depth);
+      out->append("<?");
+      out->append(n->qname);
+      if (!n->text.empty()) {
+        out->push_back(' ');
+        out->append(n->text);
+      }
+      out->append("?>");
+      if (opt.pretty) out->push_back('\n');
+      break;
+  }
+}
+
+}  // namespace
+
+std::string write(const Node* node, const WriteOptions& options) {
+  XAON_CHECK(node != nullptr);
+  std::string out;
+  if (options.declaration) {
+    out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    out += options.pretty ? "\n" : "";
+  }
+  write_node(node, options, 0, &out);
+  return out;
+}
+
+}  // namespace xaon::xml

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file ast.hpp  (internal)
+/// Arena-allocated XPath expression tree. All nodes are trivially
+/// destructible; string payloads are interned into the compile arena.
+
+namespace xaon::xpath::detail {
+
+enum class ExprKind : std::uint8_t {
+  kOr, kAnd,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  kUnion,
+  kLiteral, kNumber,
+  kFunction,
+  kPath,
+};
+
+enum class Axis : std::uint8_t {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kAttribute,
+  kFollowingSibling,
+  kPrecedingSibling,
+};
+
+/// True for axes whose natural order is reverse document order; the
+/// proximity position used by positional predicates counts backwards.
+constexpr bool axis_is_reverse(Axis a) {
+  return a == Axis::kParent || a == Axis::kAncestor ||
+         a == Axis::kAncestorOrSelf || a == Axis::kPrecedingSibling;
+}
+
+enum class NodeTestKind : std::uint8_t {
+  kName,        ///< local (and optionally namespace) must match
+  kAnyName,     ///< '*'
+  kNsWildcard,  ///< 'prefix:*'
+  kText,        ///< text()
+  kComment,     ///< comment()
+  kPi,          ///< processing-instruction()
+  kNode,        ///< node()
+};
+
+enum class Fn : std::uint8_t {
+  kLast, kPosition, kCount, kId,  // kId unsupported at runtime (compile error)
+  kLocalName, kName, kNamespaceUri,
+  kString, kConcat, kStartsWith, kContains,
+  kSubstringBefore, kSubstringAfter, kSubstring,
+  kStringLength, kNormalizeSpace, kTranslate,
+  kBoolean, kNot, kTrue, kFalse, kLang,
+  kNumber, kSum, kFloor, kCeiling, kRound,
+};
+
+struct Expr;
+
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTestKind test = NodeTestKind::kAnyName;
+  std::string_view local;    ///< for kName
+  std::string_view ns_uri;   ///< resolved namespace ("" = no namespace)
+  Expr** predicates = nullptr;
+  std::uint32_t n_predicates = 0;
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+
+  // Binary / unary operands.
+  Expr* lhs = nullptr;
+  Expr* rhs = nullptr;
+
+  // kLiteral / kNumber.
+  std::string_view literal;
+  double number = 0.0;
+
+  // kFunction.
+  Fn fn = Fn::kTrue;
+  Expr** args = nullptr;
+  std::uint32_t n_args = 0;
+
+  // kPath.
+  bool absolute = false;
+  Expr* base = nullptr;  ///< filter-expr base, e.g. (expr)/child::a
+  Expr** base_predicates = nullptr;  ///< applied to the whole base set
+  std::uint32_t n_base_predicates = 0;
+  Step* steps = nullptr;
+  std::uint32_t n_steps = 0;
+};
+
+}  // namespace xaon::xpath::detail

@@ -1,0 +1,596 @@
+#include <string>
+#include <vector>
+
+#include "ast.hpp"
+#include "lexer.hpp"
+#include "xaon/util/arena.hpp"
+#include "xaon/util/assert.hpp"
+#include "xaon/xpath/xpath.hpp"
+
+/// \file compile.cpp
+/// Recursive-descent parser: token stream -> arena AST.
+
+namespace xaon::xpath {
+
+namespace detail {
+
+/// A compiled expression: the AST plus the arena that owns it.
+struct Compiled {
+  util::Arena arena{4 * 1024};
+  const Expr* root = nullptr;
+  std::string expression;
+};
+
+namespace {
+
+struct FnSig {
+  std::string_view name;
+  Fn fn;
+  int min_args;
+  int max_args;  // -1: unbounded
+};
+
+constexpr FnSig kFunctions[] = {
+    {"last", Fn::kLast, 0, 0},
+    {"position", Fn::kPosition, 0, 0},
+    {"count", Fn::kCount, 1, 1},
+    {"local-name", Fn::kLocalName, 0, 1},
+    {"name", Fn::kName, 0, 1},
+    {"namespace-uri", Fn::kNamespaceUri, 0, 1},
+    {"string", Fn::kString, 0, 1},
+    {"concat", Fn::kConcat, 2, -1},
+    {"starts-with", Fn::kStartsWith, 2, 2},
+    {"contains", Fn::kContains, 2, 2},
+    {"substring-before", Fn::kSubstringBefore, 2, 2},
+    {"substring-after", Fn::kSubstringAfter, 2, 2},
+    {"substring", Fn::kSubstring, 2, 3},
+    {"string-length", Fn::kStringLength, 0, 1},
+    {"normalize-space", Fn::kNormalizeSpace, 0, 1},
+    {"translate", Fn::kTranslate, 3, 3},
+    {"boolean", Fn::kBoolean, 1, 1},
+    {"not", Fn::kNot, 1, 1},
+    {"true", Fn::kTrue, 0, 0},
+    {"false", Fn::kFalse, 0, 0},
+    {"number", Fn::kNumber, 0, 1},
+    {"sum", Fn::kSum, 1, 1},
+    {"floor", Fn::kFloor, 1, 1},
+    {"ceiling", Fn::kCeiling, 1, 1},
+    {"round", Fn::kRound, 1, 1},
+};
+
+struct AxisName {
+  std::string_view name;
+  Axis axis;
+};
+
+constexpr AxisName kAxes[] = {
+    {"child", Axis::kChild},
+    {"descendant", Axis::kDescendant},
+    {"descendant-or-self", Axis::kDescendantOrSelf},
+    {"self", Axis::kSelf},
+    {"parent", Axis::kParent},
+    {"ancestor", Axis::kAncestor},
+    {"ancestor-or-self", Axis::kAncestorOrSelf},
+    {"attribute", Axis::kAttribute},
+    {"following-sibling", Axis::kFollowingSibling},
+    {"preceding-sibling", Axis::kPrecedingSibling},
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Compiled& out,
+         const NamespaceBindings& ns)
+      : tokens_(std::move(tokens)), out_(out), ns_(ns) {}
+
+  const Expr* parse(CompileError* error) {
+    Expr* e = parse_or();
+    if (e != nullptr && !at(Tok::kEnd)) {
+      fail("unexpected trailing tokens");
+      e = nullptr;
+    }
+    if (e == nullptr && error != nullptr) *error = error_;
+    return e;
+  }
+
+ private:
+  // --- token helpers ---
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool accept(Tok k) {
+    if (at(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Expr* fail(std::string msg) {
+    if (error_.empty()) {
+      error_.offset = cur().offset;
+      error_.message = std::move(msg);
+    }
+    return nullptr;
+  }
+
+  Expr* make(ExprKind kind) {
+    Expr* e = out_.arena.make<Expr>();
+    e->kind = kind;
+    return e;
+  }
+  Expr* binary(ExprKind kind, Expr* lhs, Expr* rhs) {
+    if (lhs == nullptr || rhs == nullptr) return nullptr;
+    Expr* e = make(kind);
+    e->lhs = lhs;
+    e->rhs = rhs;
+    return e;
+  }
+
+  // --- grammar (standard XPath 1.0 precedence chain) ---
+  Expr* parse_or() {
+    Expr* e = parse_and();
+    while (e != nullptr && accept(Tok::kOr)) e = binary(ExprKind::kOr, e, parse_and());
+    return e;
+  }
+  Expr* parse_and() {
+    Expr* e = parse_equality();
+    while (e != nullptr && accept(Tok::kAnd)) {
+      e = binary(ExprKind::kAnd, e, parse_equality());
+    }
+    return e;
+  }
+  Expr* parse_equality() {
+    Expr* e = parse_relational();
+    for (;;) {
+      if (e == nullptr) return nullptr;
+      if (accept(Tok::kEq)) {
+        e = binary(ExprKind::kEq, e, parse_relational());
+      } else if (accept(Tok::kNe)) {
+        e = binary(ExprKind::kNe, e, parse_relational());
+      } else {
+        return e;
+      }
+    }
+  }
+  Expr* parse_relational() {
+    Expr* e = parse_additive();
+    for (;;) {
+      if (e == nullptr) return nullptr;
+      if (accept(Tok::kLt)) {
+        e = binary(ExprKind::kLt, e, parse_additive());
+      } else if (accept(Tok::kLe)) {
+        e = binary(ExprKind::kLe, e, parse_additive());
+      } else if (accept(Tok::kGt)) {
+        e = binary(ExprKind::kGt, e, parse_additive());
+      } else if (accept(Tok::kGe)) {
+        e = binary(ExprKind::kGe, e, parse_additive());
+      } else {
+        return e;
+      }
+    }
+  }
+  Expr* parse_additive() {
+    Expr* e = parse_multiplicative();
+    for (;;) {
+      if (e == nullptr) return nullptr;
+      if (accept(Tok::kPlus)) {
+        e = binary(ExprKind::kAdd, e, parse_multiplicative());
+      } else if (accept(Tok::kMinus)) {
+        e = binary(ExprKind::kSub, e, parse_multiplicative());
+      } else {
+        return e;
+      }
+    }
+  }
+  Expr* parse_multiplicative() {
+    Expr* e = parse_unary();
+    for (;;) {
+      if (e == nullptr) return nullptr;
+      // '*' is multiplication here only when followed by an operand —
+      // the lexer keeps kStar ambiguous; at this position after a
+      // complete operand it is multiplication.
+      if (at(Tok::kStar)) {
+        ++pos_;
+        e = binary(ExprKind::kMul, e, parse_unary());
+      } else if (accept(Tok::kDiv)) {
+        e = binary(ExprKind::kDiv, e, parse_unary());
+      } else if (accept(Tok::kMod)) {
+        e = binary(ExprKind::kMod, e, parse_unary());
+      } else {
+        return e;
+      }
+    }
+  }
+  Expr* parse_unary() {
+    int negs = 0;
+    while (accept(Tok::kMinus)) ++negs;
+    Expr* e = parse_union();
+    if (e == nullptr) return nullptr;
+    for (int i = 0; i < negs; ++i) {
+      Expr* n = make(ExprKind::kNeg);
+      n->lhs = e;
+      e = n;
+    }
+    return e;
+  }
+  Expr* parse_union() {
+    Expr* e = parse_path();
+    while (e != nullptr && accept(Tok::kPipe)) {
+      e = binary(ExprKind::kUnion, e, parse_path());
+    }
+    return e;
+  }
+
+  bool starts_location_path() const {
+    switch (cur().kind) {
+      case Tok::kSlash:
+      case Tok::kSlashSlash:
+      case Tok::kDot:
+      case Tok::kDotDot:
+      case Tok::kAt:
+      case Tok::kName:
+      case Tok::kAxisName:
+      case Tok::kStar:
+        return true;
+      case Tok::kFuncName:
+        // Node-type tests look like functions: text(), node(), ...
+        return cur().text == "text" || cur().text == "node" ||
+               cur().text == "comment" ||
+               cur().text == "processing-instruction";
+      default:
+        return false;
+    }
+  }
+
+  Expr* parse_path() {
+    if (starts_location_path()) return parse_location_path(nullptr, false);
+    // FilterExpr: primary expression, then optional predicates and path.
+    Expr* primary = parse_primary();
+    if (primary == nullptr) return nullptr;
+    if (at(Tok::kLBracket) || at(Tok::kSlash) || at(Tok::kSlashSlash)) {
+      // Wrap as a path with a base expression.
+      std::vector<Expr*> preds;
+      while (accept(Tok::kLBracket)) {
+        Expr* p = parse_or();
+        if (p == nullptr) return nullptr;
+        if (!accept(Tok::kRBracket)) return fail("expected ']'");
+        preds.push_back(p);
+      }
+      if (at(Tok::kSlash) || at(Tok::kSlashSlash)) {
+        Expr* path = parse_location_path(primary, false);
+        if (path != nullptr) attach_base_predicates(path, preds);
+        return path;
+      }
+      if (!preds.empty()) {
+        // Bare filter expression, e.g. (//a)[1].
+        Expr* path = make(ExprKind::kPath);
+        path->base = primary;
+        attach_base_predicates(path, preds);
+        path->n_steps = 0;
+        return path;
+      }
+      return primary;
+    }
+    return primary;
+  }
+
+  void attach_base_predicates(Expr* path, const std::vector<Expr*>& preds) {
+    path->n_base_predicates = static_cast<std::uint32_t>(preds.size());
+    if (preds.empty()) return;
+    path->base_predicates = out_.arena.make_array<Expr*>(preds.size());
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      path->base_predicates[i] = preds[i];
+    }
+  }
+
+  void attach_predicates(Step* step, const std::vector<Expr*>& preds) {
+    step->n_predicates = static_cast<std::uint32_t>(preds.size());
+    if (preds.empty()) return;
+    step->predicates = out_.arena.make_array<Expr*>(preds.size());
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      step->predicates[i] = preds[i];
+    }
+  }
+
+  /// Parses a (possibly absolute) location path. `base` non-null makes
+  /// this the trailing path of a filter expression.
+  Expr* parse_location_path(Expr* base, bool) {
+    Expr* path = make(ExprKind::kPath);
+    path->base = base;
+    std::vector<Step> steps;
+
+    if (base == nullptr) {
+      if (accept(Tok::kSlashSlash)) {
+        path->absolute = true;
+        Step s;
+        s.axis = Axis::kDescendantOrSelf;
+        s.test = NodeTestKind::kNode;
+        steps.push_back(s);
+      } else if (accept(Tok::kSlash)) {
+        path->absolute = true;
+        if (!starts_location_path()) {
+          // Bare "/" selects the root.
+          path->n_steps = 0;
+          return path;
+        }
+      }
+    } else {
+      if (accept(Tok::kSlashSlash)) {
+        Step s;
+        s.axis = Axis::kDescendantOrSelf;
+        s.test = NodeTestKind::kNode;
+        steps.push_back(s);
+      } else if (!accept(Tok::kSlash)) {
+        return fail("expected '/' after filter expression");
+      }
+    }
+
+    for (;;) {
+      Step step;
+      if (!parse_step(&step)) return nullptr;
+      steps.push_back(step);
+      if (accept(Tok::kSlashSlash)) {
+        Step s;
+        s.axis = Axis::kDescendantOrSelf;
+        s.test = NodeTestKind::kNode;
+        steps.push_back(s);
+        continue;
+      }
+      if (accept(Tok::kSlash)) continue;
+      break;
+    }
+
+    path->n_steps = static_cast<std::uint32_t>(steps.size());
+    path->steps = out_.arena.make_array<Step>(steps.size());
+    for (std::size_t i = 0; i < steps.size(); ++i) path->steps[i] = steps[i];
+    return path;
+  }
+
+  bool parse_step(Step* out) {
+    *out = Step{};
+    if (accept(Tok::kDot)) {
+      out->axis = Axis::kSelf;
+      out->test = NodeTestKind::kNode;
+      return true;
+    }
+    if (accept(Tok::kDotDot)) {
+      out->axis = Axis::kParent;
+      out->test = NodeTestKind::kNode;
+      return true;
+    }
+    if (accept(Tok::kAt)) {
+      out->axis = Axis::kAttribute;
+    } else if (at(Tok::kAxisName)) {
+      bool found = false;
+      for (const AxisName& a : kAxes) {
+        if (cur().text == a.name) {
+          out->axis = a.axis;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        fail("unknown axis '" + std::string(cur().text) + "'");
+        return false;
+      }
+      ++pos_;
+      if (!accept(Tok::kColonColon)) {
+        fail("expected '::'");
+        return false;
+      }
+    }
+    if (!parse_node_test(out)) return false;
+    std::vector<Expr*> preds;
+    while (accept(Tok::kLBracket)) {
+      Expr* p = parse_or();
+      if (p == nullptr) return false;
+      if (!accept(Tok::kRBracket)) {
+        fail("expected ']'");
+        return false;
+      }
+      preds.push_back(p);
+    }
+    attach_predicates(out, preds);
+    return true;
+  }
+
+  bool parse_node_test(Step* out) {
+    if (at(Tok::kStar)) {
+      ++pos_;
+      out->test = NodeTestKind::kAnyName;
+      return true;
+    }
+    if (at(Tok::kFuncName)) {
+      const std::string_view t = cur().text;
+      if (t == "text" || t == "node" || t == "comment" ||
+          t == "processing-instruction") {
+        ++pos_;
+        if (!accept(Tok::kLParen)) {
+          fail("expected '('");
+          return false;
+        }
+        if (t == "processing-instruction" && at(Tok::kLiteral)) {
+          // Target filter unsupported; accept and ignore the literal.
+          ++pos_;
+        }
+        if (!accept(Tok::kRParen)) {
+          fail("expected ')'");
+          return false;
+        }
+        out->test = t == "text"      ? NodeTestKind::kText
+                    : t == "node"    ? NodeTestKind::kNode
+                    : t == "comment" ? NodeTestKind::kComment
+                                     : NodeTestKind::kPi;
+        return true;
+      }
+      fail("'" + std::string(t) + "' is not a node test");
+      return false;
+    }
+    if (!at(Tok::kName)) {
+      fail("expected node test");
+      return false;
+    }
+    const std::string_view name = cur().text;
+    ++pos_;
+    const std::size_t colon = name.find(':');
+    std::string_view prefix, local;
+    if (colon == std::string_view::npos) {
+      local = name;
+    } else {
+      prefix = name.substr(0, colon);
+      local = name.substr(colon + 1);
+    }
+    if (local == "*") {
+      out->test = NodeTestKind::kNsWildcard;
+    } else {
+      out->test = NodeTestKind::kName;
+      out->local = out_.arena.intern(local);
+    }
+    // Resolve the prefix against the compile-time bindings. Unprefixed
+    // names use the default ("" prefix) binding when present.
+    std::string_view uri;
+    bool bound = prefix.empty();  // unprefixed: null namespace by default
+    for (const auto& [p, u] : ns_) {
+      if (p == prefix) {
+        uri = u;
+        bound = true;
+        break;
+      }
+    }
+    if (!bound) {
+      fail("unbound prefix '" + std::string(prefix) + "' in expression");
+      return false;
+    }
+    out->ns_uri = uri.empty() ? std::string_view{} : out_.arena.intern(uri);
+    return true;
+  }
+
+  Expr* parse_primary() {
+    if (accept(Tok::kLParen)) {
+      Expr* e = parse_or();
+      if (e == nullptr) return nullptr;
+      if (!accept(Tok::kRParen)) return fail("expected ')'");
+      return e;
+    }
+    if (at(Tok::kLiteral)) {
+      Expr* e = make(ExprKind::kLiteral);
+      e->literal = out_.arena.intern(cur().text);
+      ++pos_;
+      return e;
+    }
+    if (at(Tok::kNumber)) {
+      Expr* e = make(ExprKind::kNumber);
+      e->number = cur().number;
+      ++pos_;
+      return e;
+    }
+    if (at(Tok::kFuncName)) {
+      return parse_function();
+    }
+    return fail("expected expression");
+  }
+
+  Expr* parse_function() {
+    const std::string_view name = cur().text;
+    const std::size_t name_offset = cur().offset;
+    ++pos_;
+    const FnSig* sig = nullptr;
+    for (const FnSig& f : kFunctions) {
+      if (f.name == name) {
+        sig = &f;
+        break;
+      }
+    }
+    if (sig == nullptr) {
+      error_.offset = name_offset;
+      error_.message = "unknown function '" + std::string(name) + "'";
+      return nullptr;
+    }
+    if (!accept(Tok::kLParen)) return fail("expected '('");
+    std::vector<Expr*> args;
+    if (!at(Tok::kRParen)) {
+      do {
+        Expr* a = parse_or();
+        if (a == nullptr) return nullptr;
+        args.push_back(a);
+      } while (accept(Tok::kComma));
+    }
+    if (!accept(Tok::kRParen)) return fail("expected ')'");
+    const int n = static_cast<int>(args.size());
+    if (n < sig->min_args || (sig->max_args >= 0 && n > sig->max_args)) {
+      error_.offset = name_offset;
+      error_.message = "wrong number of arguments to '" +
+                       std::string(name) + "'";
+      return nullptr;
+    }
+    Expr* e = make(ExprKind::kFunction);
+    e->fn = sig->fn;
+    e->n_args = static_cast<std::uint32_t>(args.size());
+    if (!args.empty()) {
+      e->args = out_.arena.make_array<Expr*>(args.size());
+      for (std::size_t i = 0; i < args.size(); ++i) e->args[i] = args[i];
+    }
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Compiled& out_;
+  const NamespaceBindings& ns_;
+  CompileError error_;
+};
+
+}  // namespace
+
+/// Defined in eval.cpp.
+Value evaluate_expr(const Expr* expr, const xml::Node* context);
+
+}  // namespace detail
+
+XPath XPath::compile(std::string_view expr, CompileError* error,
+                     const NamespaceBindings& ns) {
+  auto compiled = std::make_shared<detail::Compiled>();
+  compiled->expression = std::string(expr);
+
+  std::vector<detail::Token> tokens;
+  std::string lex_error;
+  std::size_t lex_offset = 0;
+  if (!detail::tokenize(expr, &tokens, &lex_error, &lex_offset)) {
+    if (error != nullptr) {
+      error->offset = lex_offset;
+      error->message = std::move(lex_error);
+    }
+    return XPath();
+  }
+  detail::Parser parser(std::move(tokens), *compiled, ns);
+  compiled->root = parser.parse(error);
+  if (compiled->root == nullptr) return XPath();
+  return XPath(std::move(compiled));
+}
+
+std::string_view XPath::expression() const {
+  return impl_ ? std::string_view(impl_->expression) : std::string_view{};
+}
+
+Value XPath::evaluate(const xml::Node* context) const {
+  XAON_CHECK_MSG(impl_ != nullptr, "evaluate() on invalid XPath");
+  return detail::evaluate_expr(impl_->root, context);
+}
+
+NodeSet XPath::select(const xml::Node* context) const {
+  Value v = evaluate(context);
+  if (!v.is_node_set()) return {};
+  return v.nodes();
+}
+
+bool XPath::test(const xml::Node* context) const {
+  return evaluate(context).to_boolean();
+}
+
+std::string XPath::string(const xml::Node* context) const {
+  return evaluate(context).to_string();
+}
+
+double XPath::number(const xml::Node* context) const {
+  return evaluate(context).to_number();
+}
+
+}  // namespace xaon::xpath

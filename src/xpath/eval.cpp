@@ -1,0 +1,494 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "ast.hpp"
+#include "xaon/util/assert.hpp"
+#include "xaon/util/probe.hpp"
+#include "xaon/util/str.hpp"
+#include "xaon/xpath/value.hpp"
+
+/// \file eval.cpp
+/// XPath AST evaluator. Runtime type mismatches degrade to empty/zero
+/// values (never aborts — the AON gateway evaluates expressions against
+/// arbitrary incoming messages).
+
+namespace xaon::xpath::detail {
+
+namespace {
+
+namespace probe = xaon::probe;
+
+struct Sites {
+  std::uint32_t node_test = probe::site("xpath.step.test", probe::SiteKind::kData);
+  std::uint32_t axis_walk = probe::site("xpath.axis.walk", probe::SiteKind::kLoop);
+  std::uint32_t predicate = probe::site("xpath.predicate", probe::SiteKind::kData);
+  std::uint32_t str_cmp = probe::site("xpath.str.cmp", probe::SiteKind::kData);
+};
+
+const Sites& sites() {
+  static const Sites s;
+  return s;
+}
+
+struct EvalCtx {
+  NodeRef node;
+  std::size_t position = 1;
+  std::size_t size = 1;
+};
+
+const xml::Node* root_of(const xml::Node* n) {
+  while (n->parent != nullptr) n = n->parent;
+  return n;
+}
+
+class Evaluator {
+ public:
+  Value eval(const Expr* e, const EvalCtx& ctx) {
+    XAON_CHECK(e != nullptr);
+    switch (e->kind) {
+      case ExprKind::kOr: {
+        Value l = eval(e->lhs, ctx);
+        if (l.to_boolean()) return Value(true);
+        return Value(eval(e->rhs, ctx).to_boolean());
+      }
+      case ExprKind::kAnd: {
+        Value l = eval(e->lhs, ctx);
+        if (!l.to_boolean()) return Value(false);
+        return Value(eval(e->rhs, ctx).to_boolean());
+      }
+      case ExprKind::kEq:
+        return Value(compare_equal(eval(e->lhs, ctx), eval(e->rhs, ctx)));
+      case ExprKind::kNe:
+        return Value(
+            compare_not_equal(eval(e->lhs, ctx), eval(e->rhs, ctx)));
+      case ExprKind::kLt:
+        return Value(
+            compare_relational(eval(e->lhs, ctx), eval(e->rhs, ctx), '<'));
+      case ExprKind::kLe:
+        return Value(
+            compare_relational(eval(e->lhs, ctx), eval(e->rhs, ctx), 'l'));
+      case ExprKind::kGt:
+        return Value(
+            compare_relational(eval(e->lhs, ctx), eval(e->rhs, ctx), '>'));
+      case ExprKind::kGe:
+        return Value(
+            compare_relational(eval(e->lhs, ctx), eval(e->rhs, ctx), 'g'));
+      case ExprKind::kAdd:
+        return Value(eval(e->lhs, ctx).to_number() +
+                     eval(e->rhs, ctx).to_number());
+      case ExprKind::kSub:
+        return Value(eval(e->lhs, ctx).to_number() -
+                     eval(e->rhs, ctx).to_number());
+      case ExprKind::kMul:
+        return Value(eval(e->lhs, ctx).to_number() *
+                     eval(e->rhs, ctx).to_number());
+      case ExprKind::kDiv:
+        return Value(eval(e->lhs, ctx).to_number() /
+                     eval(e->rhs, ctx).to_number());
+      case ExprKind::kMod: {
+        const double a = eval(e->lhs, ctx).to_number();
+        const double b = eval(e->rhs, ctx).to_number();
+        return Value(std::fmod(a, b));
+      }
+      case ExprKind::kNeg:
+        return Value(-eval(e->lhs, ctx).to_number());
+      case ExprKind::kUnion: {
+        Value l = eval(e->lhs, ctx);
+        Value r = eval(e->rhs, ctx);
+        NodeSet out;
+        if (l.is_node_set()) {
+          out.insert(out.end(), l.nodes().begin(), l.nodes().end());
+        }
+        if (r.is_node_set()) {
+          out.insert(out.end(), r.nodes().begin(), r.nodes().end());
+        }
+        normalize(out);
+        return Value(std::move(out));
+      }
+      case ExprKind::kLiteral:
+        return Value(std::string(e->literal));
+      case ExprKind::kNumber:
+        return Value(e->number);
+      case ExprKind::kFunction:
+        return eval_function(e, ctx);
+      case ExprKind::kPath:
+        return Value(eval_path(e, ctx));
+    }
+    return Value(false);
+  }
+
+ private:
+  // --- paths ---------------------------------------------------------------
+  NodeSet eval_path(const Expr* e, const EvalCtx& ctx) {
+    NodeSet current;
+    if (e->base != nullptr) {
+      Value base = eval(e->base, ctx);
+      if (!base.is_node_set()) return {};
+      current = base.nodes();
+      // Filter-expression predicates apply to the whole base set, with
+      // positions in document order.
+      for (std::uint32_t p = 0; p < e->n_base_predicates; ++p) {
+        NodeSet pass;
+        const std::size_t size = current.size();
+        for (std::size_t i = 0; i < size; ++i) {
+          EvalCtx pctx;
+          pctx.node = current[i];
+          pctx.position = i + 1;
+          pctx.size = size;
+          Value v = eval(e->base_predicates[p], pctx);
+          const bool keep =
+              v.kind() == ValueKind::kNumber
+                  ? v.to_number() == static_cast<double>(pctx.position)
+                  : v.to_boolean();
+          if (keep) pass.push_back(current[i]);
+        }
+        current = std::move(pass);
+      }
+    } else if (e->absolute) {
+      current.push_back(NodeRef{root_of(ctx.node.node), nullptr});
+    } else {
+      current.push_back(ctx.node);
+    }
+    for (std::uint32_t i = 0; i < e->n_steps; ++i) {
+      NodeSet next;
+      for (const NodeRef& ref : current) {
+        apply_step(e->steps[i], ref, &next);
+      }
+      normalize(next);
+      current = std::move(next);
+      if (current.empty()) break;
+    }
+    return current;
+  }
+
+  void apply_step(const Step& step, const NodeRef& ref, NodeSet* out) {
+    std::vector<NodeRef> candidates;
+    collect_axis(step, ref, &candidates);
+    // Apply predicates in sequence; positions count in axis order.
+    std::vector<NodeRef> filtered = std::move(candidates);
+    for (std::uint32_t p = 0; p < step.n_predicates; ++p) {
+      std::vector<NodeRef> pass;
+      const std::size_t size = filtered.size();
+      for (std::size_t i = 0; i < size; ++i) {
+        EvalCtx pctx;
+        pctx.node = filtered[i];
+        pctx.position = i + 1;
+        pctx.size = size;
+        Value v = eval(step.predicates[p], pctx);
+        bool keep;
+        if (v.kind() == ValueKind::kNumber) {
+          keep = v.to_number() == static_cast<double>(pctx.position);
+        } else {
+          keep = v.to_boolean();
+        }
+        if (probe::branch(sites().predicate, keep)) pass.push_back(filtered[i]);
+      }
+      filtered = std::move(pass);
+    }
+    out->insert(out->end(), filtered.begin(), filtered.end());
+  }
+
+  // Candidates are produced in axis order: forward axes in document
+  // order, reverse axes in reverse document order (so predicate
+  // positions match proximity as the spec requires).
+  void collect_axis(const Step& step, const NodeRef& ref,
+                    std::vector<NodeRef>* out) {
+    const xml::Node* n = ref.node;
+    switch (step.axis) {
+      case Axis::kChild:
+        if (ref.is_attr()) return;
+        for (const xml::Node* c = n->first_child; c != nullptr;
+             c = c->next_sibling) {
+          probe::load(c, sizeof(xml::Node));
+          maybe_add(step, NodeRef{c, nullptr}, out);
+        }
+        return;
+      case Axis::kDescendant:
+        if (ref.is_attr()) return;
+        walk_descendants(step, n, out);
+        return;
+      case Axis::kDescendantOrSelf:
+        if (ref.is_attr()) {
+          maybe_add(step, ref, out);
+          return;
+        }
+        maybe_add(step, NodeRef{n, nullptr}, out);
+        walk_descendants(step, n, out);
+        return;
+      case Axis::kSelf:
+        maybe_add(step, ref, out);
+        return;
+      case Axis::kParent:
+        if (ref.is_attr()) {
+          maybe_add(step, NodeRef{n, nullptr}, out);
+        } else if (n->parent != nullptr) {
+          maybe_add(step, NodeRef{n->parent, nullptr}, out);
+        }
+        return;
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf: {
+        if (step.axis == Axis::kAncestorOrSelf) maybe_add(step, ref, out);
+        const xml::Node* a = ref.is_attr() ? n : n->parent;
+        for (; a != nullptr; a = a->parent) {
+          probe::load(a, sizeof(xml::Node));
+          maybe_add(step, NodeRef{a, nullptr}, out);
+        }
+        return;
+      }
+      case Axis::kAttribute:
+        if (ref.is_attr()) return;
+        for (const xml::Attr* a = n->first_attr; a != nullptr; a = a->next) {
+          probe::load(a, sizeof(xml::Attr));
+          maybe_add(step, NodeRef{n, a}, out);
+        }
+        return;
+      case Axis::kFollowingSibling:
+        if (ref.is_attr()) return;
+        for (const xml::Node* s = n->next_sibling; s != nullptr;
+             s = s->next_sibling) {
+          probe::load(s, sizeof(xml::Node));
+          maybe_add(step, NodeRef{s, nullptr}, out);
+        }
+        return;
+      case Axis::kPrecedingSibling:
+        if (ref.is_attr()) return;
+        for (const xml::Node* s = n->prev_sibling; s != nullptr;
+             s = s->prev_sibling) {
+          probe::load(s, sizeof(xml::Node));
+          maybe_add(step, NodeRef{s, nullptr}, out);
+        }
+        return;
+    }
+  }
+
+  void walk_descendants(const Step& step, const xml::Node* n,
+                        std::vector<NodeRef>* out) {
+    for (const xml::Node* c = n->first_child; c != nullptr;
+         c = c->next_sibling) {
+      probe::load(c, sizeof(xml::Node));
+      probe::branch(sites().axis_walk, c->first_child != nullptr);
+      maybe_add(step, NodeRef{c, nullptr}, out);
+      walk_descendants(step, c, out);
+    }
+  }
+
+  void maybe_add(const Step& step, const NodeRef& ref,
+                 std::vector<NodeRef>* out) {
+    if (probe::branch(sites().node_test, node_test(step, ref))) {
+      out->push_back(ref);
+    }
+  }
+
+  bool node_test(const Step& step, const NodeRef& ref) {
+    if (ref.is_attr()) {
+      switch (step.test) {
+        case NodeTestKind::kNode:
+        case NodeTestKind::kAnyName:
+          return true;
+        case NodeTestKind::kNsWildcard:
+          return ref.attr->ns_uri == step.ns_uri;
+        case NodeTestKind::kName:
+          probe::branch(sites().str_cmp, ref.attr->local == step.local);
+          return ref.attr->local == step.local &&
+                 ref.attr->ns_uri == step.ns_uri;
+        default:
+          return false;
+      }
+    }
+    const xml::Node* n = ref.node;
+    switch (step.test) {
+      case NodeTestKind::kNode:
+        return true;
+      case NodeTestKind::kText:
+        return n->is_text();
+      case NodeTestKind::kComment:
+        return n->type == xml::NodeType::kComment;
+      case NodeTestKind::kPi:
+        return n->type == xml::NodeType::kProcessingInstruction;
+      case NodeTestKind::kAnyName:
+        return n->is_element();
+      case NodeTestKind::kNsWildcard:
+        return n->is_element() && n->ns_uri == step.ns_uri;
+      case NodeTestKind::kName:
+        probe::branch(sites().str_cmp,
+                      n->is_element() && n->local == step.local);
+        return n->is_element() && n->local == step.local &&
+               n->ns_uri == step.ns_uri;
+    }
+    return false;
+  }
+
+  // --- functions -------------------------------------------------------------
+  Value eval_function(const Expr* e, const EvalCtx& ctx) {
+    auto arg = [&](std::uint32_t i) { return eval(e->args[i], ctx); };
+    auto arg_or_context_string = [&]() -> std::string {
+      if (e->n_args >= 1) return arg(0).to_string();
+      return string_value(ctx.node);
+    };
+    switch (e->fn) {
+      case Fn::kLast:
+        return Value(static_cast<double>(ctx.size));
+      case Fn::kPosition:
+        return Value(static_cast<double>(ctx.position));
+      case Fn::kCount: {
+        Value v = arg(0);
+        if (!v.is_node_set()) return Value(0.0);
+        return Value(static_cast<double>(v.nodes().size()));
+      }
+      case Fn::kLocalName:
+      case Fn::kName:
+      case Fn::kNamespaceUri: {
+        NodeRef target = ctx.node;
+        if (e->n_args >= 1) {
+          Value v = arg(0);
+          if (!v.is_node_set() || v.nodes().empty()) {
+            return Value(std::string());
+          }
+          target = v.nodes().front();
+        }
+        std::string_view local, qname, uri;
+        if (target.is_attr()) {
+          local = target.attr->local;
+          qname = target.attr->qname;
+          uri = target.attr->ns_uri;
+        } else if (target.node->is_element() ||
+                   target.node->type ==
+                       xml::NodeType::kProcessingInstruction) {
+          local = target.node->local.empty() ? target.node->qname
+                                             : target.node->local;
+          qname = target.node->qname;
+          uri = target.node->ns_uri;
+        }
+        if (e->fn == Fn::kLocalName) return Value(std::string(local));
+        if (e->fn == Fn::kName) return Value(std::string(qname));
+        return Value(std::string(uri));
+      }
+      case Fn::kString:
+        if (e->n_args >= 1) return Value(arg(0).to_string());
+        return Value(string_value(ctx.node));
+      case Fn::kConcat: {
+        std::string out;
+        for (std::uint32_t i = 0; i < e->n_args; ++i) {
+          out += arg(i).to_string();
+        }
+        return Value(std::move(out));
+      }
+      case Fn::kStartsWith:
+        return Value(util::starts_with(arg(0).to_string(),
+                                       arg(1).to_string()));
+      case Fn::kContains:
+        return Value(util::contains(arg(0).to_string(), arg(1).to_string()));
+      case Fn::kSubstringBefore: {
+        const std::string s = arg(0).to_string();
+        const std::string t = arg(1).to_string();
+        const auto p = s.find(t);
+        return Value(p == std::string::npos ? std::string()
+                                            : s.substr(0, p));
+      }
+      case Fn::kSubstringAfter: {
+        const std::string s = arg(0).to_string();
+        const std::string t = arg(1).to_string();
+        const auto p = s.find(t);
+        return Value(p == std::string::npos ? std::string()
+                                            : s.substr(p + t.size()));
+      }
+      case Fn::kSubstring: {
+        const std::string s = arg(0).to_string();
+        const double start = std::round(arg(1).to_number());
+        double end;
+        if (e->n_args >= 3) {
+          end = start + std::round(arg(2).to_number());
+        } else {
+          end = static_cast<double>(s.size()) + 1.0;
+        }
+        if (std::isnan(start) || std::isnan(end)) return Value(std::string());
+        std::string out;
+        for (std::size_t i = 0; i < s.size(); ++i) {
+          const double pos = static_cast<double>(i) + 1.0;
+          if (pos >= start && pos < end) out.push_back(s[i]);
+        }
+        return Value(std::move(out));
+      }
+      case Fn::kStringLength:
+        return Value(static_cast<double>(arg_or_context_string().size()));
+      case Fn::kNormalizeSpace: {
+        const std::string s = arg_or_context_string();
+        std::string out;
+        bool in_space = true;  // trims leading
+        for (char c : s) {
+          if (util::is_ascii_space(c)) {
+            if (!in_space) out.push_back(' ');
+            in_space = true;
+          } else {
+            out.push_back(c);
+            in_space = false;
+          }
+        }
+        if (!out.empty() && out.back() == ' ') out.pop_back();
+        return Value(std::move(out));
+      }
+      case Fn::kTranslate: {
+        const std::string s = arg(0).to_string();
+        const std::string from = arg(1).to_string();
+        const std::string to = arg(2).to_string();
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+          const auto p = from.find(c);
+          if (p == std::string::npos) {
+            out.push_back(c);
+          } else if (p < to.size()) {
+            out.push_back(to[p]);
+          }  // else: removed
+        }
+        return Value(std::move(out));
+      }
+      case Fn::kBoolean:
+        return Value(arg(0).to_boolean());
+      case Fn::kNot:
+        return Value(!arg(0).to_boolean());
+      case Fn::kTrue:
+        return Value(true);
+      case Fn::kFalse:
+        return Value(false);
+      case Fn::kNumber:
+        if (e->n_args >= 1) return Value(arg(0).to_number());
+        return Value(Value::parse_number(string_value(ctx.node)));
+      case Fn::kSum: {
+        Value v = arg(0);
+        if (!v.is_node_set()) return Value(std::nan(""));
+        double sum = 0;
+        for (const NodeRef& r : v.nodes()) {
+          sum += Value::parse_number(string_value(r));
+        }
+        return Value(sum);
+      }
+      case Fn::kFloor:
+        return Value(std::floor(arg(0).to_number()));
+      case Fn::kCeiling:
+        return Value(std::ceil(arg(0).to_number()));
+      case Fn::kRound: {
+        const double d = arg(0).to_number();
+        if (std::isnan(d) || std::isinf(d)) return Value(d);
+        return Value(std::floor(d + 0.5));  // XPath: round half up
+      }
+      case Fn::kId:
+      case Fn::kLang:
+        return Value(false);  // unsupported; compile rejects these
+    }
+    return Value(false);
+  }
+};
+
+}  // namespace
+
+Value evaluate_expr(const Expr* expr, const xml::Node* context) {
+  XAON_CHECK(context != nullptr);
+  Evaluator ev;
+  EvalCtx ctx;
+  ctx.node = NodeRef{context, nullptr};
+  return ev.eval(expr, ctx);
+}
+
+}  // namespace xaon::xpath::detail

@@ -1,0 +1,220 @@
+#include "lexer.hpp"
+
+#include "xaon/util/str.hpp"
+#include "xaon/xml/chars.hpp"
+
+namespace xaon::xpath::detail {
+
+namespace {
+
+bool is_name_start(char c) {
+  return xml::is_name_start(c) && c != ':';  // NCName: no colon
+}
+bool is_name_char(char c) { return xml::is_name_char(c) && c != ':'; }
+
+/// Per XPath 1.0 §3.7: after these tokens, a name/star must be an
+/// operand (wildcard / node test), not an operator.
+bool preceding_forces_operand(const Token* prev) {
+  if (prev == nullptr) return true;
+  switch (prev->kind) {
+    case Tok::kAt:
+    case Tok::kColonColon:
+    case Tok::kLParen:
+    case Tok::kLBracket:
+    case Tok::kComma:
+    case Tok::kAnd:
+    case Tok::kOr:
+    case Tok::kDiv:
+    case Tok::kMod:
+    case Tok::kSlash:
+    case Tok::kSlashSlash:
+    case Tok::kPipe:
+    case Tok::kPlus:
+    case Tok::kMinus:
+    case Tok::kEq:
+    case Tok::kNe:
+    case Tok::kLt:
+    case Tok::kLe:
+    case Tok::kGt:
+    case Tok::kGe:
+    case Tok::kStar:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool tokenize(std::string_view expr, std::vector<Token>* out,
+              std::string* error, std::size_t* error_offset) {
+  out->clear();
+  std::size_t i = 0;
+  auto fail = [&](std::size_t at, std::string msg) {
+    *error = std::move(msg);
+    *error_offset = at;
+    return false;
+  };
+  while (i < expr.size()) {
+    const char c = expr[i];
+    if (util::is_ascii_space(c)) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    const Token* prev = out->empty() ? nullptr : &out->back();
+    switch (c) {
+      case '(': t.kind = Tok::kLParen; ++i; break;
+      case ')': t.kind = Tok::kRParen; ++i; break;
+      case '[': t.kind = Tok::kLBracket; ++i; break;
+      case ']': t.kind = Tok::kRBracket; ++i; break;
+      case '@': t.kind = Tok::kAt; ++i; break;
+      case ',': t.kind = Tok::kComma; ++i; break;
+      case '|': t.kind = Tok::kPipe; ++i; break;
+      case '+': t.kind = Tok::kPlus; ++i; break;
+      case '-': t.kind = Tok::kMinus; ++i; break;
+      case '=': t.kind = Tok::kEq; ++i; break;
+      case '/':
+        if (i + 1 < expr.size() && expr[i + 1] == '/') {
+          t.kind = Tok::kSlashSlash;
+          i += 2;
+        } else {
+          t.kind = Tok::kSlash;
+          ++i;
+        }
+        break;
+      case '!':
+        if (i + 1 < expr.size() && expr[i + 1] == '=') {
+          t.kind = Tok::kNe;
+          i += 2;
+        } else {
+          return fail(i, "unexpected '!'");
+        }
+        break;
+      case '<':
+        if (i + 1 < expr.size() && expr[i + 1] == '=') {
+          t.kind = Tok::kLe;
+          i += 2;
+        } else {
+          t.kind = Tok::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < expr.size() && expr[i + 1] == '=') {
+          t.kind = Tok::kGe;
+          i += 2;
+        } else {
+          t.kind = Tok::kGt;
+          ++i;
+        }
+        break;
+      case ':':
+        if (i + 1 < expr.size() && expr[i + 1] == ':') {
+          t.kind = Tok::kColonColon;
+          i += 2;
+        } else {
+          return fail(i, "unexpected ':'");
+        }
+        break;
+      case '.':
+        if (i + 1 < expr.size() && expr[i + 1] == '.') {
+          t.kind = Tok::kDotDot;
+          i += 2;
+        } else if (i + 1 < expr.size() &&
+                   util::is_ascii_digit(expr[i + 1])) {
+          // .5 style number
+          std::size_t j = i + 1;
+          while (j < expr.size() && util::is_ascii_digit(expr[j])) ++j;
+          t.kind = Tok::kNumber;
+          t.text = expr.substr(i, j - i);
+          t.number = util::parse_f64(t.text).value_or(0.0);
+          i = j;
+        } else {
+          t.kind = Tok::kDot;
+          ++i;
+        }
+        break;
+      case '"':
+      case '\'': {
+        const char q = c;
+        std::size_t j = i + 1;
+        while (j < expr.size() && expr[j] != q) ++j;
+        if (j >= expr.size()) return fail(i, "unterminated string literal");
+        t.kind = Tok::kLiteral;
+        t.text = expr.substr(i + 1, j - i - 1);
+        i = j + 1;
+        break;
+      }
+      case '*':
+        if (preceding_forces_operand(prev)) {
+          t.kind = Tok::kStar;  // wildcard position; parser treats as test
+          t.text = "*";
+        } else {
+          t.kind = Tok::kStar;  // multiply; parser decides by position too
+          t.text = "*";
+        }
+        ++i;
+        break;
+      default:
+        if (util::is_ascii_digit(c)) {
+          std::size_t j = i;
+          while (j < expr.size() && util::is_ascii_digit(expr[j])) ++j;
+          if (j < expr.size() && expr[j] == '.') {
+            ++j;
+            while (j < expr.size() && util::is_ascii_digit(expr[j])) ++j;
+          }
+          t.kind = Tok::kNumber;
+          t.text = expr.substr(i, j - i);
+          t.number = util::parse_f64(t.text).value_or(0.0);
+          i = j;
+        } else if (is_name_start(c)) {
+          std::size_t j = i;
+          while (j < expr.size() && is_name_char(expr[j])) ++j;
+          // Optional prefix:localname (but not '::').
+          if (j + 1 < expr.size() && expr[j] == ':' &&
+              expr[j + 1] != ':' &&
+              (is_name_start(expr[j + 1]) || expr[j + 1] == '*')) {
+            ++j;  // consume ':'
+            if (expr[j] == '*') {
+              ++j;  // prefix:* wildcard
+            } else {
+              while (j < expr.size() && is_name_char(expr[j])) ++j;
+            }
+          }
+          t.text = expr.substr(i, j - i);
+          i = j;
+          // Operator-name disambiguation.
+          if (!preceding_forces_operand(prev)) {
+            if (t.text == "and") { t.kind = Tok::kAnd; break; }
+            if (t.text == "or") { t.kind = Tok::kOr; break; }
+            if (t.text == "div") { t.kind = Tok::kDiv; break; }
+            if (t.text == "mod") { t.kind = Tok::kMod; break; }
+          }
+          // Lookahead classification: '(' -> function/node-type,
+          // '::' -> axis name.
+          std::size_t k = i;
+          while (k < expr.size() && util::is_ascii_space(expr[k])) ++k;
+          if (k < expr.size() && expr[k] == '(') {
+            t.kind = Tok::kFuncName;
+          } else if (k + 1 < expr.size() && expr[k] == ':' &&
+                     expr[k + 1] == ':') {
+            t.kind = Tok::kAxisName;
+          } else {
+            t.kind = Tok::kName;
+          }
+        } else {
+          return fail(i, std::string("unexpected character '") + c + "'");
+        }
+    }
+    out->push_back(t);
+  }
+  Token end;
+  end.kind = Tok::kEnd;
+  end.offset = expr.size();
+  out->push_back(end);
+  return true;
+}
+
+}  // namespace xaon::xpath::detail

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file lexer.hpp  (internal)
+/// XPath 1.0 tokenizer, including the spec's operator-name
+/// disambiguation rule (`and`, `or`, `div`, `mod` and `*` are operators
+/// exactly when the preceding token permits an operator).
+
+namespace xaon::xpath::detail {
+
+enum class Tok : std::uint8_t {
+  kEnd,
+  kName,        // QName or NCName (value holds it)
+  kNumber,      // numeric literal
+  kLiteral,     // quoted string
+  kLParen, kRParen, kLBracket, kRBracket,
+  kDot, kDotDot, kAt, kComma, kColonColon,
+  kSlash, kSlashSlash, kPipe,
+  kPlus, kMinus, kStar,            // kStar: multiply OR wildcard (parser decides by position)
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kDiv, kMod,
+  kFuncName,    // name directly followed by '(' (not an axis or node-type)
+  kAxisName,    // name directly followed by '::'
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string_view text;   // for names/literals/numbers
+  double number = 0.0;
+  std::size_t offset = 0;
+};
+
+/// Tokenizes the whole expression. Returns false and fills `error` on a
+/// lexical error (unterminated literal, stray character).
+bool tokenize(std::string_view expr, std::vector<Token>* out,
+              std::string* error, std::size_t* error_offset);
+
+}  // namespace xaon::xpath::detail

@@ -1,0 +1,228 @@
+#include "xaon/xpath/value.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "xaon/util/assert.hpp"
+#include "xaon/util/str.hpp"
+
+namespace xaon::xpath {
+
+std::string string_value(const NodeRef& ref) {
+  XAON_CHECK(ref.node != nullptr);
+  if (ref.is_attr()) return std::string(ref.attr->value);
+  switch (ref.node->type) {
+    case xml::NodeType::kText:
+    case xml::NodeType::kCData:
+    case xml::NodeType::kComment:
+    case xml::NodeType::kProcessingInstruction:
+      return std::string(ref.node->text);
+    case xml::NodeType::kElement:
+    case xml::NodeType::kDocument:
+      return ref.node->text_content();
+  }
+  return {};
+}
+
+namespace {
+
+/// Position of an attribute within its element's attribute list (1-based
+/// so the element itself sorts first).
+std::uint32_t attr_pos(const NodeRef& ref) {
+  if (!ref.is_attr()) return 0;
+  std::uint32_t i = 1;
+  for (const xml::Attr* a = ref.node->first_attr; a != nullptr;
+       a = a->next, ++i) {
+    if (a == ref.attr) return i;
+  }
+  return i;
+}
+
+}  // namespace
+
+bool doc_order_less(const NodeRef& a, const NodeRef& b) {
+  if (a.node->doc_order != b.node->doc_order) {
+    return a.node->doc_order < b.node->doc_order;
+  }
+  return attr_pos(a) < attr_pos(b);
+}
+
+void normalize(NodeSet& set) {
+  std::sort(set.begin(), set.end(), doc_order_less);
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+}
+
+bool Value::to_boolean() const {
+  switch (kind_) {
+    case ValueKind::kBoolean: return boolean_;
+    case ValueKind::kNumber: return number_ != 0.0 && !std::isnan(number_);
+    case ValueKind::kString: return !string_.empty();
+    case ValueKind::kNodeSet: return !nodes_.empty();
+  }
+  return false;
+}
+
+double Value::to_number() const {
+  switch (kind_) {
+    case ValueKind::kBoolean: return boolean_ ? 1.0 : 0.0;
+    case ValueKind::kNumber: return number_;
+    case ValueKind::kString: return parse_number(string_);
+    case ValueKind::kNodeSet:
+      if (nodes_.empty()) return std::nan("");
+      return parse_number(string_value(nodes_.front()));
+  }
+  return std::nan("");
+}
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case ValueKind::kBoolean: return boolean_ ? "true" : "false";
+    case ValueKind::kNumber: return format_number(number_);
+    case ValueKind::kString: return string_;
+    case ValueKind::kNodeSet:
+      if (nodes_.empty()) return {};
+      return string_value(nodes_.front());
+  }
+  return {};
+}
+
+const NodeSet& Value::nodes() const {
+  XAON_CHECK_MSG(kind_ == ValueKind::kNodeSet, "value is not a node-set");
+  return nodes_;
+}
+
+std::string Value::format_number(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+  if (d == 0.0) return "0";  // also -0
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    return util::format("%.0f", d);
+  }
+  // Shortest representation that round-trips is overkill here; %g with 12
+  // significant digits matches common XPath implementations closely.
+  std::string s = util::format("%.12g", d);
+  return s;
+}
+
+double Value::parse_number(std::string_view s) {
+  const std::string_view t = util::trim(s);
+  if (t.empty()) return std::nan("");
+  // XPath Number ::= Digits ('.' Digits?)? | '.' Digits, optional leading
+  // '-'. Stricter than strtod (no hex, no exponent, no "inf").
+  std::size_t i = 0;
+  if (t[0] == '-') i = 1;
+  bool digits = false, dot = false;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (util::is_ascii_digit(t[j])) {
+      digits = true;
+    } else if (t[j] == '.' && !dot) {
+      dot = true;
+    } else {
+      return std::nan("");
+    }
+  }
+  if (!digits) return std::nan("");
+  return util::parse_f64(t).value_or(std::nan(""));
+}
+
+namespace {
+
+bool equal_primitive(const Value& a, const Value& b, bool want_equal) {
+  // Neither side is a node-set here.
+  if (a.kind() == ValueKind::kBoolean || b.kind() == ValueKind::kBoolean) {
+    return (a.to_boolean() == b.to_boolean()) == want_equal;
+  }
+  if (a.kind() == ValueKind::kNumber || b.kind() == ValueKind::kNumber) {
+    const double x = a.to_number();
+    const double y = b.to_number();
+    // IEEE: NaN compares unequal to everything, matching XPath.
+    return want_equal ? x == y : x != y;
+  }
+  return (a.to_string() == b.to_string()) == want_equal;
+}
+
+/// Existential (in)equality. `want_equal` false gives '!=' semantics,
+/// which is NOT the negation of '=' over node-sets.
+bool compare_eq_impl(const Value& a, const Value& b, bool want_equal) {
+  const bool an = a.is_node_set();
+  const bool bn = b.is_node_set();
+  if (an && bn) {
+    for (const NodeRef& x : a.nodes()) {
+      const std::string sx = string_value(x);
+      for (const NodeRef& y : b.nodes()) {
+        if ((sx == string_value(y)) == want_equal) return true;
+      }
+    }
+    return false;
+  }
+  if (an || bn) {
+    const Value& set = an ? a : b;
+    const Value& other = an ? b : a;
+    if (other.kind() == ValueKind::kBoolean) {
+      return (set.to_boolean() == other.to_boolean()) == want_equal;
+    }
+    for (const NodeRef& x : set.nodes()) {
+      const std::string sx = string_value(x);
+      bool eq;
+      if (other.kind() == ValueKind::kNumber) {
+        eq = Value::parse_number(sx) == other.to_number();
+      } else {
+        eq = sx == other.to_string();
+      }
+      if (eq == want_equal) return true;
+    }
+    return false;
+  }
+  return equal_primitive(a, b, want_equal);
+}
+
+}  // namespace
+
+bool compare_equal(const Value& a, const Value& b) {
+  return compare_eq_impl(a, b, /*want_equal=*/true);
+}
+
+bool compare_not_equal(const Value& a, const Value& b) {
+  return compare_eq_impl(a, b, /*want_equal=*/false);
+}
+
+bool compare_relational(const Value& a, const Value& b, char op) {
+  auto cmp = [op](double x, double y) {
+    switch (op) {
+      case '<': return x < y;
+      case '>': return x > y;
+      case 'l': return x <= y;
+      case 'g': return x >= y;
+      default: XAON_CHECK_MSG(false, "bad relational op"); return false;
+    }
+  };
+  const bool an = a.is_node_set();
+  const bool bn = b.is_node_set();
+  if (an && bn) {
+    for (const NodeRef& x : a.nodes()) {
+      const double dx = Value::parse_number(string_value(x));
+      for (const NodeRef& y : b.nodes()) {
+        if (cmp(dx, Value::parse_number(string_value(y)))) return true;
+      }
+    }
+    return false;
+  }
+  if (an) {
+    const double dy = b.to_number();
+    for (const NodeRef& x : a.nodes()) {
+      if (cmp(Value::parse_number(string_value(x)), dy)) return true;
+    }
+    return false;
+  }
+  if (bn) {
+    const double dx = a.to_number();
+    for (const NodeRef& y : b.nodes()) {
+      if (cmp(dx, Value::parse_number(string_value(y)))) return true;
+    }
+    return false;
+  }
+  return cmp(a.to_number(), b.to_number());
+}
+
+}  // namespace xaon::xpath

@@ -1,0 +1,310 @@
+#include "automaton.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "xaon/util/assert.hpp"
+#include "xaon/util/probe.hpp"
+
+namespace xaon::xsd::detail {
+
+namespace {
+
+const std::uint32_t kStepSite =
+    probe::site("xsd.automaton.step", probe::SiteKind::kData);
+
+constexpr std::size_t kMaxStates = 4096;
+
+}  // namespace
+
+/// Thompson-style construction over particles using epsilon edges,
+/// followed by epsilon-closure elimination into the final automaton.
+class ContentAutomaton::Builder {
+ public:
+  bool build(const Particle& root, ContentAutomaton* out,
+             std::string* error) {
+    start_ = new_state();
+    accept_ = new_state();
+    if (!frag(root, start_, accept_, error)) return false;
+
+    // Epsilon-close into `out`.
+    out->states_.resize(nodes_.size());
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+      std::set<std::uint32_t> closure;
+      eps_closure(i, &closure);
+      State& s = out->states_[i];
+      s.accepting = closure.count(accept_) > 0;
+      for (std::uint32_t c : closure) {
+        for (const auto& [decl, target] : nodes_[c].edges) {
+          s.edges.push_back(Edge{decl, target});
+        }
+      }
+    }
+    out->start_ = start_;
+    return true;
+  }
+
+ private:
+  struct Node {
+    std::vector<std::pair<const ElementDecl*, std::uint32_t>> edges;
+    std::vector<std::uint32_t> eps;
+  };
+
+  std::uint32_t new_state() {
+    nodes_.push_back(Node{});
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  void eps_closure(std::uint32_t n, std::set<std::uint32_t>* out) {
+    if (!out->insert(n).second) return;
+    for (std::uint32_t e : nodes_[n].eps) eps_closure(e, out);
+  }
+
+  bool budget_ok(std::string* error) {
+    if (nodes_.size() > kMaxStates) {
+      if (error != nullptr) {
+        *error = "content model too large (occurrence bounds expand past " +
+                 std::to_string(kMaxStates) + " states)";
+      }
+      return false;
+    }
+    return true;
+  }
+
+  /// Builds one occurrence of the particle body between `from` and `to`.
+  bool body(const Particle& p, std::uint32_t from, std::uint32_t to,
+            std::string* error) {
+    switch (p.kind) {
+      case ParticleKind::kElement:
+        XAON_CHECK(p.element != nullptr);
+        nodes_[from].edges.emplace_back(p.element, to);
+        return true;
+      case ParticleKind::kSequence: {
+        std::uint32_t cur = from;
+        for (std::size_t i = 0; i < p.children.size(); ++i) {
+          const std::uint32_t next =
+              (i + 1 == p.children.size()) ? to : new_state();
+          if (!frag(p.children[i], cur, next, error)) return false;
+          cur = next;
+        }
+        if (p.children.empty()) nodes_[from].eps.push_back(to);
+        return true;
+      }
+      case ParticleKind::kChoice: {
+        if (p.children.empty()) {
+          nodes_[from].eps.push_back(to);
+          return true;
+        }
+        for (const Particle& c : p.children) {
+          if (!frag(c, from, to, error)) return false;
+        }
+        return true;
+      }
+      case ParticleKind::kAll:
+        // xs:all is matched by match_all_group, never compiled here.
+        if (error != nullptr) *error = "xs:all cannot nest inside groups";
+        return false;
+    }
+    return false;
+  }
+
+  /// Builds the particle with its occurrence range between from and to.
+  bool frag(const Particle& p, std::uint32_t from, std::uint32_t to,
+            std::string* error) {
+    if (!budget_ok(error)) return false;
+    const std::uint32_t lo = p.min_occurs;
+    const std::uint32_t hi = p.max_occurs;
+    if (hi != kUnbounded && hi < lo) {
+      if (error != nullptr) *error = "maxOccurs < minOccurs";
+      return false;
+    }
+    if (hi == 0) {  // never occurs
+      nodes_[from].eps.push_back(to);
+      return true;
+    }
+    constexpr std::uint32_t kMaxExpand = 256;
+    if (lo > kMaxExpand || (hi != kUnbounded && hi > kMaxExpand)) {
+      if (error != nullptr) {
+        *error = "occurrence bound too large to expand (max " +
+                 std::to_string(kMaxExpand) + ")";
+      }
+      return false;
+    }
+
+    // lo mandatory copies, then optional tail.
+    std::uint32_t cur = from;
+    for (std::uint32_t i = 0; i < lo; ++i) {
+      const bool last_mandatory = (i + 1 == lo) && hi == lo;
+      const std::uint32_t next = last_mandatory ? to : new_state();
+      if (!body(p, cur, next, error)) return false;
+      cur = next;
+      if (!budget_ok(error)) return false;
+    }
+    if (hi == lo) {
+      if (lo == 0) nodes_[from].eps.push_back(to);
+      return true;
+    }
+    if (hi == kUnbounded) {
+      // cur --(body)*--> to : loop state.
+      nodes_[cur].eps.push_back(to);
+      if (!body(p, cur, cur, error)) return false;
+      return true;
+    }
+    // hi - lo optional copies.
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      nodes_[cur].eps.push_back(to);
+      const std::uint32_t next = (i + 1 == hi) ? to : new_state();
+      if (!body(p, cur, next, error)) return false;
+      cur = next;
+      if (!budget_ok(error)) return false;
+    }
+    return true;
+  }
+
+  std::vector<Node> nodes_;
+  std::uint32_t start_ = 0;
+  std::uint32_t accept_ = 0;
+
+  friend class ContentAutomaton;
+};
+
+std::shared_ptr<const ContentAutomaton> ContentAutomaton::compile(
+    const Particle& particle, std::string* error) {
+  auto automaton = std::make_shared<ContentAutomaton>();
+  Builder builder;
+  if (!builder.build(particle, automaton.get(), error)) return nullptr;
+  return automaton;
+}
+
+namespace {
+
+bool symbol_matches(const ElementDecl* decl,
+                    const ContentAutomaton::Symbol& sym) {
+  return decl->local == sym.local && decl->ns_uri == sym.ns_uri;
+}
+
+std::string expected_from_edges(
+    const std::vector<std::pair<const ElementDecl*, bool>>& opts) {
+  std::string out;
+  for (const auto& [decl, accepting] : opts) {
+    (void)accepting;
+    if (!out.empty()) out += ", ";
+    out += decl->local;
+  }
+  return out.empty() ? "(end of content)" : out;
+}
+
+}  // namespace
+
+bool ContentAutomaton::match(const std::vector<Symbol>& names,
+                             std::vector<const ElementDecl*>* matched,
+                             std::size_t* error_index,
+                             std::string* expected) const {
+  // Deterministic schemas (UPA) give at most one matching edge per
+  // symbol per state set; we simulate the NFA state set and record the
+  // first matching decl per input symbol.
+  std::vector<std::uint32_t> current{start_};
+  matched->clear();
+  matched->reserve(names.size());
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const Symbol& sym = names[i];
+    std::vector<std::uint32_t> next;
+    const ElementDecl* decl = nullptr;
+    for (std::uint32_t s : current) {
+      for (const Edge& e : states_[s].edges) {
+        const bool hit = symbol_matches(e.decl, sym);
+        probe::branch(kStepSite, hit);
+        if (hit) {
+          if (decl == nullptr) decl = e.decl;
+          if (std::find(next.begin(), next.end(), e.target) == next.end()) {
+            next.push_back(e.target);
+          }
+        }
+      }
+    }
+    if (next.empty()) {
+      if (error_index != nullptr) *error_index = i;
+      if (expected != nullptr) {
+        std::vector<std::pair<const ElementDecl*, bool>> opts;
+        for (std::uint32_t s : current) {
+          for (const Edge& e : states_[s].edges) {
+            if (std::find_if(opts.begin(), opts.end(), [&](const auto& o) {
+                  return o.first == e.decl;
+                }) == opts.end()) {
+              opts.emplace_back(e.decl, false);
+            }
+          }
+        }
+        *expected = expected_from_edges(opts);
+      }
+      return false;
+    }
+    matched->push_back(decl);
+    current = std::move(next);
+  }
+  for (std::uint32_t s : current) {
+    if (states_[s].accepting) return true;
+  }
+  if (error_index != nullptr) *error_index = names.size();
+  if (expected != nullptr) {
+    std::vector<std::pair<const ElementDecl*, bool>> opts;
+    for (std::uint32_t s : current) {
+      for (const Edge& e : states_[s].edges) {
+        opts.emplace_back(e.decl, false);
+      }
+    }
+    *expected = expected_from_edges(opts);
+  }
+  return false;
+}
+
+bool match_all_group(const Particle& all,
+                     const std::vector<ContentAutomaton::Symbol>& names,
+                     std::vector<const ElementDecl*>* matched,
+                     std::size_t* error_index, std::string* expected) {
+  XAON_CHECK(all.kind == ParticleKind::kAll);
+  std::vector<int> seen(all.children.size(), 0);
+  matched->clear();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const ContentAutomaton::Symbol& sym = names[i];
+    bool found = false;
+    for (std::size_t c = 0; c < all.children.size(); ++c) {
+      const Particle& child = all.children[c];
+      if (child.kind != ParticleKind::kElement || child.element == nullptr) {
+        continue;
+      }
+      if (symbol_matches(child.element, sym)) {
+        if (seen[c] >= 1) {
+          if (error_index != nullptr) *error_index = i;
+          if (expected != nullptr) {
+            *expected = "at most one '" + child.element->local + "'";
+          }
+          return false;
+        }
+        ++seen[c];
+        matched->push_back(child.element);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (error_index != nullptr) *error_index = i;
+      if (expected != nullptr) *expected = "a member of the xs:all group";
+      return false;
+    }
+  }
+  for (std::size_t c = 0; c < all.children.size(); ++c) {
+    if (all.children[c].min_occurs >= 1 && seen[c] == 0) {
+      if (error_index != nullptr) *error_index = names.size();
+      if (expected != nullptr) {
+        *expected = "required element '" + all.children[c].element->local +
+                    "' missing";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xaon::xsd::detail

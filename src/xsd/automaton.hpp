@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xaon/xsd/model.hpp"
+
+/// \file automaton.hpp  (internal)
+/// Content-model matching: a particle tree compiles to an epsilon-free
+/// NFA over element symbols (namespace, local). Bounded occurrences are
+/// expanded by replication (with a hard state budget so hostile schemas
+/// cannot explode); `unbounded` becomes a loop. xs:all is handled by a
+/// separate presence-counting matcher.
+
+namespace xaon::xsd::detail {
+
+class ContentAutomaton {
+ public:
+  /// Compiles `particle`. Returns nullptr and fills `error` on failure
+  /// (state budget exceeded).
+  static std::shared_ptr<const ContentAutomaton> compile(
+      const Particle& particle, std::string* error);
+
+  /// Matches a child-element sequence. `names[i]` is the (ns,local) of
+  /// child i. On success fills `matched[i]` with the element declaration
+  /// each child matched. On failure returns false and sets `error_index`
+  /// to the offending child (== names.size() when the sequence ended
+  /// prematurely) and `expected` to a diagnostic list of acceptable
+  /// element names at that point.
+  struct Symbol {
+    std::string_view ns_uri;
+    std::string_view local;
+  };
+  bool match(const std::vector<Symbol>& names,
+             std::vector<const ElementDecl*>* matched,
+             std::size_t* error_index, std::string* expected) const;
+
+  std::size_t state_count() const { return states_.size(); }
+
+ private:
+  struct Edge {
+    const ElementDecl* decl;
+    std::uint32_t target;
+  };
+  struct State {
+    std::vector<Edge> edges;
+    bool accepting = false;
+  };
+
+  std::vector<State> states_;
+  std::uint32_t start_ = 0;
+
+  class Builder;
+};
+
+/// xs:all matcher: every required child exactly once (optional children
+/// at most once), any order. Children of an kAll particle must be
+/// kElement particles with max_occurs == 1.
+bool match_all_group(const Particle& all,
+                     const std::vector<ContentAutomaton::Symbol>& names,
+                     std::vector<const ElementDecl*>* matched,
+                     std::size_t* error_index, std::string* expected);
+
+}  // namespace xaon::xsd::detail

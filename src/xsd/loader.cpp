@@ -1,0 +1,512 @@
+#include "xaon/xsd/loader.hpp"
+
+#include <map>
+
+#include "xaon/util/str.hpp"
+
+namespace xaon::xsd {
+
+namespace {
+
+constexpr std::string_view kXsdNs = "http://www.w3.org/2001/XMLSchema";
+
+/// Resolves a prefix by scanning xmlns declarations up the tree (the
+/// parser keeps them as attributes).
+std::string_view resolve_prefix(const xml::Node* node,
+                                std::string_view prefix) {
+  const std::string decl =
+      prefix.empty() ? "xmlns" : "xmlns:" + std::string(prefix);
+  for (const xml::Node* n = node; n != nullptr; n = n->parent) {
+    if (const xml::Attr* a = n->attr(decl)) return a->value;
+  }
+  if (prefix == "xml") return "http://www.w3.org/XML/1998/namespace";
+  return {};
+}
+
+struct QRef {
+  std::string_view ns;
+  std::string_view local;
+};
+
+QRef resolve_qref(const xml::Node* ctx, std::string_view qname) {
+  const std::size_t colon = qname.find(':');
+  if (colon == std::string_view::npos) {
+    // Unprefixed references resolve against the default namespace.
+    return QRef{resolve_prefix(ctx, ""), qname};
+  }
+  return QRef{resolve_prefix(ctx, qname.substr(0, colon)),
+              qname.substr(colon + 1)};
+}
+
+bool is_xsd(const xml::Node* n, std::string_view local) {
+  return n->is_element() && n->ns_uri == kXsdNs && n->local == local;
+}
+
+class Loader {
+ public:
+  explicit Loader(Schema& schema) : schema_(schema) {}
+
+  bool load(const xml::Node* root, std::string* error) {
+    error_ = error;
+    if (!is_xsd(root, "schema")) {
+      return fail("root element must be xs:schema");
+    }
+    if (const xml::Attr* tn = root->attr("targetNamespace")) {
+      schema_.set_target_namespace(std::string(tn->value));
+    }
+    if (const xml::Attr* efd = root->attr("elementFormDefault")) {
+      qualified_locals_ = efd->value == "qualified";
+    }
+
+    // Pass 1: create shells for every named global component so
+    // references resolve regardless of declaration order.
+    for (const xml::Node* c = root->first_child_element(); c != nullptr;
+         c = c->next_sibling_element()) {
+      const xml::Attr* name = c->attr("name");
+      if (is_xsd(c, "simpleType")) {
+        if (name == nullptr) return fail("global simpleType needs a name");
+        named_simple_[std::string(name->value)] =
+            schema_.add_simple_type(std::string(name->value));
+      } else if (is_xsd(c, "complexType")) {
+        if (name == nullptr) return fail("global complexType needs a name");
+        named_complex_[std::string(name->value)] =
+            schema_.add_complex_type(std::string(name->value));
+      } else if (is_xsd(c, "element")) {
+        if (name == nullptr) return fail("global element needs a name");
+        ElementDecl* decl = schema_.add_element(
+            std::string(name->value), schema_.target_namespace());
+        global_elements_[std::string(name->value)] = decl;
+        schema_.add_global_element(decl);
+      } else if (is_xsd(c, "annotation")) {
+        // ignored
+      } else if (is_xsd(c, "import") || is_xsd(c, "include") ||
+                 is_xsd(c, "redefine") || is_xsd(c, "group") ||
+                 is_xsd(c, "attributeGroup")) {
+        return fail("unsupported schema construct 'xs:" +
+                    std::string(c->local) + "'");
+      } else {
+        return fail("unexpected element '" + std::string(c->qname) +
+                    "' in xs:schema");
+      }
+    }
+
+    // Pass 2: fill in the shells.
+    for (const xml::Node* c = root->first_child_element(); c != nullptr;
+         c = c->next_sibling_element()) {
+      const xml::Attr* name = c->attr("name");
+      if (is_xsd(c, "simpleType")) {
+        if (!fill_simple_type(c, named_simple_[std::string(name->value)])) {
+          return false;
+        }
+      } else if (is_xsd(c, "complexType")) {
+        if (!fill_complex_type(c,
+                               named_complex_[std::string(name->value)])) {
+          return false;
+        }
+      } else if (is_xsd(c, "element")) {
+        if (!fill_element(c, global_elements_[std::string(name->value)])) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string msg) {
+    if (error_ != nullptr && error_->empty()) *error_ = std::move(msg);
+    return false;
+  }
+
+  /// Resolves a type reference (e.g. "xs:string" or "OrderType") to a
+  /// simple or complex type; exactly one of the outputs is set.
+  bool resolve_type_ref(const xml::Node* ctx, std::string_view qname,
+                        const SimpleType** st, const ComplexType** ct) {
+    *st = nullptr;
+    *ct = nullptr;
+    const QRef ref = resolve_qref(ctx, qname);
+    if (ref.ns == kXsdNs) {
+      if (ref.local == "anyType") return true;  // unconstrained
+      const auto builtin = builtin_by_name(ref.local);
+      if (!builtin) {
+        return fail("unsupported built-in type 'xs:" +
+                    std::string(ref.local) + "'");
+      }
+      *st = builtin_wrapper(*builtin);
+      return true;
+    }
+    if (auto it = named_simple_.find(std::string(ref.local));
+        it != named_simple_.end()) {
+      *st = it->second;
+      return true;
+    }
+    if (auto it = named_complex_.find(std::string(ref.local));
+        it != named_complex_.end()) {
+      *ct = it->second;
+      return true;
+    }
+    return fail("unknown type '" + std::string(qname) + "'");
+  }
+
+  /// Shared anonymous SimpleType wrapping a built-in without facets.
+  const SimpleType* builtin_wrapper(BuiltinType t) {
+    auto it = builtin_wrappers_.find(t);
+    if (it != builtin_wrappers_.end()) return it->second;
+    SimpleType* st = schema_.add_simple_type("");
+    st->base = t;
+    builtin_wrappers_[t] = st;
+    return st;
+  }
+
+  bool fill_element(const xml::Node* node, ElementDecl* decl) {
+    if (const xml::Attr* nillable = node->attr("nillable")) {
+      decl->nillable = nillable->value == "true" || nillable->value == "1";
+    }
+    if (const xml::Attr* type = node->attr("type")) {
+      return resolve_type_ref(node, type->value, &decl->simple_type,
+                              &decl->complex_type);
+    }
+    // Inline anonymous type?
+    for (const xml::Node* c = node->first_child_element(); c != nullptr;
+         c = c->next_sibling_element()) {
+      if (is_xsd(c, "complexType")) {
+        ComplexType* ct = schema_.add_complex_type("");
+        if (!fill_complex_type(c, ct)) return false;
+        decl->complex_type = ct;
+        return true;
+      }
+      if (is_xsd(c, "simpleType")) {
+        SimpleType* st = schema_.add_simple_type("");
+        if (!fill_simple_type(c, st)) return false;
+        decl->simple_type = st;
+        return true;
+      }
+      if (!is_xsd(c, "annotation")) {
+        return fail("unexpected '" + std::string(c->qname) +
+                    "' in xs:element");
+      }
+    }
+    // No type: anyType (unconstrained).
+    return true;
+  }
+
+  bool fill_simple_type(const xml::Node* node, SimpleType* st) {
+    const xml::Node* restriction = nullptr;
+    for (const xml::Node* c = node->first_child_element(); c != nullptr;
+         c = c->next_sibling_element()) {
+      if (is_xsd(c, "restriction")) {
+        restriction = c;
+      } else if (is_xsd(c, "list") || is_xsd(c, "union")) {
+        return fail("xs:" + std::string(c->local) + " is not supported");
+      } else if (!is_xsd(c, "annotation")) {
+        return fail("unexpected '" + std::string(c->qname) +
+                    "' in xs:simpleType");
+      }
+    }
+    if (restriction == nullptr) {
+      return fail("xs:simpleType requires xs:restriction");
+    }
+    const xml::Attr* base = restriction->attr("base");
+    if (base == nullptr) return fail("xs:restriction requires base=");
+    const QRef ref = resolve_qref(restriction, base->value);
+    if (ref.ns == kXsdNs) {
+      const auto builtin = builtin_by_name(ref.local);
+      if (!builtin) {
+        return fail("unsupported base type 'xs:" + std::string(ref.local) +
+                    "'");
+      }
+      st->base = *builtin;
+    } else if (auto it = named_simple_.find(std::string(ref.local));
+               it != named_simple_.end()) {
+      // Restriction of a user type: inherit its base and facets, then
+      // tighten. (The referenced type must already be filled — forward
+      // restriction chains across unfilled shells are rejected.)
+      const SimpleType* parent = it->second;
+      const std::string keep_name = st->name;
+      *st = *parent;
+      st->name = keep_name;
+    } else {
+      return fail("unknown restriction base '" + std::string(base->value) +
+                  "'");
+    }
+
+    for (const xml::Node* f = restriction->first_child_element();
+         f != nullptr; f = f->next_sibling_element()) {
+      if (is_xsd(f, "annotation")) continue;
+      const xml::Attr* value = f->attr("value");
+      if (value == nullptr) {
+        return fail("facet xs:" + std::string(f->local) +
+                    " requires value=");
+      }
+      const std::string_view v = value->value;
+      auto as_u64 = [&]() { return util::parse_u64(v); };
+      auto as_f64 = [&]() { return util::parse_f64(v); };
+      if (is_xsd(f, "length")) {
+        auto n = as_u64();
+        if (!n) return fail("bad length facet");
+        st->length = *n;
+      } else if (is_xsd(f, "minLength")) {
+        auto n = as_u64();
+        if (!n) return fail("bad minLength facet");
+        st->min_length = *n;
+      } else if (is_xsd(f, "maxLength")) {
+        auto n = as_u64();
+        if (!n) return fail("bad maxLength facet");
+        st->max_length = *n;
+      } else if (is_xsd(f, "pattern")) {
+        std::string regex_error;
+        Regex re = Regex::compile(v, &regex_error);
+        if (!re.valid()) {
+          return fail("bad pattern '" + std::string(v) + "': " +
+                      regex_error);
+        }
+        st->patterns.push_back(std::move(re));
+      } else if (is_xsd(f, "enumeration")) {
+        st->enumeration.emplace_back(v);
+      } else if (is_xsd(f, "minInclusive")) {
+        auto n = as_f64();
+        if (!n) return fail("bad minInclusive facet");
+        st->min_inclusive = *n;
+      } else if (is_xsd(f, "maxInclusive")) {
+        auto n = as_f64();
+        if (!n) return fail("bad maxInclusive facet");
+        st->max_inclusive = *n;
+      } else if (is_xsd(f, "minExclusive")) {
+        auto n = as_f64();
+        if (!n) return fail("bad minExclusive facet");
+        st->min_exclusive = *n;
+      } else if (is_xsd(f, "maxExclusive")) {
+        auto n = as_f64();
+        if (!n) return fail("bad maxExclusive facet");
+        st->max_exclusive = *n;
+      } else if (is_xsd(f, "totalDigits")) {
+        auto n = as_u64();
+        if (!n) return fail("bad totalDigits facet");
+        st->total_digits = static_cast<std::uint32_t>(*n);
+      } else if (is_xsd(f, "fractionDigits")) {
+        auto n = as_u64();
+        if (!n) return fail("bad fractionDigits facet");
+        st->fraction_digits = static_cast<std::uint32_t>(*n);
+      } else if (is_xsd(f, "whiteSpace")) {
+        if (v == "preserve") {
+          st->whitespace = Whitespace::kPreserve;
+        } else if (v == "replace") {
+          st->whitespace = Whitespace::kReplace;
+        } else if (v == "collapse") {
+          st->whitespace = Whitespace::kCollapse;
+        } else {
+          return fail("bad whiteSpace facet value");
+        }
+      } else {
+        return fail("unsupported facet 'xs:" + std::string(f->local) + "'");
+      }
+    }
+    return true;
+  }
+
+  bool parse_occurs(const xml::Node* node, Particle* p) {
+    if (const xml::Attr* a = node->attr("minOccurs")) {
+      auto n = util::parse_u64(a->value);
+      if (!n) return fail("bad minOccurs");
+      p->min_occurs = static_cast<std::uint32_t>(*n);
+    }
+    if (const xml::Attr* a = node->attr("maxOccurs")) {
+      if (a->value == "unbounded") {
+        p->max_occurs = kUnbounded;
+      } else {
+        auto n = util::parse_u64(a->value);
+        if (!n) return fail("bad maxOccurs");
+        p->max_occurs = static_cast<std::uint32_t>(*n);
+      }
+    }
+    return true;
+  }
+
+  bool fill_particle(const xml::Node* node, Particle* p) {
+    if (is_xsd(node, "element")) {
+      p->kind = ParticleKind::kElement;
+      if (!parse_occurs(node, p)) return false;
+      if (const xml::Attr* ref = node->attr("ref")) {
+        const QRef r = resolve_qref(node, ref->value);
+        auto it = global_elements_.find(std::string(r.local));
+        if (it == global_elements_.end()) {
+          return fail("element ref to unknown '" + std::string(ref->value) +
+                      "'");
+        }
+        p->element = it->second;
+        return true;
+      }
+      const xml::Attr* name = node->attr("name");
+      if (name == nullptr) return fail("local element needs name= or ref=");
+      ElementDecl* decl = schema_.add_element(
+          std::string(name->value),
+          qualified_locals_ ? schema_.target_namespace() : std::string());
+      if (!fill_element(node, decl)) return false;
+      p->element = decl;
+      return true;
+    }
+    if (is_xsd(node, "sequence") || is_xsd(node, "choice") ||
+        is_xsd(node, "all")) {
+      p->kind = is_xsd(node, "sequence") ? ParticleKind::kSequence
+                : is_xsd(node, "choice") ? ParticleKind::kChoice
+                                         : ParticleKind::kAll;
+      if (!parse_occurs(node, p)) return false;
+      for (const xml::Node* c = node->first_child_element(); c != nullptr;
+           c = c->next_sibling_element()) {
+        if (is_xsd(c, "annotation")) continue;
+        Particle child;
+        if (!fill_particle(c, &child)) return false;
+        p->children.push_back(std::move(child));
+      }
+      return true;
+    }
+    return fail("unsupported particle '" + std::string(node->qname) + "'");
+  }
+
+  bool fill_complex_type(const xml::Node* node, ComplexType* ct) {
+    if (const xml::Attr* mixed = node->attr("mixed")) {
+      if (mixed->value == "true" || mixed->value == "1") {
+        ct->content = ContentKind::kMixed;
+      }
+    }
+    const bool is_mixed = ct->content == ContentKind::kMixed;
+    bool has_particle = false;
+
+    for (const xml::Node* c = node->first_child_element(); c != nullptr;
+         c = c->next_sibling_element()) {
+      if (is_xsd(c, "annotation")) continue;
+      if (is_xsd(c, "sequence") || is_xsd(c, "choice") || is_xsd(c, "all")) {
+        Particle p;
+        if (!fill_particle(c, &p)) return false;
+        ct->particle = std::move(p);
+        has_particle = true;
+        continue;
+      }
+      if (is_xsd(c, "attribute")) {
+        if (!fill_attribute(c, ct)) return false;
+        continue;
+      }
+      if (is_xsd(c, "simpleContent")) {
+        if (!fill_simple_content(c, ct)) return false;
+        return true;  // simpleContent excludes particles
+      }
+      if (is_xsd(c, "complexContent")) {
+        return fail("xs:complexContent is not supported");
+      }
+      return fail("unexpected '" + std::string(c->qname) +
+                  "' in xs:complexType");
+    }
+    if (has_particle) {
+      if (!is_mixed) ct->content = ContentKind::kElementOnly;
+    } else if (!is_mixed) {
+      ct->content = ContentKind::kEmpty;
+    } else {
+      // mixed with no particle: text-only, any text. Model as mixed with
+      // an empty sequence.
+      Particle p;
+      p.kind = ParticleKind::kSequence;
+      ct->particle = std::move(p);
+    }
+    return true;
+  }
+
+  bool fill_simple_content(const xml::Node* node, ComplexType* ct) {
+    for (const xml::Node* c = node->first_child_element(); c != nullptr;
+         c = c->next_sibling_element()) {
+      if (is_xsd(c, "annotation")) continue;
+      if (is_xsd(c, "extension")) {
+        const xml::Attr* base = c->attr("base");
+        if (base == nullptr) return fail("xs:extension requires base=");
+        const SimpleType* st = nullptr;
+        const ComplexType* inner_ct = nullptr;
+        if (!resolve_type_ref(c, base->value, &st, &inner_ct)) return false;
+        if (inner_ct != nullptr) {
+          return fail("simpleContent extension of a complex type");
+        }
+        ct->content = ContentKind::kSimple;
+        ct->simple_content = st;
+        for (const xml::Node* a = c->first_child_element(); a != nullptr;
+             a = a->next_sibling_element()) {
+          if (is_xsd(a, "attribute")) {
+            if (!fill_attribute(a, ct)) return false;
+          } else if (!is_xsd(a, "annotation")) {
+            return fail("unexpected '" + std::string(a->qname) +
+                        "' in xs:extension");
+          }
+        }
+        return true;
+      }
+      return fail("xs:simpleContent requires xs:extension");
+    }
+    return fail("empty xs:simpleContent");
+  }
+
+  bool fill_attribute(const xml::Node* node, ComplexType* ct) {
+    const xml::Attr* name = node->attr("name");
+    if (name == nullptr) return fail("xs:attribute requires name=");
+    AttributeUse use;
+    use.name = std::string(name->value);
+    if (const xml::Attr* u = node->attr("use")) {
+      use.required = u->value == "required";
+      if (u->value == "prohibited") return true;  // simply not declared
+    }
+    if (const xml::Attr* fx = node->attr("fixed")) {
+      use.fixed = std::string(fx->value);
+    }
+    if (const xml::Attr* type = node->attr("type")) {
+      const ComplexType* inner_ct = nullptr;
+      if (!resolve_type_ref(node, type->value, &use.type, &inner_ct)) {
+        return false;
+      }
+      if (inner_ct != nullptr) {
+        return fail("attribute '" + use.name + "' has a complex type");
+      }
+    } else {
+      for (const xml::Node* c = node->first_child_element(); c != nullptr;
+           c = c->next_sibling_element()) {
+        if (is_xsd(c, "simpleType")) {
+          SimpleType* st = schema_.add_simple_type("");
+          if (!fill_simple_type(c, st)) return false;
+          use.type = st;
+        }
+      }
+    }
+    ct->attributes.push_back(std::move(use));
+    return true;
+  }
+
+  Schema& schema_;
+  std::string* error_ = nullptr;
+  bool qualified_locals_ = false;
+  std::map<std::string, SimpleType*> named_simple_;
+  std::map<std::string, ComplexType*> named_complex_;
+  std::map<std::string, ElementDecl*> global_elements_;
+  std::map<BuiltinType, const SimpleType*> builtin_wrappers_;
+};
+
+}  // namespace
+
+LoadResult load_schema(const xml::Document& doc) {
+  LoadResult result;
+  if (doc.root() == nullptr) {
+    result.error = "empty document";
+    return result;
+  }
+  Loader loader(result.schema);
+  if (!loader.load(doc.root(), &result.error)) return result;
+  if (!result.schema.finalize(&result.error)) return result;
+  result.ok = true;
+  return result;
+}
+
+LoadResult load_schema(std::string_view xsd_text) {
+  auto parsed = xml::parse(xsd_text);
+  if (!parsed.ok) {
+    LoadResult result;
+    result.error = "XSD parse error: " + parsed.error.to_string();
+    return result;
+  }
+  return load_schema(parsed.document);
+}
+
+}  // namespace xaon::xsd

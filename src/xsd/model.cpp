@@ -1,0 +1,198 @@
+#include "xaon/xsd/model.hpp"
+
+#include "automaton.hpp"
+#include "xaon/util/probe.hpp"
+#include "xaon/util/str.hpp"
+
+namespace xaon::xsd {
+
+namespace {
+
+const std::uint32_t kFacetSite =
+    probe::site("xsd.facet.check", probe::SiteKind::kData);
+
+bool facet_fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+/// Digit counting for totalDigits/fractionDigits on decimal lexicals.
+void count_digits(std::string_view v, std::uint32_t* total,
+                  std::uint32_t* fraction) {
+  *total = 0;
+  *fraction = 0;
+  bool after_dot = false;
+  bool leading = true;
+  std::uint32_t trailing_frac_zeros = 0;
+  for (char c : v) {
+    if (c == '.') {
+      after_dot = true;
+      continue;
+    }
+    if (!util::is_ascii_digit(c)) continue;  // sign
+    if (leading && c == '0' && !after_dot) continue;  // leading zeros
+    leading = false;
+    ++*total;
+    if (after_dot) {
+      ++*fraction;
+      if (c == '0') {
+        ++trailing_frac_zeros;
+      } else {
+        trailing_frac_zeros = 0;
+      }
+    }
+  }
+  // Trailing fractional zeros are not significant.
+  *total -= trailing_frac_zeros;
+  *fraction -= trailing_frac_zeros;
+  if (*total == 0) *total = 1;  // "0" has one digit
+}
+
+}  // namespace
+
+bool SimpleType::validate(std::string_view raw, std::string* error) const {
+  const std::string value = apply_whitespace(raw, effective_whitespace());
+  probe::load(value.data(), static_cast<std::uint32_t>(value.size()));
+
+  if (!validate_builtin(base, value, error)) return false;
+
+  const std::uint64_t len = value.size();
+  if (length && !probe::branch(kFacetSite, len == *length)) {
+    return facet_fail(error, "length " + std::to_string(len) + " != " +
+                                 std::to_string(*length));
+  }
+  if (min_length && len < *min_length) {
+    return facet_fail(error, "shorter than minLength " +
+                                 std::to_string(*min_length));
+  }
+  if (max_length && len > *max_length) {
+    return facet_fail(error,
+                      "longer than maxLength " + std::to_string(*max_length));
+  }
+  for (const Regex& re : patterns) {
+    if (!probe::branch(kFacetSite, re.match(value))) {
+      return facet_fail(error, "value '" + value +
+                                   "' does not match pattern '" +
+                                   std::string(re.pattern()) + "'");
+    }
+  }
+  if (!enumeration.empty()) {
+    bool found = false;
+    for (const std::string& e : enumeration) {
+      if (probe::branch(kFacetSite, e == value)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return facet_fail(error,
+                        "value '" + value + "' not in enumeration");
+    }
+  }
+  if (min_inclusive || max_inclusive || min_exclusive || max_exclusive) {
+    const auto num = builtin_numeric_value(base, value);
+    if (!num) {
+      return facet_fail(error, "range facet on non-numeric value");
+    }
+    if (min_inclusive && *num < *min_inclusive) {
+      return facet_fail(error, "value below minInclusive");
+    }
+    if (max_inclusive && *num > *max_inclusive) {
+      return facet_fail(error, "value above maxInclusive");
+    }
+    if (min_exclusive && *num <= *min_exclusive) {
+      return facet_fail(error, "value at or below minExclusive");
+    }
+    if (max_exclusive && *num >= *max_exclusive) {
+      return facet_fail(error, "value at or above maxExclusive");
+    }
+  }
+  if (total_digits || fraction_digits) {
+    std::uint32_t total = 0, fraction = 0;
+    count_digits(value, &total, &fraction);
+    if (total_digits && total > *total_digits) {
+      return facet_fail(error, "more than totalDigits digits");
+    }
+    if (fraction_digits && fraction > *fraction_digits) {
+      return facet_fail(error, "more than fractionDigits fraction digits");
+    }
+  }
+  return true;
+}
+
+SimpleType* Schema::add_simple_type(std::string name) {
+  simple_types_.push_back(SimpleType{});
+  simple_types_.back().name = std::move(name);
+  return &simple_types_.back();
+}
+
+ComplexType* Schema::add_complex_type(std::string name) {
+  complex_types_.push_back(ComplexType{});
+  complex_types_.back().name = std::move(name);
+  return &complex_types_.back();
+}
+
+ElementDecl* Schema::add_element(std::string local, std::string ns_uri) {
+  elements_.push_back(ElementDecl{});
+  elements_.back().local = std::move(local);
+  elements_.back().ns_uri = std::move(ns_uri);
+  return &elements_.back();
+}
+
+void Schema::add_global_element(const ElementDecl* decl) {
+  globals_.push_back(decl);
+}
+
+const SimpleType* Schema::find_simple_type(std::string_view name) const {
+  for (const SimpleType& t : simple_types_) {
+    if (!t.name.empty() && t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const ComplexType* Schema::find_complex_type(std::string_view name) const {
+  for (const ComplexType& t : complex_types_) {
+    if (!t.name.empty() && t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const ElementDecl* Schema::find_global_element(std::string_view ns_uri,
+                                               std::string_view local) const {
+  for (const ElementDecl* e : globals_) {
+    if (e->local == local && e->ns_uri == ns_uri) return e;
+  }
+  return nullptr;
+}
+
+bool Schema::finalize(std::string* error) {
+  for (ComplexType& ct : complex_types_) {
+    if (!ct.particle.has_value()) continue;
+    if (ct.particle->kind == ParticleKind::kAll) {
+      // Validated by the presence matcher; check child shape here.
+      for (const Particle& c : ct.particle->children) {
+        if (c.kind != ParticleKind::kElement || c.max_occurs != 1) {
+          if (error != nullptr) {
+            *error = "xs:all children must be elements with maxOccurs=1";
+          }
+          return false;
+        }
+      }
+      continue;
+    }
+    std::string compile_error;
+    ct.automaton = detail::ContentAutomaton::compile(*ct.particle,
+                                                     &compile_error);
+    if (ct.automaton == nullptr) {
+      if (error != nullptr) {
+        *error = "content model of complex type '" +
+                 (ct.name.empty() ? std::string("<anonymous>") : ct.name) +
+                 "': " + compile_error;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xaon::xsd

@@ -1,0 +1,567 @@
+#include "xaon/xsd/regex.hpp"
+
+#include <bitset>
+#include <vector>
+
+#include "xaon/util/assert.hpp"
+#include "xaon/util/probe.hpp"
+
+namespace xaon::xsd {
+
+namespace {
+
+/// VM opcodes (Pike VM, Thompson construction).
+enum class Op : std::uint8_t {
+  kChar,   ///< match one byte in the class, advance
+  kSplit,  ///< fork to x and y
+  kJmp,    ///< jump to x
+  kMatch,  ///< accept (when input exhausted — anchored)
+};
+
+struct Inst {
+  Op op = Op::kMatch;
+  std::uint32_t x = 0;  ///< kSplit: branch 1; kJmp: target
+  std::uint32_t y = 0;  ///< kSplit: branch 2
+  std::uint32_t cls = 0;  ///< kChar: index into Program::classes
+};
+
+using ByteSet = std::bitset<256>;
+
+}  // namespace
+
+struct Regex::Program {
+  std::vector<Inst> insts;
+  std::vector<ByteSet> classes;
+  std::string pattern;
+  std::uint32_t start = 0;
+};
+
+namespace {
+
+const std::uint32_t kStepSite =
+    probe::site("xsd.regex.step", probe::SiteKind::kLoop);
+
+class Compiler {
+ public:
+  Compiler(std::string_view pattern, Regex::Program& prog)
+      : in_(pattern), prog_(prog) {}
+
+  bool run(std::string* error) {
+    // Parse into a fragment; patch ends to a Match instruction.
+    Frag f;
+    if (!parse_alt(&f)) {
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    if (pos_ != in_.size()) {
+      if (error != nullptr) *error = "unexpected ')'";
+      return false;
+    }
+    const std::uint32_t m = emit(Inst{Op::kMatch, 0, 0, 0});
+    patch(f.out, m);
+    // `start` is f.start unless empty pattern (f.start == kNone).
+    if (f.start == kNone) {
+      start_ = m;
+    } else {
+      start_ = f.start;
+    }
+    prog_.start = start_;
+    return true;
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  struct Frag {
+    std::uint32_t start = kNone;
+    // Dangling out-pointers: list of (inst index, which field 0=x,1=y).
+    std::vector<std::pair<std::uint32_t, int>> out;
+  };
+
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  bool fail(std::string msg) {
+    if (error_.empty()) error_ = std::move(msg);
+    return false;
+  }
+
+  std::uint32_t emit(Inst inst) {
+    prog_.insts.push_back(inst);
+    return static_cast<std::uint32_t>(prog_.insts.size() - 1);
+  }
+
+  void patch(const std::vector<std::pair<std::uint32_t, int>>& outs,
+             std::uint32_t target) {
+    for (auto [idx, field] : outs) {
+      if (field == 0) {
+        prog_.insts[idx].x = target;
+      } else {
+        prog_.insts[idx].y = target;
+      }
+    }
+  }
+
+  std::uint32_t add_class(const ByteSet& s) {
+    prog_.classes.push_back(s);
+    return static_cast<std::uint32_t>(prog_.classes.size() - 1);
+  }
+
+  /// Concatenate fragments a . b.
+  Frag cat(Frag a, Frag b) {
+    if (a.start == kNone) return b;
+    if (b.start == kNone) return a;
+    patch(a.out, b.start);
+    return Frag{a.start, std::move(b.out)};
+  }
+
+  // alt ::= cat ('|' cat)*
+  bool parse_alt(Frag* out) {
+    Frag f;
+    if (!parse_cat(&f)) return false;
+    while (!eof() && peek() == '|') {
+      ++pos_;
+      Frag g;
+      if (!parse_cat(&g)) return false;
+      // split -> f.start / g.start
+      const bool f_empty = f.start == kNone;
+      const bool g_empty = g.start == kNone;
+      Frag merged;
+      const std::uint32_t s = emit(Inst{Op::kSplit, 0, 0, 0});
+      merged.start = s;
+      if (f_empty) {
+        merged.out.emplace_back(s, 0);
+      } else {
+        prog_.insts[s].x = f.start;
+        merged.out.insert(merged.out.end(), f.out.begin(), f.out.end());
+      }
+      if (g_empty) {
+        merged.out.emplace_back(s, 1);
+      } else {
+        prog_.insts[s].y = g.start;
+        merged.out.insert(merged.out.end(), g.out.begin(), g.out.end());
+      }
+      f = std::move(merged);
+    }
+    *out = std::move(f);
+    return true;
+  }
+
+  // cat ::= piece*
+  bool parse_cat(Frag* out) {
+    Frag acc;  // empty
+    while (!eof() && peek() != '|' && peek() != ')') {
+      Frag p;
+      if (!parse_piece(&p)) return false;
+      acc = cat(std::move(acc), std::move(p));
+    }
+    *out = std::move(acc);
+    return true;
+  }
+
+  // piece ::= atom quantifier?
+  bool parse_piece(Frag* out) {
+    Frag a;
+    if (!parse_atom(&a)) return false;
+    if (eof()) {
+      *out = std::move(a);
+      return true;
+    }
+    const char q = peek();
+    if (q == '*' || q == '+' || q == '?') {
+      ++pos_;
+      *out = quantify(std::move(a), q == '+' ? 1 : 0,
+                      q == '?' ? 1 : -1);
+      return true;
+    }
+    if (q == '{') {
+      ++pos_;
+      int lo = 0, hi = -1;
+      if (!parse_int(&lo)) return fail("bad {n,m} quantifier");
+      if (!eof() && peek() == ',') {
+        ++pos_;
+        if (!eof() && peek() != '}') {
+          if (!parse_int(&hi)) return fail("bad {n,m} quantifier");
+          if (hi < lo) return fail("{n,m} with m < n");
+        }
+      } else {
+        hi = lo;
+      }
+      if (eof() || peek() != '}') return fail("unterminated {n,m}");
+      ++pos_;
+      constexpr int kMaxRepeat = 512;
+      if (lo > kMaxRepeat || hi > kMaxRepeat) {
+        return fail("quantifier bound too large");
+      }
+      *out = repeat(std::move(a), lo, hi);
+      return true;
+    }
+    *out = std::move(a);
+    return true;
+  }
+
+  bool parse_int(int* out) {
+    if (eof() || peek() < '0' || peek() > '9') return false;
+    long v = 0;
+    while (!eof() && peek() >= '0' && peek() <= '9') {
+      v = v * 10 + (peek() - '0');
+      if (v > 100000) return false;
+      ++pos_;
+    }
+    *out = static_cast<int>(v);
+    return true;
+  }
+
+  /// Clone a fragment by re-parsing is impossible; instead we clone the
+  /// instruction subgraph. Fragments are contiguous ranges because we
+  /// emit depth-first, so cloning = copying the range and shifting
+  /// targets. We record each atom's range to make this safe.
+  struct Span {
+    std::uint32_t lo, hi;  // [lo, hi) instruction range
+  };
+
+  Frag clone(const Frag& f, Span span) {
+    if (f.start == kNone) return Frag{};
+    const std::uint32_t base = static_cast<std::uint32_t>(prog_.insts.size());
+    const std::uint32_t shift = base - span.lo;
+    for (std::uint32_t i = span.lo; i < span.hi; ++i) {
+      Inst inst = prog_.insts[i];
+      // Shift continuation targets that point inside the span; targets
+      // outside (or dangling fields) are fixed via the cloned out-list.
+      if (inst.op == Op::kSplit || inst.op == Op::kJmp ||
+          inst.op == Op::kChar) {
+        if (inst.x >= span.lo && inst.x < span.hi) inst.x += shift;
+      }
+      if (inst.op == Op::kSplit) {
+        if (inst.y >= span.lo && inst.y < span.hi) inst.y += shift;
+      }
+      prog_.insts.push_back(inst);
+    }
+    Frag g;
+    g.start = f.start + shift;
+    for (auto [idx, field] : f.out) g.out.emplace_back(idx + shift, field);
+    return g;
+  }
+
+  /// lo..hi repetition (hi == -1: unbounded). `a`'s instructions must be
+  /// the tail of the instruction list (guaranteed: atoms emit
+  /// depth-first and quantifiers attach to the last atom parsed).
+  Frag repeat(Frag a, int lo, int hi) {
+    const Span span{a_span_lo_,
+                    static_cast<std::uint32_t>(prog_.insts.size())};
+    const Frag orig = a_orig_;  // descriptor of the original instructions
+    if (hi == -1 && lo <= 1) return quantify(std::move(a), lo, -1);
+    Frag acc;
+    bool a_used = false;
+    auto next_copy = [&]() -> Frag {
+      if (!a_used) {
+        a_used = true;
+        return std::move(a);
+      }
+      return clone(orig, span);
+    };
+    for (int i = 0; i < lo; ++i) {
+      acc = cat(std::move(acc), next_copy());
+    }
+    if (hi == -1) {
+      acc = cat(std::move(acc), quantify(next_copy(), 0, -1));
+      return acc;
+    }
+    for (int i = lo; i < hi; ++i) {
+      acc = cat(std::move(acc), quantify(next_copy(), 0, 1));
+    }
+    return acc;
+  }
+
+  /// Kleene-style quantification of a fragment:
+  /// (0,-1)=* (1,-1)=+ (0,1)=?
+  Frag quantify(Frag a, int lo, int hi) {
+    if (a.start == kNone) return a;
+    if (lo == 0 && hi == 1) {
+      const std::uint32_t s = emit(Inst{Op::kSplit, a.start, 0, 0});
+      Frag f;
+      f.start = s;
+      f.out = std::move(a.out);
+      f.out.emplace_back(s, 1);
+      return f;
+    }
+    if (lo == 0 && hi == -1) {
+      const std::uint32_t s = emit(Inst{Op::kSplit, a.start, 0, 0});
+      patch(a.out, s);
+      Frag f;
+      f.start = s;
+      f.out.emplace_back(s, 1);
+      return f;
+    }
+    if (lo == 1 && hi == -1) {
+      const std::uint32_t s = emit(Inst{Op::kSplit, a.start, 0, 0});
+      patch(a.out, s);
+      Frag f;
+      f.start = a.start;
+      f.out.emplace_back(s, 1);
+      return f;
+    }
+    XAON_CHECK_MSG(false, "quantify: unexpected bounds");
+    return a;
+  }
+
+  // atom ::= '(' alt ')' | charclass | escaped | '.' | literal
+  bool parse_atom(Frag* out) {
+    // Record where this atom's instructions start. Nested atoms (inside
+    // groups) overwrite a_span_lo_, so restore it after the recursion —
+    // quantifiers clone the full [atom_lo, end) range.
+    const auto atom_lo = static_cast<std::uint32_t>(prog_.insts.size());
+    a_span_lo_ = atom_lo;
+    if (eof()) return fail("expected atom");
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      if (!parse_alt(out)) return false;
+      if (eof() || peek() != ')') return fail("unbalanced '('");
+      ++pos_;
+      a_orig_ = *out;
+      a_span_lo_ = atom_lo;
+      return true;
+    }
+    if (c == '*' || c == '+' || c == '?' || c == '{') {
+      return fail("quantifier with nothing to repeat");
+    }
+    ByteSet set;
+    if (c == '[') {
+      if (!parse_class(&set)) return false;
+    } else if (c == '.') {
+      ++pos_;
+      set.set();
+      set.reset(static_cast<std::size_t>('\n'));
+      set.reset(static_cast<std::size_t>('\r'));
+    } else if (c == '\\') {
+      ++pos_;
+      if (!parse_escape(&set)) return false;
+    } else {
+      ++pos_;
+      set.set(static_cast<unsigned char>(c));
+    }
+    const std::uint32_t cls = add_class(set);
+    const std::uint32_t i = emit(Inst{Op::kChar, 0, 0, cls});
+    Frag f;
+    f.start = i;
+    f.out.emplace_back(i, 0);
+    *out = f;
+    a_orig_ = f;
+    return true;
+  }
+
+  bool parse_escape(ByteSet* set) {
+    if (eof()) return fail("dangling '\\'");
+    const char c = peek();
+    ++pos_;
+    auto digits = [&] {
+      for (char d = '0'; d <= '9'; ++d) set->set(static_cast<unsigned char>(d));
+    };
+    auto word = [&] {
+      digits();
+      for (char d = 'a'; d <= 'z'; ++d) set->set(static_cast<unsigned char>(d));
+      for (char d = 'A'; d <= 'Z'; ++d) set->set(static_cast<unsigned char>(d));
+      set->set(static_cast<unsigned char>('_'));
+      // XSD \w also covers non-ASCII "word" chars; include high bytes.
+      for (int b = 0x80; b < 0x100; ++b) set->set(static_cast<std::size_t>(b));
+    };
+    auto space = [&] {
+      for (char d : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+        set->set(static_cast<unsigned char>(d));
+      }
+    };
+    switch (c) {
+      case 'd': digits(); return true;
+      case 'D': digits(); set->flip(); return true;
+      case 'w': word(); return true;
+      case 'W': word(); set->flip(); return true;
+      case 's': space(); return true;
+      case 'S': space(); set->flip(); return true;
+      case 'n': set->set(static_cast<unsigned char>('\n')); return true;
+      case 't': set->set(static_cast<unsigned char>('\t')); return true;
+      case 'r': set->set(static_cast<unsigned char>('\r')); return true;
+      case '\\': case '.': case '-': case '^': case '$': case '[': case ']':
+      case '(': case ')': case '{': case '}': case '*': case '+': case '?':
+      case '|': case '"': case '\'':
+        set->set(static_cast<unsigned char>(c));
+        return true;
+      default:
+        return fail(std::string("unsupported escape '\\") + c + "'");
+    }
+  }
+
+  bool parse_class(ByteSet* set) {
+    ++pos_;  // '['
+    bool negate = false;
+    if (!eof() && peek() == '^') {
+      negate = true;
+      ++pos_;
+    }
+    bool first = true;
+    while (!eof() && (peek() != ']' || first)) {
+      first = false;
+      ByteSet item;
+      char lo_char = 0;
+      bool single = false;
+      if (peek() == '\\') {
+        ++pos_;
+        if (!parse_escape(&item)) return false;
+        // Range start only valid for single-char escapes; detect.
+        if (item.count() == 1) {
+          for (int b = 0; b < 256; ++b) {
+            if (item.test(static_cast<std::size_t>(b))) {
+              lo_char = static_cast<char>(b);
+              single = true;
+              break;
+            }
+          }
+        }
+      } else {
+        lo_char = peek();
+        ++pos_;
+        item.set(static_cast<unsigned char>(lo_char));
+        single = true;
+      }
+      if (single && !eof() && peek() == '-' && pos_ + 1 < in_.size() &&
+          in_[pos_ + 1] != ']') {
+        ++pos_;  // '-'
+        char hi_char = peek();
+        if (hi_char == '\\') {
+          ++pos_;
+          ByteSet esc;
+          if (!parse_escape(&esc)) return false;
+          if (esc.count() != 1) return fail("bad range end");
+          for (int b = 0; b < 256; ++b) {
+            if (esc.test(static_cast<std::size_t>(b))) {
+              hi_char = static_cast<char>(b);
+              break;
+            }
+          }
+        } else {
+          ++pos_;
+        }
+        if (static_cast<unsigned char>(hi_char) <
+            static_cast<unsigned char>(lo_char)) {
+          return fail("reversed character range");
+        }
+        item.reset();
+        for (int b = static_cast<unsigned char>(lo_char);
+             b <= static_cast<unsigned char>(hi_char); ++b) {
+          item.set(static_cast<std::size_t>(b));
+        }
+      }
+      *set |= item;
+    }
+    if (eof()) return fail("unterminated character class");
+    ++pos_;  // ']'
+    if (negate) set->flip();
+    return true;
+  }
+
+  std::string_view in_;
+  Regex::Program& prog_;
+  std::size_t pos_ = 0;
+  std::uint32_t start_ = 0;
+  std::uint32_t a_span_lo_ = 0;
+  Frag a_orig_;
+  std::string error_;
+};
+
+}  // namespace
+
+Regex Regex::compile(std::string_view pattern, std::string* error) {
+  auto prog = std::make_shared<Program>();
+  prog->pattern = std::string(pattern);
+  Compiler compiler(pattern, *prog);
+  if (!compiler.run(error)) return Regex();
+  return Regex(std::move(prog));
+}
+
+namespace {
+
+/// Shared Pike VM loop. `anchored` controls whether new match attempts
+/// start only at position 0 or at every position; an accepting state is
+/// a match immediately when unanchored (prefix match of a suffix =
+/// substring match).
+template <typename Program>
+bool pike_run(const Program& prog, std::string_view text, bool anchored) {
+  const auto& insts = prog.insts;
+  const auto& classes = prog.classes;
+  const auto n = static_cast<std::uint32_t>(insts.size());
+
+  std::vector<std::uint32_t> current, next;
+  std::vector<std::uint32_t> mark(n, 0);
+  std::uint32_t gen = 0;
+
+  auto add = [&](std::vector<std::uint32_t>& list, std::uint32_t pc,
+                 auto&& self) -> void {
+    if (mark[pc] == gen) return;
+    mark[pc] = gen;
+    const auto& inst = insts[pc];
+    switch (inst.op) {
+      case Op::kSplit:
+        self(list, inst.x, self);
+        self(list, inst.y, self);
+        break;
+      case Op::kJmp:
+        self(list, inst.x, self);
+        break;
+      default:
+        list.push_back(pc);
+    }
+  };
+  auto has_match = [&](const std::vector<std::uint32_t>& list) {
+    for (std::uint32_t pc : list) {
+      if (insts[pc].op == Op::kMatch) return true;
+    }
+    return false;
+  };
+
+  ++gen;
+  add(current, prog.start, add);
+  if (!anchored && has_match(current)) return true;
+
+  for (char ch : text) {
+    probe::branch(kStepSite, !current.empty());
+    if (anchored && current.empty()) return false;
+    ++gen;
+    next.clear();
+    const auto byte = static_cast<unsigned char>(ch);
+    for (std::uint32_t pc : current) {
+      const auto& inst = insts[pc];
+      if (inst.op == Op::kChar &&
+          classes[inst.cls].test(static_cast<std::size_t>(byte))) {
+        add(next, inst.x, add);
+      }
+    }
+    if (!anchored) add(next, prog.start, add);  // new attempt here
+    std::swap(current, next);
+    if (!anchored && has_match(current)) return true;
+  }
+  return has_match(current) && anchored;
+}
+
+}  // namespace
+
+bool Regex::search(std::string_view text) const {
+  XAON_CHECK_MSG(prog_ != nullptr, "search() on invalid Regex");
+  if (pike_run(*prog_, text, /*anchored=*/false)) return true;
+  // Empty-suffix corner: pattern matching the empty string matched at
+  // position 0 already; otherwise no match.
+  return false;
+}
+
+bool Regex::match(std::string_view text) const {
+  XAON_CHECK_MSG(prog_ != nullptr, "match() on invalid Regex");
+  return pike_run(*prog_, text, /*anchored=*/true);
+}
+
+std::string_view Regex::pattern() const {
+  return prog_ ? std::string_view(prog_->pattern) : std::string_view{};
+}
+
+std::size_t Regex::program_size() const {
+  return prog_ ? prog_->insts.size() : 0;
+}
+
+}  // namespace xaon::xsd

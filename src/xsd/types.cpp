@@ -1,0 +1,474 @@
+#include "xaon/xsd/types.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "xaon/util/probe.hpp"
+#include "xaon/util/str.hpp"
+#include "xaon/xml/chars.hpp"
+
+namespace xaon::xsd {
+
+namespace {
+
+struct NameMap {
+  std::string_view name;
+  BuiltinType type;
+};
+
+constexpr NameMap kNames[] = {
+    {"anySimpleType", BuiltinType::kAnySimpleType},
+    {"string", BuiltinType::kString},
+    {"normalizedString", BuiltinType::kNormalizedString},
+    {"token", BuiltinType::kToken},
+    {"language", BuiltinType::kLanguage},
+    {"Name", BuiltinType::kName},
+    {"NCName", BuiltinType::kNCName},
+    {"boolean", BuiltinType::kBoolean},
+    {"decimal", BuiltinType::kDecimal},
+    {"integer", BuiltinType::kInteger},
+    {"nonPositiveInteger", BuiltinType::kNonPositiveInteger},
+    {"negativeInteger", BuiltinType::kNegativeInteger},
+    {"long", BuiltinType::kLong},
+    {"int", BuiltinType::kInt},
+    {"short", BuiltinType::kShort},
+    {"byte", BuiltinType::kByte},
+    {"nonNegativeInteger", BuiltinType::kNonNegativeInteger},
+    {"unsignedLong", BuiltinType::kUnsignedLong},
+    {"unsignedInt", BuiltinType::kUnsignedInt},
+    {"unsignedShort", BuiltinType::kUnsignedShort},
+    {"unsignedByte", BuiltinType::kUnsignedByte},
+    {"positiveInteger", BuiltinType::kPositiveInteger},
+    {"float", BuiltinType::kFloat},
+    {"double", BuiltinType::kDouble},
+    {"date", BuiltinType::kDate},
+    {"time", BuiltinType::kTime},
+    {"dateTime", BuiltinType::kDateTime},
+    {"anyURI", BuiltinType::kAnyUri},
+    {"hexBinary", BuiltinType::kHexBinary},
+    {"base64Binary", BuiltinType::kBase64Binary},
+};
+
+const std::uint32_t kLexSite =
+    probe::site("xsd.type.lex", probe::SiteKind::kData);
+
+bool set_error(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+/// Signed decimal integer within [lo, hi] given as strings is overkill;
+/// parse into __int128 to cover unsignedLong/long exactly.
+bool parse_int128(std::string_view s, __int128* out) {
+  if (s.empty()) return false;
+  bool neg = false;
+  std::size_t i = 0;
+  if (s[0] == '+' || s[0] == '-') {
+    neg = s[0] == '-';
+    i = 1;
+    if (s.size() == 1) return false;
+  }
+  __int128 acc = 0;
+  constexpr __int128 kLimit =
+      (static_cast<__int128>(1) << 100);  // far beyond any XSD int type
+  for (; i < s.size(); ++i) {
+    if (!util::is_ascii_digit(s[i])) return false;
+    acc = acc * 10 + (s[i] - '0');
+    if (acc > kLimit) return false;
+  }
+  *out = neg ? -acc : acc;
+  return true;
+}
+
+bool check_int_range(std::string_view value, __int128 lo, __int128 hi,
+                     std::string* error, std::string_view type_name) {
+  __int128 v;
+  if (!parse_int128(value, &v)) {
+    return set_error(error, "'" + std::string(value) + "' is not a valid " +
+                                std::string(type_name));
+  }
+  if (v < lo || v > hi) {
+    return set_error(error, "'" + std::string(value) + "' out of range for " +
+                                std::string(type_name));
+  }
+  return true;
+}
+
+bool is_decimal(std::string_view s) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  if (s[0] == '+' || s[0] == '-') i = 1;
+  bool digits = false, dot = false;
+  for (; i < s.size(); ++i) {
+    if (util::is_ascii_digit(s[i])) {
+      digits = true;
+    } else if (s[i] == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digits;
+}
+
+bool is_float_lexical(std::string_view s) {
+  if (s == "NaN" || s == "INF" || s == "-INF") return true;
+  if (s.empty()) return false;
+  // [+-]? digits (. digits?)? ([eE] [+-]? digits)?
+  std::size_t i = 0;
+  if (s[i] == '+' || s[i] == '-') ++i;
+  bool digits = false;
+  while (i < s.size() && util::is_ascii_digit(s[i])) {
+    digits = true;
+    ++i;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    while (i < s.size() && util::is_ascii_digit(s[i])) {
+      digits = true;
+      ++i;
+    }
+  }
+  if (!digits) return false;
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    bool exp_digits = false;
+    while (i < s.size() && util::is_ascii_digit(s[i])) {
+      exp_digits = true;
+      ++i;
+    }
+    if (!exp_digits) return false;
+  }
+  return i == s.size();
+}
+
+bool check_digits(std::string_view s, std::size_t start, std::size_t count) {
+  if (start + count > s.size()) return false;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!util::is_ascii_digit(s[start + i])) return false;
+  }
+  return true;
+}
+
+/// 'YYYY-MM-DD' with basic range checks; optional timezone suffix
+/// (Z | +hh:mm | -hh:mm) starting at `*pos`.
+bool parse_date_part(std::string_view s, std::size_t* pos) {
+  std::size_t i = *pos;
+  if (!check_digits(s, i, 4)) return false;
+  i += 4;
+  if (i >= s.size() || s[i] != '-') return false;
+  ++i;
+  if (!check_digits(s, i, 2)) return false;
+  const int month = (s[i] - '0') * 10 + (s[i + 1] - '0');
+  i += 2;
+  if (i >= s.size() || s[i] != '-') return false;
+  ++i;
+  if (!check_digits(s, i, 2)) return false;
+  const int day = (s[i] - '0') * 10 + (s[i + 1] - '0');
+  i += 2;
+  if (month < 1 || month > 12 || day < 1 || day > 31) return false;
+  *pos = i;
+  return true;
+}
+
+bool parse_time_part(std::string_view s, std::size_t* pos) {
+  std::size_t i = *pos;
+  if (!check_digits(s, i, 2)) return false;
+  const int hh = (s[i] - '0') * 10 + (s[i + 1] - '0');
+  i += 2;
+  if (i >= s.size() || s[i] != ':') return false;
+  ++i;
+  if (!check_digits(s, i, 2)) return false;
+  const int mm = (s[i] - '0') * 10 + (s[i + 1] - '0');
+  i += 2;
+  if (i >= s.size() || s[i] != ':') return false;
+  ++i;
+  if (!check_digits(s, i, 2)) return false;
+  const int ss = (s[i] - '0') * 10 + (s[i + 1] - '0');
+  i += 2;
+  if (hh > 24 || mm > 59 || ss > 60) return false;  // leap second tolerated
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (!check_digits(s, i, 1)) return false;
+    while (i < s.size() && util::is_ascii_digit(s[i])) ++i;
+  }
+  *pos = i;
+  return true;
+}
+
+bool parse_timezone(std::string_view s, std::size_t* pos) {
+  std::size_t i = *pos;
+  if (i == s.size()) return true;  // no timezone
+  if (s[i] == 'Z') {
+    *pos = i + 1;
+    return true;
+  }
+  if (s[i] != '+' && s[i] != '-') return false;
+  ++i;
+  if (!check_digits(s, i, 2)) return false;
+  i += 2;
+  if (i >= s.size() || s[i] != ':') return false;
+  ++i;
+  if (!check_digits(s, i, 2)) return false;
+  *pos = i + 2;
+  return true;
+}
+
+bool is_ncname(std::string_view s) {
+  if (s.empty()) return false;
+  if (!xml::is_name_start(s[0]) || s[0] == ':') return false;
+  for (char c : s) {
+    if (!xml::is_name_char(c) || c == ':') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<BuiltinType> builtin_by_name(std::string_view local) {
+  for (const NameMap& m : kNames) {
+    if (m.name == local) return m.type;
+  }
+  return std::nullopt;
+}
+
+std::string_view builtin_name(BuiltinType t) {
+  for (const NameMap& m : kNames) {
+    if (m.type == t) return m.name;
+  }
+  return "unknown";
+}
+
+Whitespace builtin_whitespace(BuiltinType t) {
+  switch (t) {
+    case BuiltinType::kString:
+      return Whitespace::kPreserve;
+    case BuiltinType::kNormalizedString:
+      return Whitespace::kReplace;
+    default:
+      return Whitespace::kCollapse;
+  }
+}
+
+std::string apply_whitespace(std::string_view raw, Whitespace ws) {
+  if (ws == Whitespace::kPreserve) return std::string(raw);
+  if (ws == Whitespace::kReplace) {
+    std::string out(raw);
+    for (char& c : out) {
+      if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+    }
+    return out;
+  }
+  // Collapse.
+  std::string out;
+  out.reserve(raw.size());
+  bool in_space = true;
+  for (char c : raw) {
+    const bool sp = c == ' ' || c == '\t' || c == '\n' || c == '\r';
+    if (sp) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+bool validate_builtin(BuiltinType t, std::string_view value,
+                      std::string* error) {
+  probe::load(value.data(), static_cast<std::uint32_t>(value.size()));
+  probe::alu(static_cast<std::uint32_t>(value.size() / 2 + 2));
+  switch (t) {
+    case BuiltinType::kAnySimpleType:
+    case BuiltinType::kString:
+    case BuiltinType::kNormalizedString:
+    case BuiltinType::kToken:
+    case BuiltinType::kAnyUri:
+      return true;  // lexical space unrestricted at the byte level
+    case BuiltinType::kLanguage: {
+      // RFC 3066-ish: alpha{1,8} ('-' alnum{1,8})*
+      if (value.empty()) return set_error(error, "empty language tag");
+      std::size_t seg = 0;
+      for (std::size_t i = 0; i <= value.size(); ++i) {
+        if (i == value.size() || value[i] == '-') {
+          if (seg == 0 || seg > 8) {
+            return set_error(error, "bad language tag segment");
+          }
+          seg = 0;
+        } else if (util::is_ascii_alpha(value[i]) ||
+                   (util::is_ascii_digit(value[i]) && i > 0)) {
+          ++seg;
+        } else {
+          return set_error(error, "bad character in language tag");
+        }
+      }
+      return true;
+    }
+    case BuiltinType::kName:
+      if (value.empty() || !xml::is_name_start(value[0])) {
+        return set_error(error, "not a valid Name");
+      }
+      for (char c : value) {
+        if (!xml::is_name_char(c)) return set_error(error, "not a valid Name");
+      }
+      return true;
+    case BuiltinType::kNCName:
+      if (!is_ncname(value)) return set_error(error, "not a valid NCName");
+      return true;
+    case BuiltinType::kBoolean:
+      if (probe::branch(kLexSite, value == "true" || value == "false" ||
+                                      value == "1" || value == "0")) {
+        return true;
+      }
+      return set_error(error,
+                       "'" + std::string(value) + "' is not a boolean");
+    case BuiltinType::kDecimal:
+      if (is_decimal(value)) return true;
+      return set_error(error,
+                       "'" + std::string(value) + "' is not a decimal");
+    case BuiltinType::kInteger:
+      return check_int_range(value,
+                             -(static_cast<__int128>(1) << 99),
+                             (static_cast<__int128>(1) << 99), error,
+                             "integer");
+    case BuiltinType::kNonPositiveInteger:
+      return check_int_range(value, -(static_cast<__int128>(1) << 99), 0,
+                             error, "nonPositiveInteger");
+    case BuiltinType::kNegativeInteger:
+      return check_int_range(value, -(static_cast<__int128>(1) << 99), -1,
+                             error, "negativeInteger");
+    case BuiltinType::kLong:
+      return check_int_range(value, std::numeric_limits<std::int64_t>::min(),
+                             std::numeric_limits<std::int64_t>::max(), error,
+                             "long");
+    case BuiltinType::kInt:
+      return check_int_range(value, -2147483648LL, 2147483647LL, error,
+                             "int");
+    case BuiltinType::kShort:
+      return check_int_range(value, -32768, 32767, error, "short");
+    case BuiltinType::kByte:
+      return check_int_range(value, -128, 127, error, "byte");
+    case BuiltinType::kNonNegativeInteger:
+      return check_int_range(value, 0, (static_cast<__int128>(1) << 99),
+                             error, "nonNegativeInteger");
+    case BuiltinType::kUnsignedLong:
+      return check_int_range(value, 0,
+                             std::numeric_limits<std::uint64_t>::max(),
+                             error, "unsignedLong");
+    case BuiltinType::kUnsignedInt:
+      return check_int_range(value, 0, 4294967295LL, error, "unsignedInt");
+    case BuiltinType::kUnsignedShort:
+      return check_int_range(value, 0, 65535, error, "unsignedShort");
+    case BuiltinType::kUnsignedByte:
+      return check_int_range(value, 0, 255, error, "unsignedByte");
+    case BuiltinType::kPositiveInteger:
+      return check_int_range(value, 1, (static_cast<__int128>(1) << 99),
+                             error, "positiveInteger");
+    case BuiltinType::kFloat:
+    case BuiltinType::kDouble:
+      if (is_float_lexical(value)) return true;
+      return set_error(error, "'" + std::string(value) + "' is not a " +
+                                  std::string(builtin_name(t)));
+    case BuiltinType::kDate: {
+      std::size_t pos = 0;
+      if (parse_date_part(value, &pos) && parse_timezone(value, &pos) &&
+          pos == value.size()) {
+        return true;
+      }
+      return set_error(error, "'" + std::string(value) + "' is not a date");
+    }
+    case BuiltinType::kTime: {
+      std::size_t pos = 0;
+      if (parse_time_part(value, &pos) && parse_timezone(value, &pos) &&
+          pos == value.size()) {
+        return true;
+      }
+      return set_error(error, "'" + std::string(value) + "' is not a time");
+    }
+    case BuiltinType::kDateTime: {
+      std::size_t pos = 0;
+      if (parse_date_part(value, &pos) && pos < value.size() &&
+          value[pos] == 'T') {
+        ++pos;
+        if (parse_time_part(value, &pos) && parse_timezone(value, &pos) &&
+            pos == value.size()) {
+          return true;
+        }
+      }
+      return set_error(error,
+                       "'" + std::string(value) + "' is not a dateTime");
+    }
+    case BuiltinType::kHexBinary:
+      if (value.size() % 2 != 0) {
+        return set_error(error, "hexBinary must have even length");
+      }
+      for (char c : value) {
+        if (!xml::is_hex_digit(c)) {
+          return set_error(error, "bad hexBinary digit");
+        }
+      }
+      return true;
+    case BuiltinType::kBase64Binary: {
+      std::size_t significant = 0;
+      std::size_t pad = 0;
+      for (char c : value) {
+        if (c == ' ') continue;  // collapsed internal spaces allowed
+        if (c == '=') {
+          ++pad;
+          ++significant;
+          continue;
+        }
+        if (pad > 0 || !(util::is_ascii_alpha(c) || util::is_ascii_digit(c) ||
+                         c == '+' || c == '/')) {
+          return set_error(error, "bad base64Binary");
+        }
+        ++significant;
+      }
+      if (significant % 4 != 0 || pad > 2) {
+        return set_error(error, "bad base64Binary length");
+      }
+      return true;
+    }
+  }
+  return set_error(error, "unhandled type");
+}
+
+bool builtin_is_numeric(BuiltinType t) {
+  switch (t) {
+    case BuiltinType::kDecimal:
+    case BuiltinType::kInteger:
+    case BuiltinType::kNonPositiveInteger:
+    case BuiltinType::kNegativeInteger:
+    case BuiltinType::kLong:
+    case BuiltinType::kInt:
+    case BuiltinType::kShort:
+    case BuiltinType::kByte:
+    case BuiltinType::kNonNegativeInteger:
+    case BuiltinType::kUnsignedLong:
+    case BuiltinType::kUnsignedInt:
+    case BuiltinType::kUnsignedShort:
+    case BuiltinType::kUnsignedByte:
+    case BuiltinType::kPositiveInteger:
+    case BuiltinType::kFloat:
+    case BuiltinType::kDouble:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<double> builtin_numeric_value(BuiltinType t,
+                                            std::string_view value) {
+  if (!builtin_is_numeric(t)) return std::nullopt;
+  if (!validate_builtin(t, value)) return std::nullopt;
+  if (value == "NaN") return std::nan("");
+  if (value == "INF") return std::numeric_limits<double>::infinity();
+  if (value == "-INF") return -std::numeric_limits<double>::infinity();
+  return util::parse_f64(value);
+}
+
+}  // namespace xaon::xsd

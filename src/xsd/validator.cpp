@@ -1,0 +1,283 @@
+#include "xaon/xsd/validator.hpp"
+
+#include "automaton.hpp"
+#include "xaon/util/assert.hpp"
+#include "xaon/util/probe.hpp"
+#include "xaon/util/str.hpp"
+
+namespace xaon::xsd {
+
+std::string ValidationResult::to_string() const {
+  if (valid()) return "valid";
+  std::string out;
+  for (const ValidationError& e : errors) {
+    out += e.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+const std::uint32_t kAttrSite =
+    probe::site("xsd.validate.attr", probe::SiteKind::kData);
+const std::uint32_t kChildSite =
+    probe::site("xsd.validate.child", probe::SiteKind::kLoop);
+
+bool is_namespace_decl(const xml::Attr* a) {
+  return a->qname == "xmlns" || util::starts_with(a->qname, "xmlns:");
+}
+
+bool is_xsi_attr(const xml::Attr* a) {
+  return a->ns_uri == "http://www.w3.org/2001/XMLSchema-instance";
+}
+
+class Walker {
+ public:
+  Walker(const Schema& schema, std::size_t max_errors,
+         ValidationResult* result)
+      : schema_(schema), max_errors_(max_errors), result_(result) {}
+
+  void element(const xml::Node* node, const ElementDecl* decl,
+               const std::string& path) {
+    if (capped()) return;
+    probe::load(node, sizeof(xml::Node));
+
+    if (decl->complex_type != nullptr) {
+      complex(node, decl->complex_type, path);
+    } else if (decl->simple_type != nullptr) {
+      simple(node, decl->simple_type, path);
+    }
+    // Neither: anyType — accept anything beneath.
+  }
+
+ private:
+  bool capped() const { return result_->errors.size() >= max_errors_; }
+
+  void add_error(const std::string& path, std::string message) {
+    if (!capped()) {
+      result_->errors.push_back(ValidationError{path, std::move(message)});
+    }
+  }
+
+  void simple(const xml::Node* node, const SimpleType* type,
+              const std::string& path) {
+    // Simple content: no element children.
+    for (const xml::Node* c = node->first_child; c != nullptr;
+         c = c->next_sibling) {
+      if (c->is_element()) {
+        add_error(path, "element '" + std::string(c->qname) +
+                            "' not allowed in simple content");
+        return;
+      }
+    }
+    std::string error;
+    const std::string text = node->text_content();
+    if (!type->validate(text, &error)) add_error(path, error);
+  }
+
+  void attributes(const xml::Node* node, const ComplexType* type,
+                  const std::string& path) {
+    // Every present attribute must be declared (xmlns/xsi exempt).
+    for (const xml::Attr* a = node->first_attr; a != nullptr; a = a->next) {
+      probe::load(a, sizeof(xml::Attr));
+      if (is_namespace_decl(a) || is_xsi_attr(a)) continue;
+      const AttributeUse* use = nullptr;
+      for (const AttributeUse& u : type->attributes) {
+        if (probe::branch(kAttrSite, u.name == a->local)) {
+          use = &u;
+          break;
+        }
+      }
+      if (use == nullptr) {
+        add_error(path, "undeclared attribute '" + std::string(a->qname) +
+                            "'");
+        continue;
+      }
+      if (use->type != nullptr) {
+        std::string error;
+        if (!use->type->validate(a->value, &error)) {
+          add_error(path, "attribute '" + use->name + "': " + error);
+        }
+      }
+      if (use->fixed) {
+        const Whitespace ws = use->type != nullptr
+                                  ? use->type->effective_whitespace()
+                                  : Whitespace::kPreserve;
+        if (apply_whitespace(a->value, ws) != *use->fixed) {
+          add_error(path, "attribute '" + use->name +
+                              "' must have fixed value '" + *use->fixed +
+                              "'");
+        }
+      }
+    }
+    // Required attributes must be present.
+    for (const AttributeUse& u : type->attributes) {
+      if (!u.required) continue;
+      bool present = false;
+      for (const xml::Attr* a = node->first_attr; a != nullptr;
+           a = a->next) {
+        if (a->local == u.name && !is_namespace_decl(a)) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) {
+        add_error(path, "required attribute '" + u.name + "' missing");
+      }
+    }
+  }
+
+  void complex(const xml::Node* node, const ComplexType* type,
+               const std::string& path) {
+    attributes(node, type, path);
+
+    switch (type->content) {
+      case ContentKind::kEmpty: {
+        for (const xml::Node* c = node->first_child; c != nullptr;
+             c = c->next_sibling) {
+          if (c->is_element() ||
+              (c->is_text() &&
+               !apply_whitespace(c->text, Whitespace::kCollapse).empty())) {
+            add_error(path, "content not allowed (empty content model)");
+            break;
+          }
+        }
+        return;
+      }
+      case ContentKind::kSimple: {
+        for (const xml::Node* c = node->first_child; c != nullptr;
+             c = c->next_sibling) {
+          if (c->is_element()) {
+            add_error(path, "element '" + std::string(c->qname) +
+                                "' not allowed in simple content");
+            return;
+          }
+        }
+        if (type->simple_content != nullptr) {
+          std::string error;
+          if (!type->simple_content->validate(node->text_content(),
+                                              &error)) {
+            add_error(path, error);
+          }
+        }
+        return;
+      }
+      case ContentKind::kElementOnly:
+      case ContentKind::kMixed:
+        break;
+    }
+
+    // Element-only: flag non-whitespace text.
+    if (type->content == ContentKind::kElementOnly) {
+      for (const xml::Node* c = node->first_child; c != nullptr;
+           c = c->next_sibling) {
+        if (c->is_text() &&
+            !apply_whitespace(c->text, Whitespace::kCollapse).empty()) {
+          add_error(path, "text not allowed in element-only content");
+          break;
+        }
+      }
+    }
+
+    // Gather child elements and match against the content model.
+    std::vector<const xml::Node*> children;
+    std::vector<detail::ContentAutomaton::Symbol> symbols;
+    for (const xml::Node* c = node->first_child; c != nullptr;
+         c = c->next_sibling) {
+      probe::branch(kChildSite, c->is_element());
+      if (!c->is_element()) continue;
+      children.push_back(c);
+      symbols.push_back(
+          detail::ContentAutomaton::Symbol{c->ns_uri, c->local});
+    }
+
+    std::vector<const ElementDecl*> matched;
+    std::size_t error_index = 0;
+    std::string expected;
+    bool ok;
+    if (!type->particle.has_value()) {
+      ok = children.empty();
+      if (!ok) {
+        error_index = 0;
+        expected = "(no children declared)";
+      }
+    } else if (type->particle->kind == ParticleKind::kAll) {
+      ok = detail::match_all_group(*type->particle, symbols, &matched,
+                                   &error_index, &expected);
+    } else {
+      XAON_CHECK_MSG(type->automaton != nullptr,
+                     "Schema::finalize() not called");
+      ok = type->automaton->match(symbols, &matched, &error_index,
+                                  &expected);
+    }
+    if (!ok) {
+      if (error_index < children.size()) {
+        add_error(child_path(path, children, error_index),
+                  "unexpected element '" +
+                      std::string(children[error_index]->qname) +
+                      "' (expected: " + expected + ")");
+      } else {
+        add_error(path, "content ended too soon (expected: " + expected +
+                            ")");
+      }
+      // Recurse into the children that did match so nested errors still
+      // surface.
+    }
+    const std::size_t recurse_count =
+        ok ? children.size() : matched.size();
+    for (std::size_t i = 0; i < recurse_count && !capped(); ++i) {
+      element(children[i], matched[i], child_path(path, children, i));
+    }
+  }
+
+  static std::string child_path(const std::string& parent,
+                                const std::vector<const xml::Node*>& children,
+                                std::size_t index) {
+    // 1-based position among same-named siblings, XPath style.
+    std::size_t pos = 1;
+    for (std::size_t j = 0; j < index; ++j) {
+      if (children[j]->qname == children[index]->qname) ++pos;
+    }
+    return parent + "/" + std::string(children[index]->qname) + "[" +
+           std::to_string(pos) + "]";
+  }
+
+  const Schema& schema_;
+  std::size_t max_errors_;
+  ValidationResult* result_;
+};
+
+}  // namespace
+
+ValidationResult Validator::validate(const xml::Document& doc) const {
+  ValidationResult result;
+  const xml::Node* root = doc.root();
+  if (root == nullptr) {
+    result.errors.push_back(ValidationError{"/", "document has no root"});
+    return result;
+  }
+  const ElementDecl* decl =
+      schema_.find_global_element(root->ns_uri, root->local);
+  if (decl == nullptr) {
+    result.errors.push_back(ValidationError{
+        "/" + std::string(root->qname),
+        "no global element declaration for root '" +
+            std::string(root->qname) + "'"});
+    return result;
+  }
+  Walker walker(schema_, max_errors_, &result);
+  walker.element(root, decl, "/" + std::string(root->qname));
+  return result;
+}
+
+ValidationResult Validator::validate_element(const xml::Node* element,
+                                             const ElementDecl* decl) const {
+  ValidationResult result;
+  XAON_CHECK(element != nullptr && decl != nullptr);
+  Walker walker(schema_, max_errors_, &result);
+  walker.element(element, decl, "/" + std::string(element->qname));
+  return result;
+}
+
+}  // namespace xaon::xsd

@@ -1,0 +1,117 @@
+#include "xaon/aon/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xaon/http/parser.hpp"
+#include "xaon/xml/parser.hpp"
+#include "xaon/xpath/xpath.hpp"
+#include "xaon/xsd/loader.hpp"
+#include "xaon/xsd/validator.hpp"
+
+namespace xaon::aon {
+namespace {
+
+TEST(Messages, DefaultMessageIsNearAonbenchSize) {
+  const std::string msg = make_order_message();
+  // AONBench specifies 5 KB messages (paper §3.2.1).
+  EXPECT_GT(msg.size(), 4u * 1024u);
+  EXPECT_LT(msg.size(), 6u * 1024u);
+}
+
+TEST(Messages, MessageIsWellFormedSoap) {
+  auto parsed = xml::parse(make_order_message());
+  ASSERT_TRUE(parsed.ok) << parsed.error.to_string();
+  const xml::Node* root = parsed.document.root();
+  EXPECT_EQ(root->local, "Envelope");
+  EXPECT_EQ(root->ns_uri, "http://schemas.xmlsoap.org/soap/envelope/");
+  ASSERT_NE(root->child_element("Body"), nullptr);
+  EXPECT_EQ(root->child_element("Body")->first_child_element()->qname,
+            "order");
+}
+
+TEST(Messages, QuantityControlsCbrKey) {
+  MessageSpec spec;
+  spec.quantity = 1;
+  auto one = xml::parse(make_order_message(spec));
+  ASSERT_TRUE(one.ok);
+  auto q = xpath::XPath::compile("//quantity/text() = '1'");
+  EXPECT_TRUE(q.test(one.document.root()));
+
+  spec.quantity = 7;
+  auto seven = xml::parse(make_order_message(spec));
+  ASSERT_TRUE(seven.ok);
+  EXPECT_FALSE(q.test(seven.document.root()));
+}
+
+TEST(Messages, SeedVariesContent) {
+  MessageSpec a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(make_order_message(a), make_order_message(b));
+  EXPECT_EQ(make_order_message(a), make_order_message(a));  // deterministic
+}
+
+TEST(Messages, PayloadValidatesAgainstShippedSchema) {
+  auto loaded = xsd::load_schema(order_schema_xsd());
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  auto parsed = xml::parse(make_order_message());
+  ASSERT_TRUE(parsed.ok);
+  const xml::Node* payload =
+      parsed.document.root()->child_element("Body")->first_child_element();
+  const xsd::ElementDecl* decl =
+      loaded.schema.find_global_element(payload->ns_uri, payload->local);
+  ASSERT_NE(decl, nullptr);
+  xsd::Validator validator(loaded.schema);
+  const auto result = validator.validate_element(payload, decl);
+  EXPECT_TRUE(result.valid()) << result.to_string();
+}
+
+TEST(Messages, InvalidSpecFailsValidation) {
+  MessageSpec spec;
+  spec.valid_for_schema = false;  // quantity 0 violates positiveInteger
+  auto loaded = xsd::load_schema(order_schema_xsd());
+  ASSERT_TRUE(loaded.ok);
+  auto parsed = xml::parse(make_order_message(spec));
+  ASSERT_TRUE(parsed.ok);
+  const xml::Node* payload =
+      parsed.document.root()->child_element("Body")->first_child_element();
+  xsd::Validator validator(loaded.schema);
+  const auto result = validator.validate_element(
+      payload,
+      loaded.schema.find_global_element(payload->ns_uri, payload->local));
+  EXPECT_FALSE(result.valid());
+}
+
+TEST(Messages, ItemCountRespected) {
+  MessageSpec spec;
+  spec.items = 5;
+  auto parsed = xml::parse(make_order_message(spec));
+  ASSERT_TRUE(parsed.ok);
+  auto items = xpath::XPath::compile("count(//item)");
+  EXPECT_DOUBLE_EQ(items.number(parsed.document.root()), 5.0);
+}
+
+TEST(Messages, WireFormParsesAsHttpPost) {
+  const std::string wire = make_post_wire();
+  http::RequestParser parser;
+  EXPECT_EQ(parser.feed(wire), wire.size());
+  ASSERT_TRUE(parser.done()) << parser.error();
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().headers.get("Content-Type"),
+            "text/xml; charset=utf-8");
+  EXPECT_TRUE(parser.request().headers.has("SOAPAction"));
+  auto body = xml::parse(parser.request().body);
+  EXPECT_TRUE(body.ok);
+}
+
+TEST(Messages, TargetBytesScalesMessage) {
+  MessageSpec spec;
+  spec.target_bytes = 20 * 1024;
+  const std::string msg = make_order_message(spec);
+  EXPECT_GT(msg.size(), 18u * 1024u);
+  EXPECT_LT(msg.size(), 22u * 1024u);
+  EXPECT_TRUE(xml::parse(msg).ok);
+}
+
+}  // namespace
+}  // namespace xaon::aon

@@ -1,0 +1,78 @@
+#include "xaon/aon/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xaon/aon/messages.hpp"
+
+namespace xaon::aon {
+namespace {
+
+std::vector<std::string> mixed_wires() {
+  std::vector<std::string> wires;
+  for (int i = 0; i < 4; ++i) {
+    MessageSpec spec;
+    spec.seed = static_cast<std::uint64_t>(i) + 1;
+    spec.quantity = (i % 2 == 0) ? 1 : 3;
+    wires.push_back(make_post_wire(spec));
+  }
+  return wires;
+}
+
+TEST(Server, ProcessesEveryMessage) {
+  ServerConfig config;
+  config.use_case = UseCase::kForwardRequest;
+  config.workers = 2;
+  Server server(config);
+  const LoadResult result = server.run_load(mixed_wires(), 500);
+  EXPECT_EQ(result.messages, 500u);
+  EXPECT_EQ(result.routed_primary, 500u);  // FR forwards everything
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_GT(result.messages_per_second(), 0.0);
+}
+
+TEST(Server, CbrSplitsRoutes) {
+  ServerConfig config;
+  config.use_case = UseCase::kContentBasedRouting;
+  config.workers = 2;
+  Server server(config);
+  // Wires alternate quantity 1 / 3 -> half primary, half error.
+  const LoadResult result = server.run_load(mixed_wires(), 400);
+  EXPECT_EQ(result.messages, 400u);
+  EXPECT_EQ(result.routed_primary, 200u);
+  EXPECT_EQ(result.routed_error, 200u);
+  EXPECT_EQ(result.failed, 0u);
+}
+
+TEST(Server, SvValidatesUnderLoad) {
+  ServerConfig config;
+  config.use_case = UseCase::kSchemaValidation;
+  config.workers = 3;
+  Server server(config);
+  const LoadResult result = server.run_load(mixed_wires(), 300);
+  EXPECT_EQ(result.messages, 300u);
+  EXPECT_EQ(result.routed_primary, 300u);  // all wires schema-valid
+  EXPECT_EQ(result.failed, 0u);
+}
+
+TEST(Server, SingleWorkerWorks) {
+  ServerConfig config;
+  config.use_case = UseCase::kForwardRequest;
+  config.workers = 1;
+  Server server(config);
+  const LoadResult result = server.run_load(mixed_wires(), 100);
+  EXPECT_EQ(result.messages, 100u);
+}
+
+TEST(Server, ManyWorkersNoMessageLoss) {
+  ServerConfig config;
+  config.use_case = UseCase::kContentBasedRouting;
+  config.workers = 8;
+  config.queue_capacity = 16;  // force backpressure
+  Server server(config);
+  const LoadResult result = server.run_load(mixed_wires(), 2000);
+  EXPECT_EQ(result.messages, 2000u);
+  EXPECT_EQ(result.routed_primary + result.routed_error, 2000u);
+}
+
+}  // namespace
+}  // namespace xaon::aon

@@ -1,0 +1,108 @@
+#include "xaon/crypto/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xaon::crypto {
+namespace {
+
+std::string hex_of(std::string_view data) {
+  return to_hex(Sha1::hash(data));
+}
+
+// FIPS 180-1 / RFC 3174 test vectors.
+TEST(Sha1, Rfc3174Vectors) {
+  EXPECT_EQ(hex_of("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(hex_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(hex_of(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 sha;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) sha.update(chunk);
+  EXPECT_EQ(to_hex(sha.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, StreamingEqualsOneShot) {
+  const std::string data =
+      "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(hex_of(data), "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+  // Split at every position: identical digest.
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    Sha1 sha;
+    sha.update(std::string_view(data).substr(0, split));
+    sha.update(std::string_view(data).substr(split));
+    EXPECT_EQ(to_hex(sha.finish()),
+              "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12")
+        << "split at " << split;
+  }
+}
+
+TEST(Sha1, BlockBoundaryLengths) {
+  // Lengths straddling the 64-byte block and 56-byte padding boundary.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string data(n, 'x');
+    Sha1 a;
+    a.update(data);
+    const auto one = a.finish();
+    Sha1 b;
+    for (char c : data) b.update(std::string_view(&c, 1));
+    EXPECT_EQ(to_hex(one), to_hex(b.finish())) << n;
+  }
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 sha;
+  sha.update("first");
+  (void)sha.finish();
+  sha.reset();
+  sha.update("abc");
+  EXPECT_EQ(to_hex(sha.finish()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+// RFC 2202 HMAC-SHA1 test vectors.
+TEST(HmacSha1, Rfc2202Vectors) {
+  EXPECT_EQ(to_hex(hmac_sha1(std::string(20, '\x0b'), "Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+  EXPECT_EQ(to_hex(hmac_sha1("Jefe", "what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+  EXPECT_EQ(to_hex(hmac_sha1(std::string(20, '\xaa'),
+                             std::string(50, '\xdd'))),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+  // Key longer than one block (RFC 2202 case 6).
+  EXPECT_EQ(to_hex(hmac_sha1(
+                std::string(80, '\xaa'),
+                "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha1, KeySensitivity) {
+  const auto a = hmac_sha1("key-a", "message");
+  const auto b = hmac_sha1("key-b", "message");
+  EXPECT_NE(to_hex(a), to_hex(b));
+}
+
+TEST(Digest, ConstantTimeEqual) {
+  const auto a = Sha1::hash("x");
+  auto b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b[19] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+TEST(Digest, HexFormat) {
+  const auto d = Sha1::hash("abc");
+  const std::string hex = to_hex(d);
+  EXPECT_EQ(hex.size(), 40u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+}  // namespace
+}  // namespace xaon::crypto

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xaon/http/message.hpp"
+#include "xaon/http/parser.hpp"
+
+namespace xaon::http {
+namespace {
+
+// --- HeaderMap ---
+
+TEST(HeaderMap, CaseInsensitiveLookup) {
+  HeaderMap h;
+  h.add("Content-Type", "text/xml");
+  EXPECT_EQ(h.get("content-type"), "text/xml");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/xml");
+  EXPECT_FALSE(h.get("Content-Length").has_value());
+}
+
+TEST(HeaderMap, MultiValue) {
+  HeaderMap h;
+  h.add("Via", "proxy-a");
+  h.add("Via", "proxy-b");
+  EXPECT_EQ(h.get("via"), "proxy-a");  // first
+  auto all = h.get_all("Via");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[1], "proxy-b");
+}
+
+TEST(HeaderMap, SetReplacesAll) {
+  HeaderMap h;
+  h.add("X", "1");
+  h.add("X", "2");
+  h.set("x", "3");
+  EXPECT_EQ(h.get_all("X").size(), 1u);
+  EXPECT_EQ(h.get("X"), "3");
+}
+
+TEST(HeaderMap, Remove) {
+  HeaderMap h;
+  h.add("A", "1");
+  h.add("a", "2");
+  h.add("B", "3");
+  EXPECT_EQ(h.remove("A"), 2u);
+  EXPECT_FALSE(h.has("A"));
+  EXPECT_TRUE(h.has("B"));
+  EXPECT_EQ(h.remove("A"), 0u);
+}
+
+// --- RequestParser ---
+
+TEST(RequestParser, SimpleGet) {
+  RequestParser p;
+  const std::string raw = "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n";
+  EXPECT_EQ(p.feed(raw), raw.size());
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().method, "GET");
+  EXPECT_EQ(p.request().target, "/index.html");
+  EXPECT_EQ(p.request().version, "HTTP/1.1");
+  EXPECT_EQ(p.request().headers.get("Host"), "x");
+  EXPECT_TRUE(p.request().body.empty());
+}
+
+TEST(RequestParser, PostWithContentLength) {
+  RequestParser p;
+  const std::string raw =
+      "POST /xml HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+  EXPECT_EQ(p.feed(raw), raw.size());
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().body, "hello world");
+  EXPECT_EQ(p.request().content_length(), 11u);
+}
+
+TEST(RequestParser, IncrementalByteAtATime) {
+  RequestParser p;
+  const std::string raw =
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\nX-Y: z\r\n\r\nabc";
+  for (char c : raw) {
+    ASSERT_FALSE(p.failed()) << p.error();
+    p.feed(std::string_view(&c, 1));
+  }
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().body, "abc");
+  EXPECT_EQ(p.request().headers.get("X-Y"), "z");
+}
+
+TEST(RequestParser, PipelinedMessagesLeaveTrailingBytes) {
+  RequestParser p;
+  const std::string two =
+      "GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\n";
+  const std::size_t consumed = p.feed(two);
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().target, "/1");
+  EXPECT_LT(consumed, two.size());
+  Request first = p.take_request();
+  EXPECT_EQ(p.feed(std::string_view(two).substr(consumed)),
+            two.size() - consumed);
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().target, "/2");
+}
+
+TEST(RequestParser, ChunkedBody) {
+  RequestParser p;
+  const std::string raw =
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+  EXPECT_EQ(p.feed(raw), raw.size());
+  ASSERT_TRUE(p.done()) << p.error();
+  EXPECT_EQ(p.request().body, "hello world");
+}
+
+TEST(RequestParser, ChunkedWithExtensionsAndTrailers) {
+  RequestParser p;
+  const std::string raw =
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3;ext=1\r\nabc\r\n0\r\nX-Trailer: v\r\n\r\n";
+  p.feed(raw);
+  ASSERT_TRUE(p.done()) << p.error();
+  EXPECT_EQ(p.request().body, "abc");
+}
+
+TEST(RequestParser, LfOnlyLineEndingsTolerated) {
+  RequestParser p;
+  const std::string raw = "GET / HTTP/1.1\nHost: h\n\n";
+  p.feed(raw);
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().headers.get("Host"), "h");
+}
+
+struct BadRequestCase {
+  const char* name;
+  const char* raw;
+};
+
+class RequestParserRejects
+    : public ::testing::TestWithParam<BadRequestCase> {};
+
+TEST_P(RequestParserRejects, Rejects) {
+  RequestParser p;
+  p.feed(GetParam().raw);
+  EXPECT_TRUE(p.failed()) << GetParam().name;
+  EXPECT_FALSE(p.error().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, RequestParserRejects,
+    ::testing::Values(
+        BadRequestCase{"no_version", "GET /\r\n\r\n"},
+        BadRequestCase{"bad_version", "GET / FTP/1.0\r\n\r\n"},
+        BadRequestCase{"extra_token", "GET / HTTP/1.1 x\r\n\r\n"},
+        BadRequestCase{"header_no_colon", "GET / HTTP/1.1\r\nbad\r\n\r\n"},
+        BadRequestCase{"space_in_name",
+                       "GET / HTTP/1.1\r\nBad Name: v\r\n\r\n"},
+        BadRequestCase{"bad_content_length",
+                       "POST / HTTP/1.1\r\nContent-Length: ab\r\n\r\n"},
+        BadRequestCase{"bad_chunk_size",
+                       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                       "\r\nZZ\r\n"}),
+    [](const ::testing::TestParamInfo<BadRequestCase>& info) {
+      return info.param.name;
+    });
+
+TEST(RequestParser, BodyLimitEnforced) {
+  RequestParser p;
+  p.set_max_body(10);
+  p.feed("POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world");
+  EXPECT_TRUE(p.failed());
+  EXPECT_NE(p.error().find("limit"), std::string::npos);
+}
+
+TEST(RequestParser, ResetEnablesReuse) {
+  RequestParser p;
+  p.feed("GET /a HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(p.done());
+  p.reset();
+  p.feed("GET /b HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.request().target, "/b");
+}
+
+// --- ResponseParser ---
+
+TEST(ResponseParser, SimpleResponse) {
+  ResponseParser p;
+  const std::string raw =
+      "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi";
+  EXPECT_EQ(p.feed(raw), raw.size());
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.response().status, 200);
+  EXPECT_EQ(p.response().reason, "OK");
+  EXPECT_EQ(p.response().body, "hi");
+}
+
+TEST(ResponseParser, MultiWordReason) {
+  ResponseParser p;
+  p.feed("HTTP/1.1 404 Not Found\r\n\r\n");
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.response().status, 404);
+  EXPECT_EQ(p.response().reason, "Not Found");
+}
+
+TEST(ResponseParser, MissingReasonTolerated) {
+  ResponseParser p;
+  p.feed("HTTP/1.1 204\r\n\r\n");
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.response().status, 204);
+}
+
+TEST(ResponseParser, RejectsBadStatus) {
+  ResponseParser p;
+  p.feed("HTTP/1.1 abc OK\r\n\r\n");
+  EXPECT_TRUE(p.failed());
+  ResponseParser p2;
+  p2.feed("HTTP/1.1 99 Low\r\n\r\n");
+  EXPECT_TRUE(p2.failed());
+}
+
+// --- Serialization ---
+
+TEST(Writer, RequestRoundtrip) {
+  Request req;
+  req.method = "POST";
+  req.target = "/service";
+  req.headers.add("Host", "aon.example");
+  req.headers.add("Content-Type", "text/xml");
+  req.body = "<m/>";
+  const std::string wire = write_request(req);
+
+  RequestParser p;
+  EXPECT_EQ(p.feed(wire), wire.size());
+  ASSERT_TRUE(p.done()) << p.error();
+  EXPECT_EQ(p.request().method, "POST");
+  EXPECT_EQ(p.request().body, "<m/>");
+  EXPECT_EQ(p.request().headers.get("Content-Type"), "text/xml");
+  EXPECT_EQ(p.request().content_length(), 4u);
+}
+
+TEST(Writer, ResponseRoundtrip) {
+  Response resp;
+  resp.status = 502;
+  resp.reason = "";
+  resp.body = "upstream gone";
+  const std::string wire = write_response(resp);
+  EXPECT_NE(wire.find("502 Bad Gateway"), std::string::npos);
+
+  ResponseParser p;
+  p.feed(wire);
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.response().status, 502);
+  EXPECT_EQ(p.response().body, "upstream gone");
+}
+
+TEST(Writer, ContentLengthCorrected) {
+  Request req;
+  req.method = "POST";
+  req.headers.add("Content-Length", "999");  // wrong on purpose
+  req.body = "abc";
+  const std::string wire = write_request(req);
+  EXPECT_NE(wire.find("Content-Length: 3"), std::string::npos);
+  EXPECT_EQ(wire.find("999"), std::string::npos);
+}
+
+TEST(Writer, TransferEncodingStripped) {
+  Request req;
+  req.method = "POST";
+  req.headers.add("Transfer-Encoding", "chunked");
+  req.body = "abc";
+  const std::string wire = write_request(req);
+  EXPECT_EQ(wire.find("Transfer-Encoding"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 3"), std::string::npos);
+}
+
+TEST(Message, WantsClose) {
+  Request req;
+  req.version = "HTTP/1.1";
+  EXPECT_FALSE(req.wants_close());
+  req.headers.add("Connection", "close");
+  EXPECT_TRUE(req.wants_close());
+
+  Request old;
+  old.version = "HTTP/1.0";
+  EXPECT_TRUE(old.wants_close());
+  old.headers.add("Connection", "keep-alive");
+  EXPECT_FALSE(old.wants_close());
+}
+
+TEST(Message, ReasonPhrases) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(777), "Unknown");
+}
+
+}  // namespace
+}  // namespace xaon::http

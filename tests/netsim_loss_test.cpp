@@ -1,0 +1,119 @@
+// Lossy-link behaviour: drops, retransmission, and TCP throughput
+// degradation under loss.
+
+#include <gtest/gtest.h>
+
+#include "xaon/netsim/link.hpp"
+#include "xaon/netsim/netperf.hpp"
+#include "xaon/netsim/simulator.hpp"
+#include "xaon/netsim/tcp.hpp"
+
+namespace xaon::netsim {
+namespace {
+
+TEST(LossyLink, DropsApproximatelyAtRate) {
+  Simulator sim;
+  LinkConfig cfg = Link::gigabit_ethernet();
+  cfg.loss_rate = 0.1;
+  Link link(sim, cfg);
+  int delivered = 0;
+  int dropped = 0;
+  for (int i = 0; i < 2000; ++i) {
+    link.transmit(
+        100, [&](std::uint32_t) { ++delivered; },
+        [&](std::uint32_t) { ++dropped; });
+  }
+  sim.run();
+  EXPECT_EQ(delivered + dropped, 2000);
+  EXPECT_NEAR(static_cast<double>(dropped) / 2000.0, 0.1, 0.03);
+  EXPECT_EQ(link.stats().dropped_frames, static_cast<std::uint64_t>(dropped));
+}
+
+TEST(LossyLink, LosslessDefaultNeverDrops) {
+  Simulator sim;
+  Link link(sim, Link::gigabit_ethernet());
+  int dropped = 0;
+  for (int i = 0; i < 500; ++i) {
+    link.transmit(100, [](std::uint32_t) {},
+                  [&](std::uint32_t) { ++dropped; });
+  }
+  sim.run();
+  EXPECT_EQ(dropped, 0);
+}
+
+TEST(LossyLink, DeterministicDropPattern) {
+  auto run_once = [] {
+    Simulator sim;
+    LinkConfig cfg = Link::gigabit_ethernet();
+    cfg.loss_rate = 0.2;
+    Link link(sim, cfg);
+    std::vector<int> outcomes;
+    for (int i = 0; i < 100; ++i) {
+      link.transmit(
+          64, [&, i](std::uint32_t) { outcomes.push_back(i); },
+          [](std::uint32_t) {});
+    }
+    sim.run();
+    return outcomes;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TcpLoss, AllBytesDeliveredDespiteLoss) {
+  Simulator sim;
+  LinkConfig lossy = Link::gigabit_ethernet();
+  lossy.loss_rate = 0.02;
+  Link data(sim, lossy);
+  Link acks(sim, Link::gigabit_ethernet());
+  TcpStream stream(sim, data, acks, TcpConfig{});
+  stream.send(4 * 1024 * 1024);
+  sim.run();
+  EXPECT_EQ(stream.delivered(), 4u * 1024u * 1024u);
+  EXPECT_TRUE(stream.idle());
+  EXPECT_GT(stream.stats().retransmits, 0u);
+}
+
+TEST(TcpLoss, LostAcksAlsoRecovered) {
+  Simulator sim;
+  Link data(sim, Link::gigabit_ethernet());
+  LinkConfig lossy = Link::gigabit_ethernet();
+  lossy.loss_rate = 0.05;
+  Link acks(sim, lossy);
+  TcpStream stream(sim, data, acks, TcpConfig{});
+  stream.send(1024 * 1024);
+  sim.run();
+  EXPECT_EQ(stream.delivered(), 1024u * 1024u);
+  EXPECT_TRUE(stream.idle());
+}
+
+TEST(TcpLoss, ThroughputDegradesWithLossRate) {
+  auto goodput_at = [](double loss) {
+    LinkConfig cfg = Link::gigabit_ethernet();
+    cfg.loss_rate = loss;
+    return run_tcp_stream(cfg, TcpConfig{}, 8 * 1024 * 1024).goodput_mbps;
+  };
+  const double clean = goodput_at(0.0);
+  const double light = goodput_at(0.005);
+  const double heavy = goodput_at(0.05);
+  EXPECT_GT(clean, light);
+  EXPECT_GT(light, heavy);
+  EXPECT_LT(heavy, 0.5 * clean);  // 5% loss is crippling for Reno-style TCP
+}
+
+TEST(TcpLoss, WindowCollapsesOnLoss) {
+  Simulator sim;
+  LinkConfig lossy = Link::gigabit_ethernet();
+  lossy.loss_rate = 0.1;
+  Link data(sim, lossy);
+  Link acks(sim, Link::gigabit_ethernet());
+  TcpConfig cfg;
+  TcpStream stream(sim, data, acks, cfg);
+  stream.send(2 * 1024 * 1024);
+  sim.run();
+  EXPECT_EQ(stream.delivered(), 2u * 1024u * 1024u);
+  // Heavy loss keeps the window far below the receive window.
+  EXPECT_LT(stream.stats().cwnd_bytes, cfg.rwnd_bytes / 2);
+}
+
+}  // namespace
+}  // namespace xaon::netsim

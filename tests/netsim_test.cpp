@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xaon/netsim/link.hpp"
+#include "xaon/netsim/netperf.hpp"
+#include "xaon/netsim/simulator.hpp"
+#include "xaon/netsim/tcp.hpp"
+
+namespace xaon::netsim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimesFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] {
+    ++fired;
+    sim.after(5, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 15);
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(100, [&] { ++fired; });
+  sim.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SchedulingIntoPastAborts) {
+  Simulator sim;
+  sim.at(100, [] {});
+  sim.run();
+  EXPECT_DEATH(sim.at(50, [] {}), "past");
+}
+
+TEST(CpuResource, SerializesWork) {
+  CpuResource cpu;
+  EXPECT_EQ(cpu.acquire(0, 100), 100);
+  EXPECT_EQ(cpu.acquire(50, 100), 200);   // queued behind first
+  EXPECT_EQ(cpu.acquire(500, 100), 600);  // idle gap
+  EXPECT_EQ(cpu.busy_total(), 300);
+}
+
+TEST(Link, SerializationAndLatency) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.latency_ns = 1000;
+  cfg.frame_overhead_bytes = 0;
+  Link link(sim, cfg);
+  SimTime arrival = 0;
+  link.transmit(1250, [&](std::uint32_t) { arrival = sim.now(); });
+  sim.run();
+  // 1250 B at 1 Gbps = 10 us serialize + 1 us latency.
+  EXPECT_EQ(arrival, 10000 + 1000);
+}
+
+TEST(Link, BackToBackFramesQueue) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.latency_ns = 0;
+  cfg.frame_overhead_bytes = 0;
+  Link link(sim, cfg);
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    link.transmit(1250, [&](std::uint32_t) { arrivals.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 10000);
+  EXPECT_EQ(arrivals[1], 20000);  // serialized after the first
+  EXPECT_EQ(arrivals[2], 30000);
+  EXPECT_EQ(link.stats().frames, 3u);
+  EXPECT_EQ(link.stats().payload_bytes, 3750u);
+}
+
+TEST(Link, MtuEnforced) {
+  Simulator sim;
+  Link link(sim, Link::gigabit_ethernet());
+  EXPECT_DEATH(link.transmit(2000, [](std::uint32_t) {}), "MTU");
+}
+
+TEST(Tcp, DeliversAllBytes) {
+  Simulator sim;
+  Link data(sim, Link::gigabit_ethernet());
+  Link acks(sim, Link::gigabit_ethernet());
+  TcpStream stream(sim, data, acks, TcpConfig{});
+  std::uint64_t received = 0;
+  stream.set_on_deliver([&](std::uint32_t b) { received += b; });
+  stream.send(1'000'000);
+  sim.run();
+  EXPECT_EQ(received, 1'000'000u);
+  EXPECT_EQ(stream.delivered(), 1'000'000u);
+  EXPECT_TRUE(stream.idle());
+  EXPECT_EQ(stream.stats().acks_received, stream.stats().segments_sent);
+}
+
+TEST(Tcp, SlowStartGrowsWindow) {
+  Simulator sim;
+  Link data(sim, Link::gigabit_ethernet());
+  Link acks(sim, Link::gigabit_ethernet());
+  TcpConfig cfg;
+  cfg.initial_cwnd_segments = 2;
+  TcpStream stream(sim, data, acks, cfg);
+  stream.send(2'000'000);
+  sim.run();
+  EXPECT_GT(stream.stats().cwnd_bytes, 2 * cfg.mss);
+}
+
+TEST(Netperf, GigabitEndToEndSaturatesAt94Percent) {
+  // The paper's Figure 2: all configurations reach ~936-940 Mbps on
+  // GigE because TCP/IP + Ethernet framing caps goodput at ~94%.
+  auto result = run_tcp_stream(Link::gigabit_ethernet(), TcpConfig{},
+                               64 * 1024 * 1024);
+  EXPECT_GT(result.goodput_mbps, 900.0);
+  EXPECT_LT(result.goodput_mbps, 950.0);
+  EXPECT_EQ(result.bytes_delivered, 64u * 1024u * 1024u);
+}
+
+TEST(Netperf, CpuBoundWhenHostIsSlow) {
+  // Slow host: 20 us of CPU per segment caps throughput far below
+  // the wire rate.
+  TcpConfig cfg;
+  cfg.sender_cpu_ns_per_segment = 20'000;
+  CpuResource cpu;
+  auto result = run_tcp_stream(Link::gigabit_ethernet(), cfg,
+                               16 * 1024 * 1024, &cpu, nullptr);
+  // 1460 B / 20 us = 584 Mbps ceiling.
+  EXPECT_LT(result.goodput_mbps, 600.0);
+  EXPECT_GT(result.goodput_mbps, 400.0);
+}
+
+TEST(Netperf, LoopbackSharedCpuIsTheBottleneck) {
+  // Loopback: netperf and netserver share one CPU; the wire is nearly
+  // free. Throughput = f(CPU per byte), not f(bandwidth).
+  TcpConfig cfg;
+  cfg.mss = 16384;  // loopback large MTU
+  cfg.sender_cpu_ns_per_byte = 0.05;
+  cfg.receiver_cpu_ns_per_byte = 0.05;
+  CpuResource cpu;
+  auto result = run_tcp_stream(Link::loopback(), cfg, 64 * 1024 * 1024,
+                               &cpu, &cpu);
+  // 0.1 ns/B combined -> ~80 Gbps ceiling; must be far above GigE yet
+  // at or below the CPU ceiling (well under the 100 Gbps "wire").
+  EXPECT_GT(result.goodput_mbps, 10'000.0);
+  EXPECT_LT(result.goodput_mbps, 81'000.0);
+}
+
+TEST(Netperf, FasterCpuFasterLoopback) {
+  auto run_with = [](double ns_per_byte) {
+    TcpConfig cfg;
+    cfg.mss = 16384;
+    cfg.sender_cpu_ns_per_byte = ns_per_byte;
+    cfg.receiver_cpu_ns_per_byte = ns_per_byte;
+    CpuResource cpu;
+    return run_tcp_stream(Link::loopback(), cfg, 16 * 1024 * 1024, &cpu,
+                          &cpu)
+        .goodput_mbps;
+  };
+  EXPECT_GT(run_with(0.05), run_with(0.2));
+}
+
+TEST(Netperf, DeterministicResults) {
+  auto a = run_tcp_stream(Link::gigabit_ethernet(), TcpConfig{},
+                          8 * 1024 * 1024);
+  auto b = run_tcp_stream(Link::gigabit_ethernet(), TcpConfig{},
+                          8 * 1024 * 1024);
+  EXPECT_EQ(a.duration_ns, b.duration_ns);
+  EXPECT_DOUBLE_EQ(a.goodput_mbps, b.goodput_mbps);
+}
+
+}  // namespace
+}  // namespace xaon::netsim

@@ -1,0 +1,152 @@
+// Integration tests over the experiment runner: small configurations of
+// the full paper campaigns, asserting the headline *shapes* (not
+// absolute values) hold end to end.
+
+#include "xaon/perf/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xaon/perf/report.hpp"
+
+namespace xaon::perf {
+namespace {
+
+/// Small-but-meaningful config shared by the AON shape tests (real
+/// benches use the full per-use-case defaults).
+AonExperimentConfig quick_config() {
+  AonExperimentConfig config;
+  // Per-use-case default message counts (footprints must exceed the L2
+  // for the streaming shapes to hold), single measured replay.
+  config.messages_per_trace = 0;
+  config.warmup_repeats = 1;
+  config.measure_repeats = 1;
+  return config;
+}
+
+class PerfExperiment : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    results_ = new std::vector<WorkloadResults>(
+        run_all_aon_experiments(quick_config()));
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+  static const WorkloadResults& sv() { return (*results_)[0]; }
+  static const WorkloadResults& cbr() { return (*results_)[1]; }
+  static const WorkloadResults& fr() { return (*results_)[2]; }
+
+  static std::vector<WorkloadResults>* results_;
+};
+
+std::vector<WorkloadResults>* PerfExperiment::results_ = nullptr;
+
+TEST_F(PerfExperiment, AllPlatformsPresent) {
+  for (const auto& w : *results_) {
+    ASSERT_EQ(w.runs.size(), 5u);
+    for (const char* n : {"1CPm", "2CPm", "1LPx", "2LPx", "2PPx"}) {
+      EXPECT_NE(w.find(n), nullptr) << n;
+      EXPECT_GT(w.find(n)->throughput, 0.0) << n;
+    }
+  }
+  EXPECT_EQ(sv().workload, "SV");
+  EXPECT_EQ(cbr().workload, "CBR");
+  EXPECT_EQ(fr().workload, "FR");
+}
+
+TEST_F(PerfExperiment, DualPhysicalScalesNearTwo) {
+  for (const auto& w : *results_) {
+    const double s = scaling(w, "1LPx", "2PPx");
+    EXPECT_GT(s, 1.8) << w.workload;
+    EXPECT_LE(s, 2.1) << w.workload;
+  }
+}
+
+TEST_F(PerfExperiment, HyperThreadingScalesLessThanPhysical) {
+  for (const auto& w : *results_) {
+    EXPECT_LT(scaling(w, "1LPx", "2LPx"), scaling(w, "1LPx", "2PPx"))
+        << w.workload;
+  }
+}
+
+TEST_F(PerfExperiment, HtScalingFallsWithCpuIntensity) {
+  // Paper Fig. 3's reverse trend: SV < FR under Hyper-Threading.
+  EXPECT_LT(scaling(sv(), "1LPx", "2LPx"), scaling(fr(), "1LPx", "2LPx"));
+}
+
+TEST_F(PerfExperiment, PentiumMOutperformsXeonPerUnit) {
+  for (const auto& w : *results_) {
+    EXPECT_GT(w.find("1CPm")->throughput, w.find("1LPx")->throughput)
+        << w.workload;
+    EXPECT_LT(w.find("1CPm")->counters.cpi(),
+              w.find("1LPx")->counters.cpi())
+        << w.workload;
+  }
+}
+
+TEST_F(PerfExperiment, BranchFrequencyUopDilution) {
+  for (const auto& w : *results_) {
+    const double ratio = w.find("1CPm")->counters.branch_frequency() /
+                         w.find("1LPx")->counters.branch_frequency();
+    EXPECT_GT(ratio, 1.5) << w.workload;
+    EXPECT_LT(ratio, 2.5) << w.workload;
+  }
+}
+
+TEST_F(PerfExperiment, ThroughputSpectrumFrFastest) {
+  for (const char* n : {"1CPm", "1LPx"}) {
+    EXPECT_GT(fr().find(n)->throughput, cbr().find(n)->throughput) << n;
+    EXPECT_GT(cbr().find(n)->throughput, sv().find(n)->throughput) << n;
+  }
+}
+
+TEST_F(PerfExperiment, ReportTableRendersAllCells) {
+  const auto table = metric_table("CPI", *results_, metric_cpi);
+  const std::string out = table.render();
+  for (const char* n : {"1CPm", "2CPm", "1LPx", "2LPx", "2PPx", "SV",
+                        "CBR", "FR"}) {
+    EXPECT_NE(out.find(n), std::string::npos) << n;
+  }
+  const auto chart = metric_chart("CPI", *results_, metric_cpi);
+  EXPECT_NE(chart.render().find("1CPm"), std::string::npos);
+}
+
+TEST(PerfNetperf, EndToEndSaturatesWire) {
+  NetperfExperimentConfig config;
+  config.measure_repeats = 1;
+  config.iterations_per_trace = 8;
+  const auto results = run_netperf_endtoend(config);
+  for (const auto& r : results.runs) {
+    EXPECT_GT(r.throughput, 900.0) << r.notation;
+    EXPECT_LT(r.throughput, 960.0) << r.notation;
+  }
+  // CPI doubles with an idle second unit.
+  EXPECT_NEAR(results.find("2PPx")->counters.cpi() /
+                  results.find("1LPx")->counters.cpi(),
+              2.0, 0.25);
+}
+
+TEST(PerfNetperf, LoopbackShapes) {
+  NetperfExperimentConfig config;
+  config.measure_repeats = 1;
+  config.iterations_per_trace = 12;
+  const auto results = run_netperf_loopback(config);
+  // Single-to-dual degradation on PM; catastrophic on dual Xeon.
+  EXPECT_LT(results.find("2CPm")->throughput,
+            results.find("1CPm")->throughput);
+  EXPECT_LT(results.find("2PPx")->throughput,
+            0.5 * results.find("1LPx")->throughput);
+  // 2PPx pays heavily in coherence/bus transactions.
+  EXPECT_GT(results.find("2PPx")->counters.coherence_invalidations +
+                results.find("2PPx")->counters.bus_transactions,
+            results.find("1LPx")->counters.bus_transactions * 2);
+}
+
+TEST(PerfScaling, HelperHandlesMissingPlatforms) {
+  WorkloadResults empty;
+  EXPECT_DOUBLE_EQ(scaling(empty, "1CPm", "2CPm"), 0.0);
+}
+
+}  // namespace
+}  // namespace xaon::perf

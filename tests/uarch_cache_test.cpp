@@ -1,0 +1,131 @@
+#include "xaon/uarch/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaon::uarch {
+namespace {
+
+TEST(Cache, HitAfterFill) {
+  Cache c(CacheConfig{1024, 64, 2});
+  EXPECT_FALSE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x13F, false).hit);   // same line
+  EXPECT_FALSE(c.access(0x140, false).hit);  // next line
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way, 64B lines, 8 sets -> lines mapping to set 0: 0, 8, 16 (x64).
+  Cache c(CacheConfig{1024, 64, 2});
+  const std::uint64_t a = 0 * 64, b = 8 * 64, d = 16 * 64;
+  c.access(a, false);
+  c.access(b, false);
+  c.access(a, false);        // a most recent
+  c.access(d, false);        // evicts b (LRU)
+  EXPECT_TRUE(c.contains(a));
+  EXPECT_FALSE(c.contains(b));
+  EXPECT_TRUE(c.contains(d));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, WritebackOnDirtyEviction) {
+  Cache c(CacheConfig{1024, 64, 2});
+  const std::uint64_t a = 0, b = 8 * 64, d = 16 * 64;
+  c.access(a, true);  // dirty
+  c.access(b, false);
+  auto r = c.access(d, false);  // evicts a (dirty)
+  EXPECT_TRUE(r.writeback);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim_line, 0u);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback) {
+  Cache c(CacheConfig{1024, 64, 2});
+  c.access(0, false);
+  c.access(8 * 64, false);
+  auto r = c.access(16 * 64, false);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty) {
+  Cache c(CacheConfig{1024, 64, 2});
+  c.access(0, false);
+  c.access(0, true);  // hit, now dirty
+  c.access(8 * 64, false);
+  auto r = c.access(16 * 64, false);
+  EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, Invalidate) {
+  Cache c(CacheConfig{1024, 64, 2});
+  c.access(0x100, true);
+  EXPECT_TRUE(c.invalidate(0x100));  // dirty
+  EXPECT_FALSE(c.contains(0x100));
+  EXPECT_FALSE(c.invalidate(0x100));  // already gone
+  c.access(0x200, false);
+  EXPECT_FALSE(c.invalidate(0x200));  // clean
+}
+
+TEST(Cache, FillDoesNotCountAccess) {
+  Cache c(CacheConfig{1024, 64, 2});
+  c.fill(0x100);
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_TRUE(c.access(0x100, false).hit);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes) {
+  Cache c(CacheConfig{4096, 64, 4});  // 4 KB
+  // Stream 64 KB twice: second pass still misses (no reuse captured).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 64) {
+      c.access(a, false);
+    }
+  }
+  EXPECT_GT(c.stats().miss_rate(), 0.95);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheHits) {
+  Cache c(CacheConfig{64 * 1024, 64, 8});
+  for (int pass = 0; pass < 10; ++pass) {
+    for (std::uint64_t a = 0; a < 4 * 1024; a += 64) {
+      c.access(a, false);
+    }
+  }
+  // Only the first pass misses.
+  EXPECT_LT(c.stats().miss_rate(), 0.11);
+}
+
+TEST(Cache, BiggerCacheNeverMissesMore) {
+  // Property: on the same trace, a 2x cache with same geometry has <=
+  // misses (LRU inclusion property holds for same-assoc doubling of
+  // sets in practice on sequential/strided traces used here).
+  CacheConfig small{8 * 1024, 64, 8};
+  CacheConfig big{16 * 1024, 64, 8};
+  Cache cs(small), cb(big);
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 20000; ++i) {
+    addr = (addr * 1103515245 + 12345) % (32 * 1024);
+    cs.access(addr, i % 7 == 0);
+    cb.access(addr, i % 7 == 0);
+  }
+  EXPECT_LE(cb.stats().misses, cs.stats().misses);
+}
+
+TEST(Cache, StatsResetKeepsContents) {
+  Cache c(CacheConfig{1024, 64, 2});
+  c.access(0x40, false);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_TRUE(c.access(0x40, false).hit);  // line still present
+}
+
+TEST(CacheConfig, SetMath) {
+  CacheConfig c{32 * 1024, 64, 8};
+  EXPECT_EQ(c.num_sets(), 64u);
+}
+
+}  // namespace
+}  // namespace xaon::uarch

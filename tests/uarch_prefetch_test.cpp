@@ -1,0 +1,127 @@
+#include "xaon/uarch/prefetch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xaon::uarch {
+namespace {
+
+PrefetchConfig enabled_config() {
+  PrefetchConfig c;
+  c.enabled = true;
+  c.streams = 4;
+  c.degree = 2;
+  c.train_hits = 2;
+  return c;
+}
+
+std::vector<std::uint64_t> observe(StreamPrefetcher& pf,
+                                   std::uint64_t line) {
+  std::vector<std::uint64_t> out;
+  pf.observe(line, &out);
+  return out;
+}
+
+TEST(Prefetcher, DisabledEmitsNothing) {
+  PrefetchConfig c;
+  c.enabled = false;
+  StreamPrefetcher pf(c);
+  for (std::uint64_t l = 0; l < 100; ++l) {
+    EXPECT_TRUE(observe(pf, l).empty());
+  }
+  EXPECT_EQ(pf.stats().issued, 0u);
+}
+
+TEST(Prefetcher, TrainsThenIssuesNextLines) {
+  StreamPrefetcher pf(enabled_config());
+  EXPECT_TRUE(observe(pf, 100).empty());  // allocate
+  EXPECT_TRUE(observe(pf, 101).empty());  // confidence 1
+  EXPECT_TRUE(observe(pf, 102).empty());  // confidence 2 -> trained
+  const auto out = observe(pf, 103);      // live: prefetch ahead
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 104u);
+  EXPECT_EQ(out[1], 105u);
+  EXPECT_EQ(pf.stats().trained, 1u);
+  EXPECT_EQ(pf.stats().issued, 2u);
+}
+
+TEST(Prefetcher, DetectsBackwardStride) {
+  StreamPrefetcher pf(enabled_config());
+  observe(pf, 500);
+  observe(pf, 499);
+  observe(pf, 498);
+  const auto out = observe(pf, 497);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 496u);
+  EXPECT_EQ(out[1], 495u);
+}
+
+TEST(Prefetcher, DetectsStrideTwo) {
+  StreamPrefetcher pf(enabled_config());
+  observe(pf, 10);
+  observe(pf, 12);
+  observe(pf, 14);
+  const auto out = observe(pf, 16);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 18u);
+  EXPECT_EQ(out[1], 20u);
+}
+
+TEST(Prefetcher, RandomAccessesStayQuiet) {
+  StreamPrefetcher pf(enabled_config());
+  std::uint64_t issued = 0;
+  std::uint64_t line = 1;
+  for (int i = 0; i < 1000; ++i) {
+    line = line * 6364136223846793005ULL + 1442695040888963407ULL;
+    issued += observe(pf, line >> 20).size();
+  }
+  // Far-apart lines never match a stream's +-4 window.
+  EXPECT_EQ(issued, 0u);
+}
+
+TEST(Prefetcher, TracksMultipleConcurrentStreams) {
+  StreamPrefetcher pf(enabled_config());
+  // Interleave two sequential streams at distant bases.
+  for (int i = 0; i < 3; ++i) {
+    observe(pf, 1000 + static_cast<std::uint64_t>(i));
+    observe(pf, 9000 + static_cast<std::uint64_t>(i));
+  }
+  const auto a = observe(pf, 1003);
+  const auto b = observe(pf, 9003);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(a[0], 1004u);
+  EXPECT_EQ(b[0], 9004u);
+}
+
+TEST(Prefetcher, LruStreamReplacement) {
+  PrefetchConfig c = enabled_config();
+  c.streams = 2;
+  StreamPrefetcher pf(c);
+  // Train stream A fully.
+  observe(pf, 100);
+  observe(pf, 101);
+  observe(pf, 102);
+  EXPECT_FALSE(observe(pf, 103).empty());
+  // Two new streams evict A (only 2 slots).
+  for (int i = 0; i < 3; ++i) {
+    observe(pf, 5000 + static_cast<std::uint64_t>(i) * 1000);
+    observe(pf, 9000 + static_cast<std::uint64_t>(i) * 1000);
+  }
+  // A must retrain before prefetching again.
+  EXPECT_TRUE(observe(pf, 104).empty());
+}
+
+TEST(Prefetcher, ResetStatsKeepsTraining) {
+  StreamPrefetcher pf(enabled_config());
+  observe(pf, 1);
+  observe(pf, 2);
+  observe(pf, 3);
+  pf.reset_stats();
+  EXPECT_EQ(pf.stats().issued, 0u);
+  EXPECT_FALSE(observe(pf, 4).empty());  // stream still live
+}
+
+}  // namespace
+}  // namespace xaon::uarch

@@ -1,0 +1,118 @@
+#include "xaon/util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace xaon::util {
+namespace {
+
+TEST(Arena, AllocateReturnsWritableMemory) {
+  Arena arena;
+  auto* p = static_cast<char*>(arena.allocate(128));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 128);
+  EXPECT_EQ(static_cast<unsigned char>(p[127]), 0xAB);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena;
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    for (int i = 0; i < 10; ++i) {
+      void* p = arena.allocate(3, align);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << "align=" << align;
+    }
+  }
+}
+
+TEST(Arena, MakeConstructsObject) {
+  struct Pod {
+    int a;
+    double b;
+  };
+  Arena arena;
+  Pod* p = arena.make<Pod>(Pod{7, 2.5});
+  EXPECT_EQ(p->a, 7);
+  EXPECT_DOUBLE_EQ(p->b, 2.5);
+}
+
+TEST(Arena, MakeArrayIsDisjoint) {
+  Arena arena;
+  int* a = arena.make_array<int>(100);
+  int* b = arena.make_array<int>(100);
+  for (int i = 0; i < 100; ++i) a[i] = i;
+  for (int i = 0; i < 100; ++i) b[i] = -i;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a[i], i);
+    EXPECT_EQ(b[i], -i);
+  }
+}
+
+TEST(Arena, LargeAllocationExceedingChunk) {
+  Arena arena(1024);  // tiny chunks
+  auto* p = static_cast<char*>(arena.allocate(100 * 1024));
+  std::memset(p, 1, 100 * 1024);
+  EXPECT_GE(arena.bytes_reserved(), 100u * 1024u);
+}
+
+TEST(Arena, ManySmallAllocationsSpanChunks) {
+  Arena arena(256);
+  std::set<void*> seen;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = arena.allocate(16, 8);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate pointer";
+  }
+  EXPECT_GT(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.bytes_allocated(), 16000u);
+}
+
+TEST(Arena, InternCopiesAndNulTerminates) {
+  Arena arena;
+  std::string original = "hello world";
+  std::string_view v = arena.intern(original);
+  original[0] = 'X';  // mutating the source must not affect the copy
+  EXPECT_EQ(v, "hello world");
+  EXPECT_EQ(v.data()[v.size()], '\0');
+}
+
+TEST(Arena, InternEmpty) {
+  Arena arena;
+  std::string_view v = arena.intern("");
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.data()[0], '\0');
+}
+
+TEST(Arena, ResetReleasesEverything) {
+  Arena arena;
+  arena.allocate(1000);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  // Usable again after reset.
+  void* p = arena.allocate(64);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  Arena a;
+  std::string_view v = a.intern("stable");
+  Arena b = std::move(a);
+  EXPECT_EQ(v, "stable");  // chunk ownership moved, data unchanged
+  EXPECT_GT(b.bytes_allocated(), 0u);
+}
+
+TEST(Arena, ZeroByteAllocationsAreDistinct) {
+  Arena arena;
+  void* p = arena.allocate(0);
+  void* q = arena.allocate(0);
+  EXPECT_NE(p, q);
+}
+
+}  // namespace
+}  // namespace xaon::util

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "xaon/util/spsc_queue.hpp"
+#include "xaon/util/thread_pool.hpp"
+
+namespace xaon::util {
+namespace {
+
+TEST(SpscQueue, FifoOrder) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscQueue, FullRejectsPush) {
+  SpscQueue<int> q(4);
+  std::size_t pushed = 0;
+  while (q.try_push(1)) ++pushed;
+  EXPECT_GE(pushed, 4u);
+  EXPECT_FALSE(q.try_push(1));
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(2));
+}
+
+TEST(SpscQueue, EmptyFlag) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  q.try_push(1);
+  EXPECT_FALSE(q.empty());
+  q.try_pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, CrossThreadTransferPreservesAllItems) {
+  SpscQueue<std::uint64_t> q(64);
+  constexpr std::uint64_t kCount = 100000;
+  std::uint64_t sum = 0;
+  std::thread consumer([&] {
+    std::uint64_t received = 0;
+    while (received < kCount) {
+      if (auto v = q.try_pop()) {
+        sum += *v;
+        ++received;
+      }
+    }
+  });
+  for (std::uint64_t i = 1; i <= kCount; ++i) {
+    while (!q.try_push(i)) {
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+}
+
+TEST(SpscQueue, MoveOnlyPayload) {
+  SpscQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(7)));
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasks) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(pool, 64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int expected = max_in_flight.load();
+      while (now > expected &&
+             !max_in_flight.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      in_flight.fetch_sub(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_GE(max_in_flight.load(), 2);
+}
+
+}  // namespace
+}  // namespace xaon::util

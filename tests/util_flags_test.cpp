@@ -1,0 +1,74 @@
+#include "xaon/util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xaon::util {
+namespace {
+
+Flags make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, EqualsForm) {
+  Flags f = make({"--name=value", "--n=7", "--x=2.5"});
+  EXPECT_EQ(f.str("name", "d", ""), "value");
+  EXPECT_EQ(f.i64("n", 0, ""), 7);
+  EXPECT_DOUBLE_EQ(f.f64("x", 0.0, ""), 2.5);
+  EXPECT_TRUE(f.unknown().empty());
+}
+
+TEST(Flags, SpaceForm) {
+  Flags f = make({"--mode", "fast", "--count", "3"});
+  EXPECT_EQ(f.str("mode", "", ""), "fast");
+  EXPECT_EQ(f.i64("count", 0, ""), 3);
+}
+
+TEST(Flags, Defaults) {
+  Flags f = make({});
+  EXPECT_EQ(f.str("missing", "fallback", ""), "fallback");
+  EXPECT_EQ(f.i64("n", -5, ""), -5);
+  EXPECT_DOUBLE_EQ(f.f64("x", 1.5, ""), 1.5);
+  EXPECT_TRUE(f.boolean("b", true, ""));
+  EXPECT_FALSE(f.boolean("c", false, ""));
+}
+
+TEST(Flags, BooleanForms) {
+  Flags f = make({"--a", "--no-b", "--c=true", "--d=false", "--e=1"});
+  EXPECT_TRUE(f.boolean("a", false, ""));
+  EXPECT_FALSE(f.boolean("b", true, ""));
+  EXPECT_TRUE(f.boolean("c", false, ""));
+  EXPECT_FALSE(f.boolean("d", true, ""));
+  EXPECT_TRUE(f.boolean("e", false, ""));
+}
+
+TEST(Flags, Positional) {
+  Flags f = make({"input.xml", "--v=1", "other.xml"});
+  f.i64("v", 0, "");
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.xml");
+  EXPECT_EQ(f.positional()[1], "other.xml");
+}
+
+TEST(Flags, UnknownDetected) {
+  Flags f = make({"--declared=1", "--typo=2"});
+  f.i64("declared", 0, "");
+  const auto unknown = f.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, HelpRequested) {
+  Flags f = make({"--help"});
+  EXPECT_TRUE(f.help_requested());
+  f.i64("n", 3, "the n");
+  const std::string usage = f.usage();
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("the n"), std::string::npos);
+  EXPECT_NE(usage.find("default: 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xaon::util

@@ -1,0 +1,115 @@
+#include "xaon/util/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace xaon::probe {
+namespace {
+
+/// Test double recording raw events.
+class CountingRecorder final : public Recorder {
+ public:
+  void on_load(const void*, std::uint32_t bytes) override {
+    loads += bytes;
+  }
+  void on_store(const void*, std::uint32_t bytes) override {
+    stores += bytes;
+  }
+  void on_branch(std::uint32_t site, bool taken) override {
+    branches.push_back({site, taken});
+  }
+  void on_alu(std::uint32_t count) override { alu += count; }
+
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t alu = 0;
+  std::vector<std::pair<std::uint32_t, bool>> branches;
+};
+
+TEST(Probe, SiteRegistrationIsIdempotent) {
+  const auto a = register_site("test.site.alpha", SiteKind::kLoop);
+  const auto b = register_site("test.site.alpha", SiteKind::kLoop);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(site_name(a), "test.site.alpha");
+  EXPECT_EQ(site_kind(a), SiteKind::kLoop);
+}
+
+TEST(Probe, DistinctNamesDistinctIds) {
+  const auto a = register_site("test.site.one", SiteKind::kData);
+  const auto b = register_site("test.site.two", SiteKind::kCall);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(site_kind(b), SiteKind::kCall);
+}
+
+TEST(Probe, NoRecorderIsNoOp) {
+  set_recorder(nullptr);
+  int x = 0;
+  load(&x, 4);
+  store(&x, 4);
+  alu(10);
+  EXPECT_TRUE(branch(0, true));
+  EXPECT_FALSE(branch(0, false));
+}
+
+TEST(Probe, EventsReachRecorder) {
+  CountingRecorder rec;
+  const auto site_id = register_site("test.site.reach", SiteKind::kData);
+  {
+    ScopedRecorder guard(&rec);
+    int x = 0;
+    load(&x, 8);
+    store(&x, 16);
+    alu(3);
+    branch(site_id, true);
+    branch(site_id, false);
+  }
+  EXPECT_EQ(rec.loads, 8u);
+  EXPECT_EQ(rec.stores, 16u);
+  EXPECT_EQ(rec.alu, 3u);
+  ASSERT_EQ(rec.branches.size(), 2u);
+  EXPECT_EQ(rec.branches[0], std::make_pair(site_id, true));
+  EXPECT_EQ(rec.branches[1], std::make_pair(site_id, false));
+}
+
+TEST(Probe, ScopedRecorderRestoresPrevious) {
+  CountingRecorder outer, inner;
+  set_recorder(&outer);
+  {
+    ScopedRecorder guard(&inner);
+    EXPECT_EQ(recorder(), &inner);
+  }
+  EXPECT_EQ(recorder(), &outer);
+  set_recorder(nullptr);
+}
+
+TEST(Probe, RecorderIsThreadLocal) {
+  CountingRecorder main_rec;
+  ScopedRecorder guard(&main_rec);
+  std::thread t([] {
+    // New thread starts with no recorder.
+    EXPECT_EQ(recorder(), nullptr);
+    int x = 0;
+    load(&x, 4);  // must not crash nor reach main_rec
+  });
+  t.join();
+  EXPECT_EQ(main_rec.loads, 0u);
+}
+
+TEST(Probe, ConcurrentRegistrationIsSafe) {
+  std::vector<std::thread> threads;
+  std::vector<std::uint32_t> ids(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([i, &ids] {
+      ids[static_cast<std::size_t>(i)] =
+          register_site("test.site.concurrent", SiteKind::kLoop);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(ids[0], ids[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace
+}  // namespace xaon::probe

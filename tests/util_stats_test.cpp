@@ -1,0 +1,112 @@
+#include "xaon/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xaon/util/rng.hpp"
+
+namespace xaon::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Xoshiro256ss rng(7);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(LogHistogram, QuantileBounds) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 1000u);
+  // Median of 1..1000 is ~500 -> bucket [512,1023] or [256,511].
+  const std::uint64_t q50 = h.quantile(0.5);
+  EXPECT_GE(q50, 255u);
+  EXPECT_LE(q50, 1023u);
+  EXPECT_GE(h.quantile(1.0), 1000u - 1);
+}
+
+TEST(LogHistogram, ZeroGoesToFirstBucket) {
+  LogHistogram h;
+  h.add(0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+}
+
+TEST(Percentile, ExactValues) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.125), 15.0);  // interpolated
+}
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Geomean, KnownValue) {
+  EXPECT_NEAR(geomean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({1.0, -2.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace xaon::util

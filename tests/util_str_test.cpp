@@ -1,0 +1,92 @@
+#include "xaon/util/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaon::util {
+namespace {
+
+TEST(Str, IEquals) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_TRUE(iequals("HTTP", "http"));
+}
+
+TEST(Str, ToLower) {
+  EXPECT_EQ(to_lower("MiXeD 123 _-"), "mixed 123 _-");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Str, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\r\nx\v\f"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(Str, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+
+  parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+
+  parts = split("x", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "x");
+}
+
+TEST(Str, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("xmlns:soap", "xmlns:"));
+  EXPECT_FALSE(starts_with("xml", "xmlns"));
+  EXPECT_TRUE(ends_with("file.xsd", ".xsd"));
+  EXPECT_FALSE(ends_with("xsd", ".xsd"));
+  EXPECT_TRUE(contains("hello world", "lo wo"));
+  EXPECT_FALSE(contains("hello", "world"));
+  EXPECT_TRUE(contains("abc", ""));
+}
+
+TEST(Str, ParseI64) {
+  EXPECT_EQ(parse_i64("0"), 0);
+  EXPECT_EQ(parse_i64("-1"), -1);
+  EXPECT_EQ(parse_i64("+42"), 42);
+  EXPECT_EQ(parse_i64("9223372036854775807"), 9223372036854775807LL);
+  EXPECT_EQ(parse_i64("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE(parse_i64("9223372036854775808").has_value());  // overflow
+  EXPECT_FALSE(parse_i64("").has_value());
+  EXPECT_FALSE(parse_i64("-").has_value());
+  EXPECT_FALSE(parse_i64("12a").has_value());
+  EXPECT_FALSE(parse_i64(" 1").has_value());
+}
+
+TEST(Str, ParseU64) {
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ULL);
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_EQ(parse_u64("007"), 7u);
+}
+
+TEST(Str, ParseF64) {
+  EXPECT_DOUBLE_EQ(parse_f64("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_f64("-1e3").value(), -1000.0);
+  EXPECT_FALSE(parse_f64("").has_value());
+  EXPECT_FALSE(parse_f64("1.2.3").has_value());
+  EXPECT_FALSE(parse_f64("abc").has_value());
+}
+
+TEST(Str, Format) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace xaon::util

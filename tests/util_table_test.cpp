@@ -1,0 +1,84 @@
+#include "xaon/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaon::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("Table X");
+  t.set_header({"Workload", "1CPm", "2CPm"});
+  t.add_row({"SV", "1.02", "1.05"});
+  t.add_row({"FR", "2.24", "2.96"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Table X"), std::string::npos);
+  EXPECT_NE(out.find("Workload"), std::string::npos);
+  EXPECT_NE(out.find("1.02"), std::string::npos);
+  EXPECT_NE(out.find("2.96"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, TsvEmission) {
+  TextTable t("T");
+  t.set_header({"w", "a"});
+  t.add_row({"r1", "5"});
+  t.set_tsv(true);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("T\tr1\ta\t5"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t("T");
+  t.set_header({"name", "v"});
+  t.add_row({"long-name-here", "1"});
+  t.add_row({"x", "22222"});
+  const std::string out = t.render();
+  // Every data line must have the same length (aligned columns).
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  int checked = 0;
+  while (start < out.size()) {
+    std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    std::string_view line(out.data() + start, end - start);
+    if (!line.empty() && line.front() == '|') {
+      if (expected == 0) expected = line.size();
+      EXPECT_EQ(line.size(), expected);
+      ++checked;
+    }
+    start = end + 1;
+  }
+  EXPECT_EQ(checked, 3);  // header + 2 rows
+}
+
+TEST(BarChart, RendersBarsProportionally) {
+  BarChart c("Fig");
+  c.set_series({"loopback"});
+  c.set_width(10);
+  c.add_group("A", {100.0});
+  c.add_group("B", {50.0});
+  const std::string out = c.render();
+  EXPECT_NE(out.find("##########"), std::string::npos);  // full bar for max
+  EXPECT_NE(out.find("100.00"), std::string::npos);
+  EXPECT_NE(out.find("50.00"), std::string::npos);
+}
+
+TEST(BarChart, MultiSeriesGroups) {
+  BarChart c("Fig");
+  c.set_series({"SV", "CBR", "FR"});
+  c.add_group("1CPm", {1.0, 2.0, 3.0});
+  c.add_group("2CPm", {1.5, 2.5, 3.5});
+  const std::string out = c.render();
+  EXPECT_NE(out.find("1CPm"), std::string::npos);
+  EXPECT_NE(out.find("CBR"), std::string::npos);
+}
+
+TEST(BarChart, ZeroValuesDoNotDivideByZero) {
+  BarChart c("Fig");
+  c.set_series({"s"});
+  c.add_group("g", {0.0});
+  EXPECT_NE(c.render().find("0.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xaon::util

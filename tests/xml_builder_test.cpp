@@ -1,0 +1,113 @@
+#include "xaon/xml/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xaon/xml/parser.hpp"
+#include "xaon/xml/writer.hpp"
+#include "xaon/xpath/xpath.hpp"
+
+namespace xaon::xml {
+namespace {
+
+TEST(Builder, MinimalDocument) {
+  Builder b("root");
+  Document doc = b.take();
+  ASSERT_NE(doc.root(), nullptr);
+  EXPECT_EQ(doc.root()->qname, "root");
+  EXPECT_EQ(doc.root()->child_count, 0u);
+}
+
+TEST(Builder, NestedStructureAndText) {
+  Builder b("order");
+  b.attribute("id", "42")
+      .child("customer").text("ACME").up()
+      .child("item")
+        .child("sku").text("AB-123").up()
+        .child("quantity").text("1").up()
+      .up();
+  Document doc = b.take();
+  const Node* order = doc.root();
+  EXPECT_EQ(order->attr("id")->value, "42");
+  EXPECT_EQ(order->child_element("customer")->text_content(), "ACME");
+  const Node* item = order->child_element("item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->child_element("quantity")->text_content(), "1");
+}
+
+TEST(Builder, SerializedOutputReparses) {
+  Builder b("a");
+  b.child("b").attribute("x", "1 & 2").text("<text>").up().comment("note");
+  Document doc = b.take();
+  WriteOptions opt;
+  opt.declaration = false;
+  const std::string out = write(doc.doc_node(), opt);
+  auto reparsed = parse(out);
+  ASSERT_TRUE(reparsed.ok) << reparsed.error.to_string();
+  EXPECT_EQ(reparsed.document.root()->child_element("b")->attr("x")->value,
+            "1 & 2");
+  EXPECT_EQ(reparsed.document.root()->child_element("b")->text_content(),
+            "<text>");
+}
+
+TEST(Builder, BuiltDomWorksWithXPath) {
+  Builder b("shop");
+  for (int i = 1; i <= 3; ++i) {
+    b.child("item").attribute("n", std::to_string(i)).up();
+  }
+  Document doc = b.take();
+  auto count = xpath::XPath::compile("count(//item)");
+  EXPECT_DOUBLE_EQ(count.number(doc.root()), 3.0);
+  auto second = xpath::XPath::compile("//item[2]/@n");
+  EXPECT_EQ(second.string(doc.root()), "2");
+}
+
+TEST(Builder, NamespaceBindingResolvesSubtree) {
+  Builder b("s:env");
+  b.namespace_binding("s", "urn:soap").child("s:body").up();
+  Document doc = b.take();
+  EXPECT_EQ(doc.root()->ns_uri, "urn:soap");  // re-resolved on binding
+  EXPECT_EQ(doc.root()->child_element("body")->ns_uri, "urn:soap");
+}
+
+TEST(Builder, DefaultNamespace) {
+  Builder b("root");
+  b.namespace_binding("", "urn:dflt").child("leaf").up();
+  Document doc = b.take();
+  EXPECT_EQ(doc.root()->ns_uri, "urn:dflt");
+  EXPECT_EQ(doc.root()->child_element("leaf")->ns_uri, "urn:dflt");
+}
+
+TEST(Builder, CDataAndDocOrder) {
+  Builder b("r");
+  b.text("a").child("e").up().cdata("raw");
+  Document doc = b.take();
+  const Node* first = doc.root()->first_child;
+  EXPECT_EQ(first->type, NodeType::kText);
+  const Node* second = first->next_sibling;
+  EXPECT_EQ(second->type, NodeType::kElement);
+  const Node* third = second->next_sibling;
+  EXPECT_EQ(third->type, NodeType::kCData);
+  EXPECT_LT(first->doc_order, second->doc_order);
+  EXPECT_LT(second->doc_order, third->doc_order);
+}
+
+TEST(Builder, UpPastRootAborts) {
+  Builder b("root");
+  EXPECT_DEATH(b.up(), "past the root");
+}
+
+TEST(Builder, DuplicateAttributeAborts) {
+  Builder b("root");
+  b.attribute("x", "1");
+  EXPECT_DEATH(b.attribute("x", "2"), "duplicate");
+}
+
+TEST(Builder, TakeAtDepthClosesImplicitly) {
+  Builder b("a");
+  b.child("b").child("c");  // cursor left deep
+  Document doc = b.take();
+  EXPECT_EQ(doc.root()->child_element("b")->child_element("c")->qname, "c");
+}
+
+}  // namespace
+}  // namespace xaon::xml

@@ -1,0 +1,120 @@
+#include "xaon/xml/dom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xaon/xml/parser.hpp"
+
+namespace xaon::xml {
+namespace {
+
+ParseResult must_parse(std::string_view s) {
+  auto r = parse(s);
+  EXPECT_TRUE(r.ok) << r.error.to_string();
+  return r;
+}
+
+TEST(Dom, ParentChildLinks) {
+  auto r = must_parse("<a><b><c/></b></a>");
+  const Node* a = r.document.root();
+  const Node* b = a->first_child;
+  const Node* c = b->first_child;
+  EXPECT_EQ(b->parent, a);
+  EXPECT_EQ(c->parent, b);
+  EXPECT_EQ(a->parent, r.document.doc_node());
+  EXPECT_EQ(a->depth, 1u);
+  EXPECT_EQ(b->depth, 2u);
+  EXPECT_EQ(c->depth, 3u);
+}
+
+TEST(Dom, SiblingLinksBothDirections) {
+  auto r = must_parse("<a><x/><y/><z/></a>");
+  const Node* x = r.document.root()->first_child;
+  const Node* y = x->next_sibling;
+  const Node* z = y->next_sibling;
+  EXPECT_EQ(z->next_sibling, nullptr);
+  EXPECT_EQ(z->prev_sibling, y);
+  EXPECT_EQ(y->prev_sibling, x);
+  EXPECT_EQ(x->prev_sibling, nullptr);
+  EXPECT_EQ(r.document.root()->last_child, z);
+}
+
+TEST(Dom, ChildElementSkipsTextAndComments) {
+  ParseOptions opt;
+  opt.keep_comments = true;
+  opt.keep_whitespace_text = true;
+  auto r = parse("<a> <!-- c --> <b/> </a>", opt);
+  ASSERT_TRUE(r.ok);
+  const Node* b = r.document.root()->first_child_element();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->qname, "b");
+  EXPECT_EQ(r.document.root()->child_element("b"), b);
+  EXPECT_EQ(r.document.root()->child_element("nope"), nullptr);
+}
+
+TEST(Dom, ChildElementMatchesLocalNameAcrossPrefixes) {
+  auto r = must_parse(R"(<a xmlns:p="urn:x"><p:b/></a>)");
+  const Node* b = r.document.root()->child_element("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->qname, "p:b");
+}
+
+TEST(Dom, NextSiblingElement) {
+  ParseOptions opt;
+  opt.keep_whitespace_text = true;
+  auto r = parse("<a><x/> text <y/></a>", opt);
+  ASSERT_TRUE(r.ok);
+  const Node* x = r.document.root()->first_child_element();
+  const Node* y = x->next_sibling_element();
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->qname, "y");
+  EXPECT_EQ(y->next_sibling_element(), nullptr);
+}
+
+TEST(Dom, TextContentRecurses) {
+  auto r = must_parse("<a>one<b>two<c>three</c></b>four</a>");
+  EXPECT_EQ(r.document.root()->text_content(), "onetwothreefour");
+}
+
+TEST(Dom, TextContentIncludesCData) {
+  auto r = must_parse("<a>x<![CDATA[ & y]]></a>");
+  EXPECT_EQ(r.document.root()->text_content(), "x & y");
+}
+
+TEST(Dom, AttrIteration) {
+  auto r = must_parse(R"(<a p="1" q="2" r="3"/>)");
+  int count = 0;
+  for (const Attr* at = r.document.root()->first_attr; at != nullptr;
+       at = at->next) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(r.document.root()->attr("q")->value, "2");
+}
+
+TEST(Dom, CountElements) {
+  auto r = must_parse("<a><b/><c><d/></c>text</a>");
+  EXPECT_EQ(count_elements(r.document.root()), 4u);
+  EXPECT_EQ(count_elements(nullptr), 0u);
+}
+
+TEST(Dom, DocumentMovePreservesTree) {
+  auto r = must_parse("<a><b>x</b></a>");
+  Document moved = std::move(r.document);
+  ASSERT_NE(moved.root(), nullptr);
+  EXPECT_EQ(moved.root()->qname, "a");
+  EXPECT_EQ(moved.root()->text_content(), "x");
+}
+
+TEST(Dom, EmptyDocumentAccessorsAreSafe) {
+  Document d;
+  EXPECT_EQ(d.doc_node(), nullptr);
+  EXPECT_EQ(d.root(), nullptr);
+}
+
+TEST(Dom, ArenaAccountsForNodes) {
+  auto r = must_parse("<a><b/><c/></a>");
+  EXPECT_GE(r.document.arena().bytes_allocated(), 3 * sizeof(Node));
+}
+
+}  // namespace
+}  // namespace xaon::xml

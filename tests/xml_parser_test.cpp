@@ -1,0 +1,319 @@
+#include "xaon/xml/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xaon::xml {
+namespace {
+
+TEST(XmlParser, MinimalDocument) {
+  auto r = parse("<root/>");
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  ASSERT_NE(r.document.root(), nullptr);
+  EXPECT_EQ(r.document.root()->qname, "root");
+  EXPECT_EQ(r.document.root()->child_count, 0u);
+}
+
+TEST(XmlParser, NestedElementsAndText) {
+  auto r = parse("<a><b>hello</b><c>world</c></a>");
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  const Node* a = r.document.root();
+  ASSERT_EQ(a->child_count, 2u);
+  const Node* b = a->child_element("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->text_content(), "hello");
+  const Node* c = a->child_element("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->text_content(), "world");
+}
+
+TEST(XmlParser, Attributes) {
+  auto r = parse(R"(<item id="42" name="widget" empty=""/>)");
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  const Node* item = r.document.root();
+  ASSERT_NE(item->attr("id"), nullptr);
+  EXPECT_EQ(item->attr("id")->value, "42");
+  EXPECT_EQ(item->attr("name")->value, "widget");
+  EXPECT_EQ(item->attr("empty")->value, "");
+  EXPECT_EQ(item->attr("missing"), nullptr);
+}
+
+TEST(XmlParser, SingleQuotedAttributes) {
+  auto r = parse("<a x='1'/>");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.document.root()->attr("x")->value, "1");
+}
+
+TEST(XmlParser, PredefinedEntities) {
+  auto r = parse("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos;</a>");
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  EXPECT_EQ(r.document.root()->text_content(), "<tag> & \"q\" 'a'");
+}
+
+TEST(XmlParser, NumericCharacterReferences) {
+  auto r = parse("<a>&#65;&#x42;&#x20AC;</a>");  // A, B, euro sign
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  EXPECT_EQ(r.document.root()->text_content(), "AB\xE2\x82\xAC");
+}
+
+TEST(XmlParser, EntitiesInAttributeValues) {
+  auto r = parse(R"(<a v="&lt;&amp;&#33;"/>)");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.document.root()->attr("v")->value, "<&!");
+}
+
+TEST(XmlParser, AttributeWhitespaceNormalization) {
+  auto r = parse("<a v=\"x\ny\tz\"/>");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.document.root()->attr("v")->value, "x y z");
+}
+
+TEST(XmlParser, CData) {
+  auto r = parse("<a><![CDATA[<not-a-tag> & raw]]></a>");
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  const Node* t = r.document.root()->first_child;
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->type, NodeType::kCData);
+  EXPECT_EQ(t->text, "<not-a-tag> & raw");
+}
+
+TEST(XmlParser, CommentsSkippedByDefault) {
+  auto r = parse("<a><!-- hidden -->x</a>");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.document.root()->child_count, 1u);
+  EXPECT_EQ(r.document.root()->text_content(), "x");
+}
+
+TEST(XmlParser, CommentsKeptWhenRequested) {
+  ParseOptions opt;
+  opt.keep_comments = true;
+  auto r = parse("<a><!-- hidden --></a>", opt);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.document.root()->child_count, 1u);
+  EXPECT_EQ(r.document.root()->first_child->type, NodeType::kComment);
+  EXPECT_EQ(r.document.root()->first_child->text, " hidden ");
+}
+
+TEST(XmlParser, ProcessingInstructions) {
+  ParseOptions opt;
+  opt.keep_pis = true;
+  auto r = parse("<a><?php echo 1; ?></a>", opt);
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  const Node* pi = r.document.root()->first_child;
+  ASSERT_NE(pi, nullptr);
+  EXPECT_EQ(pi->type, NodeType::kProcessingInstruction);
+  EXPECT_EQ(pi->qname, "php");
+  EXPECT_EQ(pi->text, "echo 1; ");
+}
+
+TEST(XmlParser, XmlDeclaration) {
+  auto r = parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  EXPECT_EQ(r.document.root()->qname, "a");
+}
+
+TEST(XmlParser, Bom) {
+  auto r = parse("\xEF\xBB\xBF<a/>");
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+}
+
+TEST(XmlParser, DoctypeSkipped) {
+  auto r = parse(
+      "<!DOCTYPE note SYSTEM \"note.dtd\" [<!ELEMENT note (#PCDATA)>]>"
+      "<note>x</note>");
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  EXPECT_EQ(r.document.root()->qname, "note");
+}
+
+TEST(XmlParser, NamespaceResolution) {
+  auto r = parse(
+      R"(<s:Envelope xmlns:s="http://schemas.xmlsoap.org/soap/envelope/">)"
+      R"(<s:Body xmlns="urn:default"><order/></s:Body></s:Envelope>)");
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  const Node* env = r.document.root();
+  EXPECT_EQ(env->prefix, "s");
+  EXPECT_EQ(env->local, "Envelope");
+  EXPECT_EQ(env->ns_uri, "http://schemas.xmlsoap.org/soap/envelope/");
+  const Node* body = env->first_child_element();
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(body->ns_uri, "http://schemas.xmlsoap.org/soap/envelope/");
+  const Node* order = body->first_child_element();
+  ASSERT_NE(order, nullptr);
+  EXPECT_EQ(order->prefix, "");
+  EXPECT_EQ(order->ns_uri, "urn:default");  // default ns inherited
+}
+
+TEST(XmlParser, NamespaceScopeEndsWithElement) {
+  auto r = parse(
+      R"(<a><b xmlns:p="urn:x"><p:c/></b><d/></a>)");
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  // Using p: outside <b> must fail.
+  auto bad = parse(R"(<a><b xmlns:p="urn:x"/><p:c/></a>)");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.message.find("unbound"), std::string::npos);
+}
+
+TEST(XmlParser, XmlPrefixPredefined) {
+  auto r = parse(R"(<a xml:lang="en"/>)");
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  const Attr* lang = r.document.root()->attr("xml:lang");
+  ASSERT_NE(lang, nullptr);
+  EXPECT_EQ(lang->ns_uri, "http://www.w3.org/XML/1998/namespace");
+}
+
+TEST(XmlParser, NamespaceDisabled) {
+  ParseOptions opt;
+  opt.namespace_aware = false;
+  auto r = parse("<p:a/>", opt);  // unbound prefix ok when ns off
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.document.root()->qname, "p:a");
+  EXPECT_EQ(r.document.root()->local, "a");
+  EXPECT_EQ(r.document.root()->ns_uri, "");
+}
+
+TEST(XmlParser, WhitespaceTextSkippedByDefault) {
+  auto r = parse("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.document.root()->child_count, 2u);
+}
+
+TEST(XmlParser, WhitespaceTextKeptWhenRequested) {
+  ParseOptions opt;
+  opt.keep_whitespace_text = true;
+  auto r = parse("<a> <b/> </a>", opt);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.document.root()->child_count, 3u);
+}
+
+TEST(XmlParser, DepthLimit) {
+  ParseOptions opt;
+  opt.max_depth = 4;
+  std::string deep;
+  for (int i = 0; i < 6; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < 6; ++i) deep += "</a>";
+  auto r = parse(deep, opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.message.find("depth"), std::string::npos);
+}
+
+TEST(XmlParser, ErrorPositionsAreReported) {
+  auto r = parse("<a>\n<b>\n</wrong>\n</a>");
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error.line, 3u);
+  EXPECT_NE(r.error.message.find("mismatched"), std::string::npos);
+}
+
+// Table-driven malformed-document rejection.
+struct BadCase {
+  const char* name;
+  const char* input;
+};
+
+class XmlParserRejects : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(XmlParserRejects, Rejects) {
+  auto r = parse(GetParam().input);
+  EXPECT_FALSE(r.ok) << GetParam().name << " should be rejected";
+  EXPECT_FALSE(r.error.message.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, XmlParserRejects,
+    ::testing::Values(
+        BadCase{"empty", ""},
+        BadCase{"text_only", "just text"},
+        BadCase{"unclosed_root", "<a>"},
+        BadCase{"mismatched_tags", "<a></b>"},
+        BadCase{"two_roots", "<a/><b/>"},
+        BadCase{"text_after_root", "<a/>trailing"},
+        BadCase{"bare_ampersand", "<a>&</a>"},
+        BadCase{"unknown_entity", "<a>&nope;</a>"},
+        BadCase{"unterminated_entity", "<a>&amp</a>"},
+        BadCase{"lt_in_attr", "<a v=\"<\"/>"},
+        BadCase{"unquoted_attr", "<a v=1/>"},
+        BadCase{"missing_attr_eq", "<a v \"1\"/>"},
+        BadCase{"duplicate_attr", "<a v=\"1\" v=\"2\"/>"},
+        BadCase{"dup_ns_attr", "<a xmlns:p=\"u\" xmlns:q=\"u\" p:x=\"1\" q:x=\"2\"/>"},
+        BadCase{"no_space_between_attrs", "<a b=\"1\"c=\"2\"/>"},
+        BadCase{"unterminated_comment", "<a><!-- x</a>"},
+        BadCase{"double_dash_comment", "<a><!-- x -- y --></a>"},
+        BadCase{"unterminated_cdata", "<a><![CDATA[x</a>"},
+        BadCase{"unterminated_attr_value", "<a v=\"x/>"},
+        BadCase{"unbound_prefix", "<p:a/>"},
+        BadCase{"unbound_attr_prefix", "<a p:x=\"1\"/>"},
+        BadCase{"bad_name_start", "<1a/>"},
+        BadCase{"stray_close", "</a>"},
+        BadCase{"bad_charref", "<a>&#xZZ;</a>"},
+        BadCase{"charref_out_of_range", "<a>&#x110000;</a>"},
+        BadCase{"charref_surrogate", "<a>&#xD800;</a>"},
+        BadCase{"eof_in_tag", "<a b"},
+        BadCase{"reserved_pi", "<a><?xml v?></a>"},
+        BadCase{"double_colon", "<a:b:c xmlns:a=\"u\"/>"},
+        BadCase{"empty_prefix", "<:a/>"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) {
+      return info.param.name;
+    });
+
+TEST(XmlParser, FailureDiscardsDocument) {
+  auto r = parse("<a><b></a>");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.document.root(), nullptr);
+}
+
+TEST(XmlParser, NodeCountTracksAllNodes) {
+  auto r = parse("<a><b>t</b><c/></a>");
+  ASSERT_TRUE(r.ok);
+  // document + a + b + text + c = 5
+  EXPECT_EQ(r.document.node_count(), 5u);
+}
+
+TEST(XmlParser, DeepRecursionWithinLimitParses) {
+  std::string deep;
+  const int depth = 200;
+  for (int i = 0; i < depth; ++i) deep += "<d>";
+  deep += "x";
+  for (int i = 0; i < depth; ++i) deep += "</d>";
+  auto r = parse(deep);
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  const Node* n = r.document.root();
+  int seen = 1;
+  while ((n = n->first_child_element()) != nullptr) ++seen;
+  EXPECT_EQ(seen, depth);
+}
+
+TEST(XmlParser, MixedContentOrderPreserved) {
+  ParseOptions opt;
+  opt.keep_whitespace_text = true;
+  auto r = parse("<a>one<b/>two<c/>three</a>", opt);
+  ASSERT_TRUE(r.ok);
+  const Node* n = r.document.root()->first_child;
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->text, "one");
+  n = n->next_sibling;
+  EXPECT_EQ(n->qname, "b");
+  n = n->next_sibling;
+  EXPECT_EQ(n->text, "two");
+  n = n->next_sibling;
+  EXPECT_EQ(n->qname, "c");
+  n = n->next_sibling;
+  EXPECT_EQ(n->text, "three");
+  EXPECT_EQ(n->next_sibling, nullptr);
+}
+
+TEST(XmlParser, LargeDocumentParses) {
+  std::string doc = "<list>";
+  for (int i = 0; i < 2000; ++i) {
+    doc += "<item id=\"" + std::to_string(i) + "\">value-" +
+           std::to_string(i) + "</item>";
+  }
+  doc += "</list>";
+  auto r = parse(doc);
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  EXPECT_EQ(r.document.root()->child_count, 2000u);
+  EXPECT_EQ(count_elements(r.document.root()), 2001u);
+}
+
+}  // namespace
+}  // namespace xaon::xml

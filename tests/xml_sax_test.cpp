@@ -1,0 +1,164 @@
+#include "xaon/xml/sax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace xaon::xml {
+namespace {
+
+/// Records events as compact strings: "+name", "-name", "t:text", ...
+class TracingHandler : public SaxHandler {
+ public:
+  bool on_start_element(std::string_view qname, std::string_view local,
+                        std::string_view ns_uri, const SaxAttr* attrs,
+                        std::size_t n_attrs) override {
+    std::string e = "+" + std::string(qname);
+    for (std::size_t i = 0; i < n_attrs; ++i) {
+      e += " " + std::string(attrs[i].qname) + "=" +
+           std::string(attrs[i].value);
+    }
+    (void)local;
+    (void)ns_uri;
+    events.push_back(std::move(e));
+    return true;
+  }
+  bool on_end_element(std::string_view qname, std::string_view,
+                      std::string_view) override {
+    events.push_back("-" + std::string(qname));
+    return true;
+  }
+  bool on_text(std::string_view text, bool is_cdata) override {
+    events.push_back((is_cdata ? "c:" : "t:") + std::string(text));
+    return true;
+  }
+  bool on_comment(std::string_view text) override {
+    events.push_back("#:" + std::string(text));
+    return true;
+  }
+  bool on_processing_instruction(std::string_view target,
+                                 std::string_view data) override {
+    events.push_back("?:" + std::string(target) + ":" + std::string(data));
+    return true;
+  }
+
+  std::vector<std::string> events;
+};
+
+TEST(Sax, EventOrder) {
+  TracingHandler h;
+  auto r = parse_sax("<a><b>x</b><c/></a>", h);
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  const std::vector<std::string> expected{"+a", "+b", "t:x",
+                                          "-b", "+c", "-c", "-a"};
+  EXPECT_EQ(h.events, expected);
+}
+
+TEST(Sax, AttributesDelivered) {
+  TracingHandler h;
+  auto r = parse_sax(R"(<a k="v" k2="v2"/>)", h);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(h.events.size(), 2u);
+  EXPECT_EQ(h.events[0], "+a k=v k2=v2");
+}
+
+TEST(Sax, NamespacesResolved) {
+  class NsHandler : public SaxHandler {
+   public:
+    bool on_start_element(std::string_view, std::string_view local,
+                          std::string_view ns_uri, const SaxAttr*,
+                          std::size_t) override {
+      locals.push_back(std::string(local));
+      uris.push_back(std::string(ns_uri));
+      return true;
+    }
+    std::vector<std::string> locals, uris;
+  } h;
+  auto r = parse_sax(R"(<p:a xmlns:p="urn:u"><b/></p:a>)", h);
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  ASSERT_EQ(h.locals.size(), 2u);
+  EXPECT_EQ(h.locals[0], "a");
+  EXPECT_EQ(h.uris[0], "urn:u");
+  EXPECT_EQ(h.uris[1], "");
+}
+
+TEST(Sax, CDataFlagged) {
+  TracingHandler h;
+  auto r = parse_sax("<a><![CDATA[raw]]></a>", h);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(h.events[1], "c:raw");
+}
+
+TEST(Sax, CommentsAndPisWhenEnabled) {
+  ParseOptions opt;
+  opt.keep_comments = true;
+  opt.keep_pis = true;
+  TracingHandler h;
+  auto r = parse_sax("<a><!--c--><?t d?></a>", h, opt);
+  ASSERT_TRUE(r.ok) << r.error.to_string();
+  ASSERT_EQ(h.events.size(), 4u);
+  EXPECT_EQ(h.events[1], "#:c");
+  EXPECT_EQ(h.events[2], "?:t:d");
+}
+
+TEST(Sax, AbortFromHandler) {
+  class AbortingHandler : public SaxHandler {
+   public:
+    bool on_start_element(std::string_view qname, std::string_view,
+                          std::string_view, const SaxAttr*,
+                          std::size_t) override {
+      ++starts;
+      return qname != "stop";
+    }
+    int starts = 0;
+  } h;
+  auto r = parse_sax("<a><x/><stop/><y/></a>", h);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(h.starts, 3);  // a, x, stop — y never delivered
+}
+
+TEST(Sax, MalformedReportsError) {
+  TracingHandler h;
+  auto r = parse_sax("<a><b></a>", h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_FALSE(r.error.message.empty());
+}
+
+TEST(Sax, WhitespaceTextSuppressedByDefault) {
+  TracingHandler h;
+  auto r = parse_sax("<a>\n  <b/>\n</a>", h);
+  ASSERT_TRUE(r.ok);
+  const std::vector<std::string> expected{"+a", "+b", "-b", "-a"};
+  EXPECT_EQ(h.events, expected);
+}
+
+TEST(Sax, LargeStreamConstantMemoryBehavesCorrectly) {
+  std::string doc = "<list>";
+  for (int i = 0; i < 5000; ++i) doc += "<i>v</i>";
+  doc += "</list>";
+  class CountingHandler : public SaxHandler {
+   public:
+    bool on_start_element(std::string_view, std::string_view,
+                          std::string_view, const SaxAttr*,
+                          std::size_t) override {
+      ++elements;
+      return true;
+    }
+    bool on_text(std::string_view, bool) override {
+      ++texts;
+      return true;
+    }
+    int elements = 0;
+    int texts = 0;
+  } h;
+  auto r = parse_sax(doc, h);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(h.elements, 5001);
+  EXPECT_EQ(h.texts, 5000);
+}
+
+}  // namespace
+}  // namespace xaon::xml

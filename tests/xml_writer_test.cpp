@@ -1,0 +1,91 @@
+#include "xaon/xml/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xaon/xml/parser.hpp"
+
+namespace xaon::xml {
+namespace {
+
+std::string roundtrip(std::string_view input, WriteOptions wopt = {}) {
+  auto r = parse(input);
+  EXPECT_TRUE(r.ok) << r.error.to_string();
+  wopt.declaration = false;
+  return write(r.document.doc_node(), wopt);
+}
+
+TEST(Writer, SimpleRoundtrip) {
+  EXPECT_EQ(roundtrip("<a><b>x</b></a>"), "<a><b>x</b></a>");
+}
+
+TEST(Writer, SelfCloseEmpty) {
+  EXPECT_EQ(roundtrip("<a></a>"), "<a/>");
+  WriteOptions opt;
+  opt.self_close_empty = false;
+  EXPECT_EQ(roundtrip("<a/>", opt), "<a></a>");
+}
+
+TEST(Writer, AttributesPreserved) {
+  EXPECT_EQ(roundtrip(R"(<a k="v" k2="v2"/>)"), R"(<a k="v" k2="v2"/>)");
+}
+
+TEST(Writer, TextEscaping) {
+  EXPECT_EQ(roundtrip("<a>&lt;x&gt; &amp; y</a>"),
+            "<a>&lt;x&gt; &amp; y</a>");
+}
+
+TEST(Writer, AttrEscaping) {
+  EXPECT_EQ(roundtrip("<a v=\"&quot;&amp;&lt;\"/>"),
+            "<a v=\"&quot;&amp;&lt;\"/>");
+}
+
+TEST(Writer, CDataPreserved) {
+  EXPECT_EQ(roundtrip("<a><![CDATA[<raw> & text]]></a>"),
+            "<a><![CDATA[<raw> & text]]></a>");
+}
+
+TEST(Writer, DeclarationEmitted) {
+  auto r = parse("<a/>");
+  ASSERT_TRUE(r.ok);
+  const std::string out = write(r.document.doc_node());
+  EXPECT_EQ(out.rfind("<?xml", 0), 0u);
+}
+
+TEST(Writer, ReparseRoundtripIsStable) {
+  const std::string src =
+      R"(<o:order xmlns:o="urn:orders" priority="high">)"
+      R"(<item sku="A-1">widget &amp; co</item><qty>3</qty></o:order>)";
+  const std::string once = roundtrip(src);
+  const std::string twice = roundtrip(once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Writer, PrettyPrintIndents) {
+  auto r = parse("<a><b><c/></b></a>");
+  ASSERT_TRUE(r.ok);
+  WriteOptions opt;
+  opt.pretty = true;
+  opt.declaration = false;
+  const std::string out = write(r.document.doc_node(), opt);
+  EXPECT_NE(out.find("\n  <b>"), std::string::npos);
+  EXPECT_NE(out.find("\n    <c/>"), std::string::npos);
+}
+
+TEST(Writer, EscapeHelpers) {
+  EXPECT_EQ(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(escape_attr("\"x\"\n"), "&quot;x&quot;&#10;");
+  EXPECT_EQ(escape_text(""), "");
+}
+
+TEST(Writer, NamespaceDeclarationsPreserved) {
+  // xmlns attributes both bind prefixes and survive in the DOM as
+  // ordinary attributes, so namespaced documents round-trip.
+  auto r = parse(R"(<p:a xmlns:p="urn:u"/>)");
+  ASSERT_TRUE(r.ok);
+  WriteOptions opt;
+  opt.declaration = false;
+  EXPECT_EQ(write(r.document.doc_node(), opt), R"(<p:a xmlns:p="urn:u"/>)");
+}
+
+}  // namespace
+}  // namespace xaon::xml

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xaon/xml/parser.hpp"
+#include "xaon/xpath/xpath.hpp"
+
+namespace xaon::xpath {
+namespace {
+
+/// The document most tests run against (shape mirrors the paper's CBR
+/// SOAP message: an order with quantity inside an envelope).
+constexpr const char* kDoc = R"(<shop>
+  <order id="1" status="open">
+    <item sku="A">widget</item>
+    <quantity>1</quantity>
+    <price>10.5</price>
+  </order>
+  <order id="2" status="closed">
+    <item sku="B">gadget</item>
+    <quantity>5</quantity>
+    <price>2</price>
+  </order>
+  <note>hello world</note>
+</shop>)";
+
+class XPathEval : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    result_ = xml::parse(kDoc);
+    ASSERT_TRUE(result_.ok) << result_.error.to_string();
+    root_ = result_.document.root();
+  }
+
+  Value eval(std::string_view expr) {
+    CompileError err;
+    XPath x = XPath::compile(expr, &err);
+    EXPECT_TRUE(x.valid()) << expr << ": " << err.message;
+    return x.evaluate(root_);
+  }
+  double num(std::string_view expr) { return eval(expr).to_number(); }
+  std::string str(std::string_view expr) { return eval(expr).to_string(); }
+  bool boolean(std::string_view expr) { return eval(expr).to_boolean(); }
+  std::size_t count(std::string_view expr) {
+    Value v = eval(expr);
+    EXPECT_TRUE(v.is_node_set()) << expr;
+    return v.is_node_set() ? v.nodes().size() : 0;
+  }
+
+  xml::ParseResult result_;
+  const xml::Node* root_ = nullptr;
+};
+
+TEST_F(XPathEval, ChildSteps) {
+  EXPECT_EQ(count("order"), 2u);
+  EXPECT_EQ(count("order/item"), 2u);
+  EXPECT_EQ(count("note"), 1u);
+  EXPECT_EQ(count("nothing"), 0u);
+}
+
+TEST_F(XPathEval, DescendantOrSelfAbbreviation) {
+  EXPECT_EQ(count("//quantity"), 2u);
+  EXPECT_EQ(count("//item"), 2u);
+  EXPECT_EQ(count(".//quantity"), 2u);
+  EXPECT_EQ(count("//shop"), 1u);
+}
+
+TEST_F(XPathEval, PaperCbrExpression) {
+  // The paper's CBR: //quantity/text() compared against "1".
+  Value v = eval("//quantity/text()");
+  ASSERT_TRUE(v.is_node_set());
+  ASSERT_EQ(v.nodes().size(), 2u);
+  EXPECT_EQ(string_value(v.nodes()[0]), "1");
+  EXPECT_TRUE(boolean("//quantity/text() = '1'"));
+  EXPECT_FALSE(boolean("//quantity/text() = '7'"));
+}
+
+TEST_F(XPathEval, AbsolutePath) {
+  EXPECT_EQ(count("/shop/order"), 2u);
+  EXPECT_EQ(count("/shop"), 1u);
+  EXPECT_EQ(count("/"), 1u);
+  EXPECT_EQ(count("/order"), 0u);  // root element is shop
+}
+
+TEST_F(XPathEval, Attributes) {
+  EXPECT_EQ(count("order/@id"), 2u);
+  EXPECT_EQ(str("order/@id"), "1");
+  EXPECT_EQ(count("//@sku"), 2u);
+  EXPECT_EQ(count("order/@missing"), 0u);
+  EXPECT_EQ(count("order/attribute::status"), 2u);
+}
+
+TEST_F(XPathEval, AttributeWildcard) {
+  EXPECT_EQ(count("order[1]/@*"), 2u);  // id + status
+}
+
+TEST_F(XPathEval, PositionalPredicates) {
+  EXPECT_EQ(str("order[1]/@id"), "1");
+  EXPECT_EQ(str("order[2]/@id"), "2");
+  EXPECT_EQ(str("order[position()=2]/@id"), "2");
+  EXPECT_EQ(str("order[last()]/@id"), "2");
+  EXPECT_EQ(count("order[3]"), 0u);
+}
+
+TEST_F(XPathEval, ValuePredicates) {
+  EXPECT_EQ(str("order[@status='open']/@id"), "1");
+  EXPECT_EQ(str("order[quantity=5]/@id"), "2");
+  EXPECT_EQ(count("order[price>5]"), 1u);
+  EXPECT_EQ(count("order[price>=2]"), 2u);
+  EXPECT_EQ(count("order[quantity<0]"), 0u);
+}
+
+TEST_F(XPathEval, ChainedPredicates) {
+  EXPECT_EQ(count("order[@status='open'][1]"), 1u);
+  EXPECT_EQ(count("order[@status='open'][2]"), 0u);
+}
+
+TEST_F(XPathEval, ParentAndSelfAxes) {
+  EXPECT_EQ(count("order/item/.."), 2u);
+  EXPECT_EQ(str("order/item/../@id"), "1");
+  EXPECT_EQ(count("order/."), 2u);
+  EXPECT_EQ(count("//quantity/parent::order"), 2u);
+  EXPECT_EQ(count("//quantity/ancestor::shop"), 1u);
+  EXPECT_EQ(count("//quantity/ancestor-or-self::*"), 5u);  // shop+2 orders+2 quantities
+}
+
+TEST_F(XPathEval, SiblingAxes) {
+  EXPECT_EQ(count("order[1]/item/following-sibling::*"), 2u);
+  EXPECT_EQ(count("order[1]/price/preceding-sibling::*"), 2u);
+  EXPECT_EQ(str("order[1]/quantity/following-sibling::price"), "10.5");
+  // Reverse axis proximity position: nearest preceding sibling is [1].
+  EXPECT_EQ(str("order[1]/price/preceding-sibling::*[1]"), "1");
+}
+
+TEST_F(XPathEval, DescendantAxisExplicit) {
+  EXPECT_EQ(count("descendant::quantity"), 2u);
+  EXPECT_EQ(count("descendant-or-self::shop"), 1u);
+}
+
+TEST_F(XPathEval, TextNodes) {
+  EXPECT_EQ(count("note/text()"), 1u);
+  EXPECT_EQ(str("note/text()"), "hello world");
+  EXPECT_EQ(count("//text()"), 7u);  // 2 items + 2 qty + 2 price + note
+}
+
+TEST_F(XPathEval, NodeTest) {
+  EXPECT_EQ(count("order/node()"), 6u);
+  EXPECT_EQ(count("*"), 3u);
+  EXPECT_EQ(count("order/*"), 6u);
+}
+
+TEST_F(XPathEval, UnionOperator) {
+  EXPECT_EQ(count("note | order"), 3u);
+  EXPECT_EQ(count("order | order"), 2u);  // dedup
+  EXPECT_EQ(count("//quantity | //price | note"), 5u);
+}
+
+TEST_F(XPathEval, UnionKeepsDocumentOrder) {
+  Value v = eval("note | order[1]/item");
+  ASSERT_EQ(v.nodes().size(), 2u);
+  EXPECT_EQ(v.nodes()[0].node->qname, "item");  // item precedes note
+  EXPECT_EQ(v.nodes()[1].node->qname, "note");
+}
+
+TEST_F(XPathEval, NumericExpressions) {
+  EXPECT_DOUBLE_EQ(num("1+2*3"), 7.0);
+  EXPECT_DOUBLE_EQ(num("(1+2)*3"), 9.0);
+  EXPECT_DOUBLE_EQ(num("10 div 4"), 2.5);
+  EXPECT_DOUBLE_EQ(num("10 mod 3"), 1.0);
+  EXPECT_DOUBLE_EQ(num("-5 + 2"), -3.0);
+  EXPECT_DOUBLE_EQ(num("--5"), 5.0);
+  EXPECT_DOUBLE_EQ(num("2 > 1 and 3 > 2"), 1.0);
+}
+
+TEST_F(XPathEval, NumberConversionFromNodes) {
+  EXPECT_DOUBLE_EQ(num("order[1]/quantity"), 1.0);
+  EXPECT_DOUBLE_EQ(num("order[1]/price * 2"), 21.0);
+  EXPECT_DOUBLE_EQ(num("sum(//price)"), 12.5);
+  EXPECT_DOUBLE_EQ(num("sum(//quantity)"), 6.0);
+}
+
+TEST_F(XPathEval, BooleanLogic) {
+  EXPECT_TRUE(boolean("true()"));
+  EXPECT_FALSE(boolean("false()"));
+  EXPECT_TRUE(boolean("not(false())"));
+  EXPECT_TRUE(boolean("1 = 1 or 1 = 2"));
+  EXPECT_FALSE(boolean("1 = 1 and 1 = 2"));
+  EXPECT_TRUE(boolean("note"));        // non-empty node-set
+  EXPECT_FALSE(boolean("missing"));    // empty node-set
+}
+
+TEST_F(XPathEval, EqualityNodeSetSemantics) {
+  // Existential: any quantity equals 5.
+  EXPECT_TRUE(boolean("//quantity = 5"));
+  EXPECT_TRUE(boolean("//quantity = 1"));
+  EXPECT_FALSE(boolean("//quantity = 2"));
+  // != is also existential (both can hold simultaneously).
+  EXPECT_TRUE(boolean("//quantity != 5"));
+  // No common string value between {1,5} and {10.5,2}.
+  EXPECT_FALSE(boolean("//quantity = //price"));
+}
+
+TEST_F(XPathEval, StringFunctions) {
+  EXPECT_EQ(str("concat('a','b','c')"), "abc");
+  EXPECT_TRUE(boolean("starts-with('widget','wid')"));
+  EXPECT_FALSE(boolean("starts-with('widget','x')"));
+  EXPECT_TRUE(boolean("contains(note, 'world')"));
+  EXPECT_EQ(str("substring-before('a-b','-')"), "a");
+  EXPECT_EQ(str("substring-after('a-b','-')"), "b");
+  EXPECT_EQ(str("substring('12345', 2, 3)"), "234");
+  EXPECT_EQ(str("substring('12345', 0)"), "12345");
+  EXPECT_EQ(str("substring('12345', 1.5, 2.6)"), "234");  // spec example
+  EXPECT_DOUBLE_EQ(num("string-length('abcd')"), 4.0);
+  EXPECT_EQ(str("normalize-space('  a   b ')"), "a b");
+  EXPECT_EQ(str("translate('bar','abc','ABC')"), "BAr");
+  EXPECT_EQ(str("translate('--aaa--','abc-','ABC')"), "AAA");
+}
+
+TEST_F(XPathEval, NumericFunctions) {
+  EXPECT_DOUBLE_EQ(num("floor(2.7)"), 2.0);
+  EXPECT_DOUBLE_EQ(num("ceiling(2.2)"), 3.0);
+  EXPECT_DOUBLE_EQ(num("round(2.5)"), 3.0);
+  EXPECT_DOUBLE_EQ(num("round(-2.5)"), -2.0);  // XPath rounds half toward +inf
+  EXPECT_DOUBLE_EQ(num("number('42')"), 42.0);
+  EXPECT_TRUE(std::isnan(num("number('abc')")));
+}
+
+TEST_F(XPathEval, CountAndPosition) {
+  EXPECT_DOUBLE_EQ(num("count(//order)"), 2.0);
+  EXPECT_DOUBLE_EQ(num("count(//*)"), 10.0);
+  EXPECT_DOUBLE_EQ(num("count(//@*)"), 6.0);  // 2x(id,status) + 2x sku
+  EXPECT_EQ(str("order[position() = last()]/@id"), "2");
+}
+
+TEST_F(XPathEval, NameFunctions) {
+  EXPECT_EQ(str("name(//order[1])"), "order");
+  EXPECT_EQ(str("local-name(//order[1])"), "order");
+  EXPECT_EQ(str("name(//@sku)"), "sku");
+  EXPECT_EQ(str("namespace-uri(//order[1])"), "");
+}
+
+TEST_F(XPathEval, StringOfNodeSetIsFirstNode) {
+  EXPECT_EQ(str("//quantity"), "1");  // first in document order
+  EXPECT_EQ(str("string(//quantity)"), "1");
+  EXPECT_EQ(str("missing"), "");
+}
+
+TEST_F(XPathEval, FilterExpressionWithTrailingPath) {
+  EXPECT_EQ(count("(//order)[1]/item"), 1u);
+  EXPECT_EQ(str("(//order)[2]/@id"), "2");
+  EXPECT_EQ(count("(note | //order)[3]"), 1u);
+}
+
+TEST_F(XPathEval, RelationalOnNodeSets) {
+  EXPECT_TRUE(boolean("//price > 10"));
+  EXPECT_FALSE(boolean("//price > 11"));
+  EXPECT_TRUE(boolean("//quantity < 2"));
+}
+
+TEST_F(XPathEval, EvaluateFromNestedContext) {
+  CompileError err;
+  XPath rel = XPath::compile("quantity", &err);
+  ASSERT_TRUE(rel.valid());
+  const xml::Node* order = root_->child_element("order");
+  ASSERT_NE(order, nullptr);
+  EXPECT_EQ(rel.string(order), "1");
+  // Absolute path from a nested context still reaches the root.
+  XPath abs = XPath::compile("/shop/note", &err);
+  EXPECT_EQ(abs.select(order).size(), 1u);
+}
+
+TEST_F(XPathEval, SelectAndTestHelpers) {
+  CompileError err;
+  XPath x = XPath::compile("//quantity/text() = '1'", &err);
+  ASSERT_TRUE(x.valid());
+  EXPECT_TRUE(x.test(root_));
+  EXPECT_TRUE(x.select(root_).empty());  // boolean result -> empty set
+  EXPECT_DOUBLE_EQ(XPath::compile("count(//order)").number(root_), 2.0);
+}
+
+TEST_F(XPathEval, NamespaceBindings) {
+  auto r = xml::parse(
+      R"(<s:env xmlns:s="urn:soap"><s:body><q xmlns="urn:q">9</q></s:body></s:env>)");
+  ASSERT_TRUE(r.ok);
+  CompileError err;
+  XPath x = XPath::compile("/soap:env/soap:body", &err,
+                           {{"soap", "urn:soap"}});
+  ASSERT_TRUE(x.valid()) << err.message;
+  EXPECT_EQ(x.select(r.document.root()).size(), 1u);
+  // Unprefixed test matches no-namespace only...
+  XPath plain = XPath::compile("//q", &err);
+  ASSERT_TRUE(plain.valid());
+  EXPECT_TRUE(plain.select(r.document.root()).empty());
+  // ...unless a default binding is supplied.
+  XPath dflt = XPath::compile("//q", &err, {{"", "urn:q"}});
+  ASSERT_TRUE(dflt.valid());
+  EXPECT_EQ(dflt.select(r.document.root()).size(), 1u);
+}
+
+TEST_F(XPathEval, InvalidExpressionsRejected) {
+  struct Case {
+    const char* expr;
+  };
+  for (const char* expr :
+       {"", "//", "order[", "order[]", "1 +", "@", "foo(", "unknownfn()",
+        "count()", "count(1,2)", "not()", "a/'lit'", "a b", "..a",
+        "order/[1]", "pfx:a"}) {
+    CompileError err;
+    XPath x = XPath::compile(expr, &err);
+    EXPECT_FALSE(x.valid()) << "should reject: " << expr;
+    EXPECT_FALSE(err.message.empty()) << expr;
+  }
+}
+
+TEST_F(XPathEval, CompileErrorPositions) {
+  CompileError err;
+  XPath x = XPath::compile("count(//a", &err);
+  EXPECT_FALSE(x.valid());
+  EXPECT_GT(err.offset, 0u);
+}
+
+TEST_F(XPathEval, MixedArithmeticWithPaths) {
+  EXPECT_DOUBLE_EQ(num("order[1]/quantity + order[2]/quantity"), 6.0);
+  EXPECT_DOUBLE_EQ(num("count(//order) * 10"), 20.0);
+}
+
+TEST_F(XPathEval, WhitespaceInsensitive) {
+  EXPECT_EQ(count("  //  quantity "), 2u);
+  EXPECT_DOUBLE_EQ(num(" 1 + 2 "), 3.0);
+}
+
+}  // namespace
+}  // namespace xaon::xpath

@@ -1,0 +1,146 @@
+#include "xaon/xpath/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xaon/xml/parser.hpp"
+
+namespace xaon::xpath {
+namespace {
+
+TEST(Value, BooleanConversions) {
+  EXPECT_FALSE(Value().to_boolean());
+  EXPECT_TRUE(Value(true).to_boolean());
+  EXPECT_TRUE(Value(1.5).to_boolean());
+  EXPECT_FALSE(Value(0.0).to_boolean());
+  EXPECT_FALSE(Value(std::nan("")).to_boolean());
+  EXPECT_TRUE(Value(std::string("x")).to_boolean());
+  EXPECT_FALSE(Value(std::string()).to_boolean());
+  EXPECT_FALSE(Value(NodeSet{}).to_boolean());
+}
+
+TEST(Value, NumberConversions) {
+  EXPECT_DOUBLE_EQ(Value(true).to_number(), 1.0);
+  EXPECT_DOUBLE_EQ(Value(false).to_number(), 0.0);
+  EXPECT_DOUBLE_EQ(Value(std::string(" 42 ")).to_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Value(std::string("-3.5")).to_number(), -3.5);
+  EXPECT_TRUE(std::isnan(Value(std::string("4e2")).to_number()))
+      << "XPath numbers have no exponent form";
+  EXPECT_TRUE(std::isnan(Value(std::string("abc")).to_number()));
+  EXPECT_TRUE(std::isnan(Value(std::string()).to_number()));
+  EXPECT_TRUE(std::isnan(Value(NodeSet{}).to_number()));
+}
+
+TEST(Value, StringOfNumbersPerXPathRules) {
+  EXPECT_EQ(Value(0.0).to_string(), "0");
+  EXPECT_EQ(Value(-0.0).to_string(), "0");
+  EXPECT_EQ(Value(42.0).to_string(), "42");
+  EXPECT_EQ(Value(-17.0).to_string(), "-17");
+  EXPECT_EQ(Value(2.5).to_string(), "2.5");
+  EXPECT_EQ(Value(std::nan("")).to_string(), "NaN");
+  EXPECT_EQ(Value(1.0 / 0.0).to_string(), "Infinity");
+  EXPECT_EQ(Value(-1.0 / 0.0).to_string(), "-Infinity");
+  EXPECT_EQ(Value(true).to_string(), "true");
+  EXPECT_EQ(Value(false).to_string(), "false");
+}
+
+TEST(Value, ParseNumberStrictness) {
+  EXPECT_DOUBLE_EQ(Value::parse_number("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(Value::parse_number("-.5"), -0.5);
+  EXPECT_DOUBLE_EQ(Value::parse_number("7."), 7.0);
+  EXPECT_TRUE(std::isnan(Value::parse_number("+5")));   // no leading +
+  EXPECT_TRUE(std::isnan(Value::parse_number("1 2")));
+  EXPECT_TRUE(std::isnan(Value::parse_number("inf")));
+  EXPECT_TRUE(std::isnan(Value::parse_number(".")));
+}
+
+class ValueNodes : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    result_ = xml::parse(
+        R"(<r a="av"><x>alpha</x><y>beta</y><x>gamma</x></r>)");
+    ASSERT_TRUE(result_.ok);
+    root_ = result_.document.root();
+  }
+  NodeSet all_x() const {
+    NodeSet set;
+    for (const xml::Node* c = root_->first_child; c != nullptr;
+         c = c->next_sibling) {
+      if (c->local == "x") set.push_back(NodeRef{c, nullptr});
+    }
+    return set;
+  }
+  xml::ParseResult result_;
+  const xml::Node* root_ = nullptr;
+};
+
+TEST_F(ValueNodes, StringValueOfNodeKinds) {
+  EXPECT_EQ(string_value(NodeRef{root_, nullptr}), "alphabetagamma");
+  EXPECT_EQ(string_value(NodeRef{root_, root_->first_attr}), "av");
+  EXPECT_EQ(string_value(NodeRef{root_->first_child, nullptr}), "alpha");
+}
+
+TEST_F(ValueNodes, NodeSetStringIsFirstInDocOrder) {
+  Value v(all_x());
+  EXPECT_EQ(v.to_string(), "alpha");
+}
+
+TEST_F(ValueNodes, NormalizeSortsAndDedups) {
+  NodeSet set = all_x();
+  // Duplicate + reversed order.
+  NodeSet messy{set[1], set[0], set[1]};
+  normalize(messy);
+  ASSERT_EQ(messy.size(), 2u);
+  EXPECT_TRUE(doc_order_less(messy[0], messy[1]));
+  EXPECT_EQ(string_value(messy[0]), "alpha");
+}
+
+TEST_F(ValueNodes, DocOrderAttrsAfterElement) {
+  const NodeRef elem{root_, nullptr};
+  const NodeRef attr{root_, root_->first_attr};
+  EXPECT_TRUE(doc_order_less(elem, attr));
+  EXPECT_FALSE(doc_order_less(attr, elem));
+}
+
+TEST_F(ValueNodes, CompareEqualExistential) {
+  Value xs(all_x());
+  EXPECT_TRUE(compare_equal(xs, Value(std::string("gamma"))));
+  EXPECT_FALSE(compare_equal(xs, Value(std::string("beta"))));
+  // Both = and != can hold for multi-node sets.
+  EXPECT_TRUE(compare_not_equal(xs, Value(std::string("gamma"))));
+  // Single-node set: = and != are complementary.
+  NodeSet one{all_x()[0]};
+  EXPECT_TRUE(compare_equal(Value(one), Value(std::string("alpha"))));
+  EXPECT_FALSE(compare_not_equal(Value(one), Value(std::string("alpha"))));
+}
+
+TEST_F(ValueNodes, CompareWithBooleansUsesSetEmptiness) {
+  EXPECT_TRUE(compare_equal(Value(all_x()), Value(true)));
+  EXPECT_TRUE(compare_equal(Value(NodeSet{}), Value(false)));
+  EXPECT_FALSE(compare_equal(Value(NodeSet{}), Value(true)));
+}
+
+TEST(ValueCompare, PrimitiveCoercions) {
+  // bool dominates, then number, then string — XPath 1.0 §3.4.
+  EXPECT_TRUE(compare_equal(Value(true), Value(std::string("anything"))));
+  EXPECT_TRUE(compare_equal(Value(1.0), Value(std::string("1"))));
+  EXPECT_FALSE(compare_equal(Value(std::nan("")), Value(std::nan(""))));
+  EXPECT_TRUE(compare_equal(Value(std::string("a")), Value(std::string("a"))));
+}
+
+TEST(ValueCompare, RelationalCoercesToNumbers) {
+  EXPECT_TRUE(compare_relational(Value(std::string("2")),
+                                 Value(std::string("10")), '<'));
+  EXPECT_FALSE(compare_relational(Value(std::string("abc")), Value(1.0),
+                                  '<'));  // NaN compares false
+  EXPECT_TRUE(compare_relational(Value(3.0), Value(3.0), 'l'));  // <=
+  EXPECT_TRUE(compare_relational(Value(3.0), Value(3.0), 'g'));  // >=
+}
+
+TEST(Value, NodesAccessorAbortsOnWrongKind) {
+  EXPECT_DEATH(Value(1.0).nodes(), "not a node-set");
+}
+
+}  // namespace
+}  // namespace xaon::xpath

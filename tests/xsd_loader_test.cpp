@@ -1,0 +1,314 @@
+#include "xaon/xsd/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xaon/xml/parser.hpp"
+#include "xaon/xsd/validator.hpp"
+
+namespace xaon::xsd {
+namespace {
+
+/// XSD equivalent of the programmatic order schema (the paper's SV
+/// workload loads its schema from an XSD document like this one).
+constexpr const char* kOrderXsd = R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="SkuType">
+    <xs:restriction base="xs:string">
+      <xs:pattern value="[A-Z]{2}-\d{3}"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:simpleType name="QuantityType">
+    <xs:restriction base="xs:positiveInteger">
+      <xs:maxInclusive value="1000"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:complexType name="ItemType">
+    <xs:sequence>
+      <xs:element name="sku" type="SkuType"/>
+      <xs:element name="quantity" type="QuantityType"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:element name="order">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="customer" type="xs:string"/>
+        <xs:element name="item" type="ItemType" maxOccurs="unbounded"/>
+        <xs:element name="total" type="xs:decimal" minOccurs="0"/>
+      </xs:sequence>
+      <xs:attribute name="id" type="xs:positiveInteger" use="required"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>)";
+
+ValidationResult check(const Schema& schema, std::string_view doc) {
+  auto parsed = xml::parse(doc);
+  EXPECT_TRUE(parsed.ok) << parsed.error.to_string();
+  Validator v(schema);
+  return v.validate(parsed.document);
+}
+
+TEST(Loader, LoadsOrderSchema) {
+  auto result = load_schema(kOrderXsd);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.schema.find_simple_type("SkuType"), nullptr);
+  EXPECT_NE(result.schema.find_complex_type("ItemType"), nullptr);
+  EXPECT_NE(result.schema.find_global_element("", "order"), nullptr);
+  EXPECT_EQ(result.schema.global_elements().size(), 1u);
+}
+
+TEST(Loader, LoadedSchemaValidates) {
+  auto result = load_schema(kOrderXsd);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(check(result.schema, R"(<order id="1">
+    <customer>ACME</customer>
+    <item><sku>AB-123</sku><quantity>5</quantity></item>
+  </order>)").valid());
+  EXPECT_FALSE(check(result.schema, R"(<order id="1">
+    <customer>ACME</customer>
+    <item><sku>invalid</sku><quantity>5</quantity></item>
+  </order>)").valid());
+  EXPECT_FALSE(check(result.schema, R"(<order id="0">
+    <customer>ACME</customer>
+    <item><sku>AB-123</sku><quantity>5</quantity></item>
+  </order>)").valid());
+}
+
+TEST(Loader, ForwardTypeReferences) {
+  // `order` references ItemType declared after it.
+  auto result = load_schema(R"(<xs:schema
+      xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="root">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element name="i" type="Later"/>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>
+    <xs:complexType name="Later">
+      <xs:sequence>
+        <xs:element name="leaf" type="xs:int"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:schema>)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(
+      check(result.schema, "<root><i><leaf>1</leaf></i></root>").valid());
+  EXPECT_FALSE(
+      check(result.schema, "<root><i><leaf>x</leaf></i></root>").valid());
+}
+
+TEST(Loader, ElementRef) {
+  auto result = load_schema(R"(<xs:schema
+      xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="shared" type="xs:string"/>
+    <xs:element name="root">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element ref="shared" maxOccurs="2"/>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>
+  </xs:schema>)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(check(result.schema,
+                    "<root><shared>a</shared><shared>b</shared></root>")
+                  .valid());
+  EXPECT_FALSE(check(result.schema,
+                     "<root><shared>a</shared><shared>b</shared>"
+                     "<shared>c</shared></root>")
+                   .valid());
+}
+
+TEST(Loader, ChoiceGroup) {
+  auto result = load_schema(R"(<xs:schema
+      xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="payment">
+      <xs:complexType>
+        <xs:choice>
+          <xs:element name="card" type="xs:string"/>
+          <xs:element name="cash" type="xs:decimal"/>
+        </xs:choice>
+      </xs:complexType>
+    </xs:element>
+  </xs:schema>)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(check(result.schema, "<payment><card>visa</card></payment>")
+                  .valid());
+  EXPECT_TRUE(check(result.schema, "<payment><cash>9.99</cash></payment>")
+                  .valid());
+  EXPECT_FALSE(check(result.schema,
+                     "<payment><card>v</card><cash>1</cash></payment>")
+                   .valid());
+}
+
+TEST(Loader, AllGroup) {
+  auto result = load_schema(R"(<xs:schema
+      xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="cfg">
+      <xs:complexType>
+        <xs:all>
+          <xs:element name="host" type="xs:string"/>
+          <xs:element name="port" type="xs:unsignedShort"/>
+          <xs:element name="debug" type="xs:boolean" minOccurs="0"/>
+        </xs:all>
+      </xs:complexType>
+    </xs:element>
+  </xs:schema>)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(check(result.schema,
+                    "<cfg><port>80</port><host>h</host></cfg>")
+                  .valid());
+  EXPECT_FALSE(check(result.schema, "<cfg><host>h</host></cfg>").valid());
+}
+
+TEST(Loader, NestedGroups) {
+  auto result = load_schema(R"(<xs:schema
+      xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="r">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element name="head" type="xs:string"/>
+          <xs:choice minOccurs="0" maxOccurs="unbounded">
+            <xs:element name="a" type="xs:int"/>
+            <xs:sequence>
+              <xs:element name="b1" type="xs:int"/>
+              <xs:element name="b2" type="xs:int"/>
+            </xs:sequence>
+          </xs:choice>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>
+  </xs:schema>)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(check(result.schema, "<r><head>x</head></r>").valid());
+  EXPECT_TRUE(check(result.schema,
+                    "<r><head>x</head><a>1</a><b1>2</b1><b2>3</b2><a>4</a></r>")
+                  .valid());
+  EXPECT_FALSE(
+      check(result.schema, "<r><head>x</head><b1>2</b1></r>").valid());
+}
+
+TEST(Loader, SimpleContentExtension) {
+  auto result = load_schema(R"(<xs:schema
+      xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="price">
+      <xs:complexType>
+        <xs:simpleContent>
+          <xs:extension base="xs:decimal">
+            <xs:attribute name="currency" type="xs:string" use="required"/>
+          </xs:extension>
+        </xs:simpleContent>
+      </xs:complexType>
+    </xs:element>
+  </xs:schema>)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(
+      check(result.schema, R"(<price currency="USD">9.99</price>)").valid());
+  EXPECT_FALSE(check(result.schema, "<price>9.99</price>").valid());
+  EXPECT_FALSE(
+      check(result.schema, R"(<price currency="USD">abc</price>)").valid());
+}
+
+TEST(Loader, EnumerationFacet) {
+  auto result = load_schema(R"(<xs:schema
+      xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="status">
+      <xs:simpleType>
+        <xs:restriction base="xs:token">
+          <xs:enumeration value="open"/>
+          <xs:enumeration value="closed"/>
+        </xs:restriction>
+      </xs:simpleType>
+    </xs:element>
+  </xs:schema>)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(check(result.schema, "<status>open</status>").valid());
+  // xs:token collapses whitespace before the enumeration check.
+  EXPECT_TRUE(check(result.schema, "<status> closed </status>").valid());
+  EXPECT_FALSE(check(result.schema, "<status>pending</status>").valid());
+}
+
+TEST(Loader, TargetNamespace) {
+  auto result = load_schema(R"(<xs:schema
+      xmlns:xs="http://www.w3.org/2001/XMLSchema"
+      targetNamespace="urn:orders" elementFormDefault="qualified">
+    <xs:element name="order">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element name="id" type="xs:int"/>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>
+  </xs:schema>)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.schema.target_namespace(), "urn:orders");
+  EXPECT_TRUE(check(result.schema,
+                    R"(<o:order xmlns:o="urn:orders"><o:id>1</o:id></o:order>)")
+                  .valid());
+  // Wrong namespace root rejected.
+  EXPECT_FALSE(check(result.schema, "<order><id>1</id></order>").valid());
+}
+
+TEST(Loader, RejectsUnsupportedConstructs) {
+  for (const char* body :
+       {"<xs:include schemaLocation='x.xsd'/>",
+        "<xs:import namespace='urn:x'/>",
+        "<xs:group name='g'><xs:sequence/></xs:group>"}) {
+    std::string text =
+        std::string("<xs:schema xmlns:xs='http://www.w3.org/2001/XMLSchema'>") +
+        body + "</xs:schema>";
+    auto result = load_schema(text);
+    EXPECT_FALSE(result.ok) << body;
+    EXPECT_FALSE(result.error.empty());
+  }
+}
+
+TEST(Loader, RejectsBadPatternFacet) {
+  auto result = load_schema(R"(<xs:schema
+      xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="e">
+      <xs:simpleType>
+        <xs:restriction base="xs:string">
+          <xs:pattern value="([unclosed"/>
+        </xs:restriction>
+      </xs:simpleType>
+    </xs:element>
+  </xs:schema>)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("pattern"), std::string::npos);
+}
+
+TEST(Loader, RejectsNonSchemaRoot) {
+  auto result = load_schema("<not-a-schema/>");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Loader, RejectsMalformedXml) {
+  auto result = load_schema("<xs:schema");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("parse error"), std::string::npos);
+}
+
+TEST(Loader, RestrictionOfUserType) {
+  auto result = load_schema(R"(<xs:schema
+      xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:simpleType name="Base">
+      <xs:restriction base="xs:integer">
+        <xs:minInclusive value="0"/>
+      </xs:restriction>
+    </xs:simpleType>
+    <xs:simpleType name="Narrow">
+      <xs:restriction base="Base">
+        <xs:maxInclusive value="10"/>
+      </xs:restriction>
+    </xs:simpleType>
+    <xs:element name="v" type="Narrow"/>
+  </xs:schema>)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(check(result.schema, "<v>5</v>").valid());
+  EXPECT_FALSE(check(result.schema, "<v>-1</v>").valid());  // inherited
+  EXPECT_FALSE(check(result.schema, "<v>11</v>").valid());  // own facet
+}
+
+}  // namespace
+}  // namespace xaon::xsd

@@ -1,0 +1,228 @@
+#include "xaon/xsd/regex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xaon::xsd {
+namespace {
+
+Regex must_compile(std::string_view pattern) {
+  std::string error;
+  Regex re = Regex::compile(pattern, &error);
+  EXPECT_TRUE(re.valid()) << pattern << ": " << error;
+  return re;
+}
+
+TEST(Regex, LiteralMatchIsAnchored) {
+  Regex re = must_compile("abc");
+  EXPECT_TRUE(re.match("abc"));
+  EXPECT_FALSE(re.match("xabc"));
+  EXPECT_FALSE(re.match("abcx"));
+  EXPECT_FALSE(re.match(""));
+  EXPECT_FALSE(re.match("ab"));
+}
+
+TEST(Regex, EmptyPatternMatchesEmptyOnly) {
+  Regex re = must_compile("");
+  EXPECT_TRUE(re.match(""));
+  EXPECT_FALSE(re.match("a"));
+}
+
+TEST(Regex, Dot) {
+  Regex re = must_compile("a.c");
+  EXPECT_TRUE(re.match("abc"));
+  EXPECT_TRUE(re.match("a!c"));
+  EXPECT_FALSE(re.match("a\nc"));
+  EXPECT_FALSE(re.match("ac"));
+}
+
+TEST(Regex, StarPlusQuestion) {
+  EXPECT_TRUE(must_compile("ab*c").match("ac"));
+  EXPECT_TRUE(must_compile("ab*c").match("abbbc"));
+  EXPECT_FALSE(must_compile("ab+c").match("ac"));
+  EXPECT_TRUE(must_compile("ab+c").match("abc"));
+  EXPECT_TRUE(must_compile("ab?c").match("ac"));
+  EXPECT_TRUE(must_compile("ab?c").match("abc"));
+  EXPECT_FALSE(must_compile("ab?c").match("abbc"));
+}
+
+TEST(Regex, Alternation) {
+  Regex re = must_compile("cat|dog|bird");
+  EXPECT_TRUE(re.match("cat"));
+  EXPECT_TRUE(re.match("dog"));
+  EXPECT_TRUE(re.match("bird"));
+  EXPECT_FALSE(re.match("catdog"));
+  EXPECT_FALSE(re.match("ca"));
+}
+
+TEST(Regex, GroupsWithQuantifiers) {
+  Regex re = must_compile("(ab)+");
+  EXPECT_TRUE(re.match("ab"));
+  EXPECT_TRUE(re.match("ababab"));
+  EXPECT_FALSE(re.match("aba"));
+  EXPECT_FALSE(re.match(""));
+
+  Regex re2 = must_compile("(a|b)*c");
+  EXPECT_TRUE(re2.match("c"));
+  EXPECT_TRUE(re2.match("ababbac"));
+}
+
+TEST(Regex, EmptyAlternativeBranch) {
+  Regex re = must_compile("(a|)b");
+  EXPECT_TRUE(re.match("ab"));
+  EXPECT_TRUE(re.match("b"));
+}
+
+TEST(Regex, CharacterClasses) {
+  Regex re = must_compile("[abc]+");
+  EXPECT_TRUE(re.match("abccba"));
+  EXPECT_FALSE(re.match("abd"));
+
+  Regex range = must_compile("[a-z0-9]+");
+  EXPECT_TRUE(range.match("abc123"));
+  EXPECT_FALSE(range.match("ABC"));
+
+  Regex neg = must_compile("[^0-9]+");
+  EXPECT_TRUE(neg.match("abc"));
+  EXPECT_FALSE(neg.match("a1c"));
+}
+
+TEST(Regex, ClassWithLeadingDashAndBracket) {
+  Regex re = must_compile("[-a-c]+");
+  EXPECT_TRUE(re.match("-ab-c"));
+  EXPECT_FALSE(re.match("d"));
+  // ']' first position is literal.
+  Regex re2 = must_compile("[]x]+");
+  EXPECT_TRUE(re2.match("]x"));
+}
+
+TEST(Regex, EscapeClasses) {
+  EXPECT_TRUE(must_compile("\\d+").match("12345"));
+  EXPECT_FALSE(must_compile("\\d+").match("12a45"));
+  EXPECT_TRUE(must_compile("\\w+").match("abc_12"));
+  EXPECT_FALSE(must_compile("\\w+").match("a b"));
+  EXPECT_TRUE(must_compile("\\s").match(" "));
+  EXPECT_TRUE(must_compile("\\S+").match("abc"));
+  EXPECT_TRUE(must_compile("\\D+").match("abc"));
+  EXPECT_TRUE(must_compile("a\\.b").match("a.b"));
+  EXPECT_FALSE(must_compile("a\\.b").match("axb"));
+  EXPECT_TRUE(must_compile("a\\\\b").match("a\\b"));
+}
+
+TEST(Regex, EscapesInsideClasses) {
+  Regex re = must_compile("[\\d\\-]+");
+  EXPECT_TRUE(re.match("12-34"));
+  EXPECT_FALSE(re.match("a"));
+}
+
+TEST(Regex, BoundedQuantifiers) {
+  Regex re = must_compile("a{3}");
+  EXPECT_TRUE(re.match("aaa"));
+  EXPECT_FALSE(re.match("aa"));
+  EXPECT_FALSE(re.match("aaaa"));
+
+  Regex re2 = must_compile("a{2,4}");
+  EXPECT_FALSE(re2.match("a"));
+  EXPECT_TRUE(re2.match("aa"));
+  EXPECT_TRUE(re2.match("aaaa"));
+  EXPECT_FALSE(re2.match("aaaaa"));
+
+  Regex re3 = must_compile("a{2,}");
+  EXPECT_FALSE(re3.match("a"));
+  EXPECT_TRUE(re3.match("aaaaaaaa"));
+
+  Regex re4 = must_compile("(ab){2,3}c");
+  EXPECT_TRUE(re4.match("ababc"));
+  EXPECT_TRUE(re4.match("abababc"));
+  EXPECT_FALSE(re4.match("abc"));
+  EXPECT_FALSE(re4.match("ababababc"));
+}
+
+TEST(Regex, ZeroRepeat) {
+  Regex re = must_compile("a{0,2}b");
+  EXPECT_TRUE(re.match("b"));
+  EXPECT_TRUE(re.match("ab"));
+  EXPECT_TRUE(re.match("aab"));
+  EXPECT_FALSE(re.match("aaab"));
+}
+
+TEST(Regex, RealWorldPatterns) {
+  // US ZIP.
+  Regex zip = must_compile("\\d{5}(-\\d{4})?");
+  EXPECT_TRUE(zip.match("12345"));
+  EXPECT_TRUE(zip.match("12345-6789"));
+  EXPECT_FALSE(zip.match("1234"));
+  EXPECT_FALSE(zip.match("12345-"));
+
+  // SKU like the AON message uses.
+  Regex sku = must_compile("[A-Z]{2,4}-\\d{3,6}");
+  EXPECT_TRUE(sku.match("AB-123"));
+  EXPECT_TRUE(sku.match("WXYZ-123456"));
+  EXPECT_FALSE(sku.match("A-123"));
+  EXPECT_FALSE(sku.match("AB-12"));
+
+  // ISO date-ish.
+  Regex date = must_compile("\\d{4}-\\d{2}-\\d{2}");
+  EXPECT_TRUE(date.match("2007-03-14"));
+  EXPECT_FALSE(date.match("2007-3-14"));
+}
+
+TEST(Regex, NoPathologicalBacktracking) {
+  // (a*)*b-style killers are linear in a Pike VM.
+  Regex re = must_compile("(a|a)*b");
+  std::string input(2000, 'a');
+  EXPECT_FALSE(re.match(input));  // no trailing b — must return fast
+  input.push_back('b');
+  EXPECT_TRUE(re.match(input));
+}
+
+TEST(Regex, InvalidPatternsRejected) {
+  for (const char* pattern :
+       {"(", ")", "(ab", "a)", "[abc", "a{2", "a{,3}", "a{3,2}", "*a", "+",
+        "?", "{2}", "a{99999}", "\\q", "[z-a]", "a|*"}) {
+    std::string error;
+    Regex re = Regex::compile(pattern, &error);
+    EXPECT_FALSE(re.valid()) << "should reject: " << pattern;
+    EXPECT_FALSE(error.empty()) << pattern;
+  }
+}
+
+TEST(Regex, InvalidRegexIsInert) {
+  Regex re;
+  EXPECT_FALSE(re.valid());
+  EXPECT_EQ(re.pattern(), "");
+  EXPECT_EQ(re.program_size(), 0u);
+}
+
+TEST(Regex, PatternAccessor) {
+  Regex re = must_compile("a+b");
+  EXPECT_EQ(re.pattern(), "a+b");
+  EXPECT_GT(re.program_size(), 0u);
+}
+
+TEST(Regex, CopyShareProgram) {
+  Regex a = must_compile("x+");
+  Regex b = a;
+  EXPECT_TRUE(b.match("xxx"));
+  EXPECT_TRUE(a.match("x"));
+}
+
+// Property-style sweep: a{n} built by repetition behaves like n literals.
+class RegexRepeatProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegexRepeatProperty, CountedRepetitionExact) {
+  const int n = GetParam();
+  Regex re = must_compile("a{" + std::to_string(n) + "}");
+  EXPECT_TRUE(re.match(std::string(static_cast<std::size_t>(n), 'a')));
+  EXPECT_FALSE(re.match(std::string(static_cast<std::size_t>(n + 1), 'a')));
+  if (n > 0) {
+    EXPECT_FALSE(re.match(std::string(static_cast<std::size_t>(n - 1), 'a')));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, RegexRepeatProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 17, 64, 200));
+
+}  // namespace
+}  // namespace xaon::xsd

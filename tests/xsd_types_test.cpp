@@ -1,0 +1,176 @@
+#include "xaon/xsd/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xaon::xsd {
+namespace {
+
+TEST(BuiltinLookup, KnownNames) {
+  EXPECT_EQ(builtin_by_name("string"), BuiltinType::kString);
+  EXPECT_EQ(builtin_by_name("int"), BuiltinType::kInt);
+  EXPECT_EQ(builtin_by_name("dateTime"), BuiltinType::kDateTime);
+  EXPECT_FALSE(builtin_by_name("notAType").has_value());
+  EXPECT_FALSE(builtin_by_name("String").has_value());  // case-sensitive
+}
+
+TEST(BuiltinLookup, NameRoundtrip) {
+  for (auto t : {BuiltinType::kString, BuiltinType::kBoolean,
+                 BuiltinType::kDecimal, BuiltinType::kUnsignedByte,
+                 BuiltinType::kHexBinary}) {
+    auto back = builtin_by_name(builtin_name(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+}
+
+TEST(Whitespace, FacetDefaults) {
+  EXPECT_EQ(builtin_whitespace(BuiltinType::kString), Whitespace::kPreserve);
+  EXPECT_EQ(builtin_whitespace(BuiltinType::kNormalizedString),
+            Whitespace::kReplace);
+  EXPECT_EQ(builtin_whitespace(BuiltinType::kToken), Whitespace::kCollapse);
+  EXPECT_EQ(builtin_whitespace(BuiltinType::kInt), Whitespace::kCollapse);
+}
+
+TEST(Whitespace, Apply) {
+  EXPECT_EQ(apply_whitespace("a\tb\nc", Whitespace::kPreserve), "a\tb\nc");
+  EXPECT_EQ(apply_whitespace("a\tb\nc", Whitespace::kReplace), "a b c");
+  EXPECT_EQ(apply_whitespace("  a \t b  ", Whitespace::kCollapse), "a b");
+  EXPECT_EQ(apply_whitespace("   ", Whitespace::kCollapse), "");
+}
+
+struct LexCase {
+  BuiltinType type;
+  const char* value;
+  bool valid;
+};
+
+class BuiltinLexical : public ::testing::TestWithParam<LexCase> {};
+
+TEST_P(BuiltinLexical, Validates) {
+  const LexCase& c = GetParam();
+  std::string error;
+  EXPECT_EQ(validate_builtin(c.type, c.value, &error), c.valid)
+      << builtin_name(c.type) << " value '" << c.value << "' error: "
+      << error;
+  if (!c.valid) EXPECT_FALSE(error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Booleans, BuiltinLexical,
+    ::testing::Values(LexCase{BuiltinType::kBoolean, "true", true},
+                      LexCase{BuiltinType::kBoolean, "false", true},
+                      LexCase{BuiltinType::kBoolean, "1", true},
+                      LexCase{BuiltinType::kBoolean, "0", true},
+                      LexCase{BuiltinType::kBoolean, "TRUE", false},
+                      LexCase{BuiltinType::kBoolean, "yes", false},
+                      LexCase{BuiltinType::kBoolean, "", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Integers, BuiltinLexical,
+    ::testing::Values(LexCase{BuiltinType::kInteger, "0", true},
+                      LexCase{BuiltinType::kInteger, "-42", true},
+                      LexCase{BuiltinType::kInteger, "+7", true},
+                      LexCase{BuiltinType::kInteger, "1.5", false},
+                      LexCase{BuiltinType::kInteger, "abc", false},
+                      LexCase{BuiltinType::kInt, "2147483647", true},
+                      LexCase{BuiltinType::kInt, "2147483648", false},
+                      LexCase{BuiltinType::kInt, "-2147483648", true},
+                      LexCase{BuiltinType::kInt, "-2147483649", false},
+                      LexCase{BuiltinType::kShort, "32767", true},
+                      LexCase{BuiltinType::kShort, "32768", false},
+                      LexCase{BuiltinType::kByte, "-128", true},
+                      LexCase{BuiltinType::kByte, "128", false},
+                      LexCase{BuiltinType::kUnsignedByte, "255", true},
+                      LexCase{BuiltinType::kUnsignedByte, "256", false},
+                      LexCase{BuiltinType::kUnsignedByte, "-1", false},
+                      LexCase{BuiltinType::kLong, "9223372036854775807", true},
+                      LexCase{BuiltinType::kLong, "9223372036854775808", false},
+                      LexCase{BuiltinType::kUnsignedLong,
+                              "18446744073709551615", true},
+                      LexCase{BuiltinType::kUnsignedLong,
+                              "18446744073709551616", false},
+                      LexCase{BuiltinType::kPositiveInteger, "1", true},
+                      LexCase{BuiltinType::kPositiveInteger, "0", false},
+                      LexCase{BuiltinType::kNonNegativeInteger, "0", true},
+                      LexCase{BuiltinType::kNonNegativeInteger, "-1", false},
+                      LexCase{BuiltinType::kNegativeInteger, "-1", true},
+                      LexCase{BuiltinType::kNegativeInteger, "0", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Decimals, BuiltinLexical,
+    ::testing::Values(LexCase{BuiltinType::kDecimal, "3.14", true},
+                      LexCase{BuiltinType::kDecimal, "-0.5", true},
+                      LexCase{BuiltinType::kDecimal, ".5", true},
+                      LexCase{BuiltinType::kDecimal, "5.", true},
+                      LexCase{BuiltinType::kDecimal, "1e5", false},
+                      LexCase{BuiltinType::kDecimal, "1.2.3", false},
+                      LexCase{BuiltinType::kDouble, "1e5", true},
+                      LexCase{BuiltinType::kDouble, "-1.5E-3", true},
+                      LexCase{BuiltinType::kDouble, "NaN", true},
+                      LexCase{BuiltinType::kDouble, "INF", true},
+                      LexCase{BuiltinType::kDouble, "-INF", true},
+                      LexCase{BuiltinType::kDouble, "inf", false},
+                      LexCase{BuiltinType::kFloat, "1.5e2", true},
+                      LexCase{BuiltinType::kFloat, "e5", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    DatesAndTimes, BuiltinLexical,
+    ::testing::Values(LexCase{BuiltinType::kDate, "2007-03-14", true},
+                      LexCase{BuiltinType::kDate, "2007-03-14Z", true},
+                      LexCase{BuiltinType::kDate, "2007-03-14+05:30", true},
+                      LexCase{BuiltinType::kDate, "2007-13-14", false},
+                      LexCase{BuiltinType::kDate, "2007-00-14", false},
+                      LexCase{BuiltinType::kDate, "2007-03-32", false},
+                      LexCase{BuiltinType::kDate, "07-03-14", false},
+                      LexCase{BuiltinType::kTime, "13:20:00", true},
+                      LexCase{BuiltinType::kTime, "13:20:00.5", true},
+                      LexCase{BuiltinType::kTime, "13:20:00Z", true},
+                      LexCase{BuiltinType::kTime, "25:00:00", false},
+                      LexCase{BuiltinType::kTime, "13:61:00", false},
+                      LexCase{BuiltinType::kDateTime,
+                              "2007-03-14T13:20:00", true},
+                      LexCase{BuiltinType::kDateTime,
+                              "2007-03-14T13:20:00-08:00", true},
+                      LexCase{BuiltinType::kDateTime, "2007-03-14", false},
+                      LexCase{BuiltinType::kDateTime,
+                              "2007-03-14 13:20:00", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    NamesAndBinary, BuiltinLexical,
+    ::testing::Values(LexCase{BuiltinType::kNCName, "valid-name", true},
+                      LexCase{BuiltinType::kNCName, "has:colon", false},
+                      LexCase{BuiltinType::kNCName, "1starts-digit", false},
+                      LexCase{BuiltinType::kNCName, "", false},
+                      LexCase{BuiltinType::kName, "with:colon", true},
+                      LexCase{BuiltinType::kLanguage, "en", true},
+                      LexCase{BuiltinType::kLanguage, "en-US", true},
+                      LexCase{BuiltinType::kLanguage, "verylongsegment1", false},
+                      LexCase{BuiltinType::kHexBinary, "0FB7", true},
+                      LexCase{BuiltinType::kHexBinary, "0FB", false},
+                      LexCase{BuiltinType::kHexBinary, "0FBZ", false},
+                      LexCase{BuiltinType::kBase64Binary, "TWFu", true},
+                      LexCase{BuiltinType::kBase64Binary, "TWE=", true},
+                      LexCase{BuiltinType::kBase64Binary, "TQ==", true},
+                      LexCase{BuiltinType::kBase64Binary, "TQ=", false},
+                      LexCase{BuiltinType::kBase64Binary, "T!Q=", false}));
+
+TEST(BuiltinNumeric, Classification) {
+  EXPECT_TRUE(builtin_is_numeric(BuiltinType::kInt));
+  EXPECT_TRUE(builtin_is_numeric(BuiltinType::kDouble));
+  EXPECT_TRUE(builtin_is_numeric(BuiltinType::kDecimal));
+  EXPECT_FALSE(builtin_is_numeric(BuiltinType::kString));
+  EXPECT_FALSE(builtin_is_numeric(BuiltinType::kDate));
+  EXPECT_FALSE(builtin_is_numeric(BuiltinType::kBoolean));
+}
+
+TEST(BuiltinNumeric, Values) {
+  EXPECT_DOUBLE_EQ(*builtin_numeric_value(BuiltinType::kInt, "42"), 42.0);
+  EXPECT_DOUBLE_EQ(*builtin_numeric_value(BuiltinType::kDecimal, "-1.5"),
+                   -1.5);
+  EXPECT_FALSE(builtin_numeric_value(BuiltinType::kInt, "abc").has_value());
+  EXPECT_FALSE(
+      builtin_numeric_value(BuiltinType::kString, "42").has_value());
+}
+
+}  // namespace
+}  // namespace xaon::xsd

@@ -1,0 +1,463 @@
+#include "xaon/xsd/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xaon/xml/parser.hpp"
+#include "xaon/xsd/loader.hpp"
+
+namespace xaon::xsd {
+namespace {
+
+/// Programmatic schema mirroring the paper's AONBench order message:
+///   order(id attr) -> sequence(customer, item+, total?)
+///   item -> sequence(sku, quantity)
+Schema build_order_schema() {
+  Schema schema;
+
+  SimpleType* sku = schema.add_simple_type("SkuType");
+  sku->base = BuiltinType::kString;
+  sku->patterns.push_back(Regex::compile("[A-Z]{2}-\\d{3}"));
+  sku->min_length = 6;
+
+  SimpleType* qty = schema.add_simple_type("QuantityType");
+  qty->base = BuiltinType::kPositiveInteger;
+  qty->max_inclusive = 1000.0;
+
+  ElementDecl* sku_el = schema.add_element("sku", "");
+  sku_el->simple_type = sku;
+  ElementDecl* qty_el = schema.add_element("quantity", "");
+  qty_el->simple_type = qty;
+
+  ComplexType* item_type = schema.add_complex_type("ItemType");
+  item_type->content = ContentKind::kElementOnly;
+  Particle item_seq;
+  item_seq.kind = ParticleKind::kSequence;
+  Particle p1;
+  p1.kind = ParticleKind::kElement;
+  p1.element = sku_el;
+  Particle p2;
+  p2.kind = ParticleKind::kElement;
+  p2.element = qty_el;
+  item_seq.children = {p1, p2};
+  item_type->particle = item_seq;
+
+  ElementDecl* item_el = schema.add_element("item", "");
+  item_el->complex_type = item_type;
+
+  ElementDecl* customer_el = schema.add_element("customer", "");
+  SimpleType* customer_type = schema.add_simple_type("");
+  customer_type->base = BuiltinType::kString;
+  customer_type->min_length = 1;
+  customer_el->simple_type = customer_type;
+
+  ElementDecl* total_el = schema.add_element("total", "");
+  SimpleType* total_type = schema.add_simple_type("");
+  total_type->base = BuiltinType::kDecimal;
+  total_el->simple_type = total_type;
+
+  ComplexType* order_type = schema.add_complex_type("OrderType");
+  order_type->content = ContentKind::kElementOnly;
+  Particle order_seq;
+  order_seq.kind = ParticleKind::kSequence;
+  Particle pc;
+  pc.kind = ParticleKind::kElement;
+  pc.element = customer_el;
+  Particle pi;
+  pi.kind = ParticleKind::kElement;
+  pi.element = item_el;
+  pi.min_occurs = 1;
+  pi.max_occurs = kUnbounded;
+  Particle pt;
+  pt.kind = ParticleKind::kElement;
+  pt.element = total_el;
+  pt.min_occurs = 0;
+  order_seq.children = {pc, pi, pt};
+  order_type->particle = order_seq;
+
+  SimpleType* id_type = schema.add_simple_type("");
+  id_type->base = BuiltinType::kPositiveInteger;
+  AttributeUse id_attr;
+  id_attr.name = "id";
+  id_attr.type = id_type;
+  id_attr.required = true;
+  order_type->attributes.push_back(id_attr);
+
+  ElementDecl* order_el = schema.add_element("order", "");
+  order_el->complex_type = order_type;
+  schema.add_global_element(order_el);
+
+  std::string error;
+  EXPECT_TRUE(schema.finalize(&error)) << error;
+  return schema;
+}
+
+ValidationResult validate_text(const Schema& schema, std::string_view text) {
+  auto parsed = xml::parse(text);
+  EXPECT_TRUE(parsed.ok) << parsed.error.to_string();
+  Validator validator(schema);
+  return validator.validate(parsed.document);
+}
+
+constexpr const char* kValidOrder = R"(<order id="7">
+  <customer>ACME Corp</customer>
+  <item><sku>AB-123</sku><quantity>2</quantity></item>
+  <item><sku>CD-456</sku><quantity>1</quantity></item>
+  <total>42.50</total>
+</order>)";
+
+TEST(Validator, ValidDocumentPasses) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, kValidOrder);
+  EXPECT_TRUE(result.valid()) << result.to_string();
+}
+
+TEST(Validator, OptionalElementMayBeAbsent) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, R"(<order id="1">
+    <customer>c</customer>
+    <item><sku>AB-123</sku><quantity>1</quantity></item>
+  </order>)");
+  EXPECT_TRUE(result.valid()) << result.to_string();
+}
+
+TEST(Validator, UnknownRootRejected) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, "<invoice/>");
+  ASSERT_FALSE(result.valid());
+  EXPECT_NE(result.errors[0].message.find("no global element"),
+            std::string::npos);
+}
+
+TEST(Validator, MissingRequiredChild) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, R"(<order id="1">
+    <customer>c</customer>
+  </order>)");
+  ASSERT_FALSE(result.valid());
+  EXPECT_NE(result.errors[0].message.find("ended too soon"),
+            std::string::npos);
+  EXPECT_NE(result.errors[0].message.find("item"), std::string::npos);
+}
+
+TEST(Validator, WrongChildOrder) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, R"(<order id="1">
+    <item><sku>AB-123</sku><quantity>1</quantity></item>
+    <customer>c</customer>
+  </order>)");
+  ASSERT_FALSE(result.valid());
+  EXPECT_NE(result.errors[0].message.find("unexpected element"),
+            std::string::npos);
+}
+
+TEST(Validator, UnexpectedExtraChild) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, R"(<order id="1">
+    <customer>c</customer>
+    <item><sku>AB-123</sku><quantity>1</quantity></item>
+    <total>1</total>
+    <total>2</total>
+  </order>)");
+  EXPECT_FALSE(result.valid());
+}
+
+TEST(Validator, SimpleTypeFacetViolationsReported) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, R"(<order id="1">
+    <customer>c</customer>
+    <item><sku>bad-sku</sku><quantity>2000</quantity></item>
+  </order>)");
+  ASSERT_EQ(result.errors.size(), 2u) << result.to_string();
+  EXPECT_NE(result.errors[0].message.find("pattern"), std::string::npos);
+  EXPECT_NE(result.errors[0].path.find("sku"), std::string::npos);
+  EXPECT_NE(result.errors[1].message.find("maxInclusive"),
+            std::string::npos);
+}
+
+TEST(Validator, PathsIdentifyRepeatedSiblings) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, R"(<order id="1">
+    <customer>c</customer>
+    <item><sku>AB-123</sku><quantity>1</quantity></item>
+    <item><sku>XX-999</sku><quantity>0</quantity></item>
+  </order>)");
+  ASSERT_FALSE(result.valid());
+  EXPECT_NE(result.errors[0].path.find("item[2]"), std::string::npos);
+}
+
+TEST(Validator, RequiredAttributeMissing) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, R"(<order>
+    <customer>c</customer>
+    <item><sku>AB-123</sku><quantity>1</quantity></item>
+  </order>)");
+  ASSERT_FALSE(result.valid());
+  EXPECT_NE(result.errors[0].message.find("required attribute 'id'"),
+            std::string::npos);
+}
+
+TEST(Validator, BadAttributeValue) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, R"(<order id="zero">
+    <customer>c</customer>
+    <item><sku>AB-123</sku><quantity>1</quantity></item>
+  </order>)");
+  ASSERT_FALSE(result.valid());
+  EXPECT_NE(result.errors[0].message.find("attribute 'id'"),
+            std::string::npos);
+}
+
+TEST(Validator, UndeclaredAttributeRejected) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, R"(<order id="1" rogue="x">
+    <customer>c</customer>
+    <item><sku>AB-123</sku><quantity>1</quantity></item>
+  </order>)");
+  ASSERT_FALSE(result.valid());
+  EXPECT_NE(result.errors[0].message.find("undeclared attribute"),
+            std::string::npos);
+}
+
+TEST(Validator, TextInElementOnlyContentRejected) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, R"(<order id="1">stray
+    <customer>c</customer>
+    <item><sku>AB-123</sku><quantity>1</quantity></item>
+  </order>)");
+  ASSERT_FALSE(result.valid());
+  EXPECT_NE(result.errors[0].message.find("text not allowed"),
+            std::string::npos);
+}
+
+TEST(Validator, ElementInSimpleContentRejected) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(schema, R"(<order id="1">
+    <customer><b>c</b></customer>
+    <item><sku>AB-123</sku><quantity>1</quantity></item>
+  </order>)");
+  ASSERT_FALSE(result.valid());
+  EXPECT_NE(result.errors[0].message.find("not allowed in simple content"),
+            std::string::npos);
+}
+
+TEST(Validator, UnboundedRepetition) {
+  Schema schema = build_order_schema();
+  std::string doc = R"(<order id="1"><customer>c</customer>)";
+  for (int i = 0; i < 50; ++i) {
+    doc += "<item><sku>AB-123</sku><quantity>1</quantity></item>";
+  }
+  doc += "</order>";
+  auto result = validate_text(schema, doc);
+  EXPECT_TRUE(result.valid()) << result.to_string();
+}
+
+TEST(Validator, ErrorCapRespected) {
+  Schema schema = build_order_schema();
+  std::string doc = R"(<order id="1"><customer>c</customer>)";
+  for (int i = 0; i < 100; ++i) {
+    doc += "<item><sku>bad</sku><quantity>0</quantity></item>";
+  }
+  doc += "</order>";
+  auto parsed = xml::parse(doc);
+  ASSERT_TRUE(parsed.ok);
+  Validator validator(schema);
+  validator.set_max_errors(10);
+  auto result = validator.validate(parsed.document);
+  EXPECT_FALSE(result.valid());
+  EXPECT_LE(result.errors.size(), 10u);
+}
+
+TEST(Validator, ValidateElementSubtree) {
+  Schema schema = build_order_schema();
+  auto parsed = xml::parse(
+      "<item><sku>AB-123</sku><quantity>3</quantity></item>");
+  ASSERT_TRUE(parsed.ok);
+  // item is not a global element, but validate_element takes any decl.
+  const ComplexType* item_type = schema.find_complex_type("ItemType");
+  ASSERT_NE(item_type, nullptr);
+  ElementDecl decl;
+  decl.local = "item";
+  decl.complex_type = item_type;
+  Validator validator(schema);
+  auto result = validator.validate_element(parsed.document.root(), &decl);
+  EXPECT_TRUE(result.valid()) << result.to_string();
+}
+
+// --- choice and xs:all content models ---
+
+Schema build_choice_schema() {
+  Schema schema;
+  ElementDecl* a = schema.add_element("a", "");
+  ElementDecl* b = schema.add_element("b", "");
+  ComplexType* ct = schema.add_complex_type("RootType");
+  ct->content = ContentKind::kElementOnly;
+  Particle choice;
+  choice.kind = ParticleKind::kChoice;
+  choice.min_occurs = 1;
+  choice.max_occurs = 3;
+  Particle pa;
+  pa.kind = ParticleKind::kElement;
+  pa.element = a;
+  Particle pb;
+  pb.kind = ParticleKind::kElement;
+  pb.element = b;
+  choice.children = {pa, pb};
+  ct->particle = choice;
+  ElementDecl* root = schema.add_element("root", "");
+  root->complex_type = ct;
+  schema.add_global_element(root);
+  std::string error;
+  EXPECT_TRUE(schema.finalize(&error)) << error;
+  return schema;
+}
+
+TEST(Validator, ChoiceAcceptsEitherBranch) {
+  Schema schema = build_choice_schema();
+  EXPECT_TRUE(validate_text(schema, "<root><a/></root>").valid());
+  EXPECT_TRUE(validate_text(schema, "<root><b/></root>").valid());
+  EXPECT_TRUE(validate_text(schema, "<root><a/><b/><a/></root>").valid());
+}
+
+TEST(Validator, ChoiceOccurrenceBounds) {
+  Schema schema = build_choice_schema();
+  EXPECT_FALSE(validate_text(schema, "<root/>").valid());  // min 1
+  EXPECT_FALSE(
+      validate_text(schema, "<root><a/><a/><a/><a/></root>").valid());
+}
+
+Schema build_all_schema() {
+  Schema schema;
+  ElementDecl* x = schema.add_element("x", "");
+  ElementDecl* y = schema.add_element("y", "");
+  ElementDecl* z = schema.add_element("z", "");
+  ComplexType* ct = schema.add_complex_type("AllType");
+  ct->content = ContentKind::kElementOnly;
+  Particle all;
+  all.kind = ParticleKind::kAll;
+  Particle px;
+  px.kind = ParticleKind::kElement;
+  px.element = x;
+  Particle py;
+  py.kind = ParticleKind::kElement;
+  py.element = y;
+  Particle pz;
+  pz.kind = ParticleKind::kElement;
+  pz.element = z;
+  pz.min_occurs = 0;  // optional
+  all.children = {px, py, pz};
+  ct->particle = all;
+  ElementDecl* root = schema.add_element("root", "");
+  root->complex_type = ct;
+  schema.add_global_element(root);
+  std::string error;
+  EXPECT_TRUE(schema.finalize(&error)) << error;
+  return schema;
+}
+
+TEST(Validator, AllGroupAnyOrder) {
+  Schema schema = build_all_schema();
+  EXPECT_TRUE(validate_text(schema, "<root><x/><y/></root>").valid());
+  EXPECT_TRUE(validate_text(schema, "<root><y/><x/></root>").valid());
+  EXPECT_TRUE(validate_text(schema, "<root><z/><y/><x/></root>").valid());
+}
+
+TEST(Validator, AllGroupViolations) {
+  // Missing required y.
+  Schema schema = build_all_schema();
+  EXPECT_FALSE(validate_text(schema, "<root><x/></root>").valid());
+  // Duplicate x.
+  EXPECT_FALSE(validate_text(schema, "<root><x/><x/><y/></root>").valid());
+  // Foreign element.
+  EXPECT_FALSE(validate_text(schema, "<root><x/><y/><w/></root>").valid());
+}
+
+TEST(Validator, MixedContentAllowsText) {
+  Schema schema;
+  ElementDecl* b = schema.add_element("b", "");
+  ComplexType* ct = schema.add_complex_type("");
+  ct->content = ContentKind::kMixed;
+  Particle seq;
+  seq.kind = ParticleKind::kSequence;
+  Particle pb;
+  pb.kind = ParticleKind::kElement;
+  pb.element = b;
+  pb.min_occurs = 0;
+  pb.max_occurs = kUnbounded;
+  seq.children = {pb};
+  ct->particle = seq;
+  ElementDecl* root = schema.add_element("p", "");
+  root->complex_type = ct;
+  schema.add_global_element(root);
+  std::string error;
+  ASSERT_TRUE(schema.finalize(&error)) << error;
+  EXPECT_TRUE(validate_text(schema, "<p>text <b/> more text</p>").valid());
+}
+
+TEST(Validator, EmptyContentModel) {
+  Schema schema;
+  ComplexType* ct = schema.add_complex_type("");
+  ct->content = ContentKind::kEmpty;
+  ElementDecl* root = schema.add_element("e", "");
+  root->complex_type = ct;
+  schema.add_global_element(root);
+  std::string error;
+  ASSERT_TRUE(schema.finalize(&error)) << error;
+  EXPECT_TRUE(validate_text(schema, "<e/>").valid());
+  EXPECT_TRUE(validate_text(schema, "<e>  </e>").valid());
+  EXPECT_FALSE(validate_text(schema, "<e>x</e>").valid());
+  EXPECT_FALSE(validate_text(schema, "<e><c/></e>").valid());
+}
+
+TEST(Validator, FixedAttributeValue) {
+  Schema schema;
+  ComplexType* ct = schema.add_complex_type("");
+  ct->content = ContentKind::kEmpty;
+  AttributeUse version;
+  version.name = "version";
+  version.fixed = "1.0";
+  ct->attributes.push_back(version);
+  ElementDecl* root = schema.add_element("e", "");
+  root->complex_type = ct;
+  schema.add_global_element(root);
+  std::string error;
+  ASSERT_TRUE(schema.finalize(&error)) << error;
+  EXPECT_TRUE(validate_text(schema, R"(<e version="1.0"/>)").valid());
+  EXPECT_FALSE(validate_text(schema, R"(<e version="2.0"/>)").valid());
+  EXPECT_TRUE(validate_text(schema, "<e/>").valid());  // fixed != required
+}
+
+TEST(Validator, XmlnsAndXsiAttributesIgnored) {
+  Schema schema = build_order_schema();
+  auto result = validate_text(
+      schema,
+      R"(<order id="1" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance")"
+      R"( xsi:noNamespaceSchemaLocation="order.xsd">)"
+      R"(<customer>c</customer>)"
+      R"(<item><sku>AB-123</sku><quantity>1</quantity></item></order>)");
+  EXPECT_TRUE(result.valid()) << result.to_string();
+}
+
+TEST(Validator, NestedErrorsStillFoundAfterContentModelError) {
+  Schema schema = build_order_schema();
+  // First child matches (customer), second matches (item) but contains a
+  // facet violation, then the model breaks (b). The item error must
+  // still be reported.
+  auto result = validate_text(schema, R"(<order id="1">
+    <customer>c</customer>
+    <item><sku>bad-sku</sku><quantity>1</quantity></item>
+    <bogus/>
+  </order>)");
+  ASSERT_FALSE(result.valid());
+  bool saw_model_error = false, saw_sku_error = false;
+  for (const auto& e : result.errors) {
+    if (e.message.find("unexpected element") != std::string::npos) {
+      saw_model_error = true;
+    }
+    if (e.message.find("pattern") != std::string::npos) saw_sku_error = true;
+  }
+  EXPECT_TRUE(saw_model_error) << result.to_string();
+  EXPECT_TRUE(saw_sku_error) << result.to_string();
+}
+
+}  // namespace
+}  // namespace xaon::xsd
