@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_shared_l2"
+  "../bench/ablation_shared_l2.pdb"
+  "CMakeFiles/ablation_shared_l2.dir/ablation_shared_l2.cpp.o"
+  "CMakeFiles/ablation_shared_l2.dir/ablation_shared_l2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_smt_predictor"
+  "../bench/ablation_smt_predictor.pdb"
+  "CMakeFiles/ablation_smt_predictor.dir/ablation_smt_predictor.cpp.o"
+  "CMakeFiles/ablation_smt_predictor.dir/ablation_smt_predictor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smt_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

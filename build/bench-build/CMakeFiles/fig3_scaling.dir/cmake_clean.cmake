@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_scaling"
+  "../bench/fig3_scaling.pdb"
+  "CMakeFiles/fig3_scaling.dir/fig3_scaling.cpp.o"
+  "CMakeFiles/fig3_scaling.dir/fig3_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_l2mpi"
+  "../bench/fig4_l2mpi.pdb"
+  "CMakeFiles/fig4_l2mpi.dir/fig4_l2mpi.cpp.o"
+  "CMakeFiles/fig4_l2mpi.dir/fig4_l2mpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_l2mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_btpi.cpp" "bench-build/CMakeFiles/fig5_btpi.dir/fig5_btpi.cpp.o" "gcc" "bench-build/CMakeFiles/fig5_btpi.dir/fig5_btpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/xaon_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/aon/CMakeFiles/xaon_aon.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/xaon_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wload/CMakeFiles/xaon_wload.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/xaon_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/xaon_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/xaon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/xaon_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xaon_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xaon_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xaon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

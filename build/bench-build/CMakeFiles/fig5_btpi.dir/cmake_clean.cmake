@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_btpi"
+  "../bench/fig5_btpi.pdb"
+  "CMakeFiles/fig5_btpi.dir/fig5_btpi.cpp.o"
+  "CMakeFiles/fig5_btpi.dir/fig5_btpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_btpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/futurework_operations"
+  "../bench/futurework_operations.pdb"
+  "CMakeFiles/futurework_operations.dir/futurework_operations.cpp.o"
+  "CMakeFiles/futurework_operations.dir/futurework_operations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

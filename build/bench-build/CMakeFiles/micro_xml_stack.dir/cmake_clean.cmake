@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_xml_stack"
+  "../bench/micro_xml_stack.pdb"
+  "CMakeFiles/micro_xml_stack.dir/micro_xml_stack.cpp.o"
+  "CMakeFiles/micro_xml_stack.dir/micro_xml_stack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_xml_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_netperf_metrics"
+  "../bench/table3_netperf_metrics.pdb"
+  "CMakeFiles/table3_netperf_metrics.dir/table3_netperf_metrics.cpp.o"
+  "CMakeFiles/table3_netperf_metrics.dir/table3_netperf_metrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_netperf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_cpi"
+  "../bench/table4_cpi.pdb"
+  "CMakeFiles/table4_cpi.dir/table4_cpi.cpp.o"
+  "CMakeFiles/table4_cpi.dir/table4_cpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

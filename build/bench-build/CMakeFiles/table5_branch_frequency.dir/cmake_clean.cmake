@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_branch_frequency"
+  "../bench/table5_branch_frequency.pdb"
+  "CMakeFiles/table5_branch_frequency.dir/table5_branch_frequency.cpp.o"
+  "CMakeFiles/table5_branch_frequency.dir/table5_branch_frequency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_branch_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

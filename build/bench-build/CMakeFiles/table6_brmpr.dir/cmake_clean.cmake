@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_brmpr"
+  "../bench/table6_brmpr.pdb"
+  "CMakeFiles/table6_brmpr.dir/table6_brmpr.cpp.o"
+  "CMakeFiles/table6_brmpr.dir/table6_brmpr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_brmpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

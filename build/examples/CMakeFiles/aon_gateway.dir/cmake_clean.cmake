@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aon_gateway.dir/aon_gateway.cpp.o"
+  "CMakeFiles/aon_gateway.dir/aon_gateway.cpp.o.d"
+  "aon_gateway"
+  "aon_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aon_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

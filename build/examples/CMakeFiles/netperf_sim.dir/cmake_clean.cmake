@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netperf_sim.dir/netperf_sim.cpp.o"
+  "CMakeFiles/netperf_sim.dir/netperf_sim.cpp.o.d"
+  "netperf_sim"
+  "netperf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netperf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("xml")
+subdirs("xpath")
+subdirs("xsd")
+subdirs("http")
+subdirs("crypto")
+subdirs("netsim")
+subdirs("uarch")
+subdirs("wload")
+subdirs("aon")
+subdirs("perf")
+subdirs("core")

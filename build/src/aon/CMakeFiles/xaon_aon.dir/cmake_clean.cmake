@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaon_aon.dir/capture.cpp.o"
+  "CMakeFiles/xaon_aon.dir/capture.cpp.o.d"
+  "CMakeFiles/xaon_aon.dir/messages.cpp.o"
+  "CMakeFiles/xaon_aon.dir/messages.cpp.o.d"
+  "CMakeFiles/xaon_aon.dir/pipeline.cpp.o"
+  "CMakeFiles/xaon_aon.dir/pipeline.cpp.o.d"
+  "CMakeFiles/xaon_aon.dir/server.cpp.o"
+  "CMakeFiles/xaon_aon.dir/server.cpp.o.d"
+  "libxaon_aon.a"
+  "libxaon_aon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaon_aon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

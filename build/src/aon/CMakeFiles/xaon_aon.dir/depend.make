@@ -1,0 +1,2 @@
+# Empty dependencies file for xaon_aon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaon_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/xaon_crypto.dir/sha1.cpp.o.d"
+  "libxaon_crypto.a"
+  "libxaon_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaon_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxaon_crypto.a"
+)

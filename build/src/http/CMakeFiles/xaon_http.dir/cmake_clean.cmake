@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaon_http.dir/message.cpp.o"
+  "CMakeFiles/xaon_http.dir/message.cpp.o.d"
+  "CMakeFiles/xaon_http.dir/parser.cpp.o"
+  "CMakeFiles/xaon_http.dir/parser.cpp.o.d"
+  "libxaon_http.a"
+  "libxaon_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaon_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaon_netsim.dir/link.cpp.o"
+  "CMakeFiles/xaon_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/xaon_netsim.dir/netperf.cpp.o"
+  "CMakeFiles/xaon_netsim.dir/netperf.cpp.o.d"
+  "CMakeFiles/xaon_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/xaon_netsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/xaon_netsim.dir/tcp.cpp.o"
+  "CMakeFiles/xaon_netsim.dir/tcp.cpp.o.d"
+  "libxaon_netsim.a"
+  "libxaon_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaon_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaon_perf.dir/experiment.cpp.o"
+  "CMakeFiles/xaon_perf.dir/experiment.cpp.o.d"
+  "CMakeFiles/xaon_perf.dir/report.cpp.o"
+  "CMakeFiles/xaon_perf.dir/report.cpp.o.d"
+  "libxaon_perf.a"
+  "libxaon_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaon_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

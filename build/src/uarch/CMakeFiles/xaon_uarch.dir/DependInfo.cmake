@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/cache.cpp" "src/uarch/CMakeFiles/xaon_uarch.dir/cache.cpp.o" "gcc" "src/uarch/CMakeFiles/xaon_uarch.dir/cache.cpp.o.d"
+  "/root/repo/src/uarch/counters.cpp" "src/uarch/CMakeFiles/xaon_uarch.dir/counters.cpp.o" "gcc" "src/uarch/CMakeFiles/xaon_uarch.dir/counters.cpp.o.d"
+  "/root/repo/src/uarch/platform.cpp" "src/uarch/CMakeFiles/xaon_uarch.dir/platform.cpp.o" "gcc" "src/uarch/CMakeFiles/xaon_uarch.dir/platform.cpp.o.d"
+  "/root/repo/src/uarch/predictor.cpp" "src/uarch/CMakeFiles/xaon_uarch.dir/predictor.cpp.o" "gcc" "src/uarch/CMakeFiles/xaon_uarch.dir/predictor.cpp.o.d"
+  "/root/repo/src/uarch/prefetch.cpp" "src/uarch/CMakeFiles/xaon_uarch.dir/prefetch.cpp.o" "gcc" "src/uarch/CMakeFiles/xaon_uarch.dir/prefetch.cpp.o.d"
+  "/root/repo/src/uarch/system.cpp" "src/uarch/CMakeFiles/xaon_uarch.dir/system.cpp.o" "gcc" "src/uarch/CMakeFiles/xaon_uarch.dir/system.cpp.o.d"
+  "/root/repo/src/uarch/trace.cpp" "src/uarch/CMakeFiles/xaon_uarch.dir/trace.cpp.o" "gcc" "src/uarch/CMakeFiles/xaon_uarch.dir/trace.cpp.o.d"
+  "/root/repo/src/uarch/trace_io.cpp" "src/uarch/CMakeFiles/xaon_uarch.dir/trace_io.cpp.o" "gcc" "src/uarch/CMakeFiles/xaon_uarch.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xaon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaon_uarch.dir/cache.cpp.o"
+  "CMakeFiles/xaon_uarch.dir/cache.cpp.o.d"
+  "CMakeFiles/xaon_uarch.dir/counters.cpp.o"
+  "CMakeFiles/xaon_uarch.dir/counters.cpp.o.d"
+  "CMakeFiles/xaon_uarch.dir/platform.cpp.o"
+  "CMakeFiles/xaon_uarch.dir/platform.cpp.o.d"
+  "CMakeFiles/xaon_uarch.dir/predictor.cpp.o"
+  "CMakeFiles/xaon_uarch.dir/predictor.cpp.o.d"
+  "CMakeFiles/xaon_uarch.dir/prefetch.cpp.o"
+  "CMakeFiles/xaon_uarch.dir/prefetch.cpp.o.d"
+  "CMakeFiles/xaon_uarch.dir/system.cpp.o"
+  "CMakeFiles/xaon_uarch.dir/system.cpp.o.d"
+  "CMakeFiles/xaon_uarch.dir/trace.cpp.o"
+  "CMakeFiles/xaon_uarch.dir/trace.cpp.o.d"
+  "CMakeFiles/xaon_uarch.dir/trace_io.cpp.o"
+  "CMakeFiles/xaon_uarch.dir/trace_io.cpp.o.d"
+  "libxaon_uarch.a"
+  "libxaon_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaon_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaon_util.dir/arena.cpp.o"
+  "CMakeFiles/xaon_util.dir/arena.cpp.o.d"
+  "CMakeFiles/xaon_util.dir/flags.cpp.o"
+  "CMakeFiles/xaon_util.dir/flags.cpp.o.d"
+  "CMakeFiles/xaon_util.dir/probe.cpp.o"
+  "CMakeFiles/xaon_util.dir/probe.cpp.o.d"
+  "CMakeFiles/xaon_util.dir/stats.cpp.o"
+  "CMakeFiles/xaon_util.dir/stats.cpp.o.d"
+  "CMakeFiles/xaon_util.dir/str.cpp.o"
+  "CMakeFiles/xaon_util.dir/str.cpp.o.d"
+  "CMakeFiles/xaon_util.dir/table.cpp.o"
+  "CMakeFiles/xaon_util.dir/table.cpp.o.d"
+  "CMakeFiles/xaon_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/xaon_util.dir/thread_pool.cpp.o.d"
+  "libxaon_util.a"
+  "libxaon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wload/netperf_traces.cpp" "src/wload/CMakeFiles/xaon_wload.dir/netperf_traces.cpp.o" "gcc" "src/wload/CMakeFiles/xaon_wload.dir/netperf_traces.cpp.o.d"
+  "/root/repo/src/wload/recorder.cpp" "src/wload/CMakeFiles/xaon_wload.dir/recorder.cpp.o" "gcc" "src/wload/CMakeFiles/xaon_wload.dir/recorder.cpp.o.d"
+  "/root/repo/src/wload/synth.cpp" "src/wload/CMakeFiles/xaon_wload.dir/synth.cpp.o" "gcc" "src/wload/CMakeFiles/xaon_wload.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/xaon_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xaon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

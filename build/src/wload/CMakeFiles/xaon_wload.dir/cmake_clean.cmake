@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaon_wload.dir/netperf_traces.cpp.o"
+  "CMakeFiles/xaon_wload.dir/netperf_traces.cpp.o.d"
+  "CMakeFiles/xaon_wload.dir/recorder.cpp.o"
+  "CMakeFiles/xaon_wload.dir/recorder.cpp.o.d"
+  "CMakeFiles/xaon_wload.dir/synth.cpp.o"
+  "CMakeFiles/xaon_wload.dir/synth.cpp.o.d"
+  "libxaon_wload.a"
+  "libxaon_wload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaon_wload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/builder.cpp" "src/xml/CMakeFiles/xaon_xml.dir/builder.cpp.o" "gcc" "src/xml/CMakeFiles/xaon_xml.dir/builder.cpp.o.d"
+  "/root/repo/src/xml/chars.cpp" "src/xml/CMakeFiles/xaon_xml.dir/chars.cpp.o" "gcc" "src/xml/CMakeFiles/xaon_xml.dir/chars.cpp.o.d"
+  "/root/repo/src/xml/dom.cpp" "src/xml/CMakeFiles/xaon_xml.dir/dom.cpp.o" "gcc" "src/xml/CMakeFiles/xaon_xml.dir/dom.cpp.o.d"
+  "/root/repo/src/xml/error.cpp" "src/xml/CMakeFiles/xaon_xml.dir/error.cpp.o" "gcc" "src/xml/CMakeFiles/xaon_xml.dir/error.cpp.o.d"
+  "/root/repo/src/xml/parser.cpp" "src/xml/CMakeFiles/xaon_xml.dir/parser.cpp.o" "gcc" "src/xml/CMakeFiles/xaon_xml.dir/parser.cpp.o.d"
+  "/root/repo/src/xml/parser_core.cpp" "src/xml/CMakeFiles/xaon_xml.dir/parser_core.cpp.o" "gcc" "src/xml/CMakeFiles/xaon_xml.dir/parser_core.cpp.o.d"
+  "/root/repo/src/xml/sax.cpp" "src/xml/CMakeFiles/xaon_xml.dir/sax.cpp.o" "gcc" "src/xml/CMakeFiles/xaon_xml.dir/sax.cpp.o.d"
+  "/root/repo/src/xml/writer.cpp" "src/xml/CMakeFiles/xaon_xml.dir/writer.cpp.o" "gcc" "src/xml/CMakeFiles/xaon_xml.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xaon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaon_xml.dir/builder.cpp.o"
+  "CMakeFiles/xaon_xml.dir/builder.cpp.o.d"
+  "CMakeFiles/xaon_xml.dir/chars.cpp.o"
+  "CMakeFiles/xaon_xml.dir/chars.cpp.o.d"
+  "CMakeFiles/xaon_xml.dir/dom.cpp.o"
+  "CMakeFiles/xaon_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/xaon_xml.dir/error.cpp.o"
+  "CMakeFiles/xaon_xml.dir/error.cpp.o.d"
+  "CMakeFiles/xaon_xml.dir/parser.cpp.o"
+  "CMakeFiles/xaon_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/xaon_xml.dir/parser_core.cpp.o"
+  "CMakeFiles/xaon_xml.dir/parser_core.cpp.o.d"
+  "CMakeFiles/xaon_xml.dir/sax.cpp.o"
+  "CMakeFiles/xaon_xml.dir/sax.cpp.o.d"
+  "CMakeFiles/xaon_xml.dir/writer.cpp.o"
+  "CMakeFiles/xaon_xml.dir/writer.cpp.o.d"
+  "libxaon_xml.a"
+  "libxaon_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaon_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpath/compile.cpp" "src/xpath/CMakeFiles/xaon_xpath.dir/compile.cpp.o" "gcc" "src/xpath/CMakeFiles/xaon_xpath.dir/compile.cpp.o.d"
+  "/root/repo/src/xpath/eval.cpp" "src/xpath/CMakeFiles/xaon_xpath.dir/eval.cpp.o" "gcc" "src/xpath/CMakeFiles/xaon_xpath.dir/eval.cpp.o.d"
+  "/root/repo/src/xpath/lexer.cpp" "src/xpath/CMakeFiles/xaon_xpath.dir/lexer.cpp.o" "gcc" "src/xpath/CMakeFiles/xaon_xpath.dir/lexer.cpp.o.d"
+  "/root/repo/src/xpath/value.cpp" "src/xpath/CMakeFiles/xaon_xpath.dir/value.cpp.o" "gcc" "src/xpath/CMakeFiles/xaon_xpath.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/xaon_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xaon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaon_xpath.dir/compile.cpp.o"
+  "CMakeFiles/xaon_xpath.dir/compile.cpp.o.d"
+  "CMakeFiles/xaon_xpath.dir/eval.cpp.o"
+  "CMakeFiles/xaon_xpath.dir/eval.cpp.o.d"
+  "CMakeFiles/xaon_xpath.dir/lexer.cpp.o"
+  "CMakeFiles/xaon_xpath.dir/lexer.cpp.o.d"
+  "CMakeFiles/xaon_xpath.dir/value.cpp.o"
+  "CMakeFiles/xaon_xpath.dir/value.cpp.o.d"
+  "libxaon_xpath.a"
+  "libxaon_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaon_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

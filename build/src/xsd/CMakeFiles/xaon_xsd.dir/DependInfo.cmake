@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xsd/automaton.cpp" "src/xsd/CMakeFiles/xaon_xsd.dir/automaton.cpp.o" "gcc" "src/xsd/CMakeFiles/xaon_xsd.dir/automaton.cpp.o.d"
+  "/root/repo/src/xsd/loader.cpp" "src/xsd/CMakeFiles/xaon_xsd.dir/loader.cpp.o" "gcc" "src/xsd/CMakeFiles/xaon_xsd.dir/loader.cpp.o.d"
+  "/root/repo/src/xsd/model.cpp" "src/xsd/CMakeFiles/xaon_xsd.dir/model.cpp.o" "gcc" "src/xsd/CMakeFiles/xaon_xsd.dir/model.cpp.o.d"
+  "/root/repo/src/xsd/regex.cpp" "src/xsd/CMakeFiles/xaon_xsd.dir/regex.cpp.o" "gcc" "src/xsd/CMakeFiles/xaon_xsd.dir/regex.cpp.o.d"
+  "/root/repo/src/xsd/types.cpp" "src/xsd/CMakeFiles/xaon_xsd.dir/types.cpp.o" "gcc" "src/xsd/CMakeFiles/xaon_xsd.dir/types.cpp.o.d"
+  "/root/repo/src/xsd/validator.cpp" "src/xsd/CMakeFiles/xaon_xsd.dir/validator.cpp.o" "gcc" "src/xsd/CMakeFiles/xaon_xsd.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/xaon_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xaon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xaon_xsd.dir/automaton.cpp.o"
+  "CMakeFiles/xaon_xsd.dir/automaton.cpp.o.d"
+  "CMakeFiles/xaon_xsd.dir/loader.cpp.o"
+  "CMakeFiles/xaon_xsd.dir/loader.cpp.o.d"
+  "CMakeFiles/xaon_xsd.dir/model.cpp.o"
+  "CMakeFiles/xaon_xsd.dir/model.cpp.o.d"
+  "CMakeFiles/xaon_xsd.dir/regex.cpp.o"
+  "CMakeFiles/xaon_xsd.dir/regex.cpp.o.d"
+  "CMakeFiles/xaon_xsd.dir/types.cpp.o"
+  "CMakeFiles/xaon_xsd.dir/types.cpp.o.d"
+  "CMakeFiles/xaon_xsd.dir/validator.cpp.o"
+  "CMakeFiles/xaon_xsd.dir/validator.cpp.o.d"
+  "libxaon_xsd.a"
+  "libxaon_xsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xaon_xsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

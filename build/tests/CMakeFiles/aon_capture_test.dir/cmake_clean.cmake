@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aon_capture_test.dir/aon_capture_test.cpp.o"
+  "CMakeFiles/aon_capture_test.dir/aon_capture_test.cpp.o.d"
+  "aon_capture_test"
+  "aon_capture_test.pdb"
+  "aon_capture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aon_capture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aon_extensions_test.dir/aon_extensions_test.cpp.o"
+  "CMakeFiles/aon_extensions_test.dir/aon_extensions_test.cpp.o.d"
+  "aon_extensions_test"
+  "aon_extensions_test.pdb"
+  "aon_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aon_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aon_messages_test.dir/aon_messages_test.cpp.o"
+  "CMakeFiles/aon_messages_test.dir/aon_messages_test.cpp.o.d"
+  "aon_messages_test"
+  "aon_messages_test.pdb"
+  "aon_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aon_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aon_pipeline_test.dir/aon_pipeline_test.cpp.o"
+  "CMakeFiles/aon_pipeline_test.dir/aon_pipeline_test.cpp.o.d"
+  "aon_pipeline_test"
+  "aon_pipeline_test.pdb"
+  "aon_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aon_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aon_server_test.dir/aon_server_test.cpp.o"
+  "CMakeFiles/aon_server_test.dir/aon_server_test.cpp.o.d"
+  "aon_server_test"
+  "aon_server_test.pdb"
+  "aon_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aon_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

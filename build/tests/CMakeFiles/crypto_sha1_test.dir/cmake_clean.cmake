@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_sha1_test.dir/crypto_sha1_test.cpp.o"
+  "CMakeFiles/crypto_sha1_test.dir/crypto_sha1_test.cpp.o.d"
+  "crypto_sha1_test"
+  "crypto_sha1_test.pdb"
+  "crypto_sha1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_sha1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

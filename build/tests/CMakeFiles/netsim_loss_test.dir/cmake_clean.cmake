@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_loss_test.dir/netsim_loss_test.cpp.o"
+  "CMakeFiles/netsim_loss_test.dir/netsim_loss_test.cpp.o.d"
+  "netsim_loss_test"
+  "netsim_loss_test.pdb"
+  "netsim_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_cache_test.dir/uarch_cache_test.cpp.o"
+  "CMakeFiles/uarch_cache_test.dir/uarch_cache_test.cpp.o.d"
+  "uarch_cache_test"
+  "uarch_cache_test.pdb"
+  "uarch_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_predictor_test.dir/uarch_predictor_test.cpp.o"
+  "CMakeFiles/uarch_predictor_test.dir/uarch_predictor_test.cpp.o.d"
+  "uarch_predictor_test"
+  "uarch_predictor_test.pdb"
+  "uarch_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

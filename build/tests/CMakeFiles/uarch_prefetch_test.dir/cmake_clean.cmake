@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_prefetch_test.dir/uarch_prefetch_test.cpp.o"
+  "CMakeFiles/uarch_prefetch_test.dir/uarch_prefetch_test.cpp.o.d"
+  "uarch_prefetch_test"
+  "uarch_prefetch_test.pdb"
+  "uarch_prefetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

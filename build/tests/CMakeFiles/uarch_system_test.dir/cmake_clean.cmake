@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_system_test.dir/uarch_system_test.cpp.o"
+  "CMakeFiles/uarch_system_test.dir/uarch_system_test.cpp.o.d"
+  "uarch_system_test"
+  "uarch_system_test.pdb"
+  "uarch_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_trace_io_test.dir/uarch_trace_io_test.cpp.o"
+  "CMakeFiles/uarch_trace_io_test.dir/uarch_trace_io_test.cpp.o.d"
+  "uarch_trace_io_test"
+  "uarch_trace_io_test.pdb"
+  "uarch_trace_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_trace_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

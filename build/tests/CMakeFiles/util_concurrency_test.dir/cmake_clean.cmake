@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_concurrency_test.dir/util_concurrency_test.cpp.o"
+  "CMakeFiles/util_concurrency_test.dir/util_concurrency_test.cpp.o.d"
+  "util_concurrency_test"
+  "util_concurrency_test.pdb"
+  "util_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

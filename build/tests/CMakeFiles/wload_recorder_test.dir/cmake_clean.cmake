@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wload_recorder_test.dir/wload_recorder_test.cpp.o"
+  "CMakeFiles/wload_recorder_test.dir/wload_recorder_test.cpp.o.d"
+  "wload_recorder_test"
+  "wload_recorder_test.pdb"
+  "wload_recorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wload_recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

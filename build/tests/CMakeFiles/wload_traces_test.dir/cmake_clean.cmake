@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wload_traces_test.dir/wload_traces_test.cpp.o"
+  "CMakeFiles/wload_traces_test.dir/wload_traces_test.cpp.o.d"
+  "wload_traces_test"
+  "wload_traces_test.pdb"
+  "wload_traces_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wload_traces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_loader_test.dir/xsd_loader_test.cpp.o"
+  "CMakeFiles/xsd_loader_test.dir/xsd_loader_test.cpp.o.d"
+  "xsd_loader_test"
+  "xsd_loader_test.pdb"
+  "xsd_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xsd_regex_test.cpp" "tests/CMakeFiles/xsd_regex_test.dir/xsd_regex_test.cpp.o" "gcc" "tests/CMakeFiles/xsd_regex_test.dir/xsd_regex_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xsd/CMakeFiles/xaon_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xaon_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xaon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

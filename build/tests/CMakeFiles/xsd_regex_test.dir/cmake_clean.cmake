@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_regex_test.dir/xsd_regex_test.cpp.o"
+  "CMakeFiles/xsd_regex_test.dir/xsd_regex_test.cpp.o.d"
+  "xsd_regex_test"
+  "xsd_regex_test.pdb"
+  "xsd_regex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_regex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

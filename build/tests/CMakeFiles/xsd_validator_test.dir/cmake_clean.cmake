@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_validator_test.dir/xsd_validator_test.cpp.o"
+  "CMakeFiles/xsd_validator_test.dir/xsd_validator_test.cpp.o.d"
+  "xsd_validator_test"
+  "xsd_validator_test.pdb"
+  "xsd_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
