@@ -1,0 +1,182 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+/// \file alloc_counter.hpp
+/// Heap-allocation counter for benches and regression tests. The
+/// counters are always available; the global `operator new` / `delete`
+/// interposer that feeds them is opt-in:
+///
+///     #define XAON_ALLOC_COUNT_INTERPOSE
+///     #include "alloc_counter.hpp"
+///
+/// The interposer defines the replaceable global allocation functions,
+/// so it must be enabled in exactly ONE translation unit per binary
+/// (single-TU benches and tests — which is all of ours).
+
+namespace xaon::bench {
+
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+inline std::atomic<std::uint64_t> g_alloc_bytes{0};
+inline std::atomic<std::uint64_t> g_free_count{0};
+
+inline void count_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+inline void count_free() {
+  g_free_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void reset_alloc_counter() {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_bytes.store(0, std::memory_order_relaxed);
+  g_free_count.store(0, std::memory_order_relaxed);
+}
+
+inline std::uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+inline std::uint64_t alloc_bytes() {
+  return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+
+inline std::uint64_t free_count() {
+  return g_free_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace xaon::bench
+
+#ifdef XAON_ALLOC_COUNT_INTERPOSE
+
+namespace xaon::bench::detail {
+
+inline void* counted_alloc(std::size_t size) {
+  count_alloc(size);
+  return std::malloc(size);
+}
+
+inline void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  count_alloc(size);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace xaon::bench::detail
+
+void* operator new(std::size_t size) {
+  if (void* p = xaon::bench::detail::counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = xaon::bench::detail::counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return xaon::bench::detail::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return xaon::bench::detail::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = xaon::bench::detail::counted_aligned_alloc(
+          size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = xaon::bench::detail::counted_aligned_alloc(
+          size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return xaon::bench::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return xaon::bench::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::size_t) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  xaon::bench::count_free();
+  std::free(p);
+}
+
+#endif  // XAON_ALLOC_COUNT_INTERPOSE

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc_counter.hpp"
 #include "xaon/perf/experiment.hpp"
 #include "xaon/perf/report.hpp"
 #include "xaon/util/flags.hpp"

@@ -1,0 +1,95 @@
+// Host-mode gateway throughput: real messages/s per use case (FR / CBR
+// / SV) through Server::run_load, plus steady-state heap allocations
+// per message on the single-worker hot path. Each use case emits one
+// JSON line for trajectory tracking (BENCH_*.json).
+
+#define XAON_ALLOC_COUNT_INTERPOSE
+#include "alloc_counter.hpp"
+
+#include "bench_common.hpp"
+
+#include "xaon/aon/messages.hpp"
+#include "xaon/aon/server.hpp"
+
+using namespace xaon;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::uint64_t messages = static_cast<std::uint64_t>(
+      flags.i64("messages", 20000, "messages per measured run"));
+  const std::size_t workers = static_cast<std::size_t>(
+      flags.i64("workers", 2, "worker threads (paper: one per CPU)"));
+  const std::size_t mix = static_cast<std::size_t>(
+      flags.i64("mix", 64, "distinct 5KB messages cycled through"));
+  if (bench::handle_help(flags)) return 0;
+
+  // AONBench-style 5 KB orders; half route primary (quantity=1), half
+  // to the error endpoint, seeds vary the filler so the parse never
+  // sees the same bytes twice in a row.
+  std::vector<std::string> wires;
+  wires.reserve(mix);
+  for (std::size_t i = 0; i < mix; ++i) {
+    aon::MessageSpec spec;
+    spec.seed = i + 1;
+    spec.quantity = static_cast<std::uint32_t>(i % 2) + 1;
+    wires.push_back(aon::make_post_wire(spec));
+  }
+
+  const aon::UseCase cases[] = {aon::UseCase::kForwardRequest,
+                                aon::UseCase::kContentBasedRouting,
+                                aon::UseCase::kSchemaValidation};
+
+  util::TextTable table("Host-mode gateway throughput");
+  table.set_header({"Use case", "msgs/s", "allocs/msg", "bytes/msg"});
+  table.set_tsv(true);
+
+  for (aon::UseCase use_case : cases) {
+    const std::string name(aon::use_case_notation(use_case));
+
+    aon::ServerConfig config;
+    config.use_case = use_case;
+    config.workers = workers;
+    aon::Server server(config);
+    (void)server.run_load(wires, messages / 4);  // warm-up
+    const aon::LoadResult load = server.run_load(wires, messages);
+
+    // Steady-state allocation accounting: one worker, one scratch,
+    // counted after the reusable buffers have reached capacity.
+    aon::Pipeline pipeline(use_case);
+    aon::Pipeline::ProcessScratch scratch;
+    for (int rep = 0; rep < 4; ++rep) {
+      for (const std::string& wire : wires) {
+        (void)pipeline.process_wire(wire, scratch);
+      }
+    }
+    bench::reset_alloc_counter();
+    const std::uint64_t counted = 4 * static_cast<std::uint64_t>(mix);
+    for (int rep = 0; rep < 4; ++rep) {
+      for (const std::string& wire : wires) {
+        (void)pipeline.process_wire(wire, scratch);
+      }
+    }
+    const double allocs_per_msg =
+        static_cast<double>(bench::alloc_count()) /
+        static_cast<double>(counted);
+    const double bytes_per_msg =
+        static_cast<double>(bench::alloc_bytes()) /
+        static_cast<double>(counted);
+
+    table.add_row({name, util::format("%.0f", load.messages_per_second()),
+                   util::format("%.2f", allocs_per_msg),
+                   util::format("%.1f", bytes_per_msg)});
+    std::printf(
+        "{\"bench\": \"host_throughput\", \"use_case\": \"%s\", "
+        "\"workers\": %zu, \"messages\": %llu, \"seconds\": %.4f, "
+        "\"msgs_per_sec\": %.1f, \"allocs_per_msg\": %.2f, "
+        "\"bytes_per_msg\": %.1f, \"failed\": %llu}\n",
+        name.c_str(), workers,
+        static_cast<unsigned long long>(load.messages), load.seconds,
+        load.messages_per_second(), allocs_per_msg, bytes_per_msg,
+        static_cast<unsigned long long>(load.failed));
+  }
+
+  table.print();
+  return 0;
+}

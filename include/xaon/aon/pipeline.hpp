@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "xaon/http/message.hpp"
+#include "xaon/http/parser.hpp"
+#include "xaon/util/arena.hpp"
 #include "xaon/xml/parser.hpp"
 #include "xaon/xpath/xpath.hpp"
 #include "xaon/xsd/validator.hpp"
@@ -61,19 +64,35 @@ class Pipeline {
     std::string forwarded_wire;  ///< serialized outbound request
     http::Response response;     ///< reply to the original client
     std::string detail;          ///< routing/validation diagnostics
+
+    /// Restores the default-constructed state, retaining string/header
+    /// capacity for the next message.
+    void reset();
   };
 
   explicit Pipeline(UseCase use_case, Endpoints endpoints = {});
 
   UseCase use_case() const { return use_case_; }
 
-  /// Per-message state the pipeline normally frees on return. Trace
-  /// capture passes one per message and keeps them alive so the
-  /// recorded address stream reflects a live message stream rather
-  /// than allocator page recycling.
+  /// Per-message processing state: parser buffers, DOM arena, XPath
+  /// node-set pools, a schema-bound validator, and the reusable Outcome.
+  /// A worker that keeps one of these across messages processes at
+  /// steady state with (near-)zero heap allocation — all per-message
+  /// storage is bump-allocated from `arena` and freed wholesale by
+  /// Arena::reset(), while the remaining buffers retain their capacity.
+  ///
+  /// Trace capture instead passes a fresh one per message and keeps them
+  /// alive so the recorded address stream reflects a live message stream
+  /// rather than allocator page recycling.
   struct ProcessScratch {
-    http::Request request;
-    xml::ParseResult parsed;
+    http::RequestParser parser;    ///< wire -> request, buffers reused
+    http::Request request;         ///< retained for the capture path
+    xml::DomParser dom_parser;     ///< tokenizer scratch
+    util::Arena arena{64 * 1024};  ///< DOM storage, reset per message
+    xml::ParseResult parsed;       ///< DOM bound to `arena`
+    xpath::EvalScratch xpath;      ///< pooled node-set storage
+    std::optional<xsd::Validator> validator;  ///< bound on first SV message
+    Outcome outcome;               ///< reused result (reference API)
   };
 
   /// Processes an already-parsed request.
@@ -85,9 +104,26 @@ class Pipeline {
   Outcome process_wire(std::string_view wire,
                        ProcessScratch* scratch = nullptr) const;
 
+  /// Hot-path variants: the returned Outcome lives in `scratch` and is
+  /// invalidated by the next call through the same scratch. No
+  /// per-message copies of the request or outcome are made.
+  const Outcome& process(const http::Request& request,
+                         ProcessScratch& scratch) const;
+  const Outcome& process_wire(std::string_view wire,
+                              ProcessScratch& scratch) const;
+
  private:
-  Outcome forward(const http::Request& request, bool primary,
-                  std::string detail) const;
+  Outcome& process_into(const http::Request& request,
+                        ProcessScratch& state) const;
+  Outcome& process_wire_into(std::string_view wire,
+                             ProcessScratch& state) const;
+  /// Serializes the outbound request straight into the scratch outcome,
+  /// rewriting the target and Via (and `extra_name`, when given) without
+  /// deep-copying the request.
+  Outcome& forward_into(const http::Request& request, bool primary,
+                        std::string_view detail, ProcessScratch& state,
+                        std::string_view extra_name = {},
+                        std::string_view extra_value = {}) const;
 
   UseCase use_case_;
   Endpoints endpoints_;

@@ -18,10 +18,13 @@ namespace xaon::http {
 /// fidelity).
 class HeaderMap {
  public:
-  void add(std::string name, std::string value);
+  /// Appends a header. Cleared/removed entries are recycled, so a
+  /// HeaderMap reused across messages adds headers without allocating
+  /// once its entry strings have grown to the working-set size.
+  void add(std::string_view name, std::string_view value);
 
   /// Replaces every existing `name` header with one instance.
-  void set(std::string name, std::string value);
+  void set(std::string_view name, std::string_view value);
 
   /// First value for `name`, or nullopt.
   std::optional<std::string_view> get(std::string_view name) const;
@@ -34,6 +37,9 @@ class HeaderMap {
   /// Removes every `name` header; returns how many were removed.
   std::size_t remove(std::string_view name);
 
+  /// Removes all headers; entry storage is retained for reuse.
+  void clear();
+
   std::size_t size() const { return headers_.size(); }
 
   struct Entry {
@@ -44,6 +50,7 @@ class HeaderMap {
 
  private:
   std::vector<Entry> headers_;
+  std::vector<Entry> pool_;  ///< recycled entries (string capacity kept)
 };
 
 struct Request {
@@ -58,6 +65,10 @@ struct Request {
 
   /// True when Connection: close (or HTTP/1.0 without keep-alive).
   bool wants_close() const;
+
+  /// Restores the default-constructed field values, retaining string and
+  /// header capacity for the next message.
+  void reset();
 };
 
 struct Response {
@@ -66,11 +77,19 @@ struct Response {
   std::string version = "HTTP/1.1";
   HeaderMap headers;
   std::string body;
+
+  /// Restores defaults retaining capacity (see Request::reset()).
+  void reset();
 };
 
 /// Serializes with a correct Content-Length (overriding any present).
 std::string write_request(const Request& request);
 std::string write_response(const Response& response);
+
+/// In-place variants: `out` is cleared and reused, so a caller that
+/// keeps the buffer across messages serializes without allocating.
+void write_request_to(const Request& request, std::string* out);
+void write_response_to(const Response& response, std::string* out);
 
 /// Standard reason phrase for a status code ("OK", "Not Found", ...).
 std::string_view reason_phrase(int status);

@@ -18,6 +18,11 @@
 /// wholesale deallocation. Objects allocated from an arena must be
 /// trivially destructible or have their destructors managed by the caller;
 /// the arena never runs destructors.
+///
+/// `reset()` retains the chunks it already owns and rewinds into them, so
+/// a per-message arena reaches a steady state where no allocation ever
+/// goes to the system allocator — the property the AON hot path depends
+/// on. `release()` gives the memory back.
 
 namespace xaon::util {
 
@@ -61,8 +66,17 @@ class Arena {
   /// terminator is not part of the returned view.
   std::string_view intern(std::string_view s);
 
-  /// Releases every chunk; all pointers obtained from this arena dangle.
+  /// Rewinds the arena: all pointers obtained from it dangle, but the
+  /// chunks already reserved are retained and reused by subsequent
+  /// allocations. After the first message warms the arena up, a
+  /// reset-per-message loop performs zero system allocations. When the
+  /// previous cycle spilled into multiple chunks they are coalesced
+  /// (folded into the preferred chunk size) so the steady state is a
+  /// single contiguous chunk.
   void reset();
+
+  /// Releases every chunk back to the system; all pointers dangle.
+  void release();
 
   /// Total bytes handed out by allocate() since construction/reset.
   std::size_t bytes_allocated() const { return bytes_allocated_; }
@@ -74,15 +88,16 @@ class Arena {
   std::size_t chunk_count() const { return chunks_.size(); }
 
  private:
-  struct FreeDeleter {
-    void operator()(std::byte* p) const { ::operator delete[](p); }
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
   };
-  using Chunk = std::unique_ptr<std::byte[]>;
 
   void add_chunk(std::size_t min_bytes);
 
   std::size_t chunk_bytes_;
   std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< chunk currently bump-allocated from
   std::byte* cursor_ = nullptr;
   std::byte* limit_ = nullptr;
   std::size_t bytes_allocated_ = 0;

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+/// \file backoff.hpp
+/// Bounded spin-then-yield backoff for the host-mode server's queue
+/// hand-off points.
+///
+/// A raw `std::this_thread::yield()` loop burns a syscall per iteration
+/// and, on SMT parts like the paper's Xeons, starves the sibling thread
+/// of issue slots. The conventional fix is a short PAUSE loop (which
+/// frees the sibling's pipeline resources and cuts the memory-order
+/// mis-speculation cost on spin exit) before falling back to the
+/// scheduler.
+
+namespace xaon::util {
+
+/// One spin-wait hint: PAUSE on x86, YIELD on ARM, a compiler barrier
+/// elsewhere.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Escalating waiter: spins with cpu_relax() in growing bursts, then
+/// yields to the scheduler once the spin budget is exhausted. reset()
+/// after progress so the next stall starts cheap again.
+class Backoff {
+ public:
+  static constexpr std::uint32_t kSpinLimit = 1024;  ///< total pauses before yielding
+
+  void pause() {
+    if (spins_ < kSpinLimit) {
+      // Exponential burst: 1, 2, 4, ... pauses per call, so a short
+      // stall costs a handful of PAUSEs and a long one converges to
+      // yield without hammering the cache line in between.
+      const std::uint32_t burst = spins_ == 0 ? 1 : spins_;
+      for (std::uint32_t i = 0; i < burst; ++i) cpu_relax();
+      spins_ = spins_ == 0 ? 1 : spins_ * 2;
+      return;
+    }
+    std::this_thread::yield();
+  }
+
+  void reset() { spins_ = 0; }
+
+ private:
+  std::uint32_t spins_ = 0;
+};
+
+}  // namespace xaon::util

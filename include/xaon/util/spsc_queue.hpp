@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "xaon/util/assert.hpp"
+#include "xaon/util/backoff.hpp"
 
 /// \file spsc_queue.hpp
 /// Bounded single-producer/single-consumer ring buffer.
@@ -57,6 +58,30 @@ class SpscQueue {
     std::optional<T> out(std::move(buffer_[tail]));
     tail_.store((tail + 1) & mask_, std::memory_order_release);
     return out;
+  }
+
+  /// Blocking push: spins with bounded backoff (PAUSE burst, then
+  /// yield) until the consumer frees a slot. Written against the ring
+  /// directly — retrying try_push would re-move a moved-from value.
+  void push_wait(T value) {
+    Backoff backoff;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    while (next == tail_.load(std::memory_order_acquire)) backoff.pause();
+    buffer_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+  }
+
+  /// Blocking pop: spins with bounded backoff until an item arrives or
+  /// `stop()` returns true with the queue drained (then nullopt).
+  template <typename Stop>
+  std::optional<T> pop_wait(Stop&& stop) {
+    Backoff backoff;
+    for (;;) {
+      if (std::optional<T> item = try_pop()) return item;
+      if (stop() && empty()) return std::nullopt;
+      backoff.pause();
+    }
   }
 
   bool empty() const {

@@ -78,14 +78,48 @@ struct Node {
 
   /// Concatenation of all descendant text/CDATA (allocates).
   std::string text_content() const;
+
+  /// Appends all descendant text/CDATA to `out` — the non-allocating
+  /// variant for hot paths that reuse `out`'s capacity across messages.
+  void text_content_to(std::string& out) const;
 };
 
-/// An owned, parsed document. Move-only; nodes live in the arena.
+/// A parsed document. Move-only; nodes live in the arena.
+///
+/// By default the Document owns its arena and tears the whole tree down
+/// on destruction. Alternatively it can be bound to an *external* arena
+/// (see `xml::parse(input, arena, ...)`): nodes are then allocated from
+/// the caller's arena, which the caller resets wholesale between
+/// messages — the zero-allocation message hot path. An externally-backed
+/// Document never outlives its arena's next reset().
 class Document {
  public:
   Document() = default;
-  Document(Document&&) noexcept = default;
-  Document& operator=(Document&&) noexcept = default;
+
+  /// Binds the document to an external arena; the caller owns the node
+  /// storage lifetime.
+  explicit Document(util::Arena& external) : external_(&external) {}
+
+  Document(Document&& other) noexcept
+      : own_arena_(std::move(other.own_arena_)),
+        external_(other.external_),
+        doc_(other.doc_),
+        node_count_(other.node_count_) {
+    other.doc_ = nullptr;
+    other.node_count_ = 0;
+  }
+
+  Document& operator=(Document&& other) noexcept {
+    if (this != &other) {
+      own_arena_ = std::move(other.own_arena_);
+      external_ = other.external_;
+      doc_ = other.doc_;
+      node_count_ = other.node_count_;
+      other.doc_ = nullptr;
+      other.node_count_ = 0;
+    }
+    return *this;
+  }
 
   /// The synthetic document node (type kDocument); never null after a
   /// successful parse.
@@ -96,8 +130,13 @@ class Document {
   Node* root();
   const Node* root() const;
 
-  util::Arena& arena() { return arena_; }
-  const util::Arena& arena() const { return arena_; }
+  util::Arena& arena() { return external_ != nullptr ? *external_ : own_arena_; }
+  const util::Arena& arena() const {
+    return external_ != nullptr ? *external_ : own_arena_;
+  }
+
+  /// True when node storage lives in a caller-owned arena.
+  bool uses_external_arena() const { return external_ != nullptr; }
 
   /// Total nodes created by the parser (elements + text-likes + document).
   std::size_t node_count() const { return node_count_; }
@@ -105,7 +144,8 @@ class Document {
  private:
   friend class DomBuilder;
   friend class Builder;
-  util::Arena arena_{16 * 1024};
+  util::Arena own_arena_{16 * 1024};
+  util::Arena* external_ = nullptr;
   Node* doc_ = nullptr;
   std::size_t node_count_ = 0;
 };

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <memory>
 #include <string_view>
 
+#include "xaon/util/arena.hpp"
 #include "xaon/xml/dom.hpp"
 #include "xaon/xml/error.hpp"
 
@@ -33,9 +35,42 @@ struct ParseResult {
   explicit operator bool() const { return ok; }
 };
 
-/// Parses `input` into a Document. On failure `ok` is false and `error`
-/// carries the first diagnostic; the partially-built document is
-/// discarded.
+/// Parses `input` into a Document owning its node storage. On failure
+/// `ok` is false and `error` carries the first diagnostic; the
+/// partially-built document is discarded.
 ParseResult parse(std::string_view input, const ParseOptions& options = {});
+
+/// Arena-parameterized overload: DOM nodes, attributes and decoded text
+/// are allocated from `arena` instead of a per-document heap arena. The
+/// caller frees the whole message wholesale with `arena.reset()` between
+/// messages — nodes (including a failed parse's partial output) dangle
+/// after that. The returned Document references `arena` and must not
+/// outlive it.
+ParseResult parse(std::string_view input, util::Arena& arena,
+                  const ParseOptions& options = {});
+
+namespace detail {
+struct ParserScratch;
+}
+
+/// A reusable DOM parser for the per-message hot path: keeps the
+/// tokenizer's internal buffers (namespace stack, attribute lists, text
+/// accumulation) alive across parses so a steady-state parse performs no
+/// heap allocation at all when paired with a reset() arena.
+class DomParser {
+ public:
+  DomParser();
+  ~DomParser();
+  DomParser(DomParser&&) noexcept;
+  DomParser& operator=(DomParser&&) noexcept;
+
+  /// Like the free `parse(input, arena, options)` but reusing this
+  /// parser's buffers.
+  ParseResult parse(std::string_view input, util::Arena& arena,
+                    const ParseOptions& options = {});
+
+ private:
+  std::unique_ptr<detail::ParserScratch> scratch_;
+};
 
 }  // namespace xaon::xml

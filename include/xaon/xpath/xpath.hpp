@@ -27,7 +27,22 @@ namespace xaon::xpath {
 
 namespace detail {
 struct Compiled;
+struct EvalAccess;
 }
+
+/// Reusable evaluation context: pools the node-set vectors the evaluator
+/// would otherwise allocate per step and per node. Pass the same
+/// instance across messages and a steady-state location-path evaluation
+/// performs zero heap allocations. Not thread-safe; one per worker.
+class EvalScratch {
+ public:
+  EvalScratch() = default;
+
+ private:
+  friend struct detail::EvalAccess;
+  std::vector<NodeSet> pool_;  ///< recycled node-set buffers
+  NodeSet result_;             ///< storage returned by select(ctx, scratch)
+};
 
 struct CompileError {
   std::size_t offset = 0;  ///< character offset into the expression
@@ -64,12 +79,23 @@ class XPath {
   /// weird message.
   Value evaluate(const xml::Node* context) const;
 
+  /// Evaluation-context variant: internal node-set storage is drawn from
+  /// (and recycled into) `scratch` instead of the heap.
+  Value evaluate(const xml::Node* context, EvalScratch& scratch) const;
+
   /// evaluate() then coerced: node-set result (empty when the expression
   /// yields a non-node-set).
   NodeSet select(const xml::Node* context) const;
 
+  /// Zero-allocation select: the result lives in `scratch` and is valid
+  /// until the next evaluation through the same scratch.
+  const NodeSet& select(const xml::Node* context, EvalScratch& scratch) const;
+
   /// evaluate() then boolean() — the CBR routing decision.
   bool test(const xml::Node* context) const;
+
+  /// test() drawing node-set storage from `scratch`.
+  bool test(const xml::Node* context, EvalScratch& scratch) const;
 
   /// evaluate() then string().
   std::string string(const xml::Node* context) const;

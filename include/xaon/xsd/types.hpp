@@ -65,6 +65,11 @@ Whitespace builtin_whitespace(BuiltinType t);
 /// Applies a whitespace facet to a raw lexical value.
 std::string apply_whitespace(std::string_view raw, Whitespace ws);
 
+/// True when applying `ws` to `raw` would change nothing — the
+/// validation hot path uses this to skip the apply_whitespace() copy
+/// (typical machine-generated values are already collapsed).
+bool whitespace_is_normalized(std::string_view raw, Whitespace ws);
+
 /// Validates the (already whitespace-processed) lexical value against
 /// the built-in's lexical space. On failure returns false and, when
 /// `error` is non-null, a human-readable reason.

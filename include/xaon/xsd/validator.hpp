@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,10 +27,17 @@ struct ValidationResult {
   std::string to_string() const;
 };
 
+namespace detail {
+struct WalkScratch;
+}
+
 class Validator {
  public:
   /// The schema must outlive the validator and have been finalize()d.
-  explicit Validator(const Schema& schema) : schema_(schema) {}
+  explicit Validator(const Schema& schema);
+  ~Validator();
+  Validator(Validator&&) noexcept;
+  Validator& operator=(Validator&&) noexcept;
 
   /// Validates the whole document (root element must match a global
   /// element declaration).
@@ -39,13 +47,26 @@ class Validator {
   ValidationResult validate_element(const xml::Node* element,
                                     const ElementDecl* decl) const;
 
+  /// Hot-path variant: reuses this validator's internal walk buffers and
+  /// embedded result across calls — a valid document validates with zero
+  /// heap allocation at steady state. The returned reference is
+  /// invalidated by the next validate_element_reuse() or reset().
+  const ValidationResult& validate_element_reuse(const xml::Node* element,
+                                                 const ElementDecl* decl);
+
+  /// Clears per-message state (reported errors); internal buffer
+  /// capacity is retained for the next message.
+  void reset();
+
   /// Hard cap on reported errors (default 64); validation continues
   /// across sibling subtrees until the cap is hit.
   void set_max_errors(std::size_t n) { max_errors_ = n; }
 
  private:
-  const Schema& schema_;
+  const Schema* schema_;
   std::size_t max_errors_ = 64;
+  std::unique_ptr<detail::WalkScratch> scratch_;  ///< reuse-path buffers
+  ValidationResult result_;                       ///< reuse-path result
 };
 
 }  // namespace xaon::xsd

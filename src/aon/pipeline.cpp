@@ -5,6 +5,7 @@
 #include "xaon/http/parser.hpp"
 #include "xaon/util/assert.hpp"
 #include "xaon/util/probe.hpp"
+#include "xaon/util/str.hpp"
 #include "xaon/xml/parser.hpp"
 #include "xaon/xsd/loader.hpp"
 
@@ -65,73 +66,129 @@ Pipeline::Pipeline(UseCase use_case, Endpoints endpoints)
   }
 }
 
-Pipeline::Outcome Pipeline::forward(const http::Request& request,
-                                    bool primary, std::string detail) const {
-  Outcome out;
+void Pipeline::Outcome::reset() {
+  ok = false;
+  routed_primary = false;
+  forwarded_to.clear();
+  forwarded_wire.clear();
+  response.reset();
+  detail.clear();
+}
+
+Pipeline::Outcome& Pipeline::forward_into(const http::Request& request,
+                                          bool primary,
+                                          std::string_view detail,
+                                          ProcessScratch& state,
+                                          std::string_view extra_name,
+                                          std::string_view extra_value) const {
+  Outcome& out = state.outcome;
+  out.reset();
   out.ok = true;
   out.routed_primary = primary;
-  out.forwarded_to = primary ? endpoints_.primary : endpoints_.error;
-  out.detail = std::move(detail);
+  out.forwarded_to.assign(primary ? endpoints_.primary : endpoints_.error);
+  out.detail.assign(detail);
 
-  // Build the outbound request: same body, adjusted target/Via — then
-  // serialize (this copy is the proxy's transmit path).
-  http::Request outbound = request;
-  outbound.target = out.forwarded_to;
-  outbound.headers.set("Via", "1.1 xaon-gateway");
-  out.forwarded_wire = http::write_request(outbound);
+  // Serialize the outbound request straight into the scratch buffer:
+  // same body, adjusted target/Via — the proxy's transmit path, without
+  // an intermediate deep copy of the request.
+  std::string& w = out.forwarded_wire;
+  w.reserve(request.body.size() + 256);
+  w += request.method;
+  w += ' ';
+  w += out.forwarded_to;
+  w += ' ';
+  w += request.version;
+  w += "\r\n";
+  bool wrote_length = false;
+  for (const auto& e : request.headers.entries()) {
+    if (util::iequals(e.name, "Via")) continue;  // replaced below
+    if (!extra_name.empty() && util::iequals(e.name, extra_name)) {
+      continue;  // replaced below
+    }
+    if (util::iequals(e.name, "Transfer-Encoding")) {
+      continue;  // serialized messages always use Content-Length
+    }
+    if (util::iequals(e.name, "Content-Length")) {
+      if (wrote_length) continue;
+      w += "Content-Length: ";
+      w += std::to_string(request.body.size());
+      wrote_length = true;
+    } else {
+      w += e.name;
+      w += ": ";
+      w += e.value;
+    }
+    w += "\r\n";
+  }
+  if (!extra_name.empty()) {
+    w += extra_name;
+    w += ": ";
+    w += extra_value;
+    w += "\r\n";
+  }
+  w += "Via: 1.1 xaon-gateway\r\n";
+  if (!wrote_length && !request.body.empty()) {
+    w += "Content-Length: ";
+    w += std::to_string(request.body.size());
+    w += "\r\n";
+  }
+  w += "\r\n";
+  w += request.body;
+  probe::store(w.data(), static_cast<std::uint32_t>(w.size()));
 
   out.response.status = 200;
-  out.response.reason = "OK";
   out.response.headers.add("Content-Type", "text/plain");
-  out.response.body = primary ? "routed" : "routed-error";
+  out.response.body.assign(primary ? "routed" : "routed-error");
   return out;
 }
 
-Pipeline::Outcome Pipeline::process(const http::Request& request,
-                                    ProcessScratch* scratch) const {
-  ProcessScratch local;
-  ProcessScratch& state = scratch != nullptr ? *scratch : local;
+Pipeline::Outcome& Pipeline::process_into(const http::Request& request,
+                                          ProcessScratch& state) const {
   switch (use_case_) {
     case UseCase::kForwardRequest:
       // No content processing at all: the network-I/O extreme.
-      return forward(request, /*primary=*/true, "forwarded");
+      return forward_into(request, /*primary=*/true, "forwarded", state);
 
     case UseCase::kContentBasedRouting: {
-      auto& parsed = state.parsed;
-      parsed = xml::parse(request.body);
-      if (!parsed.ok) {
-        Outcome out;
+      state.arena.reset();
+      state.parsed = state.dom_parser.parse(request.body, state.arena);
+      if (!state.parsed.ok) {
+        Outcome& out = state.outcome;
+        out.reset();
         out.response.status = 400;
-        out.response.reason = "Bad Request";
-        out.response.body = "XML parse error: " + parsed.error.to_string();
-        out.detail = out.response.body;
+        out.response.reason.assign("Bad Request");
+        out.response.body.assign("XML parse error: ");
+        out.response.body += state.parsed.error.to_string();
+        out.detail.assign(out.response.body);
         return out;
       }
       // Paper: route primary iff //quantity/text() exists and equals "1".
-      const xpath::Value value =
-          quantity_xpath_.evaluate(parsed.document.root());
+      const xpath::NodeSet& hits =
+          quantity_xpath_.select(state.parsed.document.root(), state.xpath);
       bool primary = false;
-      if (value.is_node_set() && !value.nodes().empty()) {
-        primary = xpath::string_value(value.nodes().front()) == "1";
+      if (!hits.empty()) {
+        primary = xpath::string_value(hits.front()) == "1";
       }
-      return forward(request, primary,
-                     primary ? "quantity=1" : "quantity!=1");
+      return forward_into(request, primary,
+                          primary ? "quantity=1" : "quantity!=1", state);
     }
 
     case UseCase::kSchemaValidation: {
-      auto& parsed = state.parsed;
-      parsed = xml::parse(request.body);
-      if (!parsed.ok) {
-        Outcome out;
+      state.arena.reset();
+      state.parsed = state.dom_parser.parse(request.body, state.arena);
+      if (!state.parsed.ok) {
+        Outcome& out = state.outcome;
+        out.reset();
         out.response.status = 400;
-        out.response.reason = "Bad Request";
-        out.response.body = "XML parse error: " + parsed.error.to_string();
-        out.detail = out.response.body;
+        out.response.reason.assign("Bad Request");
+        out.response.body.assign("XML parse error: ");
+        out.response.body += state.parsed.error.to_string();
+        out.detail.assign(out.response.body);
         return out;
       }
       // The order payload is the first element child of soap:Body (or
       // the root itself for bare payloads).
-      const xml::Node* payload = parsed.document.root();
+      const xml::Node* payload = state.parsed.document.root();
       if (payload != nullptr && payload->local == "Envelope") {
         if (const xml::Node* body = payload->child_element("Body")) {
           // Skip Header etc.; first element in Body is the payload.
@@ -147,13 +204,17 @@ Pipeline::Outcome Pipeline::process(const http::Request& request,
               ? nullptr
               : schema_.find_global_element(payload->ns_uri, payload->local);
       if (decl == nullptr) {
-        return forward(request, /*primary=*/false, "no declaration");
+        return forward_into(request, /*primary=*/false, "no declaration",
+                            state);
       }
-      xsd::Validator validator(schema_);
-      const xsd::ValidationResult result =
-          validator.validate_element(payload, decl);
-      return forward(request, result.valid(),
-                     result.valid() ? "valid" : result.to_string());
+      if (!state.validator) state.validator.emplace(schema_);
+      const xsd::ValidationResult& result =
+          state.validator->validate_element_reuse(payload, decl);
+      if (result.valid()) {
+        return forward_into(request, /*primary=*/true, "valid", state);
+      }
+      return forward_into(request, /*primary=*/false, result.to_string(),
+                          state);
     }
 
     case UseCase::kDeepInspection: {
@@ -161,12 +222,14 @@ Pipeline::Outcome Pipeline::process(const http::Request& request,
       // signature set — no XML parsing at all, like an inline IPS.
       for (std::size_t i = 0; i < signatures_.size(); ++i) {
         if (signatures_[i].search(request.body)) {
-          return forward(request, /*primary=*/false,
-                         "signature match: '" +
-                             std::string(signatures_[i].pattern()) + "'");
+          return forward_into(request, /*primary=*/false,
+                              "signature match: '" +
+                                  std::string(signatures_[i].pattern()) +
+                                  "'",
+                              state);
         }
       }
-      return forward(request, /*primary=*/true, "clean");
+      return forward_into(request, /*primary=*/true, "clean", state);
     }
 
     case UseCase::kMessageSecurity: {
@@ -177,43 +240,81 @@ Pipeline::Outcome Pipeline::process(const http::Request& request,
         const crypto::Sha1::Digest expected =
             crypto::hmac_sha1(hmac_key_, request.body);
         if (crypto::to_hex(expected) != *provided) {
-          Outcome out = forward(request, /*primary=*/false,
-                                "signature verification failed");
+          Outcome& out = forward_into(request, /*primary=*/false,
+                                      "signature verification failed",
+                                      state);
           out.response.status = 403;
-          out.response.reason = "Forbidden";
+          out.response.reason.assign("Forbidden");
           return out;
         }
-        return forward(request, /*primary=*/true, "signature verified");
+        return forward_into(request, /*primary=*/true,
+                            "signature verified", state);
       }
       const crypto::Sha1::Digest digest =
           crypto::hmac_sha1(hmac_key_, request.body);
-      http::Request signed_request = request;
-      signed_request.headers.set(kSignatureHeader,
-                                 crypto::to_hex(digest));
-      Outcome out =
-          forward(signed_request, /*primary=*/true, "signed outbound");
-      return out;
+      const std::string signature = crypto::to_hex(digest);
+      return forward_into(request, /*primary=*/true, "signed outbound",
+                          state, kSignatureHeader, signature);
     }
   }
   XAON_CHECK_MSG(false, "unreachable use case");
-  return {};
+  return state.outcome;
+}
+
+Pipeline::Outcome& Pipeline::process_wire_into(std::string_view wire,
+                                               ProcessScratch& state) const {
+  state.parser.reset();
+  const std::size_t consumed = state.parser.feed(wire);
+  if (!state.parser.done() || consumed != wire.size()) {
+    Outcome& out = state.outcome;
+    out.reset();
+    out.response.status = 400;
+    out.response.reason.assign("Bad Request");
+    out.detail.assign(state.parser.failed() ? state.parser.error()
+                                            : "incomplete request");
+    return out;
+  }
+  return process_into(state.parser.request(), state);
+}
+
+const Pipeline::Outcome& Pipeline::process(const http::Request& request,
+                                           ProcessScratch& scratch) const {
+  return process_into(request, scratch);
+}
+
+const Pipeline::Outcome& Pipeline::process_wire(std::string_view wire,
+                                                ProcessScratch& scratch) const {
+  return process_wire_into(wire, scratch);
+}
+
+Pipeline::Outcome Pipeline::process(const http::Request& request,
+                                    ProcessScratch* scratch) const {
+  if (scratch != nullptr) {
+    return std::move(process_into(request, *scratch));
+  }
+  ProcessScratch local;
+  return std::move(process_into(request, local));
 }
 
 Pipeline::Outcome Pipeline::process_wire(std::string_view wire,
                                          ProcessScratch* scratch) const {
-  http::RequestParser parser;
-  const std::size_t consumed = parser.feed(wire);
-  if (!parser.done() || consumed != wire.size()) {
-    Outcome out;
-    out.response.status = 400;
-    out.response.reason = "Bad Request";
-    out.detail = parser.failed() ? parser.error() : "incomplete request";
-    return out;
-  }
   ProcessScratch local;
   ProcessScratch& state = scratch != nullptr ? *scratch : local;
-  state.request = parser.take_request();
-  return process(state.request, &state);
+  state.parser.reset();
+  const std::size_t consumed = state.parser.feed(wire);
+  if (!state.parser.done() || consumed != wire.size()) {
+    Outcome& out = state.outcome;
+    out.reset();
+    out.response.status = 400;
+    out.response.reason.assign("Bad Request");
+    out.detail.assign(state.parser.failed() ? state.parser.error()
+                                            : "incomplete request");
+    return std::move(out);
+  }
+  // Unlike the reference-returning variant, the parsed request is moved
+  // into the scratch so callers (e.g. trace capture) can keep it alive.
+  state.request = state.parser.take_request();
+  return std::move(process_into(state.request, state));
 }
 
 }  // namespace xaon::aon

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "xaon/util/assert.hpp"
+#include "xaon/util/backoff.hpp"
 #include "xaon/util/spsc_queue.hpp"
 
 namespace xaon::aon {
@@ -41,16 +42,16 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
 
   for (std::size_t w = 0; w < n_workers; ++w) {
     workers.emplace_back([this, &done, state = states[w].get()] {
-      for (;;) {
-        auto item = state->queue.try_pop();
-        if (!item) {
-          if (done.load(std::memory_order_acquire) && state->queue.empty()) {
-            return;
-          }
-          std::this_thread::yield();
-          continue;
-        }
-        const Pipeline::Outcome outcome = pipeline_.process_wire(**item);
+      // Per-worker scratch: parser buffers, DOM arena, node-set pools
+      // and the outcome are reused across every message this worker
+      // handles — the steady-state path does not touch the allocator.
+      Pipeline::ProcessScratch scratch;
+      const auto stop = [&done] {
+        return done.load(std::memory_order_acquire);
+      };
+      while (auto item = state->queue.pop_wait(stop)) {
+        const Pipeline::Outcome& outcome =
+            pipeline_.process_wire(**item, scratch);
         ++state->processed;
         if (!outcome.ok) {
           ++state->failed;
@@ -63,13 +64,12 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
     });
   }
 
-  // Dispatch round-robin (the acceptor thread role).
+  // Dispatch round-robin (the acceptor thread role); push_wait spins
+  // with bounded pause-backoff when a worker's queue is full.
   for (std::uint64_t i = 0; i < total_messages; ++i) {
     WorkerState& target = *states[i % n_workers];
     const std::string* wire = &wires[i % wires.size()];
-    while (!target.queue.try_push(wire)) {
-      std::this_thread::yield();
-    }
+    target.queue.push_wait(wire);
   }
   done.store(true, std::memory_order_release);
   for (auto& t : workers) t.join();

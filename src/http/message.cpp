@@ -12,13 +12,21 @@ const std::uint32_t kHeaderSite =
 
 }  // namespace
 
-void HeaderMap::add(std::string name, std::string value) {
-  headers_.push_back(Entry{std::move(name), std::move(value)});
+void HeaderMap::add(std::string_view name, std::string_view value) {
+  if (!pool_.empty()) {
+    Entry e = std::move(pool_.back());
+    pool_.pop_back();
+    e.name.assign(name);
+    e.value.assign(value);
+    headers_.push_back(std::move(e));
+  } else {
+    headers_.push_back(Entry{std::string(name), std::string(value)});
+  }
 }
 
-void HeaderMap::set(std::string name, std::string value) {
+void HeaderMap::set(std::string_view name, std::string_view value) {
   remove(name);
-  add(std::move(name), std::move(value));
+  add(name, value);
 }
 
 std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
@@ -44,6 +52,7 @@ std::size_t HeaderMap::remove(std::string_view name) {
   std::size_t removed = 0;
   for (auto it = headers_.begin(); it != headers_.end();) {
     if (util::iequals(it->name, name)) {
+      pool_.push_back(std::move(*it));
       it = headers_.erase(it);
       ++removed;
     } else {
@@ -53,10 +62,31 @@ std::size_t HeaderMap::remove(std::string_view name) {
   return removed;
 }
 
+void HeaderMap::clear() {
+  for (Entry& e : headers_) pool_.push_back(std::move(e));
+  headers_.clear();
+}
+
 std::optional<std::uint64_t> Request::content_length() const {
   auto v = headers.get("Content-Length");
   if (!v) return std::nullopt;
   return util::parse_u64(util::trim(*v));
+}
+
+void Request::reset() {
+  method.assign("GET");
+  target.assign("/");
+  version.assign("HTTP/1.1");
+  headers.clear();
+  body.clear();
+}
+
+void Response::reset() {
+  status = 200;
+  reason.assign("OK");
+  version.assign("HTTP/1.1");
+  headers.clear();
+  body.clear();
 }
 
 bool Request::wants_close() const {
@@ -99,33 +129,45 @@ void write_headers_and_body(const HeaderMap& headers,
 
 }  // namespace
 
+void write_request_to(const Request& request, std::string* out) {
+  out->clear();
+  out->reserve(request.body.size() + 256);
+  *out += request.method;
+  *out += ' ';
+  *out += request.target;
+  *out += ' ';
+  *out += request.version;
+  *out += "\r\n";
+  write_headers_and_body(request.headers, request.body, out);
+  probe::store(out->data(), static_cast<std::uint32_t>(out->size()));
+}
+
 std::string write_request(const Request& request) {
   std::string out;
-  out.reserve(request.body.size() + 256);
-  out += request.method;
-  out += ' ';
-  out += request.target;
-  out += ' ';
-  out += request.version;
-  out += "\r\n";
-  write_headers_and_body(request.headers, request.body, &out);
-  probe::store(out.data(), static_cast<std::uint32_t>(out.size()));
+  write_request_to(request, &out);
   return out;
+}
+
+void write_response_to(const Response& response, std::string* out) {
+  out->clear();
+  out->reserve(response.body.size() + 256);
+  *out += response.version;
+  *out += ' ';
+  *out += std::to_string(response.status);
+  *out += ' ';
+  if (response.reason.empty()) {
+    *out += reason_phrase(response.status);
+  } else {
+    *out += response.reason;
+  }
+  *out += "\r\n";
+  write_headers_and_body(response.headers, response.body, out);
+  probe::store(out->data(), static_cast<std::uint32_t>(out->size()));
 }
 
 std::string write_response(const Response& response) {
   std::string out;
-  out.reserve(response.body.size() + 256);
-  out += response.version;
-  out += ' ';
-  out += std::to_string(response.status);
-  out += ' ';
-  out += response.reason.empty()
-             ? std::string(reason_phrase(response.status))
-             : response.reason;
-  out += "\r\n";
-  write_headers_and_body(response.headers, response.body, &out);
-  probe::store(out.data(), static_cast<std::uint32_t>(out.size()));
+  write_response_to(response, &out);
   return out;
 }
 

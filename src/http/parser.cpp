@@ -32,7 +32,7 @@ bool parse_header_line(std::string_view line, HeaderMap* headers,
     }
   }
   std::string_view value = util::trim(line.substr(colon + 1));
-  headers->add(std::string(name), std::string(value));
+  headers->add(name, value);
   return true;
 }
 
@@ -195,16 +195,26 @@ std::size_t RequestParser::feed(std::string_view data) {
 }
 
 bool RequestParser::parse_start_line(std::string_view line) {
-  const auto parts = util::split(line, ' ');
-  if (parts.size() != 3 || parts[0].empty() || parts[1].empty()) {
+  // "METHOD SP TARGET SP VERSION" — split in place (no vector).
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
     return fail("malformed request line");
   }
-  if (!util::starts_with(parts[2], "HTTP/")) {
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || target.empty() ||
+      version.find(' ') != std::string_view::npos) {
+    return fail("malformed request line");
+  }
+  if (!util::starts_with(version, "HTTP/")) {
     return fail("bad HTTP version");
   }
-  request_.method = std::string(parts[0]);
-  request_.target = std::string(parts[1]);
-  request_.version = std::string(parts[2]);
+  request_.method.assign(method);
+  request_.target.assign(target);
+  request_.version.assign(version);
   return true;
 }
 
@@ -216,7 +226,7 @@ Request RequestParser::take_request() {
 
 void RequestParser::reset() {
   reset_impl();
-  request_ = Request();
+  request_.reset();
   request_.method.clear();
 }
 
@@ -254,7 +264,7 @@ Response ResponseParser::take_response() {
 
 void ResponseParser::reset() {
   reset_impl();
-  response_ = Response();
+  response_.reset();
 }
 
 }  // namespace xaon::http

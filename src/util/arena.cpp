@@ -9,11 +9,14 @@ namespace xaon::util {
 
 void Arena::add_chunk(std::size_t min_bytes) {
   const std::size_t size = std::max(chunk_bytes_, min_bytes);
-  auto chunk = std::make_unique<std::byte[]>(size);
-  cursor_ = chunk.get();
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  cursor_ = chunk.data.get();
   limit_ = cursor_ + size;
   bytes_reserved_ += size;
   chunks_.push_back(std::move(chunk));
+  active_ = chunks_.size() - 1;
 }
 
 void* Arena::allocate(std::size_t bytes, std::size_t align) {
@@ -24,10 +27,23 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
   std::size_t needed = (aligned - addr) + bytes;
   if (cursor_ == nullptr ||
       needed > static_cast<std::size_t>(limit_ - cursor_)) {
-    add_chunk(bytes + align);
-    addr = reinterpret_cast<std::uintptr_t>(cursor_);
-    aligned = (addr + (align - 1)) & ~(align - 1);
-    needed = (aligned - addr) + bytes;
+    // Advance through chunks retained by reset() before reserving more.
+    while (active_ + 1 < chunks_.size()) {
+      ++active_;
+      cursor_ = chunks_[active_].data.get();
+      limit_ = cursor_ + chunks_[active_].size;
+      addr = reinterpret_cast<std::uintptr_t>(cursor_);
+      aligned = (addr + (align - 1)) & ~(align - 1);
+      needed = (aligned - addr) + bytes;
+      if (needed <= static_cast<std::size_t>(limit_ - cursor_)) break;
+    }
+    if (cursor_ == nullptr ||
+        needed > static_cast<std::size_t>(limit_ - cursor_)) {
+      add_chunk(bytes + align);
+      addr = reinterpret_cast<std::uintptr_t>(cursor_);
+      aligned = (addr + (align - 1)) & ~(align - 1);
+      needed = (aligned - addr) + bytes;
+    }
   }
   cursor_ += needed;
   bytes_allocated_ += bytes;
@@ -42,7 +58,25 @@ std::string_view Arena::intern(std::string_view s) {
 }
 
 void Arena::reset() {
+  if (chunks_.size() > 1) {
+    // The last cycle spilled; fold the total into the preferred chunk
+    // size so the next cycle fits in one chunk and reaches steady state.
+    chunk_bytes_ = std::max(chunk_bytes_, bytes_reserved_);
+    chunks_.clear();
+    bytes_reserved_ = 0;
+    cursor_ = nullptr;
+    limit_ = nullptr;
+  } else if (!chunks_.empty()) {
+    cursor_ = chunks_[0].data.get();
+    limit_ = cursor_ + chunks_[0].size;
+  }
+  active_ = 0;
+  bytes_allocated_ = 0;
+}
+
+void Arena::release() {
   chunks_.clear();
+  active_ = 0;
   cursor_ = nullptr;
   limit_ = nullptr;
   bytes_allocated_ = 0;

@@ -25,7 +25,7 @@ void split_qname(std::string_view qname, std::string_view* prefix,
 }  // namespace
 
 Builder::Builder(std::string_view root_qname) {
-  doc_.doc_ = doc_.arena_.make<Node>();
+  doc_.doc_ = doc_.arena().make<Node>();
   doc_.doc_->type = NodeType::kDocument;
   doc_.node_count_ = 1;
   cursor_ = doc_.doc_;
@@ -34,7 +34,7 @@ Builder::Builder(std::string_view root_qname) {
 
 Node* Builder::new_node(NodeType type) {
   XAON_CHECK_MSG(cursor_ != nullptr, "builder already finalized");
-  Node* node = doc_.arena_.make<Node>();
+  Node* node = doc_.arena().make<Node>();
   node->type = type;
   node->parent = cursor_;
   node->depth = cursor_->depth + 1;
@@ -54,7 +54,7 @@ Node* Builder::new_node(NodeType type) {
 Builder& Builder::child(std::string_view qname) {
   XAON_CHECK_MSG(!qname.empty(), "element name must be non-empty");
   Node* node = new_node(NodeType::kElement);
-  node->qname = doc_.arena_.intern(qname);
+  node->qname = doc_.arena().intern(qname);
   split_qname(node->qname, &node->prefix, &node->local);
   // Resolve the namespace from bindings on ancestors (xmlns attrs
   // recorded by namespace_binding()).
@@ -84,10 +84,10 @@ Builder& Builder::attribute(std::string_view name, std::string_view value) {
   XAON_CHECK_MSG(cursor_ != nullptr, "builder already finalized");
   XAON_CHECK_MSG(cursor_->is_element(), "attributes only on elements");
   XAON_CHECK_MSG(cursor_->attr(name) == nullptr, "duplicate attribute");
-  Attr* attr = doc_.arena_.make<Attr>();
-  attr->qname = doc_.arena_.intern(name);
+  Attr* attr = doc_.arena().make<Attr>();
+  attr->qname = doc_.arena().intern(name);
   split_qname(attr->qname, &attr->prefix, &attr->local);
-  attr->value = doc_.arena_.intern(value);
+  attr->value = doc_.arena().intern(value);
   // Append preserving declaration order.
   Attr** tail = &cursor_->first_attr;
   while (*tail != nullptr) tail = &(*tail)->next;
@@ -97,21 +97,21 @@ Builder& Builder::attribute(std::string_view name, std::string_view value) {
 
 Builder& Builder::text(std::string_view data) {
   Node* node = new_node(NodeType::kText);
-  node->text = doc_.arena_.intern(data);
+  node->text = doc_.arena().intern(data);
   cursor_ = node->parent;
   return *this;
 }
 
 Builder& Builder::cdata(std::string_view data) {
   Node* node = new_node(NodeType::kCData);
-  node->text = doc_.arena_.intern(data);
+  node->text = doc_.arena().intern(data);
   cursor_ = node->parent;
   return *this;
 }
 
 Builder& Builder::comment(std::string_view data) {
   Node* node = new_node(NodeType::kComment);
-  node->text = doc_.arena_.intern(data);
+  node->text = doc_.arena().intern(data);
   cursor_ = node->parent;
   return *this;
 }
@@ -125,7 +125,7 @@ Builder& Builder::namespace_binding(std::string_view prefix,
   std::string_view cursor_prefix = cursor_->prefix;
   if (cursor_prefix == prefix) {
     Node* mutable_cursor = cursor_;
-    mutable_cursor->ns_uri = doc_.arena_.intern(uri);
+    mutable_cursor->ns_uri = doc_.arena().intern(uri);
   }
   return *this;
 }

@@ -67,6 +67,14 @@ std::string Node::text_content() const {
   return out;
 }
 
+void Node::text_content_to(std::string& out) const {
+  if (is_text()) {
+    out.append(text);
+    return;
+  }
+  append_text(this, &out);
+}
+
 Node* Document::root() {
   if (doc_ == nullptr) return nullptr;
   for (Node* c = doc_->first_child; c != nullptr; c = c->next_sibling) {

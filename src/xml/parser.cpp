@@ -9,7 +9,7 @@ namespace xaon::xml {
 class DomBuilder final : public detail::EventSink {
  public:
   explicit DomBuilder(Document& doc) : doc_(doc) {
-    doc_.doc_ = doc_.arena_.make<Node>();
+    doc_.doc_ = doc_.arena().make<Node>();
     doc_.doc_->type = NodeType::kDocument;
     doc_.node_count_ = 1;
     current_ = doc_.doc_;
@@ -24,7 +24,7 @@ class DomBuilder final : public detail::EventSink {
     node->ns_uri = name.ns_uri;
     Attr** tail = &node->first_attr;
     for (std::size_t i = 0; i < n; ++i) {
-      Attr* a = doc_.arena_.make<Attr>();
+      Attr* a = doc_.arena().make<Attr>();
       probe::store(a, sizeof(Attr));
       a->qname = attrs[i].name.qname;
       a->prefix = attrs[i].name.prefix;
@@ -67,7 +67,7 @@ class DomBuilder final : public detail::EventSink {
 
  private:
   Node* new_node(NodeType type) {
-    Node* node = doc_.arena_.make<Node>();
+    Node* node = doc_.arena().make<Node>();
     probe::store(node, sizeof(Node));
     node->type = type;
     node->parent = current_;
@@ -89,15 +89,50 @@ class DomBuilder final : public detail::EventSink {
   Node* current_ = nullptr;
 };
 
-ParseResult parse(std::string_view input, const ParseOptions& options) {
-  ParseResult result;
+namespace {
+
+ParseResult parse_into(ParseResult&& result, std::string_view input,
+                       const ParseOptions& options,
+                       detail::ParserScratch* scratch) {
   DomBuilder builder(result.document);
   const detail::CoreResult core = detail::run_parse(
-      input, options, result.document.arena(), builder);
+      input, options, result.document.arena(), builder, scratch);
   result.ok = core.ok && !core.aborted;  // DOM builder never aborts
   result.error = core.error;
-  if (!result.ok) result.document = Document();
-  return result;
+  // On failure, drop the partial DOM. For an external arena the caller
+  // reclaims the storage with Arena::reset(); for an owned arena
+  // replacing the Document frees it here.
+  if (!result.ok) {
+    result.document = result.document.uses_external_arena()
+                          ? Document(result.document.arena())
+                          : Document();
+  }
+  return std::move(result);
+}
+
+}  // namespace
+
+ParseResult parse(std::string_view input, const ParseOptions& options) {
+  return parse_into(ParseResult{}, input, options, nullptr);
+}
+
+ParseResult parse(std::string_view input, util::Arena& arena,
+                  const ParseOptions& options) {
+  ParseResult result;
+  result.document = Document(arena);
+  return parse_into(std::move(result), input, options, nullptr);
+}
+
+DomParser::DomParser() : scratch_(new detail::ParserScratch()) {}
+DomParser::~DomParser() = default;
+DomParser::DomParser(DomParser&&) noexcept = default;
+DomParser& DomParser::operator=(DomParser&&) noexcept = default;
+
+ParseResult DomParser::parse(std::string_view input, util::Arena& arena,
+                             const ParseOptions& options) {
+  ParseResult result;
+  result.document = Document(arena);
+  return parse_into(std::move(result), input, options, scratch_.get());
 }
 
 }  // namespace xaon::xml

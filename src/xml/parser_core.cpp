@@ -29,17 +29,25 @@ const Sites& sites() {
   return s;
 }
 
-struct NsBinding {
-  std::string_view prefix;
-  std::string_view uri;
-  std::size_t depth;
-};
-
 class Core {
  public:
   Core(std::string_view input, const ParseOptions& options,
-       util::Arena& arena, EventSink& sink)
-      : in_(input), opt_(options), arena_(arena), sink_(sink) {}
+       util::Arena& arena, EventSink& sink, ParserScratch& scratch)
+      : in_(input),
+        opt_(options),
+        arena_(arena),
+        sink_(sink),
+        ns_(scratch.ns),
+        raw_attrs_(scratch.raw_attrs),
+        attr_buf_(scratch.attr_events),
+        scratch_(scratch.value_buf),
+        text_(scratch.text_buf) {
+    ns_.clear();
+    raw_attrs_.clear();
+    attr_buf_.clear();
+    scratch_.clear();
+    text_.clear();
+  }
 
   CoreResult run();
 
@@ -120,9 +128,16 @@ class Core {
   bool root_seen_ = false;
   bool aborted_ = false;
 
-  std::vector<NsBinding> ns_;
-  std::vector<AttrEvent> attr_buf_;
-  std::string scratch_;
+  // Reusable buffers owned by the caller's ParserScratch. raw_attrs_ and
+  // attr_buf_ are only live between a start tag's '<' and its
+  // start_element event, text_ only between two markup boundaries — all
+  // three are empty whenever parse_element/parse_content recurse, so one
+  // shared buffer per role serves every nesting level.
+  std::vector<NsBinding>& ns_;
+  std::vector<RawAttr>& raw_attrs_;
+  std::vector<AttrEvent>& attr_buf_;
+  std::string& scratch_;
+  std::string& text_;
 
   CoreResult result_;
 };
@@ -357,11 +372,7 @@ bool Core::parse_element() {
 
   // Collect attributes (raw); namespace decls take effect on this element.
   const std::size_t ns_mark = ns_.size();
-  struct RawAttr {
-    std::string_view qname;
-    std::string_view value;
-  };
-  std::vector<RawAttr> raw_attrs;
+  raw_attrs_.clear();
   bool self_closing = false;
   for (;;) {
     const bool had_space = !eof() && is_space(peek());
@@ -389,7 +400,7 @@ bool Core::parse_element() {
     std::string_view value;
     if (!scan_attr_value(&value)) return false;
     const std::string_view name_i = intern(attr_name);
-    for (const RawAttr& a : raw_attrs) {
+    for (const RawAttr& a : raw_attrs_) {
       if (a.qname == name_i) {
         return fail("duplicate attribute '" + std::string(name_i) + "'");
       }
@@ -409,14 +420,14 @@ bool Core::parse_element() {
         ns_.push_back(NsBinding{p, value, depth_});
       }
     }
-    raw_attrs.push_back(RawAttr{name_i, value});
+    raw_attrs_.push_back(RawAttr{name_i, value});
   }
 
   ResolvedName name;
   if (!resolve(qname, /*is_attr=*/false, &name)) return false;
 
   attr_buf_.clear();
-  for (const RawAttr& a : raw_attrs) {
+  for (const RawAttr& a : raw_attrs_) {
     AttrEvent ev;
     if (!resolve(a.qname, /*is_attr=*/true, &ev.name)) return false;
     ev.value = a.value;
@@ -457,7 +468,9 @@ bool Core::parse_element() {
 
 bool Core::parse_content(const ResolvedName& parent) {
   scratch_.clear();
-  std::string pending_text;
+  // text_ is shared across nesting levels: it is always flushed (and
+  // therefore empty) before parse_element recurses into a child.
+  std::string& pending_text = text_;
   bool pending_ws_only = true;
 
   auto flush_text = [&]() -> bool {
@@ -644,8 +657,14 @@ done:
 }  // namespace
 
 CoreResult run_parse(std::string_view input, const ParseOptions& options,
-                     util::Arena& arena, EventSink& sink) {
-  Core core(input, options, arena, sink);
+                     util::Arena& arena, EventSink& sink,
+                     ParserScratch* scratch) {
+  if (scratch != nullptr) {
+    Core core(input, options, arena, sink, *scratch);
+    return core.run();
+  }
+  ParserScratch local;
+  Core core(input, options, arena, sink, local);
   return core.run();
 }
 

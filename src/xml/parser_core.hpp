@@ -47,9 +47,36 @@ struct CoreResult {
   bool aborted = false;
 };
 
+/// Raw (pre-namespace-resolution) attribute as collected from a start
+/// tag.
+struct RawAttr {
+  std::string_view qname;
+  std::string_view value;
+};
+
+struct NsBinding {
+  std::string_view prefix;
+  std::string_view uri;
+  std::size_t depth;
+};
+
+/// Reusable tokenizer buffers. A fresh parse uses whatever capacity the
+/// previous parse grew, so a parser that keeps one of these across
+/// messages performs zero heap allocations at steady state.
+struct ParserScratch {
+  std::vector<NsBinding> ns;
+  std::vector<RawAttr> raw_attrs;
+  std::vector<AttrEvent> attr_events;
+  std::string value_buf;  ///< attribute-value normalization
+  std::string text_buf;   ///< pending character data
+};
+
 /// Runs a full document parse of `input`, interning strings into `arena`
-/// and delivering events to `sink`.
+/// and delivering events to `sink`. `scratch` (optional) supplies
+/// reusable tokenizer buffers; pass the same instance across parses to
+/// avoid per-message allocation.
 CoreResult run_parse(std::string_view input, const ParseOptions& options,
-                     util::Arena& arena, EventSink& sink);
+                     util::Arena& arena, EventSink& sink,
+                     ParserScratch* scratch = nullptr);
 
 }  // namespace xaon::xml::detail

@@ -542,6 +542,12 @@ class Parser {
 
 /// Defined in eval.cpp.
 Value evaluate_expr(const Expr* expr, const xml::Node* context);
+Value evaluate_expr(const Expr* expr, const xml::Node* context,
+                    EvalScratch* scratch);
+const NodeSet& select_expr(const Expr* expr, const xml::Node* context,
+                           EvalScratch& scratch);
+bool test_expr(const Expr* expr, const xml::Node* context,
+               EvalScratch& scratch);
 
 }  // namespace detail
 
@@ -575,14 +581,30 @@ Value XPath::evaluate(const xml::Node* context) const {
   return detail::evaluate_expr(impl_->root, context);
 }
 
+Value XPath::evaluate(const xml::Node* context, EvalScratch& scratch) const {
+  XAON_CHECK_MSG(impl_ != nullptr, "evaluate() on invalid XPath");
+  return detail::evaluate_expr(impl_->root, context, &scratch);
+}
+
 NodeSet XPath::select(const xml::Node* context) const {
   Value v = evaluate(context);
   if (!v.is_node_set()) return {};
   return v.nodes();
 }
 
+const NodeSet& XPath::select(const xml::Node* context,
+                             EvalScratch& scratch) const {
+  XAON_CHECK_MSG(impl_ != nullptr, "select() on invalid XPath");
+  return detail::select_expr(impl_->root, context, scratch);
+}
+
 bool XPath::test(const xml::Node* context) const {
   return evaluate(context).to_boolean();
+}
+
+bool XPath::test(const xml::Node* context, EvalScratch& scratch) const {
+  XAON_CHECK_MSG(impl_ != nullptr, "test() on invalid XPath");
+  return detail::test_expr(impl_->root, context, scratch);
 }
 
 std::string XPath::string(const xml::Node* context) const {

@@ -7,6 +7,7 @@
 #include "xaon/util/probe.hpp"
 #include "xaon/util/str.hpp"
 #include "xaon/xpath/value.hpp"
+#include "xaon/xpath/xpath.hpp"
 
 /// \file eval.cpp
 /// XPath AST evaluator. Runtime type mismatches degrade to empty/zero
@@ -14,6 +15,13 @@
 /// arbitrary incoming messages).
 
 namespace xaon::xpath::detail {
+
+/// Private-member access for the evaluator (EvalScratch keeps its pool
+/// encapsulated from general API users).
+struct EvalAccess {
+  static std::vector<NodeSet>& pool(EvalScratch& s) { return s.pool_; }
+  static NodeSet& result(EvalScratch& s) { return s.result_; }
+};
 
 namespace {
 
@@ -44,6 +52,23 @@ const xml::Node* root_of(const xml::Node* n) {
 
 class Evaluator {
  public:
+  explicit Evaluator(EvalScratch& scratch) : scratch_(scratch) {}
+
+  /// Takes a node-set buffer from the pool (empty, capacity retained).
+  NodeSet acquire() {
+    auto& pool = EvalAccess::pool(scratch_);
+    if (pool.empty()) return {};
+    NodeSet v = std::move(pool.back());
+    pool.pop_back();
+    v.clear();
+    return v;
+  }
+
+  /// Returns a buffer to the pool for the next acquire().
+  void release(NodeSet&& v) {
+    EvalAccess::pool(scratch_).push_back(std::move(v));
+  }
+
   Value eval(const Expr* e, const EvalCtx& ctx) {
     XAON_CHECK(e != nullptr);
     switch (e->kind) {
@@ -96,7 +121,7 @@ class Evaluator {
       case ExprKind::kUnion: {
         Value l = eval(e->lhs, ctx);
         Value r = eval(e->rhs, ctx);
-        NodeSet out;
+        NodeSet out = acquire();
         if (l.is_node_set()) {
           out.insert(out.end(), l.nodes().begin(), l.nodes().end());
         }
@@ -118,18 +143,19 @@ class Evaluator {
     return Value(false);
   }
 
- private:
   // --- paths ---------------------------------------------------------------
+  // Returns a pool-origin buffer; top-level callers may hand it back via
+  // release() (Value-wrapped results escape the pool instead).
   NodeSet eval_path(const Expr* e, const EvalCtx& ctx) {
-    NodeSet current;
+    NodeSet current = acquire();
     if (e->base != nullptr) {
       Value base = eval(e->base, ctx);
-      if (!base.is_node_set()) return {};
-      current = base.nodes();
+      if (!base.is_node_set()) return current;  // empty
+      current.assign(base.nodes().begin(), base.nodes().end());
       // Filter-expression predicates apply to the whole base set, with
       // positions in document order.
       for (std::uint32_t p = 0; p < e->n_base_predicates; ++p) {
-        NodeSet pass;
+        NodeSet pass = acquire();
         const std::size_t size = current.size();
         for (std::size_t i = 0; i < size; ++i) {
           EvalCtx pctx;
@@ -143,7 +169,8 @@ class Evaluator {
                   : v.to_boolean();
           if (keep) pass.push_back(current[i]);
         }
-        current = std::move(pass);
+        current.swap(pass);
+        release(std::move(pass));
       }
     } else if (e->absolute) {
       current.push_back(NodeRef{root_of(ctx.node.node), nullptr});
@@ -151,24 +178,25 @@ class Evaluator {
       current.push_back(ctx.node);
     }
     for (std::uint32_t i = 0; i < e->n_steps; ++i) {
-      NodeSet next;
+      NodeSet next = acquire();
       for (const NodeRef& ref : current) {
         apply_step(e->steps[i], ref, &next);
       }
       normalize(next);
-      current = std::move(next);
+      current.swap(next);
+      release(std::move(next));
       if (current.empty()) break;
     }
     return current;
   }
 
+ private:
   void apply_step(const Step& step, const NodeRef& ref, NodeSet* out) {
-    std::vector<NodeRef> candidates;
-    collect_axis(step, ref, &candidates);
+    NodeSet filtered = acquire();
+    collect_axis(step, ref, &filtered);
     // Apply predicates in sequence; positions count in axis order.
-    std::vector<NodeRef> filtered = std::move(candidates);
     for (std::uint32_t p = 0; p < step.n_predicates; ++p) {
-      std::vector<NodeRef> pass;
+      NodeSet pass = acquire();
       const std::size_t size = filtered.size();
       for (std::size_t i = 0; i < size; ++i) {
         EvalCtx pctx;
@@ -184,9 +212,11 @@ class Evaluator {
         }
         if (probe::branch(sites().predicate, keep)) pass.push_back(filtered[i]);
       }
-      filtered = std::move(pass);
+      filtered.swap(pass);
+      release(std::move(pass));
     }
     out->insert(out->end(), filtered.begin(), filtered.end());
+    release(std::move(filtered));
   }
 
   // Candidates are produced in axis order: forward axes in document
@@ -479,16 +509,57 @@ class Evaluator {
     }
     return Value(false);
   }
+
+  EvalScratch& scratch_;
 };
 
 }  // namespace
 
-Value evaluate_expr(const Expr* expr, const xml::Node* context) {
+Value evaluate_expr(const Expr* expr, const xml::Node* context,
+                    EvalScratch* scratch) {
   XAON_CHECK(context != nullptr);
-  Evaluator ev;
+  EvalScratch local;
+  Evaluator ev(scratch != nullptr ? *scratch : local);
   EvalCtx ctx;
   ctx.node = NodeRef{context, nullptr};
   return ev.eval(expr, ctx);
+}
+
+Value evaluate_expr(const Expr* expr, const xml::Node* context) {
+  return evaluate_expr(expr, context, nullptr);
+}
+
+const NodeSet& select_expr(const Expr* expr, const xml::Node* context,
+                           EvalScratch& scratch) {
+  XAON_CHECK(context != nullptr);
+  Evaluator ev(scratch);
+  EvalCtx ctx;
+  ctx.node = NodeRef{context, nullptr};
+  NodeSet& result = EvalAccess::result(scratch);
+  if (expr->kind == ExprKind::kPath) {
+    // Swap the path result into the persistent slot and recycle the
+    // previous result's buffer — no allocation at steady state.
+    NodeSet r = ev.eval_path(expr, ctx);
+    result.swap(r);
+    ev.release(std::move(r));
+  } else {
+    Value v = ev.eval(expr, ctx);
+    result.clear();
+    if (v.is_node_set()) {
+      result.assign(v.nodes().begin(), v.nodes().end());
+    }
+  }
+  return result;
+}
+
+bool test_expr(const Expr* expr, const xml::Node* context,
+               EvalScratch& scratch) {
+  // Node-set-producing expressions test as "non-empty" — route through
+  // select_expr so the set never escapes the pool.
+  if (expr->kind == ExprKind::kPath) {
+    return !select_expr(expr, context, scratch).empty();
+  }
+  return evaluate_expr(expr, context, &scratch).to_boolean();
 }
 
 }  // namespace xaon::xpath::detail

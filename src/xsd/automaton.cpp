@@ -202,14 +202,19 @@ bool ContentAutomaton::match(const std::vector<Symbol>& names,
                              std::string* expected) const {
   // Deterministic schemas (UPA) give at most one matching edge per
   // symbol per state set; we simulate the NFA state set and record the
-  // first matching decl per input symbol.
-  std::vector<std::uint32_t> current{start_};
+  // first matching decl per input symbol. The state-set vectors are
+  // thread-local scratch — match() runs once per element with child
+  // content, and the steady-state path must not allocate.
+  static thread_local std::vector<std::uint32_t> current;
+  static thread_local std::vector<std::uint32_t> next;
+  current.clear();
+  current.push_back(start_);
   matched->clear();
   matched->reserve(names.size());
 
   for (std::size_t i = 0; i < names.size(); ++i) {
     const Symbol& sym = names[i];
-    std::vector<std::uint32_t> next;
+    next.clear();
     const ElementDecl* decl = nullptr;
     for (std::uint32_t s : current) {
       for (const Edge& e : states_[s].edges) {
@@ -241,7 +246,7 @@ bool ContentAutomaton::match(const std::vector<Symbol>& names,
       return false;
     }
     matched->push_back(decl);
-    current = std::move(next);
+    current.swap(next);
   }
   for (std::uint32_t s : current) {
     if (states_[s].accepting) return true;
@@ -264,7 +269,8 @@ bool match_all_group(const Particle& all,
                      std::vector<const ElementDecl*>* matched,
                      std::size_t* error_index, std::string* expected) {
   XAON_CHECK(all.kind == ParticleKind::kAll);
-  std::vector<int> seen(all.children.size(), 0);
+  static thread_local std::vector<int> seen;
+  seen.assign(all.children.size(), 0);
   matched->clear();
   for (std::size_t i = 0; i < names.size(); ++i) {
     const ContentAutomaton::Symbol& sym = names[i];

@@ -51,7 +51,16 @@ void count_digits(std::string_view v, std::uint32_t* total,
 }  // namespace
 
 bool SimpleType::validate(std::string_view raw, std::string* error) const {
-  const std::string value = apply_whitespace(raw, effective_whitespace());
+  // Most machine-generated values arrive already normalized — validate
+  // the raw view directly and only materialize a normalized copy when
+  // the whitespace facet would actually change the value.
+  const Whitespace ws = effective_whitespace();
+  std::string normalized;
+  std::string_view value = raw;
+  if (!whitespace_is_normalized(raw, ws)) {
+    normalized = apply_whitespace(raw, ws);
+    value = normalized;
+  }
   probe::load(value.data(), static_cast<std::uint32_t>(value.size()));
 
   if (!validate_builtin(base, value, error)) return false;
@@ -71,7 +80,7 @@ bool SimpleType::validate(std::string_view raw, std::string* error) const {
   }
   for (const Regex& re : patterns) {
     if (!probe::branch(kFacetSite, re.match(value))) {
-      return facet_fail(error, "value '" + value +
+      return facet_fail(error, "value '" + std::string(value) +
                                    "' does not match pattern '" +
                                    std::string(re.pattern()) + "'");
     }
@@ -86,7 +95,7 @@ bool SimpleType::validate(std::string_view raw, std::string* error) const {
     }
     if (!found) {
       return facet_fail(error,
-                        "value '" + value + "' not in enumeration");
+                        "value '" + std::string(value) + "' not in enumeration");
     }
   }
   if (min_inclusive || max_inclusive || min_exclusive || max_exclusive) {

@@ -1,6 +1,8 @@
 #include "xaon/xsd/regex.hpp"
 
+#include <algorithm>
 #include <bitset>
+#include <limits>
 #include <vector>
 
 #include "xaon/util/assert.hpp"
@@ -489,9 +491,19 @@ bool pike_run(const Program& prog, std::string_view text, bool anchored) {
   const auto& classes = prog.classes;
   const auto n = static_cast<std::uint32_t>(insts.size());
 
-  std::vector<std::uint32_t> current, next;
-  std::vector<std::uint32_t> mark(n, 0);
-  std::uint32_t gen = 0;
+  // The VM is not reentrant, so per-thread scratch keeps a steady-state
+  // match allocation-free (the validator runs pattern facets per
+  // message). `mark` is generation-stamped, so growing it for a larger
+  // program is the only refresh ever needed.
+  static thread_local std::vector<std::uint32_t> current, next, mark;
+  static thread_local std::uint32_t gen = 0;
+  current.clear();
+  next.clear();
+  if (mark.size() < n) mark.resize(n, 0);
+  if (gen == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(mark.begin(), mark.end(), 0);
+    gen = 0;
+  }
 
   auto add = [&](std::vector<std::uint32_t>& list, std::uint32_t pc,
                  auto&& self) -> void {

@@ -278,6 +278,24 @@ std::string apply_whitespace(std::string_view raw, Whitespace ws) {
   return out;
 }
 
+bool whitespace_is_normalized(std::string_view raw, Whitespace ws) {
+  if (ws == Whitespace::kPreserve) return true;
+  bool prev_space = false;
+  for (char c : raw) {
+    if (c == '\t' || c == '\n' || c == '\r') return false;
+    if (ws == Whitespace::kCollapse) {
+      const bool sp = c == ' ';
+      if (sp && prev_space) return false;  // run of spaces
+      prev_space = sp;
+    }
+  }
+  if (ws == Whitespace::kCollapse && !raw.empty() &&
+      (raw.front() == ' ' || raw.back() == ' ')) {
+    return false;  // needs trimming
+  }
+  return true;
+}
+
 bool validate_builtin(BuiltinType t, std::string_view value,
                       std::string* error) {
   probe::load(value.data(), static_cast<std::uint32_t>(value.size()));

@@ -17,6 +17,33 @@ std::string ValidationResult::to_string() const {
   return out;
 }
 
+namespace detail {
+
+/// Per-recursion-depth buffers for the content-model match. Each depth
+/// gets its own frame (a parent's child list must survive while its
+/// children recurse); frames are cleared and reused across messages.
+struct WalkFrame {
+  std::vector<const xml::Node*> children;
+  std::vector<ContentAutomaton::Symbol> symbols;
+  std::vector<const ElementDecl*> matched;
+  std::string expected;
+};
+
+struct WalkScratch {
+  std::vector<std::unique_ptr<WalkFrame>> frames;
+  std::vector<const xml::Node*> stack;  ///< ancestor chain for lazy paths
+  std::string text_buf;                 ///< simple-content accumulation
+
+  WalkFrame& frame(std::size_t depth) {
+    while (frames.size() <= depth) {
+      frames.push_back(std::make_unique<WalkFrame>());
+    }
+    return *frames[depth];
+  }
+};
+
+}  // namespace detail
+
 namespace {
 
 const std::uint32_t kAttrSite =
@@ -32,52 +59,94 @@ bool is_xsi_attr(const xml::Attr* a) {
   return a->ns_uri == "http://www.w3.org/2001/XMLSchema-instance";
 }
 
+bool ws_only(std::string_view s) {
+  for (char c : s) {
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return false;
+  }
+  return true;
+}
+
 class Walker {
  public:
   Walker(const Schema& schema, std::size_t max_errors,
-         ValidationResult* result)
-      : schema_(schema), max_errors_(max_errors), result_(result) {}
+         ValidationResult* result, detail::WalkScratch& scratch)
+      : schema_(schema),
+        max_errors_(max_errors),
+        result_(result),
+        scratch_(scratch) {
+    scratch_.stack.clear();
+  }
 
-  void element(const xml::Node* node, const ElementDecl* decl,
-               const std::string& path) {
+  void element(const xml::Node* node, const ElementDecl* decl) {
     if (capped()) return;
     probe::load(node, sizeof(xml::Node));
 
+    scratch_.stack.push_back(node);
     if (decl->complex_type != nullptr) {
-      complex(node, decl->complex_type, path);
+      complex(node, decl->complex_type);
     } else if (decl->simple_type != nullptr) {
-      simple(node, decl->simple_type, path);
+      simple(node, decl->simple_type);
     }
     // Neither: anyType — accept anything beneath.
+    scratch_.stack.pop_back();
   }
 
  private:
   bool capped() const { return result_->errors.size() >= max_errors_; }
 
-  void add_error(const std::string& path, std::string message) {
+  /// Builds the /root/child[2]/leaf-style location of the element on top
+  /// of the walk stack (plus `extra`, if given). Only error reporting
+  /// pays for path strings — the valid path never materializes one.
+  std::string current_path(const xml::Node* extra = nullptr) const {
+    std::string path;
+    const auto append = [&path](const xml::Node* n, bool with_index) {
+      path += '/';
+      path += n->qname;
+      if (with_index) {
+        // 1-based position among same-named siblings, XPath style.
+        std::size_t pos = 1;
+        for (const xml::Node* s = n->prev_sibling; s != nullptr;
+             s = s->prev_sibling) {
+          if (s->is_element() && s->qname == n->qname) ++pos;
+        }
+        path += '[';
+        path += std::to_string(pos);
+        path += ']';
+      }
+    };
+    for (std::size_t i = 0; i < scratch_.stack.size(); ++i) {
+      append(scratch_.stack[i], i > 0);
+    }
+    if (extra != nullptr) append(extra, true);
+    return path;
+  }
+
+  void add_error(std::string message, const xml::Node* extra = nullptr) {
     if (!capped()) {
-      result_->errors.push_back(ValidationError{path, std::move(message)});
+      result_->errors.push_back(
+          ValidationError{current_path(extra), std::move(message)});
     }
   }
 
-  void simple(const xml::Node* node, const SimpleType* type,
-              const std::string& path) {
+  void simple(const xml::Node* node, const SimpleType* type) {
     // Simple content: no element children.
     for (const xml::Node* c = node->first_child; c != nullptr;
          c = c->next_sibling) {
       if (c->is_element()) {
-        add_error(path, "element '" + std::string(c->qname) +
-                            "' not allowed in simple content");
+        add_error("element '" + std::string(c->qname) +
+                  "' not allowed in simple content");
         return;
       }
     }
     std::string error;
-    const std::string text = node->text_content();
-    if (!type->validate(text, &error)) add_error(path, error);
+    scratch_.text_buf.clear();
+    node->text_content_to(scratch_.text_buf);
+    if (!type->validate(scratch_.text_buf, &error)) {
+      add_error(std::move(error));
+    }
   }
 
-  void attributes(const xml::Node* node, const ComplexType* type,
-                  const std::string& path) {
+  void attributes(const xml::Node* node, const ComplexType* type) {
     // Every present attribute must be declared (xmlns/xsi exempt).
     for (const xml::Attr* a = node->first_attr; a != nullptr; a = a->next) {
       probe::load(a, sizeof(xml::Attr));
@@ -90,24 +159,26 @@ class Walker {
         }
       }
       if (use == nullptr) {
-        add_error(path, "undeclared attribute '" + std::string(a->qname) +
-                            "'");
+        add_error("undeclared attribute '" + std::string(a->qname) + "'");
         continue;
       }
       if (use->type != nullptr) {
         std::string error;
         if (!use->type->validate(a->value, &error)) {
-          add_error(path, "attribute '" + use->name + "': " + error);
+          add_error("attribute '" + use->name + "': " + error);
         }
       }
       if (use->fixed) {
         const Whitespace ws = use->type != nullptr
                                   ? use->type->effective_whitespace()
                                   : Whitespace::kPreserve;
-        if (apply_whitespace(a->value, ws) != *use->fixed) {
-          add_error(path, "attribute '" + use->name +
-                              "' must have fixed value '" + *use->fixed +
-                              "'");
+        const bool matches = whitespace_is_normalized(a->value, ws)
+                                 ? a->value == *use->fixed
+                                 : apply_whitespace(a->value, ws) ==
+                                       *use->fixed;
+        if (!matches) {
+          add_error("attribute '" + use->name +
+                    "' must have fixed value '" + *use->fixed + "'");
         }
       }
     }
@@ -123,23 +194,20 @@ class Walker {
         }
       }
       if (!present) {
-        add_error(path, "required attribute '" + u.name + "' missing");
+        add_error("required attribute '" + u.name + "' missing");
       }
     }
   }
 
-  void complex(const xml::Node* node, const ComplexType* type,
-               const std::string& path) {
-    attributes(node, type, path);
+  void complex(const xml::Node* node, const ComplexType* type) {
+    attributes(node, type);
 
     switch (type->content) {
       case ContentKind::kEmpty: {
         for (const xml::Node* c = node->first_child; c != nullptr;
              c = c->next_sibling) {
-          if (c->is_element() ||
-              (c->is_text() &&
-               !apply_whitespace(c->text, Whitespace::kCollapse).empty())) {
-            add_error(path, "content not allowed (empty content model)");
+          if (c->is_element() || (c->is_text() && !ws_only(c->text))) {
+            add_error("content not allowed (empty content model)");
             break;
           }
         }
@@ -149,16 +217,17 @@ class Walker {
         for (const xml::Node* c = node->first_child; c != nullptr;
              c = c->next_sibling) {
           if (c->is_element()) {
-            add_error(path, "element '" + std::string(c->qname) +
-                                "' not allowed in simple content");
+            add_error("element '" + std::string(c->qname) +
+                      "' not allowed in simple content");
             return;
           }
         }
         if (type->simple_content != nullptr) {
           std::string error;
-          if (!type->simple_content->validate(node->text_content(),
-                                              &error)) {
-            add_error(path, error);
+          scratch_.text_buf.clear();
+          node->text_content_to(scratch_.text_buf);
+          if (!type->simple_content->validate(scratch_.text_buf, &error)) {
+            add_error(std::move(error));
           }
         }
         return;
@@ -172,83 +241,80 @@ class Walker {
     if (type->content == ContentKind::kElementOnly) {
       for (const xml::Node* c = node->first_child; c != nullptr;
            c = c->next_sibling) {
-        if (c->is_text() &&
-            !apply_whitespace(c->text, Whitespace::kCollapse).empty()) {
-          add_error(path, "text not allowed in element-only content");
+        if (c->is_text() && !ws_only(c->text)) {
+          add_error("text not allowed in element-only content");
           break;
         }
       }
     }
 
-    // Gather child elements and match against the content model.
-    std::vector<const xml::Node*> children;
-    std::vector<detail::ContentAutomaton::Symbol> symbols;
+    // Gather child elements and match against the content model. The
+    // frame is per-depth so it stays valid while children recurse.
+    detail::WalkFrame& frame = scratch_.frame(scratch_.stack.size());
+    frame.children.clear();
+    frame.symbols.clear();
+    frame.matched.clear();
+    frame.expected.clear();
     for (const xml::Node* c = node->first_child; c != nullptr;
          c = c->next_sibling) {
       probe::branch(kChildSite, c->is_element());
       if (!c->is_element()) continue;
-      children.push_back(c);
-      symbols.push_back(
+      frame.children.push_back(c);
+      frame.symbols.push_back(
           detail::ContentAutomaton::Symbol{c->ns_uri, c->local});
     }
 
-    std::vector<const ElementDecl*> matched;
     std::size_t error_index = 0;
-    std::string expected;
     bool ok;
     if (!type->particle.has_value()) {
-      ok = children.empty();
+      ok = frame.children.empty();
       if (!ok) {
         error_index = 0;
-        expected = "(no children declared)";
+        frame.expected = "(no children declared)";
       }
     } else if (type->particle->kind == ParticleKind::kAll) {
-      ok = detail::match_all_group(*type->particle, symbols, &matched,
-                                   &error_index, &expected);
+      ok = detail::match_all_group(*type->particle, frame.symbols,
+                                   &frame.matched, &error_index,
+                                   &frame.expected);
     } else {
       XAON_CHECK_MSG(type->automaton != nullptr,
                      "Schema::finalize() not called");
-      ok = type->automaton->match(symbols, &matched, &error_index,
-                                  &expected);
+      ok = type->automaton->match(frame.symbols, &frame.matched,
+                                  &error_index, &frame.expected);
     }
     if (!ok) {
-      if (error_index < children.size()) {
-        add_error(child_path(path, children, error_index),
-                  "unexpected element '" +
-                      std::string(children[error_index]->qname) +
-                      "' (expected: " + expected + ")");
+      if (error_index < frame.children.size()) {
+        add_error("unexpected element '" +
+                      std::string(frame.children[error_index]->qname) +
+                      "' (expected: " + frame.expected + ")",
+                  frame.children[error_index]);
       } else {
-        add_error(path, "content ended too soon (expected: " + expected +
-                            ")");
+        add_error("content ended too soon (expected: " + frame.expected +
+                  ")");
       }
       // Recurse into the children that did match so nested errors still
       // surface.
     }
     const std::size_t recurse_count =
-        ok ? children.size() : matched.size();
+        ok ? frame.children.size() : frame.matched.size();
     for (std::size_t i = 0; i < recurse_count && !capped(); ++i) {
-      element(children[i], matched[i], child_path(path, children, i));
+      element(frame.children[i], frame.matched[i]);
     }
-  }
-
-  static std::string child_path(const std::string& parent,
-                                const std::vector<const xml::Node*>& children,
-                                std::size_t index) {
-    // 1-based position among same-named siblings, XPath style.
-    std::size_t pos = 1;
-    for (std::size_t j = 0; j < index; ++j) {
-      if (children[j]->qname == children[index]->qname) ++pos;
-    }
-    return parent + "/" + std::string(children[index]->qname) + "[" +
-           std::to_string(pos) + "]";
   }
 
   const Schema& schema_;
   std::size_t max_errors_;
   ValidationResult* result_;
+  detail::WalkScratch& scratch_;
 };
 
 }  // namespace
+
+Validator::Validator(const Schema& schema)
+    : schema_(&schema), scratch_(new detail::WalkScratch()) {}
+Validator::~Validator() = default;
+Validator::Validator(Validator&&) noexcept = default;
+Validator& Validator::operator=(Validator&&) noexcept = default;
 
 ValidationResult Validator::validate(const xml::Document& doc) const {
   ValidationResult result;
@@ -258,7 +324,7 @@ ValidationResult Validator::validate(const xml::Document& doc) const {
     return result;
   }
   const ElementDecl* decl =
-      schema_.find_global_element(root->ns_uri, root->local);
+      schema_->find_global_element(root->ns_uri, root->local);
   if (decl == nullptr) {
     result.errors.push_back(ValidationError{
         "/" + std::string(root->qname),
@@ -266,8 +332,9 @@ ValidationResult Validator::validate(const xml::Document& doc) const {
             std::string(root->qname) + "'"});
     return result;
   }
-  Walker walker(schema_, max_errors_, &result);
-  walker.element(root, decl, "/" + std::string(root->qname));
+  detail::WalkScratch scratch;
+  Walker walker(*schema_, max_errors_, &result, scratch);
+  walker.element(root, decl);
   return result;
 }
 
@@ -275,9 +342,21 @@ ValidationResult Validator::validate_element(const xml::Node* element,
                                              const ElementDecl* decl) const {
   ValidationResult result;
   XAON_CHECK(element != nullptr && decl != nullptr);
-  Walker walker(schema_, max_errors_, &result);
-  walker.element(element, decl, "/" + std::string(element->qname));
+  detail::WalkScratch scratch;
+  Walker walker(*schema_, max_errors_, &result, scratch);
+  walker.element(element, decl);
   return result;
 }
+
+const ValidationResult& Validator::validate_element_reuse(
+    const xml::Node* element, const ElementDecl* decl) {
+  XAON_CHECK(element != nullptr && decl != nullptr);
+  reset();
+  Walker walker(*schema_, max_errors_, &result_, *scratch_);
+  walker.element(element, decl);
+  return result_;
+}
+
+void Validator::reset() { result_.errors.clear(); }
 
 }  // namespace xaon::xsd

@@ -1,0 +1,74 @@
+// Steady-state allocation regression: a worker that reuses one
+// ProcessScratch must stop touching the heap once its buffers are warm.
+// Uses the bench allocation counter's global operator new interposer
+// (single-TU binaries only, which every test binary is).
+
+#define XAON_ALLOC_COUNT_INTERPOSE
+#include "../bench/alloc_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xaon/aon/messages.hpp"
+#include "xaon/aon/pipeline.hpp"
+
+namespace xaon::aon {
+namespace {
+
+std::vector<std::string> make_wires() {
+  std::vector<std::string> wires;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    MessageSpec spec;
+    spec.seed = seed;
+    spec.quantity = static_cast<std::uint32_t>(seed % 2) + 1;
+    wires.push_back(make_post_wire(spec));
+  }
+  return wires;
+}
+
+// Allocations per message at steady state: warm the scratch (string
+// capacities, pooled vectors, thread-local VM state), then count.
+std::uint64_t steady_state_allocs(UseCase use_case) {
+  const std::vector<std::string> wires = make_wires();
+  Pipeline pipeline(use_case);
+  Pipeline::ProcessScratch scratch;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const std::string& wire : wires) {
+      const Pipeline::Outcome& out = pipeline.process_wire(wire, scratch);
+      EXPECT_TRUE(out.ok) << out.detail;
+    }
+  }
+  bench::reset_alloc_counter();
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const std::string& wire : wires) {
+      (void)pipeline.process_wire(wire, scratch);
+    }
+  }
+  const std::uint64_t messages = 4 * wires.size();
+  // Round up so even one allocation across the whole run registers.
+  return (bench::alloc_count() + messages - 1) / messages;
+}
+
+TEST(AllocCounter, InterposerCountsNewAndDelete) {
+  bench::reset_alloc_counter();
+  {
+    std::string s(128, 'x');
+    EXPECT_GE(bench::alloc_count(), 1u);
+    EXPECT_GE(bench::alloc_bytes(), 128u);
+  }
+  EXPECT_GE(bench::free_count(), 1u);
+}
+
+TEST(AllocRegression, ForwardRequestSteadyStateIsAllocationFree) {
+  EXPECT_EQ(steady_state_allocs(UseCase::kForwardRequest), 0u);
+}
+
+TEST(AllocRegression, ContentRoutingSteadyStateStaysUnderBudget) {
+  EXPECT_LE(steady_state_allocs(UseCase::kContentBasedRouting), 2u);
+}
+
+TEST(AllocRegression, SchemaValidationSteadyStateStaysUnderBudget) {
+  EXPECT_LE(steady_state_allocs(UseCase::kSchemaValidation), 2u);
+}
+
+}  // namespace
+}  // namespace xaon::aon

@@ -86,15 +86,46 @@ TEST(Arena, InternEmpty) {
   EXPECT_EQ(v.data()[0], '\0');
 }
 
-TEST(Arena, ResetReleasesEverything) {
+TEST(Arena, ResetRetainsCapacityForReuse) {
   Arena arena;
   arena.allocate(1000);
   EXPECT_GT(arena.bytes_allocated(), 0u);
+  const std::size_t reserved = arena.bytes_reserved();
   arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // The chunk survives the reset and the next cycle reuses it without
+  // touching the system allocator.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  void* first = arena.allocate(64);
+  arena.reset();
+  void* second = arena.allocate(64);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Arena, ResetCoalescesSpilledChunks) {
+  Arena arena(256);  // tiny chunks force a spill
+  for (int i = 0; i < 100; ++i) arena.allocate(64, 8);
+  EXPECT_GT(arena.chunk_count(), 1u);
+  arena.reset();
+  // After one warm-up cycle the same workload fits in one chunk and
+  // reserves nothing new.
+  for (int i = 0; i < 100; ++i) arena.allocate(64, 8);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  for (int i = 0; i < 100; ++i) arena.allocate(64, 8);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, ReleaseFreesEverything) {
+  Arena arena;
+  arena.allocate(1000);
+  arena.release();
   EXPECT_EQ(arena.bytes_allocated(), 0u);
   EXPECT_EQ(arena.bytes_reserved(), 0u);
   EXPECT_EQ(arena.chunk_count(), 0u);
-  // Usable again after reset.
+  // Usable again after release.
   void* p = arena.allocate(64);
   EXPECT_NE(p, nullptr);
 }

@@ -1,0 +1,111 @@
+// Parity: a DOM parsed into a caller-owned arena (the message hot path)
+// must be structurally identical to one parsed with an owned arena, for
+// every workload message shape.
+
+#include <gtest/gtest.h>
+
+#include "xaon/aon/messages.hpp"
+#include "xaon/util/arena.hpp"
+#include "xaon/xml/dom.hpp"
+#include "xaon/xml/parser.hpp"
+
+namespace xaon::xml {
+namespace {
+
+void expect_same_attrs(const Attr* a, const Attr* b) {
+  while (a != nullptr && b != nullptr) {
+    EXPECT_EQ(a->qname, b->qname);
+    EXPECT_EQ(a->prefix, b->prefix);
+    EXPECT_EQ(a->local, b->local);
+    EXPECT_EQ(a->ns_uri, b->ns_uri);
+    EXPECT_EQ(a->value, b->value);
+    a = a->next;
+    b = b->next;
+  }
+  EXPECT_EQ(a, nullptr);
+  EXPECT_EQ(b, nullptr);
+}
+
+void expect_same_tree(const Node* a, const Node* b) {
+  ASSERT_EQ(a == nullptr, b == nullptr);
+  if (a == nullptr) return;
+  EXPECT_EQ(a->type, b->type);
+  EXPECT_EQ(a->qname, b->qname);
+  EXPECT_EQ(a->prefix, b->prefix);
+  EXPECT_EQ(a->local, b->local);
+  EXPECT_EQ(a->ns_uri, b->ns_uri);
+  EXPECT_EQ(a->text, b->text);
+  EXPECT_EQ(a->child_count, b->child_count);
+  EXPECT_EQ(a->depth, b->depth);
+  EXPECT_EQ(a->doc_order, b->doc_order);
+  expect_same_attrs(a->first_attr, b->first_attr);
+  const Node* ca = a->first_child;
+  const Node* cb = b->first_child;
+  while (ca != nullptr && cb != nullptr) {
+    expect_same_tree(ca, cb);
+    ca = ca->next_sibling;
+    cb = cb->next_sibling;
+  }
+  EXPECT_EQ(ca, nullptr);
+  EXPECT_EQ(cb, nullptr);
+}
+
+std::vector<std::string> workload_messages() {
+  std::vector<std::string> bodies;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    aon::MessageSpec spec;
+    spec.seed = seed;
+    spec.quantity = static_cast<std::uint32_t>(seed % 3);
+    spec.items = static_cast<std::uint32_t>(1 + seed % 4);
+    spec.valid_for_schema = (seed % 2) == 0;
+    bodies.push_back(aon::make_order_message(spec));
+  }
+  return bodies;
+}
+
+TEST(ArenaParity, FreeFunctionOverloadMatchesHeapParse) {
+  for (const std::string& body : workload_messages()) {
+    ParseResult heap = parse(body);
+    ASSERT_TRUE(heap.ok) << heap.error.to_string();
+
+    util::Arena arena(4 * 1024);
+    ParseResult pooled = parse(body, arena);
+    ASSERT_TRUE(pooled.ok) << pooled.error.to_string();
+    EXPECT_TRUE(pooled.document.uses_external_arena());
+    EXPECT_FALSE(heap.document.uses_external_arena());
+
+    EXPECT_EQ(heap.document.node_count(), pooled.document.node_count());
+    expect_same_tree(heap.document.doc_node(), pooled.document.doc_node());
+  }
+}
+
+TEST(ArenaParity, ReusedDomParserMatchesHeapParseAcrossMessages) {
+  DomParser reused;
+  util::Arena arena(4 * 1024);
+  // The same parser + arena across every message, reset between — the
+  // exact lifecycle of Pipeline::ProcessScratch.
+  for (const std::string& body : workload_messages()) {
+    arena.reset();
+    ParseResult pooled = reused.parse(body, arena);
+    ASSERT_TRUE(pooled.ok) << pooled.error.to_string();
+
+    ParseResult heap = parse(body);
+    ASSERT_TRUE(heap.ok) << heap.error.to_string();
+    EXPECT_EQ(heap.document.node_count(), pooled.document.node_count());
+    expect_same_tree(heap.document.doc_node(), pooled.document.doc_node());
+  }
+}
+
+TEST(ArenaParity, ParseFailureLeavesArenaDocumentReusable) {
+  util::Arena arena(1024);
+  ParseResult bad = parse("<open><unclosed>", arena);
+  EXPECT_FALSE(bad.ok);
+
+  arena.reset();
+  ParseResult good = parse("<ok/>", arena);
+  ASSERT_TRUE(good.ok);
+  EXPECT_EQ(good.document.root()->qname, "ok");
+}
+
+}  // namespace
+}  // namespace xaon::xml
