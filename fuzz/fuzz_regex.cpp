@@ -1,0 +1,12 @@
+// libFuzzer harness for xsd::Regex compile+match (see targets.hpp).
+
+#include <cstdint>
+
+#include "targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  xaon::fuzz::one_regex(
+      {reinterpret_cast<const char*>(data), size});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// libFuzzer harness for xml::parse / xml::parse_sax (see targets.hpp).
+
+#include <cstdint>
+
+#include "targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  xaon::fuzz::one_xml(
+      {reinterpret_cast<const char*>(data), size});
+  return 0;
+}

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file targets.hpp
+/// Shared fuzz entry points. Each function drives one parser subsystem
+/// with arbitrary bytes and checks only internal invariants — the
+/// contract under fuzzing is "no crash, no hang, coherent result
+/// state", never a specific parse outcome.
+///
+/// Two consumers share these entries so findings reproduce in both:
+///   * the libFuzzer harnesses under fuzz/ (XAON_FUZZ=ON, Clang), and
+///   * tests/fuzz_replay_test.cpp, which replays the checked-in corpus
+///     under the regular toolchain on every ctest run (label `fuzz`).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "xaon/http/parser.hpp"
+#include "xaon/xml/parser.hpp"
+#include "xaon/xml/sax.hpp"
+#include "xaon/xsd/regex.hpp"
+
+namespace xaon::fuzz {
+
+/// DOM and SAX parse of arbitrary bytes. Hardening limits are dialed
+/// low so rejection paths (depth/attr/entity budgets) are reached with
+/// small inputs.
+inline void one_xml(std::string_view input) {
+  xml::ParseOptions opt;
+  opt.max_depth = 128;
+  opt.max_attributes = 64;
+  opt.max_entity_expansions = 4096;
+
+  const xml::ParseResult dom = xml::parse(input, opt);
+  if (!dom.ok && dom.error.code == xml::ErrorCode::kNone) __builtin_trap();
+
+  class Null : public xml::SaxHandler {
+   public:
+    bool on_start_element(std::string_view, std::string_view,
+                          std::string_view, const xml::SaxAttr*,
+                          std::size_t) override {
+      return true;
+    }
+    bool on_end_element(std::string_view, std::string_view,
+                        std::string_view) override {
+      return true;
+    }
+    bool on_text(std::string_view, bool) override { return true; }
+  } handler;
+  const xml::SaxResult sax = xml::parse_sax(input, handler, opt);
+
+  // Both front ends run the same core grammar; they must agree on
+  // accept/reject for identical options.
+  if (dom.ok != sax.ok) __builtin_trap();
+}
+
+/// HTTP request + response parsers, fed incrementally (split at the
+/// midpoint) to exercise the resumable state machine, with small
+/// hardening limits.
+inline void one_http(std::string_view input) {
+  http::RequestParser req;
+  req.set_max_body(1 << 20);
+  req.set_max_header_count(32);
+  req.set_max_header_bytes(16 * 1024);
+  const std::size_t cut = input.size() / 2;
+  req.feed(input.substr(0, cut));
+  if (!req.done() && !req.failed()) req.feed(input.substr(cut));
+  if (req.done() && req.failed()) __builtin_trap();
+  if (req.failed() && req.error_code() == http::ParseError::kNone)
+    __builtin_trap();
+
+  http::ResponseParser resp;
+  resp.set_max_body(1 << 20);
+  resp.feed(input);
+  if (resp.done() && resp.failed()) __builtin_trap();
+}
+
+/// XSD regex: input is "pattern\ntext". Compile must either produce a
+/// valid program or report an error, and matching a valid program must
+/// terminate (linear-time Pike VM — no pathological backtracking).
+inline void one_regex(std::string_view input) {
+  const std::size_t nl = input.find('\n');
+  const std::string_view pattern =
+      input.substr(0, nl == std::string_view::npos ? input.size() : nl);
+  const std::string_view text =
+      nl == std::string_view::npos ? std::string_view{}
+                                   : input.substr(nl + 1);
+  if (pattern.size() > 256) return;  // bound {n,m} program blow-up
+
+  std::string error;
+  const xsd::Regex re = xsd::Regex::compile(pattern, &error);
+  if (!re.valid() && error.empty()) __builtin_trap();
+  if (re.valid()) {
+    re.match(text);
+    re.search(text.substr(0, text.size() < 1024 ? text.size() : 1024));
+  }
+}
+
+}  // namespace xaon::fuzz

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "xaon/aon/pipeline.hpp"
@@ -11,13 +12,47 @@
 /// model — POSIX threads, one worker per (logical) CPU, each draining a
 /// message queue. Runs natively (no simulation) for functional
 /// integration tests, the examples and real-throughput measurements.
+///
+/// The forward path degrades gracefully: an optional `Downstream`
+/// accepts each processed message's outbound wire, and a bounded
+/// retry-with-backoff budget (`ForwardPolicy`) plus the bounded worker
+/// queues guarantee a faulty downstream turns into 502/503 responses —
+/// never unbounded queuing or a lost message.
 
 namespace xaon::aon {
+
+/// Verdict from one downstream send attempt.
+enum class SendStatus : std::uint8_t {
+  kAck,   ///< accepted
+  kBusy,  ///< transient overload — retry may succeed, shed as 503
+  kFail,  ///< hard failure — retried, then reported as 502
+};
+
+/// The next hop a processed message is forwarded to. Host mode has no
+/// real network, so implementations are in-process doubles (healthy,
+/// flaky, slow, dead). `send` is called concurrently from every worker
+/// and must be thread-safe.
+class Downstream {
+ public:
+  virtual ~Downstream() = default;
+  virtual SendStatus send(std::string_view wire) = 0;
+};
+
+/// Per-message forward budget. The attempt bound is the host-mode
+/// analogue of a wall-clock forward timeout: a worker spends at most
+/// `max_attempts` sends plus `backoff_pauses` escalating pauses between
+/// them on one message, then sheds it and moves on.
+struct ForwardPolicy {
+  std::size_t max_attempts = 3;
+  std::uint32_t backoff_pauses = 64;  ///< Backoff::pause() calls per retry
+};
 
 struct ServerConfig {
   UseCase use_case = UseCase::kForwardRequest;
   std::size_t workers = 2;  ///< kept equal to CPUs, per the paper
   std::size_t queue_capacity = 512;
+  Downstream* downstream = nullptr;  ///< optional next hop (not owned)
+  ForwardPolicy forward;
 };
 
 struct LoadResult {
@@ -26,6 +61,15 @@ struct LoadResult {
   std::uint64_t routed_error = 0;
   std::uint64_t failed = 0;  ///< HTTP/XML-level rejections
   double seconds = 0;
+
+  /// Response-class buckets: every accepted message lands in exactly one
+  /// (status_2xx + status_4xx + status_5xx == messages).
+  std::uint64_t status_2xx = 0;
+  std::uint64_t status_4xx = 0;  ///< pipeline rejections (400/403)
+  std::uint64_t status_5xx = 0;  ///< downstream degradation (502/503)
+  std::uint64_t forward_retries = 0;   ///< extra send attempts
+  std::uint64_t forward_failures = 0;  ///< budgets exhausted on kFail (502)
+  std::uint64_t forward_shed = 0;      ///< budgets exhausted on kBusy (503)
 
   double messages_per_second() const {
     return seconds > 0 ? static_cast<double>(messages) / seconds : 0.0;

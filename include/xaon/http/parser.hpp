@@ -25,6 +25,37 @@ enum class ParseState : std::uint8_t {
   kError,
 };
 
+/// Structured reason for state() == kError. Hostile inputs (chaos/fuzz
+/// harnesses, faulty peers) are classified rather than reported as one
+/// opaque string, so callers can map them to responses and tests can
+/// assert the exact defense that fired.
+enum class ParseError : std::uint8_t {
+  kNone = 0,
+  kBadStartLine,
+  kBadHeader,
+  kHeaderLineTooLong,
+  kTooManyHeaders,
+  kHeadersTooLarge,
+  kBadContentLength,
+  kBodyTooLarge,
+  kBadChunk,
+};
+
+inline const char* parse_error_name(ParseError e) {
+  switch (e) {
+    case ParseError::kNone: return "none";
+    case ParseError::kBadStartLine: return "bad-start-line";
+    case ParseError::kBadHeader: return "bad-header";
+    case ParseError::kHeaderLineTooLong: return "header-line-too-long";
+    case ParseError::kTooManyHeaders: return "too-many-headers";
+    case ParseError::kHeadersTooLarge: return "headers-too-large";
+    case ParseError::kBadContentLength: return "bad-content-length";
+    case ParseError::kBodyTooLarge: return "body-too-large";
+    case ParseError::kBadChunk: return "bad-chunk";
+  }
+  return "?";
+}
+
 namespace detail {
 
 /// Shared machinery for request/response parsing.
@@ -34,10 +65,16 @@ class MessageParser {
   bool done() const { return state_ == ParseState::kDone; }
   bool failed() const { return state_ == ParseState::kError; }
   const std::string& error() const { return error_; }
+  ParseError error_code() const { return error_code_; }
 
   /// Total body bytes limit (default 16 MiB) — an AON device bounds
   /// message sizes defensively.
   void set_max_body(std::size_t n) { max_body_ = n; }
+  /// Header-section limits: per-message header count (default 128) and
+  /// cumulative header bytes (default 256 KiB). Both bound the memory a
+  /// hostile peer can pin with an endless header section.
+  void set_max_header_count(std::size_t n) { max_header_count_ = n; }
+  void set_max_header_bytes(std::size_t n) { max_header_bytes_ = n; }
 
  protected:
   /// Consumes as much of `data` as possible; returns bytes consumed.
@@ -51,19 +88,25 @@ class MessageParser {
 
   void reset_impl();
 
-  bool fail(std::string message) {
+  bool fail(ParseError code, std::string message) {
     state_ = ParseState::kError;
+    error_code_ = code;
     error_ = std::move(message);
     return false;
   }
 
   ParseState state_ = ParseState::kStartLine;
+  ParseError error_code_ = ParseError::kNone;
   std::string error_;
   std::string line_buf_;
   std::size_t body_remaining_ = 0;
+  std::size_t header_count_ = 0;
+  std::size_t header_bytes_ = 0;
   bool chunked_ = false;
   bool has_length_ = false;
   std::size_t max_body_ = 16 * 1024 * 1024;
+  std::size_t max_header_count_ = 128;
+  std::size_t max_header_bytes_ = 256 * 1024;
 };
 
 }  // namespace detail

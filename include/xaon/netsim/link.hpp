@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "xaon/netsim/simulator.hpp"
+#include "xaon/util/fault.hpp"
 
 /// \file link.hpp
 /// Point-to-point link: FIFO serialization at a fixed bandwidth plus
@@ -12,6 +13,10 @@
 /// instance has effectively infinite bandwidth and zero latency,
 /// leaving the host CPU as the bottleneck — matching the paper's two
 /// netperf modes.
+///
+/// Links can inject deterministic faults (drop / corrupt / delay /
+/// reorder), all drawn from one seeded `util::FaultInjector` stream, so
+/// a faulty-wire experiment replays bit-identically from its seed.
 
 namespace xaon::netsim {
 
@@ -23,15 +28,26 @@ struct LinkConfig {
   std::uint32_t frame_overhead_bytes = 38;
   std::uint32_t mtu_bytes = 1500;  ///< max L3 payload per frame
   /// Independent per-frame drop probability (0 = lossless, the
-  /// default — the paper's testbed LAN). Drops are deterministic given
-  /// `loss_seed`.
+  /// default — the paper's testbed LAN). Added to `faults.drop`; both
+  /// draw from the same seeded stream.
   double loss_rate = 0.0;
-  std::uint64_t loss_seed = 0x10552;
+  std::uint64_t loss_seed = util::FaultInjector::kDefaultSeed;
+  /// Additional per-frame fault classes. A corrupted frame consumes
+  /// wire time and is discarded at the receiver (frame CRC), which to
+  /// the transport looks like a drop; a delayed frame arrives
+  /// `extra_delay_ns` late; a reordered frame is held `reorder_hold_ns`
+  /// so frames serialized after it overtake it in arrival order.
+  util::FaultRates faults;
+  SimTime extra_delay_ns = 200'000;   ///< added per delay fault (200 us)
+  SimTime reorder_hold_ns = 500'000;  ///< hold per reorder fault (500 us)
 };
 
 struct LinkStats {
   std::uint64_t frames = 0;
-  std::uint64_t dropped_frames = 0;
+  std::uint64_t dropped_frames = 0;    ///< lost outright (loss_rate + drop)
+  std::uint64_t corrupted_frames = 0;  ///< discarded at the receiver
+  std::uint64_t delayed_frames = 0;
+  std::uint64_t reordered_frames = 0;
   std::uint64_t payload_bytes = 0;  ///< excludes frame overhead
   SimTime busy_ns = 0;              ///< total serialization time
 
@@ -48,11 +64,13 @@ class Link {
   using DeliverFn = std::function<void(std::uint32_t bytes)>;
 
   Link(Simulator& sim, const LinkConfig& config)
-      : sim_(sim), config_(config), loss_state_(config.loss_seed) {}
+      : sim_(sim),
+        config_(config),
+        injector_(effective_rates(config), config.loss_seed) {}
 
   /// Queues one frame of `bytes` L3 payload (must be <= MTU). The
   /// callback fires at the receiver after serialization + latency.
-  /// A lost frame (loss_rate) consumes wire time but never delivers;
+  /// A lost or corrupted frame consumes wire time but never delivers;
   /// `dropped` (optional) fires at the would-be arrival time instead —
   /// transports use it to model their retransmission timers.
   void transmit(std::uint32_t bytes, DeliverFn deliver,
@@ -60,6 +78,7 @@ class Link {
 
   const LinkConfig& config() const { return config_; }
   const LinkStats& stats() const { return stats_; }
+  const util::FaultInjector& fault_injector() const { return injector_; }
   void reset_stats() { stats_ = LinkStats{}; }
 
   /// Gigabit Ethernet preset.
@@ -77,11 +96,18 @@ class Link {
   }
 
  private:
+  /// loss_rate is legacy sugar for faults.drop; both feed one stream.
+  static util::FaultRates effective_rates(const LinkConfig& config) {
+    util::FaultRates rates = config.faults;
+    rates.drop += config.loss_rate;
+    return rates;
+  }
+
   Simulator& sim_;
   LinkConfig config_;
   LinkStats stats_;
   SimTime tx_free_ns_ = 0;  ///< when the transmitter becomes idle
-  std::uint64_t loss_state_;  ///< splitmix64 state for drop decisions
+  util::FaultInjector injector_;  ///< per-frame fault decisions
 };
 
 }  // namespace xaon::netsim

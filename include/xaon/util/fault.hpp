@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+
+#include "xaon/util/rng.hpp"
+
+/// \file fault.hpp
+/// Seeded, deterministic fault injection.
+///
+/// Every stochastic failure the test/chaos infrastructure injects —
+/// link-level drops, corruption, extra delay, reordering, and the chaos
+/// harness's message mutations — draws its decisions from one
+/// `FaultInjector` holding one explicitly seeded `Xoshiro256ss` stream.
+/// Two runs constructed with the same seed therefore produce
+/// bit-identical fault schedules, which is what lets the chaos harness
+/// assert exact outcome counts and what makes any injected failure
+/// replayable from nothing but its seed.
+
+namespace xaon::util {
+
+/// One fault decision. `kNone` is the overwhelmingly common verdict on
+/// realistic schedules; everything else names an injected failure class.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDrop,     ///< the event is lost outright
+  kCorrupt,  ///< delivered damaged (receivers discard, as a CRC would)
+  kDelay,    ///< delivered late by a configured extra delay
+  kReorder,  ///< held back so later events overtake it
+};
+
+/// Human-readable fault name ("none", "drop", ...).
+const char* fault_kind_name(FaultKind kind);
+
+/// Independent per-event probabilities of each fault class. The classes
+/// are mutually exclusive per event (one decision draw); their sum must
+/// be <= 1.
+struct FaultRates {
+  double drop = 0.0;
+  double corrupt = 0.0;
+  double delay = 0.0;
+  double reorder = 0.0;
+
+  bool any() const {
+    return drop > 0.0 || corrupt > 0.0 || delay > 0.0 || reorder > 0.0;
+  }
+  double total() const { return drop + corrupt + delay + reorder; }
+};
+
+struct FaultStats {
+  std::uint64_t decisions = 0;  ///< next() calls
+  std::uint64_t drops = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t reorders = 0;
+
+  std::uint64_t faults() const {
+    return drops + corruptions + delays + reorders;
+  }
+};
+
+/// Deterministic fault-decision stream. Not thread-safe; give each
+/// concurrently-faulted component its own injector (seeded distinctly —
+/// e.g. seed ^ component index) so streams stay independent and
+/// replayable.
+class FaultInjector {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 0x10552;
+
+  FaultInjector() : FaultInjector(FaultRates{}, kDefaultSeed) {}
+  FaultInjector(const FaultRates& rates, std::uint64_t seed)
+      : rates_(rates), seed_(seed), rng_(seed) {}
+
+  /// Draws one fault decision. A fault-free schedule (no positive rate)
+  /// never consumes randomness, so enabling the injector on a clean
+  /// configuration leaves every downstream draw sequence unchanged.
+  FaultKind next() {
+    ++stats_.decisions;
+    if (!rates_.any()) return FaultKind::kNone;
+    double u = rng_.next_double();
+    if ((u -= rates_.drop) < 0.0) {
+      ++stats_.drops;
+      return FaultKind::kDrop;
+    }
+    if ((u -= rates_.corrupt) < 0.0) {
+      ++stats_.corruptions;
+      return FaultKind::kCorrupt;
+    }
+    if ((u -= rates_.delay) < 0.0) {
+      ++stats_.delays;
+      return FaultKind::kDelay;
+    }
+    if ((u -= rates_.reorder) < 0.0) {
+      ++stats_.reorders;
+      return FaultKind::kReorder;
+    }
+    return FaultKind::kNone;
+  }
+
+  /// Auxiliary draws (corruption offsets, mutation parameters) come
+  /// from the same stream, so they are part of the replayable schedule.
+  Xoshiro256ss& rng() { return rng_; }
+
+  const FaultRates& rates() const { return rates_; }
+  const FaultStats& stats() const { return stats_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Restarts the schedule from `seed` with cleared stats.
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    rng_ = Xoshiro256ss(seed);
+    stats_ = FaultStats{};
+  }
+
+ private:
+  FaultRates rates_;
+  std::uint64_t seed_;
+  Xoshiro256ss rng_;
+  FaultStats stats_;
+};
+
+inline const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kReorder: return "reorder";
+  }
+  return "?";
+}
+
+}  // namespace xaon::util

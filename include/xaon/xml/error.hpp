@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 /// \file error.hpp
@@ -8,10 +9,35 @@
 
 namespace xaon::xml {
 
+/// Structured classification of a parse failure. Resource-limit errors
+/// (kDepthLimit/kAttrLimit/kEntityLimit) mean the document tripped one
+/// of the parser's hardening bounds, not that it is malformed — callers
+/// treat both as rejection but tests and chaos harnesses assert which
+/// defense fired.
+enum class ErrorCode : std::uint8_t {
+  kNone = 0,
+  kSyntax,       ///< not well-formed XML
+  kDepthLimit,   ///< element nesting exceeded ParseOptions::max_depth
+  kAttrLimit,    ///< attribute count exceeded ParseOptions::max_attributes
+  kEntityLimit,  ///< references exceeded ParseOptions::max_entity_expansions
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kSyntax: return "syntax";
+    case ErrorCode::kDepthLimit: return "depth-limit";
+    case ErrorCode::kAttrLimit: return "attr-limit";
+    case ErrorCode::kEntityLimit: return "entity-limit";
+  }
+  return "?";
+}
+
 struct Error {
   std::size_t offset = 0;  ///< byte offset into the input
   std::size_t line = 0;    ///< 1-based; 0 when not applicable
   std::size_t column = 0;  ///< 1-based byte column
+  ErrorCode code = ErrorCode::kNone;
   std::string message;
 
   bool empty() const { return message.empty(); }

@@ -24,7 +24,22 @@ struct ParseOptions {
   bool keep_comments = false;   ///< retain comment nodes in the DOM
   bool keep_pis = false;        ///< retain processing-instruction nodes
   bool keep_whitespace_text = false;  ///< retain whitespace-only text nodes
-  std::size_t max_depth = 256;  ///< element nesting limit
+  /// Element nesting limit (ErrorCode::kDepthLimit when exceeded). The
+  /// parser recurses per level, so regardless of this setting the
+  /// effective limit is capped at kDepthCeiling — a hostile 100k-deep
+  /// document is rejected, never a stack overflow.
+  std::size_t max_depth = 256;
+  /// Per-element attribute limit (ErrorCode::kAttrLimit).
+  std::size_t max_attributes = 256;
+  /// Per-document entity/character-reference limit
+  /// (ErrorCode::kEntityLimit). Custom DTD entities are unsupported, so
+  /// references cannot amplify (no billion-laughs), but an input packed
+  /// with references still costs decode work per reference — this bounds
+  /// that work.
+  std::size_t max_entity_expansions = 1'000'000;
+
+  /// Hard recursion ceiling; max_depth values above it are clamped.
+  static constexpr std::size_t kDepthCeiling = 1024;
 };
 
 struct ParseResult {

@@ -27,6 +27,12 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
     std::uint64_t primary = 0;
     std::uint64_t error = 0;
     std::uint64_t failed = 0;
+    std::uint64_t s2xx = 0;
+    std::uint64_t s4xx = 0;
+    std::uint64_t s5xx = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t fwd_failures = 0;
+    std::uint64_t fwd_shed = 0;
   };
 
   std::vector<std::unique_ptr<WorkerState>> states;
@@ -46,6 +52,7 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
       // and the outcome are reused across every message this worker
       // handles — the steady-state path does not touch the allocator.
       Pipeline::ProcessScratch scratch;
+      util::Backoff retry_backoff;
       const auto stop = [&done] {
         return done.load(std::memory_order_acquire);
       };
@@ -59,6 +66,39 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
           ++state->primary;
         } else {
           ++state->error;
+        }
+
+        // Forward with a bounded retry budget; an exhausted budget
+        // degrades this one message to 502/503 and the worker moves on —
+        // a dead downstream never wedges the queue.
+        int status = outcome.response.status;
+        if (outcome.ok && config_.downstream != nullptr) {
+          SendStatus verdict = SendStatus::kAck;
+          retry_backoff.reset();
+          for (std::size_t attempt = 0;; ++attempt) {
+            verdict = config_.downstream->send(outcome.forwarded_wire);
+            if (verdict == SendStatus::kAck) break;
+            if (attempt + 1 >= config_.forward.max_attempts) break;
+            ++state->retries;
+            for (std::uint32_t p = 0; p < config_.forward.backoff_pauses;
+                 ++p) {
+              retry_backoff.pause();
+            }
+          }
+          if (verdict == SendStatus::kBusy) {
+            status = 503;
+            ++state->fwd_shed;
+          } else if (verdict == SendStatus::kFail) {
+            status = 502;
+            ++state->fwd_failures;
+          }
+        }
+        if (status >= 200 && status < 300) {
+          ++state->s2xx;
+        } else if (status >= 500) {
+          ++state->s5xx;
+        } else {
+          ++state->s4xx;
         }
       }
     });
@@ -81,6 +121,12 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
     result.routed_primary += s->primary;
     result.routed_error += s->error;
     result.failed += s->failed;
+    result.status_2xx += s->s2xx;
+    result.status_4xx += s->s4xx;
+    result.status_5xx += s->s5xx;
+    result.forward_retries += s->retries;
+    result.forward_failures += s->fwd_failures;
+    result.forward_shed += s->fwd_shed;
   }
   result.seconds =
       std::chrono::duration<double>(end - start).count();

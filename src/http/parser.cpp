@@ -40,9 +40,12 @@ bool parse_header_line(std::string_view line, HeaderMap* headers,
 
 void MessageParser::reset_impl() {
   state_ = ParseState::kStartLine;
+  error_code_ = ParseError::kNone;
   error_.clear();
   line_buf_.clear();
   body_remaining_ = 0;
+  header_count_ = 0;
+  header_bytes_ = 0;
   chunked_ = false;
   has_length_ = false;
 }
@@ -64,7 +67,7 @@ std::size_t MessageParser::feed_impl(std::string_view data,
         if (!probe::branch(kLineSite, c == '\n')) {
           line_buf_.push_back(c);
           if (line_buf_.size() > 64 * 1024) {
-            fail("header line too long");
+            fail(ParseError::kHeaderLineTooLong, "header line too long");
             return consumed;
           }
           break;
@@ -78,15 +81,26 @@ std::size_t MessageParser::feed_impl(std::string_view data,
         if (state_ == ParseState::kStartLine) {
           if (line.empty()) break;  // tolerate leading blank lines
           if (!parse_start_line(line)) {
-            if (state_ != ParseState::kError) fail("bad start line");
+            if (state_ != ParseState::kError) {
+              fail(ParseError::kBadStartLine, "bad start line");
+            }
             return consumed;
           }
           state_ = ParseState::kHeaders;
         } else if (state_ == ParseState::kHeaders) {
           if (!line.empty()) {
+            if (++header_count_ > max_header_count_) {
+              fail(ParseError::kTooManyHeaders, "too many headers");
+              return consumed;
+            }
+            header_bytes_ += line.size();
+            if (header_bytes_ > max_header_bytes_) {
+              fail(ParseError::kHeadersTooLarge, "header section too large");
+              return consumed;
+            }
             std::string err;
             if (!parse_header_line(line, headers, &err)) {
-              fail(std::move(err));
+              fail(ParseError::kBadHeader, std::move(err));
               return consumed;
             }
           } else {
@@ -99,11 +113,11 @@ std::size_t MessageParser::feed_impl(std::string_view data,
             } else if (auto cl = headers->get("Content-Length")) {
               auto n = util::parse_u64(util::trim(*cl));
               if (!n) {
-                fail("bad Content-Length");
+                fail(ParseError::kBadContentLength, "bad Content-Length");
                 return consumed;
               }
               if (*n > max_body_) {
-                fail("body exceeds limit");
+                fail(ParseError::kBodyTooLarge, "body exceeds limit");
                 return consumed;
               }
               body_remaining_ = static_cast<std::size_t>(*n);
@@ -122,18 +136,18 @@ std::size_t MessageParser::feed_impl(std::string_view data,
           for (char h : size_str) {
             if (!xml::is_hex_digit(h)) {
               if (any) break;
-              fail("bad chunk size");
+              fail(ParseError::kBadChunk, "bad chunk size");
               return consumed;
             }
             size = size * 16 + static_cast<std::size_t>(xml::hex_value(h));
             any = true;
             if (size > max_body_) {
-              fail("chunk exceeds limit");
+              fail(ParseError::kBodyTooLarge, "chunk exceeds limit");
               return consumed;
             }
           }
           if (!any) {
-            fail("bad chunk size");
+            fail(ParseError::kBadChunk, "bad chunk size");
             return consumed;
           }
           if (size == 0) {
@@ -166,7 +180,7 @@ std::size_t MessageParser::feed_impl(std::string_view data,
           const std::size_t take =
               std::min(body_remaining_, data.size() - consumed);
           if (body->size() + take > max_body_) {
-            fail("body exceeds limit");
+            fail(ParseError::kBodyTooLarge, "body exceeds limit");
             return consumed;
           }
           body->append(data.substr(consumed, take));
@@ -200,17 +214,17 @@ bool RequestParser::parse_start_line(std::string_view line) {
   const std::size_t sp2 =
       sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
   if (sp2 == std::string_view::npos) {
-    return fail("malformed request line");
+    return fail(ParseError::kBadStartLine, "malformed request line");
   }
   const std::string_view method = line.substr(0, sp1);
   const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
   const std::string_view version = line.substr(sp2 + 1);
   if (method.empty() || target.empty() ||
       version.find(' ') != std::string_view::npos) {
-    return fail("malformed request line");
+    return fail(ParseError::kBadStartLine, "malformed request line");
   }
   if (!util::starts_with(version, "HTTP/")) {
-    return fail("bad HTTP version");
+    return fail(ParseError::kBadStartLine, "bad HTTP version");
   }
   request_.method.assign(method);
   request_.target.assign(target);
@@ -237,16 +251,20 @@ std::size_t ResponseParser::feed(std::string_view data) {
 bool ResponseParser::parse_start_line(std::string_view line) {
   // HTTP/1.1 200 OK
   const std::size_t sp1 = line.find(' ');
-  if (sp1 == std::string_view::npos) return fail("malformed status line");
+  if (sp1 == std::string_view::npos) {
+    return fail(ParseError::kBadStartLine, "malformed status line");
+  }
   const std::size_t sp2 = line.find(' ', sp1 + 1);
   const std::string_view version = line.substr(0, sp1);
   const std::string_view code = sp2 == std::string_view::npos
                                     ? line.substr(sp1 + 1)
                                     : line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (!util::starts_with(version, "HTTP/")) return fail("bad HTTP version");
+  if (!util::starts_with(version, "HTTP/")) {
+    return fail(ParseError::kBadStartLine, "bad HTTP version");
+  }
   auto status = util::parse_u64(code);
   if (!status || *status < 100 || *status > 599) {
-    return fail("bad status code");
+    return fail(ParseError::kBadStartLine, "bad status code");
   }
   response_.version = std::string(version);
   response_.status = static_cast<int>(*status);

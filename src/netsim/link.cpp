@@ -7,17 +7,6 @@
 
 namespace xaon::netsim {
 
-namespace {
-
-std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
-
 void Link::transmit(std::uint32_t bytes, DeliverFn deliver,
                     DeliverFn dropped) {
   XAON_CHECK_MSG(bytes <= config_.mtu_bytes, "frame exceeds link MTU");
@@ -33,18 +22,36 @@ void Link::transmit(std::uint32_t bytes, DeliverFn deliver,
   stats_.payload_bytes += bytes;
   stats_.busy_ns += serialize_ns;
 
-  const SimTime arrival = tx_free_ns_ + config_.latency_ns;
-  const bool lost =
-      config_.loss_rate > 0.0 &&
-      static_cast<double>(splitmix64(loss_state_) >> 11) * 0x1.0p-53 <
-          config_.loss_rate;
-  if (lost) {
-    ++stats_.dropped_frames;
-    if (dropped != nullptr) {
-      sim_.at(arrival,
-              [dropped = std::move(dropped), bytes] { dropped(bytes); });
-    }
-    return;
+  SimTime arrival = tx_free_ns_ + config_.latency_ns;
+  const util::FaultKind fault = injector_.next();
+  switch (fault) {
+    case util::FaultKind::kDrop:
+    case util::FaultKind::kCorrupt:
+      // A corrupted frame reaches the receiver but fails the frame CRC
+      // there, so to the transport both classes are a non-delivery at
+      // the would-be arrival time.
+      if (fault == util::FaultKind::kDrop) {
+        ++stats_.dropped_frames;
+      } else {
+        ++stats_.corrupted_frames;
+      }
+      if (dropped != nullptr) {
+        sim_.at(arrival,
+                [dropped = std::move(dropped), bytes] { dropped(bytes); });
+      }
+      return;
+    case util::FaultKind::kDelay:
+      ++stats_.delayed_frames;
+      arrival += config_.extra_delay_ns;
+      break;
+    case util::FaultKind::kReorder:
+      // Holding only this frame lets frames serialized after it arrive
+      // first — the link's FIFO order is broken for exactly this frame.
+      ++stats_.reordered_frames;
+      arrival += config_.reorder_hold_ns;
+      break;
+    case util::FaultKind::kNone:
+      break;
   }
   sim_.at(arrival, [deliver = std::move(deliver), bytes] { deliver(bytes); });
 }

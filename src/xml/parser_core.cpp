@@ -1,5 +1,6 @@
 #include "parser_core.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "xaon/util/probe.hpp"
@@ -83,11 +84,13 @@ class Core {
     while (!eof() && is_space(peek())) advance();
   }
 
-  [[nodiscard]] bool fail(std::string message) {
+  [[nodiscard]] bool fail(std::string message,
+                          ErrorCode code = ErrorCode::kSyntax) {
     if (result_.error.empty()) {
       result_.error.offset = pos_;
       result_.error.line = line_;
       result_.error.column = pos_ - line_start_ + 1;
+      result_.error.code = code;
       result_.error.message = std::move(message);
     }
     return false;
@@ -125,6 +128,7 @@ class Core {
   std::size_t line_ = 1;
   std::size_t line_start_ = 0;
   std::size_t depth_ = 0;
+  std::size_t reference_count_ = 0;  ///< entity/char refs this document
   bool root_seen_ = false;
   bool aborted_ = false;
 
@@ -157,6 +161,9 @@ bool Core::scan_name(std::string_view* out) {
 
 bool Core::scan_reference(std::string* out) {
   // Caller consumed '&'.
+  if (++reference_count_ > opt_.max_entity_expansions) {
+    return fail("too many entity references", ErrorCode::kEntityLimit);
+  }
   const std::size_t start = pos_;
   if (consume('#')) {
     std::uint32_t cp = 0;
@@ -364,8 +371,11 @@ bool Core::resolve(std::string_view qname, bool is_attr, ResolvedName* out) {
 }
 
 bool Core::parse_element() {
-  // Caller consumed '<'; current char starts the name.
-  if (depth_ >= opt_.max_depth) return fail("maximum element depth exceeded");
+  // Caller consumed '<'; current char starts the name. The ceiling keeps
+  // the recursion shallow no matter how permissive max_depth is set.
+  if (depth_ >= std::min(opt_.max_depth, ParseOptions::kDepthCeiling)) {
+    return fail("maximum element depth exceeded", ErrorCode::kDepthLimit);
+  }
   std::string_view raw_name;
   if (!scan_name(&raw_name)) return false;
   const std::string_view qname = intern(raw_name);
@@ -391,6 +401,9 @@ bool Core::parse_element() {
     }
     if (probe::branch(sites().attr_more, !had_space)) {
       return fail("expected whitespace before attribute");
+    }
+    if (raw_attrs_.size() >= opt_.max_attributes) {
+      return fail("too many attributes", ErrorCode::kAttrLimit);
     }
     std::string_view attr_name;
     if (!scan_name(&attr_name)) return false;

@@ -1,0 +1,222 @@
+// Differential tests: two implementations of the same contract must
+// agree byte-for-byte on the AONBench corpus.
+//
+//   * SAX vs DOM: the streaming parser's event sequence must equal a
+//     walk of the DOM the tree parser builds from the same input.
+//   * XPath with vs without EvalScratch: the pooled-storage evaluation
+//     path must produce the same values as the allocating one.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xaon/aon/messages.hpp"
+#include "xaon/xml/dom.hpp"
+#include "xaon/xml/parser.hpp"
+#include "xaon/xml/sax.hpp"
+#include "xaon/xpath/xpath.hpp"
+
+namespace xaon {
+namespace {
+
+std::vector<std::string> aonbench_corpus() {
+  std::vector<std::string> docs;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    aon::MessageSpec spec;
+    spec.seed = seed;
+    spec.quantity = static_cast<std::uint32_t>(seed % 3);
+    spec.items = static_cast<std::uint32_t>(1 + seed % 4);
+    spec.valid_for_schema = (seed % 4) != 0;
+    docs.push_back(aon::make_order_message(spec));
+  }
+  return docs;
+}
+
+// --- SAX vs DOM ----------------------------------------------------------
+
+/// Flattens SAX events into a canonical transcript.
+class Transcript : public xml::SaxHandler {
+ public:
+  bool on_start_element(std::string_view qname, std::string_view local,
+                        std::string_view ns_uri, const xml::SaxAttr* attrs,
+                        std::size_t n_attrs) override {
+    out += "<";
+    out.append(qname);
+    out += "|";
+    out.append(local);
+    out += "|";
+    out.append(ns_uri);
+    for (std::size_t i = 0; i < n_attrs; ++i) {
+      out += " @";
+      out.append(attrs[i].qname);
+      out += "|";
+      out.append(attrs[i].ns_uri);
+      out += "=";
+      out.append(attrs[i].value);
+    }
+    out += ">";
+    return true;
+  }
+  bool on_end_element(std::string_view qname, std::string_view,
+                      std::string_view) override {
+    out += "</";
+    out.append(qname);
+    out += ">";
+    return true;
+  }
+  bool on_text(std::string_view text, bool) override {
+    // The DOM may split adjacent text/CDATA into separate nodes exactly
+    // where SAX emits separate events; both sides append raw content,
+    // so any legal segmentation yields the same transcript.
+    out += "T:";
+    out.append(text);
+    out += ";";
+    return true;
+  }
+
+  std::string out;
+};
+
+/// Walks a DOM subtree emitting the same canonical transcript.
+void walk(const xml::Node* node, std::string& out) {
+  if (node->is_text()) {
+    out += "T:";
+    out.append(node->text);
+    out += ";";
+    return;
+  }
+  out += "<";
+  out.append(node->qname);
+  out += "|";
+  out.append(node->local);
+  out += "|";
+  out.append(node->ns_uri);
+  for (const xml::Attr* a = node->first_attr; a != nullptr;
+       a = a->next) {
+    out += " @";
+    out.append(a->qname);
+    out += "|";
+    out.append(a->ns_uri);
+    out += "=";
+    out.append(a->value);
+  }
+  out += ">";
+  for (const xml::Node* c = node->first_child; c != nullptr;
+       c = c->next_sibling) {
+    walk(c, out);
+  }
+  out += "</";
+  out.append(node->qname);
+  out += ">";
+}
+
+TEST(Differential, SaxAndDomAgreeOnAonBenchCorpus) {
+  for (const std::string& doc : aonbench_corpus()) {
+    Transcript sax;
+    const xml::SaxResult sr = xml::parse_sax(doc, sax);
+    ASSERT_TRUE(sr.ok) << sr.error.to_string();
+
+    xml::ParseResult dom = xml::parse(doc);
+    ASSERT_TRUE(dom.ok) << dom.error.to_string();
+    std::string dom_transcript;
+    walk(dom.document.root(), dom_transcript);
+
+    // Text segmentation may differ (SAX flushes around CDATA, the DOM
+    // stores separate nodes) but the canonical form joins fragments in
+    // order, so the transcripts must match exactly.
+    EXPECT_EQ(sax.out, dom_transcript);
+  }
+}
+
+TEST(Differential, SaxAndDomAgreeOnEdgeCases) {
+  const char* docs[] = {
+      "<r/>",
+      "<r a='1' b='&lt;&amp;'/>",
+      "<r>pre<![CDATA[raw <markup> &amp;]]>post</r>",
+      "<a xmlns='urn:d' xmlns:p='urn:p'><p:b p:x='1'>t</p:b></a>",
+      "<r>&#x41;&#66;</r>",
+  };
+  for (const char* doc : docs) {
+    Transcript sax;
+    ASSERT_TRUE(xml::parse_sax(doc, sax).ok) << doc;
+    xml::ParseResult dom = xml::parse(doc);
+    ASSERT_TRUE(dom.ok) << doc;
+    std::string dom_transcript;
+    walk(dom.document.root(), dom_transcript);
+    EXPECT_EQ(sax.out, dom_transcript) << doc;
+  }
+}
+
+// --- XPath scratch parity -------------------------------------------------
+
+TEST(Differential, XPathScratchAndHeapEvaluationAgree) {
+  const char* exprs[] = {
+      "//quantity/text()",
+      "count(//item)",
+      "//item[1]/sku",
+      "string(//order/@id)",
+      "//item[quantity > 1]/price",
+      "sum(//quantity)",
+      "boolean(//note)",
+      "//item/following-sibling::item/sku",
+      "normalize-space(//customer)",
+  };
+  xpath::EvalScratch scratch;
+  for (const std::string& doc : aonbench_corpus()) {
+    xml::ParseResult dom = xml::parse(doc);
+    ASSERT_TRUE(dom.ok);
+    for (const char* expr : exprs) {
+      xpath::CompileError err;
+      const xpath::XPath xp = xpath::XPath::compile(expr, &err);
+      ASSERT_TRUE(xp.valid()) << expr << ": " << err.message;
+
+      const xpath::Value heap = xp.evaluate(dom.document.root());
+      const xpath::Value pooled =
+          xp.evaluate(dom.document.root(), scratch);
+
+      EXPECT_EQ(heap.kind(), pooled.kind()) << expr;
+      EXPECT_EQ(heap.to_string(), pooled.to_string()) << expr;
+      EXPECT_EQ(heap.to_boolean(), pooled.to_boolean()) << expr;
+      // NaN != NaN: compare numbers via their XPath string form above
+      // and only require bitwise-comparable numbers to match here.
+      if (heap.to_number() == heap.to_number()) {
+        EXPECT_EQ(heap.to_number(), pooled.to_number()) << expr;
+      }
+
+      // select() parity: same nodes in the same order.
+      const xpath::NodeSet heap_nodes = xp.select(dom.document.root());
+      const xpath::NodeSet& pooled_nodes =
+          xp.select(dom.document.root(), scratch);
+      ASSERT_EQ(heap_nodes.size(), pooled_nodes.size()) << expr;
+      for (std::size_t i = 0; i < heap_nodes.size(); ++i) {
+        EXPECT_EQ(heap_nodes[i].node, pooled_nodes[i].node) << expr;
+        EXPECT_EQ(heap_nodes[i].attr, pooled_nodes[i].attr) << expr;
+      }
+    }
+  }
+}
+
+TEST(Differential, XPathScratchReuseAcrossDocumentsStaysCorrect) {
+  // The pooled path recycles node-set buffers; a stale buffer from a
+  // previous (larger) document must never leak into a later result.
+  const xpath::XPath xp = xpath::XPath::compile("//item/sku");
+  ASSERT_TRUE(xp.valid());
+  xpath::EvalScratch scratch;
+  const std::vector<std::string> docs = aonbench_corpus();
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const std::string& doc : docs) {
+      xml::ParseResult dom = xml::parse(doc);
+      ASSERT_TRUE(dom.ok);
+      const xpath::NodeSet expected = xp.select(dom.document.root());
+      const xpath::NodeSet& got = xp.select(dom.document.root(), scratch);
+      ASSERT_EQ(expected.size(), got.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i].node, got[i].node);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xaon

@@ -1,0 +1,86 @@
+// Replays the checked-in fuzz corpus (tests/corpus/) through the same
+// entry points the libFuzzer harnesses use (fuzz/targets.hpp), so the
+// hostile inputs run on every ctest invocation even though the gcc
+// toolchain cannot build the fuzzers themselves. Label: `fuzz`.
+//
+// The contract is the fuzzing contract: no crash, no hang, coherent
+// parser state — never a specific parse outcome per input.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../fuzz/targets.hpp"
+
+namespace {
+
+std::vector<std::filesystem::path> corpus_files(const char* subdir) {
+  const std::filesystem::path dir =
+      std::filesystem::path(XAON_CORPUS_DIR) / subdir;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FuzzReplay, XmlCorpus) {
+  const auto files = corpus_files("xml");
+  ASSERT_GE(files.size(), 5u) << "corpus missing — checkout problem?";
+  for (const auto& f : files) {
+    SCOPED_TRACE(f.filename().string());
+    xaon::fuzz::one_xml(slurp(f));
+  }
+}
+
+TEST(FuzzReplay, HttpCorpus) {
+  const auto files = corpus_files("http");
+  ASSERT_GE(files.size(), 5u);
+  for (const auto& f : files) {
+    SCOPED_TRACE(f.filename().string());
+    xaon::fuzz::one_http(slurp(f));
+  }
+}
+
+TEST(FuzzReplay, RegexCorpus) {
+  const auto files = corpus_files("regex");
+  ASSERT_GE(files.size(), 4u);
+  for (const auto& f : files) {
+    SCOPED_TRACE(f.filename().string());
+    xaon::fuzz::one_regex(slurp(f));
+  }
+}
+
+// Byte-level prefixes of every corpus entry: truncation at any point
+// must be handled as gracefully as the full input (the incremental
+// parsers see arbitrary split points in production).
+TEST(FuzzReplay, EveryPrefixOfEveryInputIsHandled) {
+  for (const char* sub : {"xml", "http", "regex"}) {
+    for (const auto& f : corpus_files(sub)) {
+      const std::string data = slurp(f);
+      const std::size_t step = std::max<std::size_t>(1, data.size() / 64);
+      for (std::size_t n = 0; n <= data.size(); n += step) {
+        const std::string_view prefix(data.data(), n);
+        if (sub[0] == 'x') xaon::fuzz::one_xml(prefix);
+        else if (sub[0] == 'h') xaon::fuzz::one_http(prefix);
+        else xaon::fuzz::one_regex(prefix);
+      }
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace

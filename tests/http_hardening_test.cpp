@@ -1,0 +1,115 @@
+// HTTP parser hardening: header count/size limits, body limits, and
+// structured ParseError codes for every rejection class.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xaon/http/parser.hpp"
+
+namespace xaon::http {
+namespace {
+
+TEST(HttpHardening, TooManyHeaders) {
+  RequestParser parser;
+  parser.set_max_header_count(8);
+  std::string msg = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 9; ++i) {
+    msg += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  msg += "\r\n";
+  parser.feed(msg);
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), ParseError::kTooManyHeaders);
+}
+
+TEST(HttpHardening, HeaderCountAtLimitIsAccepted) {
+  RequestParser parser;
+  parser.set_max_header_count(8);
+  std::string msg = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 8; ++i) {
+    msg += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  msg += "\r\n";
+  parser.feed(msg);
+  EXPECT_TRUE(parser.done());
+}
+
+TEST(HttpHardening, HeaderSectionTooLarge) {
+  RequestParser parser;
+  parser.set_max_header_bytes(64);
+  std::string msg = "GET / HTTP/1.1\r\nX-Pad: ";
+  msg.append(100, 'a');
+  msg += "\r\n\r\n";
+  parser.feed(msg);
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), ParseError::kHeadersTooLarge);
+}
+
+TEST(HttpHardening, HeaderLineTooLong) {
+  RequestParser parser;
+  std::string msg = "GET / HTTP/1.1\r\nX-Pad: ";
+  msg.append(70 * 1024, 'a');  // above the 64 KiB line cap
+  msg += "\r\n\r\n";
+  parser.feed(msg);
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), ParseError::kHeaderLineTooLong);
+}
+
+TEST(HttpHardening, OversizedContentLengthRejectedBeforeBody) {
+  RequestParser parser;
+  parser.set_max_body(1024);
+  parser.feed("POST / HTTP/1.1\r\nContent-Length: 2048\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), ParseError::kBodyTooLarge);
+}
+
+TEST(HttpHardening, BadContentLength) {
+  RequestParser parser;
+  parser.feed("POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), ParseError::kBadContentLength);
+}
+
+TEST(HttpHardening, BadChunkSize) {
+  RequestParser parser;
+  parser.feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), ParseError::kBadChunk);
+}
+
+TEST(HttpHardening, MalformedHeaderCode) {
+  RequestParser parser;
+  parser.feed("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), ParseError::kBadHeader);
+}
+
+TEST(HttpHardening, MalformedStartLineCode) {
+  RequestParser parser;
+  parser.feed("NONSENSE\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), ParseError::kBadStartLine);
+}
+
+TEST(HttpHardening, ResetClearsErrorCode) {
+  RequestParser parser;
+  parser.feed("NONSENSE\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  parser.reset();
+  EXPECT_EQ(parser.error_code(), ParseError::kNone);
+  parser.feed("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(parser.done());
+}
+
+TEST(HttpHardening, ErrorNamesAreStable) {
+  EXPECT_STREQ(parse_error_name(ParseError::kNone), "none");
+  EXPECT_STREQ(parse_error_name(ParseError::kTooManyHeaders),
+               "too-many-headers");
+  EXPECT_STREQ(parse_error_name(ParseError::kBodyTooLarge),
+               "body-too-large");
+}
+
+}  // namespace
+}  // namespace xaon::http

@@ -1,0 +1,163 @@
+// Link-level fault injection: corruption, extra delay, reordering —
+// unified with the legacy loss knob under one seeded stream — and TCP
+// recovery over every fault class.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xaon/netsim/link.hpp"
+#include "xaon/netsim/netperf.hpp"
+#include "xaon/netsim/simulator.hpp"
+#include "xaon/netsim/tcp.hpp"
+
+namespace xaon::netsim {
+namespace {
+
+TEST(LinkFaults, CorruptedFramesAreDiscardedNotDelivered) {
+  Simulator sim;
+  LinkConfig cfg = Link::gigabit_ethernet();
+  cfg.faults.corrupt = 0.2;
+  Link link(sim, cfg);
+  int delivered = 0;
+  int discarded = 0;
+  for (int i = 0; i < 2000; ++i) {
+    link.transmit(
+        100, [&](std::uint32_t) { ++delivered; },
+        [&](std::uint32_t) { ++discarded; });
+  }
+  sim.run();
+  EXPECT_EQ(delivered + discarded, 2000);
+  EXPECT_NEAR(static_cast<double>(discarded) / 2000.0, 0.2, 0.04);
+  EXPECT_EQ(link.stats().corrupted_frames,
+            static_cast<std::uint64_t>(discarded));
+  EXPECT_EQ(link.stats().dropped_frames, 0u);
+}
+
+TEST(LinkFaults, LossRateAndDropRateShareOneStream) {
+  // loss_rate is sugar for faults.drop: configuring the same total rate
+  // either way produces the identical drop schedule.
+  auto outcomes = [](double loss_rate, double drop_rate) {
+    Simulator sim;
+    LinkConfig cfg = Link::gigabit_ethernet();
+    cfg.loss_rate = loss_rate;
+    cfg.faults.drop = drop_rate;
+    Link link(sim, cfg);
+    std::vector<int> delivered;
+    for (int i = 0; i < 300; ++i) {
+      link.transmit(
+          64, [&, i](std::uint32_t) { delivered.push_back(i); },
+          [](std::uint32_t) {});
+    }
+    sim.run();
+    return delivered;
+  };
+  EXPECT_EQ(outcomes(0.2, 0.0), outcomes(0.0, 0.2));
+  EXPECT_EQ(outcomes(0.1, 0.1), outcomes(0.0, 0.2));
+}
+
+TEST(LinkFaults, DelayedFramesArriveLateButArrive) {
+  Simulator sim;
+  LinkConfig cfg = Link::gigabit_ethernet();
+  cfg.faults.delay = 1.0;  // every frame
+  cfg.extra_delay_ns = 1'000'000;
+  Link link(sim, cfg);
+  SimTime arrival = 0;
+  link.transmit(100, [&](std::uint32_t) { arrival = sim.now(); });
+  sim.run();
+  EXPECT_EQ(link.stats().delayed_frames, 1u);
+  EXPECT_GE(arrival, cfg.latency_ns + cfg.extra_delay_ns);
+}
+
+TEST(LinkFaults, ReorderedFrameIsOvertaken) {
+  Simulator sim;
+  LinkConfig cfg = Link::gigabit_ethernet();
+  cfg.faults.reorder = 0.5;
+  cfg.reorder_hold_ns = 2'000'000;  // far larger than serialization gap
+  cfg.loss_seed = 3;
+  Link link(sim, cfg);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    link.transmit(100, [&, i](std::uint32_t) { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_GT(link.stats().reordered_frames, 0u);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(LinkFaults, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    LinkConfig cfg = Link::gigabit_ethernet();
+    cfg.faults.drop = 0.05;
+    cfg.faults.corrupt = 0.05;
+    cfg.faults.delay = 0.1;
+    cfg.faults.reorder = 0.1;
+    cfg.loss_seed = 0xC0FFEE;
+    Link link(sim, cfg);
+    std::vector<int> delivered;
+    for (int i = 0; i < 400; ++i) {
+      link.transmit(
+          256, [&, i](std::uint32_t) { delivered.push_back(i); },
+          [](std::uint32_t) {});
+    }
+    sim.run();
+    return std::make_tuple(delivered, link.stats().dropped_frames,
+                           link.stats().corrupted_frames,
+                           link.stats().delayed_frames,
+                           link.stats().reordered_frames);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(LinkFaults, CleanLinkBehavesExactlyAsBefore) {
+  // A link with no fault configuration must not consume randomness or
+  // change behaviour: every frame delivers, nothing is counted.
+  Simulator sim;
+  Link link(sim, Link::gigabit_ethernet());
+  int delivered = 0;
+  for (int i = 0; i < 500; ++i) {
+    link.transmit(100, [&](std::uint32_t) { ++delivered; });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 500);
+  EXPECT_EQ(link.stats().dropped_frames, 0u);
+  EXPECT_EQ(link.stats().corrupted_frames, 0u);
+  EXPECT_EQ(link.fault_injector().stats().faults(), 0u);
+}
+
+TEST(TcpOverFaults, AllBytesDeliveredThroughEveryFaultClass) {
+  Simulator sim;
+  LinkConfig faulty = Link::gigabit_ethernet();
+  faulty.faults.drop = 0.01;
+  faulty.faults.corrupt = 0.01;
+  faulty.faults.delay = 0.05;
+  faulty.faults.reorder = 0.02;
+  Link data(sim, faulty);
+  Link acks(sim, Link::gigabit_ethernet());
+  TcpStream stream(sim, data, acks, TcpConfig{});
+  stream.send(2 * 1024 * 1024);
+  sim.run();
+  EXPECT_EQ(stream.delivered(), 2u * 1024u * 1024u);
+  EXPECT_TRUE(stream.idle());
+  EXPECT_GT(stream.stats().retransmits, 0u);
+  EXPECT_GT(data.stats().corrupted_frames, 0u);
+  EXPECT_GT(data.stats().reordered_frames, 0u);
+}
+
+TEST(TcpOverFaults, CorruptionDegradesGoodputLikeLoss) {
+  auto goodput = [](double corrupt) {
+    LinkConfig cfg = Link::gigabit_ethernet();
+    cfg.faults.corrupt = corrupt;
+    return run_tcp_stream(cfg, TcpConfig{}, 4 * 1024 * 1024).goodput_mbps;
+  };
+  EXPECT_GT(goodput(0.0), goodput(0.02));
+}
+
+}  // namespace
+}  // namespace xaon::netsim

@@ -1,0 +1,200 @@
+// Paper-shape regression suite: the headline orderings and ratios of
+// the paper's figures and tables, asserted as tests so a refactor that
+// silently bends a curve fails CI rather than only the bench binaries.
+// Shapes (orderings/ratios), never absolute values — see EXPERIMENTS.md
+// for measured numbers and documented deviations from the paper.
+
+#include <gtest/gtest.h>
+
+#include "xaon/perf/experiment.hpp"
+
+namespace xaon::perf {
+namespace {
+
+/// Small-but-meaningful config (same as perf_experiment_test): default
+/// per-use-case message counts, single measured replay.
+AonExperimentConfig quick_config() {
+  AonExperimentConfig config;
+  config.messages_per_trace = 0;
+  config.warmup_repeats = 1;
+  config.measure_repeats = 1;
+  return config;
+}
+
+constexpr const char* kPlatforms[] = {"1CPm", "2CPm", "1LPx", "2LPx",
+                                      "2PPx"};
+
+class PaperShapes : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    results_ = new std::vector<WorkloadResults>(
+        run_all_aon_experiments(quick_config()));
+    NetperfExperimentConfig netperf;
+    netperf.measure_repeats = 1;
+    netperf.iterations_per_trace = 12;
+    loopback_ = new WorkloadResults(run_netperf_loopback(netperf));
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    delete loopback_;
+    results_ = nullptr;
+    loopback_ = nullptr;
+  }
+  static const WorkloadResults& sv() { return (*results_)[0]; }
+  static const WorkloadResults& cbr() { return (*results_)[1]; }
+  static const WorkloadResults& fr() { return (*results_)[2]; }
+  static double lb(const char* notation) {
+    return loopback_->find(notation)->throughput;
+  }
+
+  static std::vector<WorkloadResults>* results_;
+  static WorkloadResults* loopback_;
+};
+
+std::vector<WorkloadResults>* PaperShapes::results_ = nullptr;
+WorkloadResults* PaperShapes::loopback_ = nullptr;
+
+// --- Figure 2: netperf loopback ------------------------------------------
+
+TEST_F(PaperShapes, Fig2LoopbackDualPentiumMDegrades) {
+  EXPECT_LT(lb("2CPm"), lb("1CPm"));
+}
+
+TEST_F(PaperShapes, Fig2LoopbackDualXeonCollapses) {
+  // The paper's most dramatic bar: 2PPx loopback falls to a fraction of
+  // 1LPx (8897 -> 2823 Mbps), and the dual hit is far worse than the
+  // shared-L2 PM's.
+  EXPECT_LT(lb("2PPx"), 0.45 * lb("1LPx"));
+  EXPECT_LT(lb("2PPx") / lb("1LPx"), lb("2CPm") / lb("1CPm"));
+}
+
+// --- Figure 3: throughput scaling ----------------------------------------
+
+TEST_F(PaperShapes, Fig3DualCoreScalingRisesWithCpuIntensity) {
+  // 1CPm->2CPm scaling grows from FR (I/O-bound, shared-L2 contention)
+  // to SV (CPU-bound, near-2x).
+  EXPECT_LT(scaling(fr(), "1CPm", "2CPm"), scaling(sv(), "1CPm", "2CPm"));
+}
+
+TEST_F(PaperShapes, Fig3HyperThreadScalingFallsWithCpuIntensity) {
+  // The reverse trend under Hyper-Threading: SV < FR.
+  EXPECT_LT(scaling(sv(), "1LPx", "2LPx"), scaling(fr(), "1LPx", "2LPx"));
+}
+
+TEST_F(PaperShapes, Fig3DualPhysicalXeonScalesNearTwoEverywhere) {
+  for (const auto& w : *results_) {
+    EXPECT_GT(scaling(w, "1LPx", "2PPx"), 1.8) << w.workload;
+    EXPECT_LE(scaling(w, "1LPx", "2PPx"), 2.1) << w.workload;
+  }
+}
+
+// --- Table 4: CPI ----------------------------------------------------------
+
+TEST_F(PaperShapes, Table4CpiOrderingSvBelowCbrBelowFr) {
+  // CPI rises with network-I/O intensity on every platform: SV < CBR <
+  // FR (compute-dense validation retires more work per stall).
+  for (const char* p : kPlatforms) {
+    EXPECT_LT(sv().find(p)->counters.cpi(), cbr().find(p)->counters.cpi())
+        << p;
+    EXPECT_LT(cbr().find(p)->counters.cpi(), fr().find(p)->counters.cpi())
+        << p;
+  }
+}
+
+TEST_F(PaperShapes, Table4HyperThreadingWorstXeonCpi) {
+  for (const auto& w : *results_) {
+    const double xeon = w.find("1LPx")->counters.cpi();
+    EXPECT_GT(w.find("2LPx")->counters.cpi(), xeon) << w.workload;
+    EXPECT_GT(w.find("2LPx")->counters.cpi(),
+              w.find("2PPx")->counters.cpi())
+        << w.workload;
+    EXPECT_LT(w.find("2PPx")->counters.cpi() / xeon, 1.25) << w.workload;
+  }
+}
+
+// --- Figure 4: L2MPI -------------------------------------------------------
+
+TEST_F(PaperShapes, Fig4L2MpiOrderingTracksIoIntensity) {
+  for (const char* p : kPlatforms) {
+    EXPECT_LT(sv().find(p)->counters.l2mpi(),
+              cbr().find(p)->counters.l2mpi())
+        << p;
+    EXPECT_LT(cbr().find(p)->counters.l2mpi(),
+              fr().find(p)->counters.l2mpi())
+        << p;
+  }
+}
+
+TEST_F(PaperShapes, Fig4HyperThreadingLeavesL2MpiNearSingle) {
+  // Paper Fig. 4 reports a small 1LPx->2LPx change; our simulator puts
+  // 2LPx slightly ABOVE 1LPx (two streams share one L2) rather than the
+  // paper's slight decrease — a documented deviation (EXPERIMENTS.md,
+  // Figure 4). The stable shape is: within 20%, never below single.
+  for (const auto& w : *results_) {
+    const double one = w.find("1LPx")->counters.l2mpi();
+    const double ht = w.find("2LPx")->counters.l2mpi();
+    ASSERT_GT(one, 0.0) << w.workload;
+    EXPECT_GE(ht, one * 0.95) << w.workload;
+    EXPECT_LT(ht, one * 1.20) << w.workload;
+  }
+}
+
+TEST_F(PaperShapes, Fig4DualPhysicalKeepsPrivateL2Mpi) {
+  for (const auto& w : *results_) {
+    const double one = w.find("1LPx")->counters.l2mpi();
+    const double two = w.find("2PPx")->counters.l2mpi();
+    EXPECT_NEAR(two / one, 1.0, 0.15) << w.workload;
+  }
+}
+
+// --- Table 5: branch frequency ---------------------------------------------
+
+TEST_F(PaperShapes, Table5PentiumMDoublesXeonBranchFrequency) {
+  // Netburst uop expansion (~1.9x instructions for the same work)
+  // dilutes the Xeon branch fraction to ~half the PM's.
+  for (const auto& w : *results_) {
+    const double ratio = w.find("1CPm")->counters.branch_frequency() /
+                         w.find("1LPx")->counters.branch_frequency();
+    EXPECT_GT(ratio, 1.6) << w.workload;
+    EXPECT_LT(ratio, 2.4) << w.workload;
+  }
+}
+
+TEST_F(PaperShapes, Table5BranchFrequencyStableWithinArchitecture) {
+  for (const auto& w : *results_) {
+    EXPECT_NEAR(w.find("2CPm")->counters.branch_frequency(),
+                w.find("1CPm")->counters.branch_frequency(), 2.0)
+        << w.workload;
+    EXPECT_NEAR(w.find("2LPx")->counters.branch_frequency(),
+                w.find("1LPx")->counters.branch_frequency(), 2.0)
+        << w.workload;
+  }
+}
+
+// --- Table 6: branch misprediction ratio -----------------------------------
+
+TEST_F(PaperShapes, Table6HyperThreadingRaisesBrMpr) {
+  // Shared predictor tables alias under SMT: 2LPx sits above 1LPx on
+  // every workload. (Our increase is +14-19% vs the paper's ~+25% —
+  // documented in EXPERIMENTS.md; the ordering is the stable shape.)
+  for (const auto& w : *results_) {
+    EXPECT_GT(w.find("2LPx")->counters.brmpr(),
+              w.find("1LPx")->counters.brmpr() * 1.05)
+        << w.workload;
+  }
+}
+
+TEST_F(PaperShapes, Table6UnitCountAloneLeavesBrMprUnchanged) {
+  for (const auto& w : *results_) {
+    const double pm1 = w.find("1CPm")->counters.brmpr();
+    const double x1 = w.find("1LPx")->counters.brmpr();
+    EXPECT_LT(pm1, x1) << w.workload;  // PM predicts better
+    EXPECT_NEAR(w.find("2CPm")->counters.brmpr() / pm1, 1.0, 0.15)
+        << w.workload;
+    EXPECT_NEAR(w.find("2PPx")->counters.brmpr() / x1, 1.0, 0.15)
+        << w.workload;
+  }
+}
+
+}  // namespace
+}  // namespace xaon::perf

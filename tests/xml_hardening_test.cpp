@@ -1,0 +1,95 @@
+// Parser hardening limits: nesting depth (including the hard recursion
+// ceiling against 100k-deep documents), per-element attribute count,
+// and the per-document entity-reference budget — each reporting its
+// structured ErrorCode.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xaon/xml/parser.hpp"
+
+namespace xaon::xml {
+namespace {
+
+std::string nested_document(std::size_t depth) {
+  std::string doc;
+  doc.reserve(depth * 7 + 16);
+  for (std::size_t i = 0; i < depth; ++i) doc += "<a>";
+  doc += "x";
+  for (std::size_t i = 0; i < depth; ++i) doc += "</a>";
+  return doc;
+}
+
+TEST(XmlHardening, DepthWithinLimitParses) {
+  auto result = parse(nested_document(100));
+  ASSERT_TRUE(result.ok) << result.error.to_string();
+}
+
+TEST(XmlHardening, DepthBeyondLimitIsStructuredError) {
+  ParseOptions opt;
+  opt.max_depth = 32;
+  auto result = parse(nested_document(33), opt);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error.code, ErrorCode::kDepthLimit);
+}
+
+TEST(XmlHardening, HundredThousandDeepDocumentIsRejectedNotOverflowed) {
+  // Regression: a 100k-deep document must produce a depth-limit error,
+  // never a stack overflow — even when the caller asks for an absurd
+  // max_depth, which the kDepthCeiling clamp neutralizes.
+  const std::string doc = nested_document(100'000);
+  ParseOptions opt;
+  opt.max_depth = static_cast<std::size_t>(-1);
+  auto result = parse(doc, opt);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error.code, ErrorCode::kDepthLimit);
+}
+
+TEST(XmlHardening, DepthCeilingStillAllowsDocumentsUnderIt) {
+  ParseOptions opt;
+  opt.max_depth = static_cast<std::size_t>(-1);
+  auto result = parse(nested_document(ParseOptions::kDepthCeiling), opt);
+  ASSERT_TRUE(result.ok) << result.error.to_string();
+}
+
+TEST(XmlHardening, AttributeCountLimit) {
+  ParseOptions opt;
+  opt.max_attributes = 4;
+  std::string ok_doc = "<r a1='1' a2='2' a3='3' a4='4'/>";
+  ASSERT_TRUE(parse(ok_doc, opt).ok);
+  std::string bad_doc = "<r a1='1' a2='2' a3='3' a4='4' a5='5'/>";
+  auto result = parse(bad_doc, opt);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error.code, ErrorCode::kAttrLimit);
+}
+
+TEST(XmlHardening, EntityReferenceBudget) {
+  ParseOptions opt;
+  opt.max_entity_expansions = 10;
+  std::string ok_doc = "<r>";
+  for (int i = 0; i < 10; ++i) ok_doc += "&amp;";
+  ok_doc += "</r>";
+  ASSERT_TRUE(parse(ok_doc, opt).ok);
+  std::string bad_doc = "<r>";
+  for (int i = 0; i < 11; ++i) bad_doc += "&amp;";
+  bad_doc += "</r>";
+  auto result = parse(bad_doc, opt);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error.code, ErrorCode::kEntityLimit);
+}
+
+TEST(XmlHardening, SyntaxErrorsKeepSyntaxCode) {
+  auto result = parse("<r><unclosed></r>");
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error.code, ErrorCode::kSyntax);
+}
+
+TEST(XmlHardening, SuccessLeavesCodeNone) {
+  auto result = parse("<r/>");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.error.code, ErrorCode::kNone);
+}
+
+}  // namespace
+}  // namespace xaon::xml
