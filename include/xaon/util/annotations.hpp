@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file annotations.hpp
+/// Clang thread-safety-analysis annotations.
+///
+/// Wraps Clang's `-Wthread-safety` attribute set in `XAON_*` macros that
+/// compile to nothing on other compilers, so annotated code stays
+/// portable while Clang builds get static lock-discipline checking:
+/// every access to a `XAON_GUARDED_BY(mu)` member must happen with `mu`
+/// held, and every `XAON_REQUIRES(mu)` function must be called with `mu`
+/// held — violations are compile errors under `-Wthread-safety -Werror`.
+///
+/// The analysis is purely static and intraprocedural; it complements
+/// (not replaces) the TSan tier, which observes real interleavings at
+/// run time. See DESIGN.md §"Static analysis & concurrency contracts".
+///
+/// Naming follows the canonical mutex.h example from the Clang docs:
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && (!defined(SWIG))
+#define XAON_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define XAON_THREAD_ANNOTATION(x)  // no-op off-Clang
+#endif
+
+/// Declares a type to be a capability (e.g. a mutex wrapper class).
+/// `std::mutex` itself is already annotated in libc++; under libstdc++
+/// the analysis still tracks it through std::lock_guard/unique_lock.
+#define XAON_CAPABILITY(x) XAON_THREAD_ANNOTATION(capability(x))
+
+/// Declares that a data member is protected by the given capability.
+#define XAON_GUARDED_BY(x) XAON_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the *pointed-to* data is protected by the capability.
+#define XAON_PT_GUARDED_BY(x) XAON_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held by the caller.
+#define XAON_REQUIRES(...) \
+  XAON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define XAON_ACQUIRE(...) \
+  XAON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define XAON_RELEASE(...) \
+  XAON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define XAON_EXCLUDES(...) \
+  XAON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// RAII type that acquires in its constructor / releases in its
+/// destructor (std::lock_guard-alike wrappers).
+#define XAON_SCOPED_CAPABILITY XAON_THREAD_ANNOTATION(scoped_lockable)
+
+/// Return value is a reference to data guarded by the capability.
+#define XAON_RETURN_CAPABILITY(x) XAON_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: suppress the analysis for one function. Used where the
+/// locking pattern is correct but outside the analysis' vocabulary
+/// (e.g. condition-variable wait predicates invoked under the lock).
+#define XAON_NO_THREAD_SAFETY_ANALYSIS \
+  XAON_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,18 +1,21 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
 /// \file backoff.hpp
-/// Bounded spin-then-yield backoff for the host-mode server's queue
-/// hand-off points.
+/// Bounded spin-then-yield-then-sleep backoff for the host-mode
+/// server's queue hand-off points.
 ///
 /// A raw `std::this_thread::yield()` loop burns a syscall per iteration
 /// and, on SMT parts like the paper's Xeons, starves the sibling thread
 /// of issue slots. The conventional fix is a short PAUSE loop (which
 /// frees the sibling's pipeline resources and cuts the memory-order
 /// mis-speculation cost on spin exit) before falling back to the
-/// scheduler.
+/// scheduler; a stall that outlives the yield budget too (a worker
+/// parked on an idle queue) graduates to a bounded sleep so it stops
+/// consuming its whole timeslice on a core someone else could use.
 
 namespace xaon::util {
 
@@ -28,12 +31,17 @@ inline void cpu_relax() {
 #endif
 }
 
-/// Escalating waiter: spins with cpu_relax() in growing bursts, then
-/// yields to the scheduler once the spin budget is exhausted. reset()
-/// after progress so the next stall starts cheap again.
+/// Escalating waiter with three phases — spin (PAUSE bursts), yield
+/// (scheduler handoff), sleep (bounded OS sleep) — advancing strictly
+/// in that order as the stall persists. reset() after progress so the
+/// next stall starts cheap again.
 class Backoff {
  public:
+  enum class Phase : std::uint8_t { kSpin, kYield, kSleep };
+
   static constexpr std::uint32_t kSpinLimit = 1024;  ///< total pauses before yielding
+  static constexpr std::uint32_t kYieldLimit = 64;   ///< yields before sleeping
+  static constexpr std::chrono::microseconds kSleep{50};  ///< per-sleep bound
 
   void pause() {
     if (spins_ < kSpinLimit) {
@@ -45,13 +53,32 @@ class Backoff {
       spins_ = spins_ == 0 ? 1 : spins_ * 2;
       return;
     }
-    std::this_thread::yield();
+    if (yields_ < kYieldLimit) {
+      ++yields_;
+      std::this_thread::yield();
+      return;
+    }
+    // Bounded (not escalating) sleep: latency on wake stays capped at
+    // kSleep, and the wait loop above remains responsive to shutdown
+    // flags that are only polled between pauses.
+    std::this_thread::sleep_for(kSleep);
   }
 
-  void reset() { spins_ = 0; }
+  /// The phase the *next* pause() call will execute in.
+  Phase phase() const {
+    if (spins_ < kSpinLimit) return Phase::kSpin;
+    if (yields_ < kYieldLimit) return Phase::kYield;
+    return Phase::kSleep;
+  }
+
+  void reset() {
+    spins_ = 0;
+    yields_ = 0;
+  }
 
  private:
   std::uint32_t spins_ = 0;
+  std::uint32_t yields_ = 0;
 };
 
 }  // namespace xaon::util

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "xaon/util/annotations.hpp"
+
+/// \file sync.hpp
+/// Annotation-visible synchronization primitives.
+///
+/// Clang's thread-safety analysis only understands lock acquisition it
+/// can see: libc++ annotates `std::mutex`/`std::lock_guard`, libstdc++
+/// does not — so code locking a raw `std::mutex` through
+/// `std::lock_guard` is invisible to the analysis and every access to a
+/// `XAON_GUARDED_BY` member would be flagged. These thin wrappers carry
+/// the capability attributes themselves, making annotated code
+/// warning-clean under `-Wthread-safety -Werror` on either standard
+/// library (and compiling to exactly the std types' code elsewhere).
+///
+/// Project rule (enforced by `tools/xlint`, rule `mutex-guard`): data
+/// members synchronize with `util::Mutex`, not naked `std::mutex`, and
+/// every file declaring one also declares what it guards via
+/// `XAON_GUARDED_BY`.
+
+namespace xaon::util {
+
+/// Annotated `std::mutex`. Lockable; use `MutexLock` for RAII scopes.
+class XAON_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() XAON_ACQUIRE() { mu_.lock(); }
+  void unlock() XAON_RELEASE() { mu_.unlock(); }
+  bool try_lock() XAON_THREAD_ANNOTATION(try_acquire_capability(true)) {
+    return mu_.try_lock();
+  }
+
+  /// The wrapped mutex, for APIs that need the std type (CondVar).
+  std::mutex& native() { return mu_; }  // xlint: allow(mutex-guard): sanctioned wrapper — this is the annotation-visible mutex type
+
+ private:
+  std::mutex mu_;  // xlint: allow(mutex-guard): sanctioned wrapper — this is the annotation-visible mutex type
+};
+
+/// RAII lock over `Mutex`, analysis-visible (`std::lock_guard` /
+/// `std::unique_lock` equivalent). Exposes the underlying
+/// `std::unique_lock` so `std::condition_variable` can wait on it.
+class XAON_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XAON_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() XAON_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For `cv.wait(lock.native())`; the capability stays held across the
+  /// wait from the analysis' point of view, which matches the semantics
+  /// of a condition-variable wait at every observable program point.
+  std::unique_lock<std::mutex>& native() { return lock_; }  // xlint: allow(mutex-guard): sanctioned wrapper — this is the annotation-visible mutex type
+
+ private:
+  std::unique_lock<std::mutex> lock_;  // xlint: allow(mutex-guard): sanctioned wrapper — this is the annotation-visible mutex type
+};
+
+/// Condition variable paired with `Mutex`. Waits take the `MutexLock`
+/// so the analysis tracks that the lock is held around the predicate
+/// re-check; use explicit `while (!pred) cv.wait(lock);` loops so
+/// predicate member accesses are visibly under the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace xaon::util

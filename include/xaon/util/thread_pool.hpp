@@ -1,18 +1,23 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "xaon/util/annotations.hpp"
+#include "xaon/util/sync.hpp"
 
 /// \file thread_pool.hpp
 /// Fixed-size worker pool mirroring the paper's server threading model:
 /// "XML server application consists of multiple threads, which are kept
 /// equal to the number of (logical) CPUs". The host-mode AON server and
 /// the parallel experiment runner both use it.
+///
+/// Lock discipline is machine-checked: every shared field is
+/// `XAON_GUARDED_BY(mu_)` and Clang's `-Wthread-safety` verifies all
+/// accesses hold the lock (see util/annotations.hpp).
 
 namespace xaon::util {
 
@@ -39,13 +44,24 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;        // signals workers: work or stop
-  std::condition_variable idle_cv_;   // signals wait_idle()
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  /// True when a worker has something to do (work available or told to
+  /// stop). Callers must hold `mu_` — enforced statically.
+  bool wake_worker() const XAON_REQUIRES(mu_) {
+    return stop_ || !queue_.empty();
+  }
+
+  /// True when all submitted work has completed.
+  bool idle() const XAON_REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  }
+
+  Mutex mu_;
+  CondVar cv_;        // signals workers: work or stop
+  CondVar idle_cv_;   // signals wait_idle()
+  std::deque<std::function<void()>> queue_ XAON_GUARDED_BY(mu_);
+  std::size_t active_ XAON_GUARDED_BY(mu_) = 0;
+  bool stop_ XAON_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written once in ctor, then const
 };
 
 /// Runs fn(i) for i in [0, n) across the pool and waits for completion.

@@ -1,0 +1,95 @@
+#!/usr/bin/env sh
+# One-shot gate driver: configure, build, and run every tier this
+# machine's toolchain supports. Tiers whose toolchain prerequisite is
+# missing are skipped with a notice, never silently — the summary at
+# the end lists exactly what ran.
+#
+# Tiers:
+#   unit      default build, full ctest suite (tier-1 gate)
+#   lint      xlint invariant linter + its fixture self-test
+#   model     interleaving model checker (exhaustive + random schedules)
+#   tidy      clang-tidy profile           (skips without clang-tidy)
+#   tsan      ThreadSanitizer rerun of threaded tests (skips if TSan
+#             probe compile fails)
+#   sanitize  ASan+UBSan suite             (skips if ASan probe fails)
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast: unit + lint + model only.
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+jobs=$(nproc 2>/dev/null || echo 2)
+failures=""
+ran=""
+skipped=""
+
+note() { printf '\n== %s ==\n' "$*"; }
+record() { # record <name> <status>
+  if [ "$2" -eq 0 ]; then ran="$ran $1"; else failures="$failures $1"; fi
+}
+
+probe_compiles() { # probe_compiles <extra flags...>
+  tmp=$(mktemp -d)
+  printf 'int main(){return 0;}\n' > "$tmp/p.c"
+  cc "$@" "$tmp/p.c" -o "$tmp/p" >/dev/null 2>&1
+  rc=$?
+  rm -rf "$tmp"
+  return $rc
+}
+
+note "unit (tier-1)"
+cmake --preset default >/dev/null && \
+  cmake --build "$repo_root/build" -j"$jobs" >/dev/null && \
+  ctest --test-dir "$repo_root/build" -j"$jobs" --output-on-failure
+record unit $?
+
+note "lint"
+ctest --test-dir "$repo_root/build" -L lint --output-on-failure
+record lint $?
+
+note "model"
+ctest --test-dir "$repo_root/build" -L model --output-on-failure
+record model $?
+
+if [ "$fast" -eq 1 ]; then
+  note "summary (--fast)"
+else
+  note "tidy"
+  "$repo_root/scripts/run-clang-tidy.sh" "$repo_root/build"
+  record tidy $?
+
+  note "tsan"
+  if probe_compiles -fsanitize=thread; then
+    cmake --preset sanitize-tsan >/dev/null && \
+      cmake --build "$repo_root/build-tsan" -j"$jobs" >/dev/null && \
+      ctest --test-dir "$repo_root/build-tsan" -L tsan -j"$jobs" --output-on-failure
+    record tsan $?
+  else
+    echo "check: toolchain cannot compile -fsanitize=thread; skipping tsan tier."
+    skipped="$skipped tsan"
+  fi
+
+  note "sanitize (ASan+UBSan)"
+  if probe_compiles -fsanitize=address,undefined; then
+    cmake --preset sanitize >/dev/null && \
+      cmake --build "$repo_root/build-sanitize" -j"$jobs" >/dev/null && \
+      ctest --test-dir "$repo_root/build-sanitize" -j"$jobs" --output-on-failure
+    record sanitize $?
+  else
+    echo "check: toolchain cannot compile -fsanitize=address; skipping sanitize tier."
+    skipped="$skipped sanitize"
+  fi
+
+  note "summary"
+fi
+
+[ -n "$ran" ]      && echo "ran:    $ran"
+[ -n "$skipped" ]  && echo "skipped:$skipped"
+if [ -n "$failures" ]; then
+  echo "FAILED:$failures"
+  exit 1
+fi
+echo "all gates passed."

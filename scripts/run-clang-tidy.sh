@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Run clang-tidy over the library sources using the repo's .clang-tidy
+# profile. Degrades to a no-op (exit 0) with a notice when clang-tidy
+# is not installed, so it is safe to wire into CI and `ctest -L tidy`
+# on toolchains that only ship gcc.
+#
+# Usage: scripts/run-clang-tidy.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run-clang-tidy: clang-tidy not found on PATH; skipping (not a failure)."
+  echo "run-clang-tidy: install clang-tidy to enable the 'tidy' tier."
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run-clang-tidy: no compile_commands.json in $build_dir; configuring..."
+  cmake -S "$repo_root" -B "$build_dir" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# Library code only: tests and bench link gtest/benchmark headers whose
+# diagnostics are not ours to fix.
+files=$(find "$repo_root/src" -name '*.cpp' | sort)
+
+status=0
+for f in $files; do
+  clang-tidy -p "$build_dir" --quiet "$f" || status=1
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run-clang-tidy: violations found."
+else
+  echo "run-clang-tidy: clean."
+fi
+exit "$status"

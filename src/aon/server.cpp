@@ -4,9 +4,37 @@
 #include <chrono>
 #include <thread>
 
+#include "xaon/util/annotations.hpp"
 #include "xaon/util/assert.hpp"
 #include "xaon/util/backoff.hpp"
 #include "xaon/util/spsc_queue.hpp"
+
+/// Concurrency contract of run_load (audited for the TSan tier; the
+/// orderings below are load-bearing — each comment states the invariant
+/// the order preserves):
+///
+///   acceptor thread                     worker w
+///   ---------------                     --------
+///   queue[w].push_wait(msg)  ... n×     pop_wait(stop) -> msg ... n×
+///   done.store(true, release)           stop(): done.load(acquire)
+///
+/// * Queue hand-off: SpscQueue's release store of head_ (producer) /
+///   acquire load of head_ (consumer) publishes the message pointer —
+///   see spsc_queue.hpp.
+/// * Shutdown: `done` is written with **release** after the final
+///   push_wait returns, and read with **acquire** in the worker's stop
+///   predicate. A worker that observes done==true therefore also
+///   observes every head_ store sequenced before it, so pop_wait's
+///   `stop() && empty()` exit test can never miss a message: either
+///   empty() sees the push (and the worker pops it), or done was not
+///   yet visible (and the worker keeps waiting). relaxed/relaxed here
+///   would be a genuine lost-wakeup bug, not just a TSan artifact.
+/// * Worker stats: each WorkerState is written by exactly one worker
+///   thread while it runs; the acceptor reads them only after join(),
+///   which provides the happens-before edge. No locks needed — that
+///   single-owner phase discipline is why the fields carry no
+///   XAON_GUARDED_BY (there is no capability; the model checker and
+///   TSan tier cover this file instead).
 
 namespace xaon::aon {
 
@@ -53,6 +81,9 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
       // handles — the steady-state path does not touch the allocator.
       Pipeline::ProcessScratch scratch;
       util::Backoff retry_backoff;
+      // acquire: pairs with the acceptor's release store below — done
+      // observed true implies every earlier push is visible (see the
+      // file-top contract).
       const auto stop = [&done] {
         return done.load(std::memory_order_acquire);
       };
@@ -111,6 +142,9 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
     const std::string* wire = &wires[i % wires.size()];
     target.queue.push_wait(wire);
   }
+  // release: sequenced after the last push_wait, so workers acquiring
+  // done==true cannot observe an emptier queue than the final state —
+  // the `stop() && empty()` exit in pop_wait stays lossless.
   done.store(true, std::memory_order_release);
   for (auto& t : workers) t.join();
   const auto end = std::chrono::steady_clock::now();

@@ -106,7 +106,7 @@ std::size_t MessageParser::feed_impl(std::string_view data,
           } else {
             // End of headers: determine body framing.
             auto te = headers->get("Transfer-Encoding");
-            if (te && util::contains(util::to_lower(std::string(*te)),
+            if (te && util::contains(util::to_lower(std::string(*te)),  // xlint: allow(hot-string): rare Transfer-Encoding branch, not the common-case framing
                                      "chunked")) {
               chunked_ = true;
               state_ = ParseState::kChunkSize;
@@ -266,11 +266,11 @@ bool ResponseParser::parse_start_line(std::string_view line) {
   if (!status || *status < 100 || *status > 599) {
     return fail(ParseError::kBadStartLine, "bad status code");
   }
-  response_.version = std::string(version);
+  response_.version = std::string(version);  // xlint: allow(hot-string): response parse is the client/test side, not the server hot path
   response_.status = static_cast<int>(*status);
   response_.reason = sp2 == std::string_view::npos
-                         ? std::string()
-                         : std::string(line.substr(sp2 + 1));
+                         ? std::string()  // xlint: allow(hot-string): response parse is the client/test side, not the server hot path
+                         : std::string(line.substr(sp2 + 1));  // xlint: allow(hot-string): response parse is the client/test side, not the server hot path
   return true;
 }
 

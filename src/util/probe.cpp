@@ -1,11 +1,12 @@
 #include "xaon/util/probe.hpp"
 
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "xaon/util/annotations.hpp"
 #include "xaon/util/assert.hpp"
+#include "xaon/util/sync.hpp"
 
 namespace xaon::probe {
 
@@ -21,10 +22,11 @@ struct SiteInfo {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string_view, std::uint32_t> by_name;
+  util::Mutex mu;
+  std::unordered_map<std::string_view, std::uint32_t> by_name
+      XAON_GUARDED_BY(mu);
   // deque: growth must not move stored strings — by_name keys view them.
-  std::deque<SiteInfo> sites;
+  std::deque<SiteInfo> sites XAON_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -36,7 +38,7 @@ Registry& registry() {
 
 std::uint32_t register_site(std::string_view name, SiteKind kind) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  util::MutexLock lock(reg.mu);
   if (auto it = reg.by_name.find(name); it != reg.by_name.end()) {
     return it->second;
   }
@@ -49,20 +51,20 @@ std::uint32_t register_site(std::string_view name, SiteKind kind) {
 
 std::uint32_t site_count() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  util::MutexLock lock(reg.mu);
   return static_cast<std::uint32_t>(reg.sites.size());
 }
 
 std::string_view site_name(std::uint32_t id) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  util::MutexLock lock(reg.mu);
   XAON_CHECK(id < reg.sites.size());
   return reg.sites[id].name;
 }
 
 SiteKind site_kind(std::uint32_t id) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  util::MutexLock lock(reg.mu);
   XAON_CHECK(id < reg.sites.size());
   return reg.sites[id].kind;
 }

@@ -61,7 +61,7 @@ void append_text(const Node* n, std::string* out) {
 }  // namespace
 
 std::string Node::text_content() const {
-  if (is_text()) return std::string(text);
+  if (is_text()) return std::string(text);  // xlint: allow(hot-string): heap-returning convenience API by contract
   std::string out;
   append_text(this, &out);
   return out;

@@ -123,7 +123,7 @@ ParseResult parse(std::string_view input, util::Arena& arena,
   return parse_into(std::move(result), input, options, nullptr);
 }
 
-DomParser::DomParser() : scratch_(new detail::ParserScratch()) {}
+DomParser::DomParser() : scratch_(new detail::ParserScratch()) {}  // xlint: allow(hot-new): one-time scratch allocation at parser construction
 DomParser::~DomParser() = default;
 DomParser::DomParser(DomParser&&) noexcept = default;
 DomParser& DomParser::operator=(DomParser&&) noexcept = default;

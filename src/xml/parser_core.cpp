@@ -198,7 +198,7 @@ bool Core::scan_reference(std::string* out) {
   const char c = predefined_entity(name);
   if (probe::branch(sites().entity, c == '\0')) {
     pos_ = start;  // report at the reference
-    return fail("unknown entity '&" + std::string(name) + ";'");
+    return fail("unknown entity '&" + std::string(name) + ";'");  // xlint: allow(hot-string): cold error path — message built only on parse failure
   }
   out->push_back(c);
   return true;
@@ -355,7 +355,7 @@ bool Core::resolve(std::string_view qname, bool is_attr, ResolvedName* out) {
     out->local = qname.substr(colon + 1);
     if (out->prefix.empty() || out->local.empty() ||
         out->local.find(':') != std::string_view::npos) {
-      return fail("malformed QName '" + std::string(qname) + "'");
+      return fail("malformed QName '" + std::string(qname) + "'");  // xlint: allow(hot-string): cold error path — message built only on parse failure
     }
   }
   if (!opt_.namespace_aware) {
@@ -364,7 +364,7 @@ bool Core::resolve(std::string_view qname, bool is_attr, ResolvedName* out) {
   }
   out->ns_uri = lookup_ns(out->prefix, is_attr);
   if (!out->prefix.empty() && out->ns_uri.empty() && out->prefix != "xmlns") {
-    return fail("unbound namespace prefix '" + std::string(out->prefix) +
+    return fail("unbound namespace prefix '" + std::string(out->prefix) +  // xlint: allow(hot-string): cold error path — message built only on parse failure
                 "'");
   }
   return true;
@@ -415,7 +415,7 @@ bool Core::parse_element() {
     const std::string_view name_i = intern(attr_name);
     for (const RawAttr& a : raw_attrs_) {
       if (a.qname == name_i) {
-        return fail("duplicate attribute '" + std::string(name_i) + "'");
+        return fail("duplicate attribute '" + std::string(name_i) + "'");  // xlint: allow(hot-string): cold error path — message built only on parse failure
       }
     }
     // Namespace declarations bind on this element; they are also kept as
@@ -427,7 +427,7 @@ bool Core::parse_element() {
         const std::string_view p = name_i.substr(6);
         if (p.empty()) return fail("empty xmlns prefix");
         if (value.empty()) {
-          return fail("empty namespace URI for prefix '" + std::string(p) +
+          return fail("empty namespace URI for prefix '" + std::string(p) +  // xlint: allow(hot-string): cold error path — message built only on parse failure
                       "'");
         }
         ns_.push_back(NsBinding{p, value, depth_});
@@ -453,8 +453,8 @@ bool Core::parse_element() {
         if (attr_buf_[i].name.local == attr_buf_[j].name.local &&
             attr_buf_[i].name.ns_uri == attr_buf_[j].name.ns_uri) {
           return fail("duplicate attribute '{" +
-                      std::string(attr_buf_[i].name.ns_uri) + "}" +
-                      std::string(attr_buf_[i].name.local) + "'");
+                      std::string(attr_buf_[i].name.ns_uri) + "}" +  // xlint: allow(hot-string): cold error path — message built only on parse failure
+                      std::string(attr_buf_[i].name.local) + "'");  // xlint: allow(hot-string): cold error path — message built only on parse failure
         }
       }
     }
@@ -532,8 +532,8 @@ bool Core::parse_content(const ResolvedName& parent) {
       skip_space();
       if (!consume('>')) return fail("expected '>' in end tag");
       if (probe::branch(sites().close_match, close_name != parent.qname)) {
-        return fail("mismatched end tag '</" + std::string(close_name) +
-                    ">' (expected '</" + std::string(parent.qname) + ">')");
+        return fail("mismatched end tag '</" + std::string(close_name) +  // xlint: allow(hot-string): cold error path — message built only on parse failure
+                    ">' (expected '</" + std::string(parent.qname) + ">')");  // xlint: allow(hot-string): cold error path — message built only on parse failure
       }
       return flush_text();
     }
@@ -582,7 +582,7 @@ bool Core::parse_content(const ResolvedName& parent) {
     if (!parse_element()) return false;
   }
   return fail("unexpected end of input inside element '" +
-              std::string(parent.qname) + "'");
+              std::string(parent.qname) + "'");  // xlint: allow(hot-string): cold error path — message built only on parse failure
 }
 
 bool Core::parse_misc(bool prolog) {

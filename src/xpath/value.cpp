@@ -11,13 +11,13 @@ namespace xaon::xpath {
 
 std::string string_value(const NodeRef& ref) {
   XAON_CHECK(ref.node != nullptr);
-  if (ref.is_attr()) return std::string(ref.attr->value);
+  if (ref.is_attr()) return std::string(ref.attr->value);  // xlint: allow(hot-string): string-valued XPath result — Value owns its string by contract
   switch (ref.node->type) {
     case xml::NodeType::kText:
     case xml::NodeType::kCData:
     case xml::NodeType::kComment:
     case xml::NodeType::kProcessingInstruction:
-      return std::string(ref.node->text);
+      return std::string(ref.node->text);  // xlint: allow(hot-string): string-valued XPath result — Value owns its string by contract
     case xml::NodeType::kElement:
     case xml::NodeType::kDocument:
       return ref.node->text_content();

@@ -64,7 +64,7 @@ class ContentAutomaton::Builder {
     if (nodes_.size() > kMaxStates) {
       if (error != nullptr) {
         *error = "content model too large (occurrence bounds expand past " +
-                 std::to_string(kMaxStates) + " states)";
+                 std::to_string(kMaxStates) + " states)";  // xlint: allow(hot-string): diagnostic built only when schema compilation fails
       }
       return false;
     }
@@ -126,7 +126,7 @@ class ContentAutomaton::Builder {
     if (lo > kMaxExpand || (hi != kUnbounded && hi > kMaxExpand)) {
       if (error != nullptr) {
         *error = "occurrence bound too large to expand (max " +
-                 std::to_string(kMaxExpand) + ")";
+                 std::to_string(kMaxExpand) + ")";  // xlint: allow(hot-string): diagnostic built only when schema compilation fails
       }
       return false;
     }

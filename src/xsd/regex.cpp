@@ -388,7 +388,7 @@ class Compiler {
         set->set(static_cast<unsigned char>(c));
         return true;
       default:
-        return fail(std::string("unsupported escape '\\") + c + "'");
+        return fail(std::string("unsupported escape '\\") + c + "'");  // xlint: allow(hot-string): cold error path — message built only on compile failure
     }
   }
 
@@ -473,7 +473,7 @@ class Compiler {
 
 Regex Regex::compile(std::string_view pattern, std::string* error) {
   auto prog = std::make_shared<Program>();
-  prog->pattern = std::string(pattern);
+  prog->pattern = std::string(pattern);  // xlint: allow(hot-string): pattern copied once at compile time, not per match
   Compiler compiler(pattern, *prog);
   if (!compiler.run(error)) return Regex();
   return Regex(std::move(prog));

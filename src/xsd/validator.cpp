@@ -110,7 +110,7 @@ class Walker {
           if (s->is_element() && s->qname == n->qname) ++pos;
         }
         path += '[';
-        path += std::to_string(pos);
+        path += std::to_string(pos);  // xlint: allow(hot-string): cold error path — message built only on validation failure
         path += ']';
       }
     };
@@ -133,7 +133,7 @@ class Walker {
     for (const xml::Node* c = node->first_child; c != nullptr;
          c = c->next_sibling) {
       if (c->is_element()) {
-        add_error("element '" + std::string(c->qname) +
+        add_error("element '" + std::string(c->qname) +  // xlint: allow(hot-string): cold error path — message built only on validation failure
                   "' not allowed in simple content");
         return;
       }
@@ -159,7 +159,7 @@ class Walker {
         }
       }
       if (use == nullptr) {
-        add_error("undeclared attribute '" + std::string(a->qname) + "'");
+        add_error("undeclared attribute '" + std::string(a->qname) + "'");  // xlint: allow(hot-string): cold error path — message built only on validation failure
         continue;
       }
       if (use->type != nullptr) {
@@ -217,7 +217,7 @@ class Walker {
         for (const xml::Node* c = node->first_child; c != nullptr;
              c = c->next_sibling) {
           if (c->is_element()) {
-            add_error("element '" + std::string(c->qname) +
+            add_error("element '" + std::string(c->qname) +  // xlint: allow(hot-string): cold error path — message built only on validation failure
                       "' not allowed in simple content");
             return;
           }
@@ -285,7 +285,7 @@ class Walker {
     if (!ok) {
       if (error_index < frame.children.size()) {
         add_error("unexpected element '" +
-                      std::string(frame.children[error_index]->qname) +
+                      std::string(frame.children[error_index]->qname) +  // xlint: allow(hot-string): cold error path — message built only on validation failure
                       "' (expected: " + frame.expected + ")",
                   frame.children[error_index]);
       } else {
@@ -311,7 +311,7 @@ class Walker {
 }  // namespace
 
 Validator::Validator(const Schema& schema)
-    : schema_(&schema), scratch_(new detail::WalkScratch()) {}
+    : schema_(&schema), scratch_(new detail::WalkScratch()) {}  // xlint: allow(hot-new): one-time scratch allocation at validator construction
 Validator::~Validator() = default;
 Validator::Validator(Validator&&) noexcept = default;
 Validator& Validator::operator=(Validator&&) noexcept = default;
@@ -327,9 +327,9 @@ ValidationResult Validator::validate(const xml::Document& doc) const {
       schema_->find_global_element(root->ns_uri, root->local);
   if (decl == nullptr) {
     result.errors.push_back(ValidationError{
-        "/" + std::string(root->qname),
+        "/" + std::string(root->qname),  // xlint: allow(hot-string): cold error path — message built only on validation failure
         "no global element declaration for root '" +
-            std::string(root->qname) + "'"});
+            std::string(root->qname) + "'"});  // xlint: allow(hot-string): cold error path — message built only on validation failure
     return result;
   }
   detail::WalkScratch scratch;

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sched.hpp"
+
+// Instrument the queue: every XAON_MODEL_POINT() inside SpscQueue hands
+// control to the model scheduler. This must come before the queue
+// header and before anything that includes it transitively.
+#define XAON_MODEL_POINT() ::xaon::model::yield_point()
+#include "xaon/util/spsc_queue.hpp"
+
+/// Model-checking the SPSC ring (see tests/model/sched.hpp for the
+/// scheduler and DESIGN.md for how this tier complements TSan).
+///
+/// Shadow state: each run keeps a sequentially consistent log of what
+/// *should* be true — the ordered list of successfully pushed values and
+/// the ordered list of popped values. After the schedule completes the
+/// shadow is reconciled with the ring:
+///   * FIFO      — popped is exactly a prefix of pushed_ok;
+///   * no loss   — drain(pops after both threads stop) recovers the rest;
+///   * no dup    — concatenated pops equal pushed_ok exactly once each.
+/// During the schedule an observer probes the ring between every pair of
+/// steps and asserts head/tail only ever step forward by one slot
+/// (monotonicity modulo the ring mask).
+
+namespace xaon::util {
+namespace {
+
+using xaon::model::ExhaustiveExplorer;
+using xaon::model::RandomDecider;
+using xaon::model::Scheduler;
+
+struct RunOutcome {
+  std::vector<int> pushed_ok;
+  std::vector<int> popped;   // consumer thread's pops, in order
+  std::vector<int> drained;  // main-thread drain after the schedule
+  std::string error;         // first invariant violation, empty if none
+};
+
+// One bounded schedule: producer issues `n_push` try_push calls of
+// values base+1.., consumer issues `n_pop` try_pop calls. `pre_advance`
+// rotates head/tail before the threads start so exhaustive runs cross
+// the ring's wrap boundary. All invariant checks are recorded into
+// `out.error` (first failure wins) so the explorer can run thousands of
+// schedules without flooding gtest output.
+void run_try_schedule(const Scheduler::Decider& decider,
+                      std::size_t cap_request, std::size_t pre_advance,
+                      int n_push, int n_pop, RunOutcome& out) {
+  SpscQueue<int> q(cap_request);
+  const std::size_t mask = q.capacity();
+  for (std::size_t i = 0; i < pre_advance; ++i) {
+    if (!q.try_push(0)) {
+      out.error = "pre_advance push failed";
+      return;
+    }
+    if (!q.try_pop().has_value()) {
+      out.error = "pre_advance pop failed";
+      return;
+    }
+  }
+
+  auto fail = [&out](const std::string& what) {
+    if (out.error.empty()) out.error = what;
+  };
+
+  std::vector<Scheduler::ThreadFn> fns;
+  fns.push_back([&q, &out, n_push] {  // producer
+    for (int v = 1; v <= n_push; ++v) {
+      if (q.try_push(v)) out.pushed_ok.push_back(v);
+    }
+  });
+  fns.push_back([&q, &out, n_pop] {  // consumer
+    for (int i = 0; i < n_pop; ++i) {
+      if (std::optional<int> v = q.try_pop()) out.popped.push_back(*v);
+    }
+  });
+
+  // Invariant probe between every pair of scheduler steps: ring indices
+  // only ever advance, one slot at a time, modulo the mask.
+  std::size_t prev_head = q.debug_head();
+  std::size_t prev_tail = q.debug_tail();
+  auto observer = [&] {
+    const std::size_t h = q.debug_head();
+    const std::size_t t = q.debug_tail();
+    if (h != prev_head && h != ((prev_head + 1) & mask)) {
+      fail("head not monotonic");
+    }
+    if (t != prev_tail && t != ((prev_tail + 1) & mask)) {
+      fail("tail not monotonic");
+    }
+    prev_head = h;
+    prev_tail = t;
+  };
+
+  Scheduler sched;
+  const Scheduler::Result res = sched.run(std::move(fns), decider, observer);
+  if (!res.completed) {
+    fail("schedule did not complete: " + res.error);
+    return;
+  }
+
+  while (std::optional<int> v = q.try_pop()) out.drained.push_back(*v);
+  if (!q.empty()) fail("queue non-empty after full drain");
+
+  // Reconcile with the shadow log: consumer pops must be a prefix of
+  // the successful pushes (FIFO, no reordering, no invention), and
+  // pops + drain must recover every pushed value exactly once.
+  std::vector<int> all = out.popped;
+  all.insert(all.end(), out.drained.begin(), out.drained.end());
+  if (all != out.pushed_ok) fail("pops+drain != pushes (lost/dup slot)");
+  for (std::size_t i = 0; i < out.popped.size(); ++i) {
+    if (out.popped[i] != out.pushed_ok[i]) fail("FIFO order violated");
+  }
+}
+
+std::string describe(const RunOutcome& out, std::uint64_t schedule_no) {
+  std::ostringstream os;
+  os << "schedule #" << schedule_no << ": " << out.error << " (pushed_ok=";
+  for (int v : out.pushed_ok) os << v << ' ';
+  os << "popped=";
+  for (int v : out.popped) os << v << ' ';
+  os << "drained=";
+  for (int v : out.drained) os << v << ' ';
+  os << ")";
+  return os.str();
+}
+
+TEST(ModelSpsc, ExhaustiveTwoByTwoCapacityOne) {
+  ExhaustiveExplorer ex;
+  std::uint64_t n = 0;
+  std::string first_error;
+  auto stats = ex.explore([&](const Scheduler::Decider& d) {
+    ++n;
+    if (!first_error.empty()) return;  // already failed; close out fast
+    RunOutcome out;
+    run_try_schedule(d, /*cap_request=*/1, /*pre_advance=*/0,
+                     /*n_push=*/2, /*n_pop=*/2, out);
+    if (!out.error.empty()) first_error = describe(out, n);
+  });
+  EXPECT_EQ(first_error, "");
+  EXPECT_TRUE(stats.exhausted) << "schedule tree not closed out";
+  // Regression guard for the instrumentation itself: if the
+  // XAON_MODEL_POINT hooks stop firing, the tree collapses to a
+  // handful of schedules and this floor catches it.
+  EXPECT_GE(stats.schedules, 500u) << "suspiciously few interleavings";
+}
+
+TEST(ModelSpsc, ExhaustiveWraparoundRingFour) {
+  // Ring of 4 (usable 3), indices pre-advanced to 3 so every schedule
+  // crosses the wrap boundary 3 -> 0 while both threads are live.
+  ExhaustiveExplorer ex;
+  std::uint64_t n = 0;
+  std::string first_error;
+  auto stats = ex.explore([&](const Scheduler::Decider& d) {
+    ++n;
+    if (!first_error.empty()) return;
+    RunOutcome out;
+    run_try_schedule(d, /*cap_request=*/2, /*pre_advance=*/3,
+                     /*n_push=*/2, /*n_pop=*/2, out);
+    if (!out.error.empty()) first_error = describe(out, n);
+  });
+  EXPECT_EQ(first_error, "");
+  EXPECT_TRUE(stats.exhausted);
+  EXPECT_GE(stats.schedules, 500u);
+}
+
+TEST(ModelSpsc, RandomDeepSchedulesThreeByThree) {
+  // 3x3 is beyond exhaustive reach (the tree has millions of paths);
+  // seeded random schedules sample it deeply and reproducibly.
+  for (std::uint64_t seed = 1; seed <= 1500; ++seed) {
+    RandomDecider rnd(seed);
+    Scheduler::Decider d = [&rnd](const std::vector<int>& runnable) {
+      return rnd(runnable);
+    };
+    RunOutcome out;
+    run_try_schedule(d, /*cap_request=*/2, /*pre_advance=*/(seed % 5),
+                     /*n_push=*/3, /*n_pop=*/3, out);
+    ASSERT_EQ(out.error, "") << describe(out, seed);
+  }
+}
+
+// The blocking protocol the AON server actually runs (Server::run_load
+// shutdown): producer push_wait()s every message then publishes `done`
+// with release; consumer pop_wait()s with an acquire stop predicate.
+// Asserts complete in-order delivery — the lost-wakeup bug the
+// done-flag audit in src/aon/server.cpp guards against would surface
+// here as a missing tail of the sequence.
+TEST(ModelSpsc, RandomBlockingTransferWithShutdownFlag) {
+  constexpr int kItems = 8;
+  for (std::size_t cap : {std::size_t{1}, std::size_t{4}}) {
+    for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+      SpscQueue<int> q(cap);
+      std::atomic<bool> done{false};
+      std::vector<int> received;
+
+      std::vector<Scheduler::ThreadFn> fns;
+      fns.push_back([&] {  // acceptor role
+        for (int v = 1; v <= kItems; ++v) q.push_wait(v);
+        xaon::model::yield_point();
+        done.store(true, std::memory_order_release);
+      });
+      fns.push_back([&] {  // worker role
+        const auto stop = [&done] {
+          return done.load(std::memory_order_acquire);
+        };
+        while (std::optional<int> v = q.pop_wait(stop)) {
+          received.push_back(*v);
+        }
+      });
+
+      RandomDecider rnd(seed * 0x9E37u + cap);
+      Scheduler::Decider d = [&rnd](const std::vector<int>& runnable) {
+        return rnd(runnable);
+      };
+      Scheduler sched;
+      const Scheduler::Result res = sched.run(std::move(fns), d);
+      ASSERT_TRUE(res.completed)
+          << "cap=" << cap << " seed=" << seed << ": " << res.error;
+      ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems))
+          << "cap=" << cap << " seed=" << seed;
+      for (int v = 1; v <= kItems; ++v) {
+        ASSERT_EQ(received[static_cast<std::size_t>(v - 1)], v)
+            << "cap=" << cap << " seed=" << seed;
+      }
+      ASSERT_TRUE(q.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xaon::util

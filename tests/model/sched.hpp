@@ -1,0 +1,246 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+/// \file sched.hpp
+/// Deterministic interleaving model checker (a "relacy-lite").
+///
+/// Runs N logical threads (real std::threads, gated so exactly one is
+/// ever unblocked) over instrumented code: every `XAON_MODEL_POINT()`
+/// the code passes hands control back to the scheduler, which picks the
+/// next thread to run per a pluggable *decider*. Execution between two
+/// points is atomic from the other threads' view, so a schedule is a
+/// sequence of decisions and the set of schedules is the set of
+/// interleavings at atomic-operation granularity.
+///
+/// Two deciders are provided:
+///  * `ExhaustiveExplorer` — DFS over the full schedule tree of a
+///    bounded program: every interleaving is executed exactly once and
+///    `Stats::exhausted` certifies the tree was closed out.
+///  * `RandomDecider` — seeded uniform choice, for programs with
+///    unbounded wait loops (push_wait/pop_wait): a uniform pick among
+///    runnable threads makes progress almost surely, and a per-schedule
+///    step budget turns livelock into a test failure.
+///
+/// Because the scheduler serializes all steps through one mutex, each
+/// executed schedule is sequentially consistent — the checker verifies
+/// the *algorithm* (index math, emptiness tests, hand-off protocol,
+/// wraparound) under every ordering of its atomic accesses. What it
+/// proves is disjoint from TSan: TSan flags unsynchronized access pairs
+/// in the one interleaving that actually ran; the checker enumerates
+/// interleavings that production runs may never hit (e.g. an emptiness
+/// check landing exactly between a slot write and its publishing index
+/// store — a lost-slot logic bug that is not a data race and is
+/// structurally invisible to happens-before race detection).
+/// See DESIGN.md §"Static analysis & concurrency contracts".
+
+namespace xaon::model {
+
+class Scheduler;
+
+// Identity of the current logical thread; null/-1 outside a model run,
+// which makes yield_point() a no-op in un-modeled code paths.
+inline thread_local Scheduler* tls_scheduler = nullptr;
+inline thread_local int tls_thread_id = -1;
+
+/// Thrown through a modeled thread to unwind it when the step budget is
+/// exhausted; the modeled code (test-only) is exception-neutral.
+struct ModelAborted {};
+
+class Scheduler {
+ public:
+  using ThreadFn = std::function<void()>;
+  /// Picks an index into `runnable` (logical ids, ascending).
+  using Decider = std::function<std::size_t(const std::vector<int>&)>;
+  /// Invariant probe, run between steps while every thread is parked —
+  /// it may inspect shared state without perturbing the schedule.
+  using Observer = std::function<void()>;
+
+  struct Result {
+    bool completed = false;  ///< all threads ran to the end
+    std::uint64_t steps = 0;
+    std::string error;  ///< non-empty on budget exhaustion (livelock)
+  };
+
+  Result run(std::vector<ThreadFn> fns, const Decider& decider,
+             const Observer& observer = {},
+             std::uint64_t max_steps = 200000) {
+    const int n = static_cast<int>(fns.size());
+    finished_.assign(static_cast<std::size_t>(n), false);
+    active_ = -1;
+    abort_ = false;
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back(
+          [this, i, fn = std::move(fns[static_cast<std::size_t>(i)])] {
+            thread_main(i, fn);
+          });
+    }
+
+    Result res;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      for (;;) {
+        std::vector<int> runnable;
+        for (int i = 0; i < n; ++i) {
+          if (!finished_[static_cast<std::size_t>(i)]) runnable.push_back(i);
+        }
+        if (runnable.empty()) {
+          res.completed = res.error.empty();
+          break;
+        }
+        if (!abort_ && res.steps >= max_steps) {
+          // Unwind every remaining thread via ModelAborted at its next
+          // yield point (threads between their last point and return
+          // simply finish).
+          abort_ = true;
+          res.error = "step budget exhausted (livelock?)";
+        }
+        ++res.steps;
+        std::size_t idx = abort_ ? 0 : decider(runnable);
+        if (idx >= runnable.size()) idx = 0;
+        if (observer && !abort_) {
+          lk.unlock();  // every modeled thread is parked on our gate
+          observer();
+          lk.lock();
+        }
+        active_ = runnable[idx];
+        cv_.notify_all();
+        cv_.wait(lk, [this] { return active_ == -1; });
+      }
+    }
+    for (auto& t : threads) t.join();
+    return res;
+  }
+
+  /// Called from modeled code via XAON_MODEL_POINT(): parks the calling
+  /// thread and returns once the scheduler picks it again.
+  void yield_from_thread() {
+    std::unique_lock<std::mutex> lk(mu_);
+    active_ = -1;
+    cv_.notify_all();
+    cv_.wait(lk, [this] { return active_ == tls_thread_id; });
+    if (abort_) throw ModelAborted{};
+  }
+
+ private:
+  void thread_main(int id, const ThreadFn& fn) {
+    tls_scheduler = this;
+    tls_thread_id = id;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this, id] { return active_ == id; });
+    }
+    try {
+      fn();
+    } catch (const ModelAborted&) {
+    }
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      finished_[static_cast<std::size_t>(id)] = true;
+      active_ = -1;
+      cv_.notify_all();
+    }
+    tls_scheduler = nullptr;
+    tls_thread_id = -1;
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<bool> finished_;  // guarded by mu_
+  int active_ = -1;             // guarded by mu_; -1 = scheduler's turn
+  bool abort_ = false;          // guarded by mu_
+};
+
+/// The hook target for XAON_MODEL_POINT(). No-op on threads not driven
+/// by a Scheduler (so instrumented headers stay usable everywhere).
+inline void yield_point() {
+  if (tls_scheduler != nullptr) tls_scheduler->yield_from_thread();
+}
+
+/// Depth-first enumeration of every schedule of a *bounded* program
+/// (one with no unbounded retry loops). Usage:
+///
+///   ExhaustiveExplorer ex;
+///   auto stats = ex.explore([&](const Scheduler::Decider& d) {
+///     /* build fresh program state, then Scheduler().run(fns, d, obs) */
+///   });
+///   ASSERT_TRUE(stats.exhausted);
+///
+/// Replays are sound because a fixed choice prefix reproduces the exact
+/// runnable sets: the scheduler serializes execution, and the program
+/// under test is deterministic given its schedule.
+class ExhaustiveExplorer {
+ public:
+  struct Stats {
+    std::uint64_t schedules = 0;
+    bool exhausted = false;  ///< the whole tree was explored
+  };
+
+  template <typename Runner>
+  Stats explore(Runner&& runner, std::uint64_t max_schedules = 1000000) {
+    std::vector<std::size_t> prefix;
+    Stats st;
+    for (;;) {
+      choices_.clear();
+      arity_.clear();
+      std::size_t depth = 0;
+      Scheduler::Decider decider =
+          [this, &prefix, &depth](const std::vector<int>& runnable) {
+            std::size_t pick = depth < prefix.size() ? prefix[depth] : 0;
+            if (pick >= runnable.size()) pick = 0;
+            choices_.push_back(pick);
+            arity_.push_back(runnable.size());
+            ++depth;
+            return pick;
+          };
+      runner(decider);
+      ++st.schedules;
+      if (st.schedules >= max_schedules) return st;  // exhausted == false
+      // Backtrack to the deepest decision with an untried alternative.
+      std::size_t k = choices_.size();
+      while (k > 0 && choices_[k - 1] + 1 >= arity_[k - 1]) --k;
+      if (k == 0) {
+        st.exhausted = true;
+        return st;
+      }
+      prefix.assign(choices_.begin(),
+                    choices_.begin() + static_cast<std::ptrdiff_t>(k));
+      ++prefix[k - 1];
+    }
+  }
+
+ private:
+  std::vector<std::size_t> choices_;  // index picked at each decision
+  std::vector<std::size_t> arity_;    // runnable-set size at each decision
+};
+
+/// Seeded uniform schedule choice (xorshift64*): distinct seeds explore
+/// distinct long interleavings of unbounded programs, reproducibly.
+class RandomDecider {
+ public:
+  explicit RandomDecider(std::uint64_t seed)
+      : state_(seed != 0 ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  std::size_t operator()(const std::vector<int>& runnable) {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t r = state_ * 0x2545F4914F6CDD1Dull;
+    return static_cast<std::size_t>((r >> 32) % runnable.size());
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace xaon::model

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+
+#include "xaon/util/backoff.hpp"
+#include "xaon/util/spsc_queue.hpp"
+
+namespace xaon::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Backoff: spin -> yield -> sleep phase transitions at exact boundaries.
+// The spin phase issues exponentially growing PAUSE bursts totalling
+// kSpinLimit pauses across ceil(log2(kSpinLimit)) + 1 calls, then yields
+// kYieldLimit times, then every further call sleeps kSleep.
+
+// Number of pause() calls that exhausts the spin phase: bursts are
+// 1, 1, 2, 4, ..., kSpinLimit/2 (the counter doubles from 1).
+std::size_t spin_phase_calls() {
+  std::size_t calls = 1;  // first call: counter 0 -> 1
+  for (std::uint32_t c = 1; c < Backoff::kSpinLimit; c *= 2) ++calls;
+  return calls;
+}
+
+TEST(Backoff, StartsInSpinPhase) {
+  Backoff b;
+  EXPECT_EQ(b.phase(), Backoff::Phase::kSpin);
+}
+
+TEST(Backoff, SpinToYieldBoundaryIsExact) {
+  Backoff b;
+  const std::size_t calls = spin_phase_calls();
+  for (std::size_t i = 0; i < calls; ++i) {
+    ASSERT_EQ(b.phase(), Backoff::Phase::kSpin) << "call " << i;
+    b.pause();
+  }
+  // The spin budget is now exactly exhausted: next call yields.
+  EXPECT_EQ(b.phase(), Backoff::Phase::kYield);
+}
+
+TEST(Backoff, YieldToSleepBoundaryIsExact) {
+  Backoff b;
+  for (std::size_t i = 0; i < spin_phase_calls(); ++i) b.pause();
+  for (std::uint32_t i = 0; i < Backoff::kYieldLimit; ++i) {
+    ASSERT_EQ(b.phase(), Backoff::Phase::kYield) << "yield " << i;
+    b.pause();
+  }
+  EXPECT_EQ(b.phase(), Backoff::Phase::kSleep);
+}
+
+TEST(Backoff, SleepPhaseIsTerminalUntilReset) {
+  Backoff b;
+  for (std::size_t i = 0; i < spin_phase_calls(); ++i) b.pause();
+  for (std::uint32_t i = 0; i < Backoff::kYieldLimit; ++i) b.pause();
+  ASSERT_EQ(b.phase(), Backoff::Phase::kSleep);
+  const auto t0 = std::chrono::steady_clock::now();
+  b.pause();  // must actually sleep (bounded, >= kSleep)
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(dt, Backoff::kSleep);
+  EXPECT_EQ(b.phase(), Backoff::Phase::kSleep);  // stays terminal
+}
+
+TEST(Backoff, ResetReturnsToSpinFromEveryPhase) {
+  Backoff b;
+  b.pause();
+  b.reset();
+  EXPECT_EQ(b.phase(), Backoff::Phase::kSpin);
+
+  for (std::size_t i = 0; i < spin_phase_calls(); ++i) b.pause();
+  ASSERT_EQ(b.phase(), Backoff::Phase::kYield);
+  b.reset();
+  EXPECT_EQ(b.phase(), Backoff::Phase::kSpin);
+
+  for (std::size_t i = 0; i < spin_phase_calls(); ++i) b.pause();
+  for (std::uint32_t i = 0; i < Backoff::kYieldLimit; ++i) b.pause();
+  ASSERT_EQ(b.phase(), Backoff::Phase::kSleep);
+  b.reset();
+  EXPECT_EQ(b.phase(), Backoff::Phase::kSpin);
+}
+
+// ---------------------------------------------------------------------------
+// SpscQueue wraparound at capacity boundaries: single-threaded edge
+// cases the model checker's two-thread schedules don't isolate
+// (tests/model covers interleavings; this covers the index arithmetic).
+
+TEST(SpscQueueWrap, CapacityRoundsUpToPowerOfTwoMinusOne) {
+  // One slot is kept empty: ring size is the next power of two that
+  // fits capacity+1 elements; usable slots = ring - 1 = capacity().
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 3u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 3u);
+  EXPECT_EQ(SpscQueue<int>(4).capacity(), 7u);
+  EXPECT_EQ(SpscQueue<int>(7).capacity(), 7u);
+  EXPECT_EQ(SpscQueue<int>(8).capacity(), 15u);
+}
+
+TEST(SpscQueueWrap, FillDrainCyclesCrossTheMaskBoundary) {
+  SpscQueue<int> q(3);  // ring of 4, mask 3
+  int next = 0;
+  // 10 full fill/drain cycles walk the indices across the wrap point
+  // (index 3 -> 0) many times; FIFO must hold on every cycle.
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    int pushed = 0;
+    while (q.try_push(next + pushed)) ++pushed;
+    ASSERT_EQ(pushed, 3) << "cycle " << cycle;
+    for (int i = 0; i < pushed; ++i) {
+      auto v = q.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, next + i);
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.try_pop().has_value());
+    next += pushed;
+  }
+}
+
+TEST(SpscQueueWrap, SteadyStateOffsetOneStraddlesWrap) {
+  // Keep exactly one element in flight while the indices walk the whole
+  // ring twice: every relative position of head/tail to the wrap
+  // boundary occurs, including head==0/tail==mask.
+  SpscQueue<int> q(1);  // ring of 2, mask 1 — tightest possible ring
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_push(i));
+    ASSERT_FALSE(q.try_push(i));  // full at every step
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(SpscQueueWrap, FullQueueRejectsExactlyAtCapacity) {
+  SpscQueue<int> q(4);  // ring of 8, usable 7
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(7));
+  // Free exactly one slot: exactly one push fits again.
+  ASSERT_TRUE(q.try_pop().has_value());
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_FALSE(q.try_push(8));
+}
+
+TEST(SpscQueueWrap, DebugIndicesWrapModuloRingSize) {
+  SpscQueue<int> q(1);  // ring of 2
+  EXPECT_EQ(q.debug_head(), 0u);
+  EXPECT_EQ(q.debug_tail(), 0u);
+  q.try_push(1);
+  EXPECT_EQ(q.debug_head(), 1u);
+  q.try_pop();
+  EXPECT_EQ(q.debug_tail(), 1u);
+  q.try_push(2);
+  EXPECT_EQ(q.debug_head(), 0u);  // wrapped
+  q.try_pop();
+  EXPECT_EQ(q.debug_tail(), 0u);  // wrapped
+}
+
+TEST(SpscQueueWrap, PushWaitSucceedsImmediatelyWithFreeSlot) {
+  SpscQueue<int> q(2);
+  q.push_wait(1);  // must not block
+  q.push_wait(2);
+  auto a = q.try_pop();
+  auto b = q.try_pop();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+}
+
+TEST(SpscQueueWrap, PopWaitReturnsNulloptWhenStoppedAndDrained) {
+  SpscQueue<int> q(2);
+  q.try_push(42);
+  // stop() already true: pop_wait must still deliver the queued item
+  // first (drain-before-exit contract), then report end-of-stream.
+  auto stop = [] { return true; };
+  auto v = q.pop_wait(stop);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_FALSE(q.pop_wait(stop).has_value());
+}
+
+}  // namespace
+}  // namespace xaon::util

@@ -1,0 +1,564 @@
+// xlint — the project-invariant linter.
+//
+// A standalone token-level C++ linter (no external dependencies) that
+// walks `include/` + `src/` and enforces xaon's cross-cutting contracts
+// as machine-checked rules instead of code-review folklore:
+//
+//   hot-new      no `new`-expressions / malloc family in hot-path files
+//                (the PR-1 arena contract: the per-message pipeline runs
+//                allocation-free at steady state; placement-new into an
+//                arena is fine and is not flagged)
+//   hot-string   no `std::string(...)` / `std::string{...}` temporaries
+//                or `std::to_string` in hot-path files (each one is a
+//                hidden heap allocation on the message path)
+//   hot-map      no `std::unordered_map/set` or `std::map` in hot-path
+//                files (node-based containers allocate per insert)
+//   mutex-guard  no naked `std::mutex` members — use the
+//                annotation-visible `xaon::util::Mutex` (util/sync.hpp),
+//                and a file declaring a Mutex member must state what it
+//                guards via XAON_GUARDED_BY
+//   iostream     no `#include <iostream>` in the library (include/ or
+//                src/) — iostreams drag static ctors and locale state
+//                into every translation unit; bench/tools/tests stay
+//                free to use it (they are outside the walked roots)
+//   pragma-once  every header opens with `#pragma once` (or a classic
+//                #ifndef/#define include guard)
+//
+// Suppression: a finding is waived when its line, or the line directly
+// above it, carries `// xlint: allow(<rule>)` — make the comment say
+// *why*. Rules fire on comment- and string-stripped text, so the
+// directive itself can never trigger a rule.
+//
+// Self-test: `xlint --self-test <dir>` lints a fixture directory in
+// which every intended violation is marked `// xlint: expect(<rule>)`,
+// and exits nonzero unless the set of findings matches the set of
+// expect markers exactly — each rule must fire precisely where the
+// fixtures say, so linter regressions fail tier-1 like any other bug
+// (ctest `xlint_selftest`, label `lint`).
+//
+// Exit codes: 0 clean, 1 findings/self-test mismatch, 2 usage or I/O.
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>  // xlint: allow(iostream): xlint is a tool, not library code
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;  // path as reported (relative to the lint root)
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    return std::tie(file, line, rule) < std::tie(o.file, o.line, o.rule);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Comment / literal stripping.
+//
+// Produces one "code only" string per line: comments and the *contents*
+// of string/char literals are blanked with spaces (so column positions
+// and line counts survive), while the raw text is kept alongside for
+// directive parsing. Handles //, /*...*/ (multi-line), "...", '...',
+// and R"delim(...)delim" raw strings.
+
+struct StrippedFile {
+  std::vector<std::string> code;  // literals/comments blanked
+  std::vector<std::string> raw;   // original lines
+};
+
+StrippedFile strip(const std::string& text) {
+  StrippedFile out;
+  enum class Mode { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  Mode mode = Mode::kCode;
+  std::string raw_delim;  // for kRaw: the ")delim" terminator
+  std::string cur_raw, cur_code;
+
+  auto flush_line = [&] {
+    out.raw.push_back(cur_raw);
+    out.code.push_back(cur_code);
+    cur_raw.clear();
+    cur_code.clear();
+    if (mode == Mode::kLineComment) mode = Mode::kCode;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      flush_line();
+      continue;
+    }
+    cur_raw.push_back(c);
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (mode) {
+      case Mode::kCode:
+        if (c == '/' && next == '/') {
+          mode = Mode::kLineComment;
+          cur_code.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          mode = Mode::kBlockComment;
+          cur_code.push_back(' ');
+        } else if (c == 'R' && next == '"' &&
+                   (cur_code.empty() ||
+                    !(std::isalnum(static_cast<unsigned char>(cur_code.back())) ||
+                      cur_code.back() == '_'))) {
+          // R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < text.size() && text[j] != '(' && text[j] != '\n') {
+            delim.push_back(text[j]);
+            ++j;
+          }
+          raw_delim = ")" + delim + "\"";
+          mode = Mode::kRaw;
+          cur_code.push_back('R');
+        } else if (c == '"') {
+          mode = Mode::kString;
+          cur_code.push_back('"');
+        } else if (c == '\'') {
+          mode = Mode::kChar;
+          cur_code.push_back('\'');
+        } else {
+          cur_code.push_back(c);
+        }
+        break;
+      case Mode::kLineComment:
+        cur_code.push_back(' ');
+        break;
+      case Mode::kBlockComment:
+        cur_code.push_back(' ');
+        if (c == '*' && next == '/') {
+          // consume the '/'
+          ++i;
+          cur_raw.push_back('/');
+          cur_code.push_back(' ');
+          mode = Mode::kCode;
+        }
+        break;
+      case Mode::kString:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          ++i;
+          cur_raw.push_back(text[i]);
+          cur_code += "  ";
+        } else if (c == '"') {
+          cur_code.push_back('"');
+          mode = Mode::kCode;
+        } else {
+          cur_code.push_back(' ');
+        }
+        break;
+      case Mode::kChar:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          ++i;
+          cur_raw.push_back(text[i]);
+          cur_code += "  ";
+        } else if (c == '\'') {
+          cur_code.push_back('\'');
+          mode = Mode::kCode;
+        } else {
+          cur_code.push_back(' ');
+        }
+        break;
+      case Mode::kRaw:
+        cur_code.push_back(' ');
+        if (c == raw_delim[0] &&
+            text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+            ++i;
+            cur_raw.push_back(text[i]);
+            cur_code.push_back(' ');
+          }
+          mode = Mode::kCode;
+        }
+        break;
+    }
+  }
+  if (!cur_raw.empty() || !cur_code.empty()) flush_line();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tiny token helpers (hand-rolled; std::regex is avoided on purpose —
+// the tool must stay fast enough to run on every ctest invocation).
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Finds `word` in `s` at an identifier boundary, starting at `from`.
+std::size_t find_word(const std::string& s, const std::string& word,
+                      std::size_t from = 0) {
+  for (std::size_t p = s.find(word, from); p != std::string::npos;
+       p = s.find(word, p + 1)) {
+    const bool left_ok = p == 0 || !is_ident(s[p - 1]);
+    const std::size_t end = p + word.size();
+    const bool right_ok = end >= s.size() || !is_ident(s[end]);
+    if (left_ok && right_ok) return p;
+  }
+  return std::string::npos;
+}
+
+char first_nonspace_after(const std::string& s, std::size_t pos) {
+  while (pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[pos]))) {
+    ++pos;
+  }
+  return pos < s.size() ? s[pos] : '\0';
+}
+
+bool line_is_blank_or_comment(const std::string& code_line) {
+  return code_line.find_first_not_of(" \t") == std::string::npos;
+}
+
+// Extracts `xlint: <directive>(<rule>)` markers from a raw line.
+std::vector<std::string> directives(const std::string& raw,
+                                    const std::string& kind) {
+  std::vector<std::string> rules;
+  const std::string key = "xlint: " + kind + "(";
+  for (std::size_t p = raw.find(key); p != std::string::npos;
+       p = raw.find(key, p + 1)) {
+    const std::size_t open = p + key.size();
+    const std::size_t close = raw.find(')', open);
+    if (close != std::string::npos) {
+      rules.push_back(raw.substr(open, close - open));
+    }
+  }
+  return rules;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+
+// Files on the per-message hot path: the PR-1 arena contract ("0 allocs
+// per message at steady state") is enforced here at the token level.
+// Setup-time code in the same subsystems (xpath compile, xsd loader,
+// xml builder/writer, message synthesis) is deliberately NOT listed —
+// it runs once, not per message.
+const char* const kHotPaths[] = {
+    // http: request parse (first stage of process_wire)
+    "src/http/parser.cpp", "src/http/message.cpp",
+    "include/xaon/http/parser.hpp", "include/xaon/http/message.hpp",
+    // xml: tokenize + DOM-into-arena
+    "src/xml/parser.cpp", "src/xml/parser_core.cpp", "src/xml/parser_core.hpp",
+    "src/xml/sax.cpp", "src/xml/dom.cpp", "src/xml/chars.cpp",
+    "include/xaon/xml/parser.hpp", "include/xaon/xml/sax.hpp",
+    "include/xaon/xml/dom.hpp", "include/xaon/xml/chars.hpp",
+    // xpath: compiled-expression evaluation
+    "src/xpath/eval.cpp", "src/xpath/value.cpp",
+    "include/xaon/xpath/xpath.hpp", "include/xaon/xpath/value.hpp",
+    // xsd: validation walk + regex matching
+    "src/xsd/validator.cpp", "src/xsd/regex.cpp",
+    "src/xsd/automaton.cpp", "src/xsd/automaton.hpp",
+    "include/xaon/xsd/validator.hpp", "include/xaon/xsd/regex.hpp",
+    // aon: the pipeline + server worker loop
+    "src/aon/pipeline.cpp", "src/aon/server.cpp",
+    "include/xaon/aon/pipeline.hpp", "include/xaon/aon/server.hpp",
+    // util pieces the hot loop leans on
+    "include/xaon/util/arena.hpp", "include/xaon/util/spsc_queue.hpp",
+    "include/xaon/util/backoff.hpp",
+};
+
+bool is_hot_path(const std::string& rel, bool self_test) {
+  if (self_test) {
+    // Fixtures opt into the hot rules by carrying "hot" in the name.
+    return rel.find("hot") != std::string::npos;
+  }
+  for (const char* p : kHotPaths) {
+    if (rel == p) return true;
+  }
+  return false;
+}
+
+bool is_header(const std::string& rel) {
+  return rel.size() > 4 && (rel.rfind(".hpp") == rel.size() - 4 ||
+                            rel.rfind(".h") == rel.size() - 2);
+}
+
+void rule_hot_alloc(const std::string& rel, const StrippedFile& f,
+                    std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& s = f.code[i];
+    // Preprocessor lines are type/include plumbing (`#include <new>`),
+    // not expressions.
+    if (first_nonspace_after(s, 0) == '#') continue;
+    // `new` expressions; `new (addr) T` placement form is exempt (it
+    // does not allocate — it is exactly how the arena constructs).
+    for (std::size_t p = find_word(s, "new"); p != std::string::npos;
+         p = find_word(s, "new", p + 1)) {
+      if (first_nonspace_after(s, p + 3) != '(') {
+        out.push_back({rel, i + 1, "hot-new",
+                       "new-expression on the hot path (arena contract)"});
+      }
+    }
+    for (const char* fn : {"malloc", "calloc", "realloc", "strdup"}) {
+      const std::size_t p = find_word(s, fn);
+      if (p != std::string::npos &&
+          first_nonspace_after(s, p + std::string(fn).size()) == '(') {
+        out.push_back({rel, i + 1, "hot-new",
+                       std::string(fn) + "() on the hot path"});
+      }
+    }
+    // std::string temporaries / std::to_string: hidden allocations.
+    for (std::size_t p = find_word(s, "string"); p != std::string::npos;
+         p = find_word(s, "string", p + 1)) {
+      const bool qualified = p >= 5 && s.compare(p - 5, 5, "std::") == 0;
+      if (!qualified) continue;
+      const char nxt = first_nonspace_after(s, p + 6);
+      if (nxt == '(' || nxt == '{') {
+        out.push_back({rel, i + 1, "hot-string",
+                       "std::string temporary on the hot path"});
+      }
+    }
+    const std::size_t ts = find_word(s, "to_string");
+    if (ts != std::string::npos && ts >= 5 &&
+        s.compare(ts - 5, 5, "std::") == 0) {
+      out.push_back({rel, i + 1, "hot-string",
+                     "std::to_string allocates on the hot path"});
+    }
+    for (const char* t : {"unordered_map", "unordered_set"}) {
+      if (find_word(s, t) != std::string::npos) {
+        out.push_back({rel, i + 1, "hot-map",
+                       std::string("std::") + t +
+                           " on the hot path (allocates per insert)"});
+      }
+    }
+    const std::size_t mp = find_word(s, "map");
+    if (mp != std::string::npos && mp >= 5 &&
+        s.compare(mp - 5, 5, "std::") == 0) {
+      out.push_back({rel, i + 1, "hot-map",
+                     "std::map on the hot path (allocates per insert)"});
+    }
+  }
+}
+
+void rule_mutex_guard(const std::string& rel, const StrippedFile& f,
+                      std::vector<Finding>& out) {
+  bool has_guarded_by = false;
+  for (const std::string& s : f.code) {
+    if (find_word(s, "XAON_GUARDED_BY") != std::string::npos) {
+      has_guarded_by = true;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& s = f.code[i];
+    if (find_word(s, "mutex") != std::string::npos) {
+      const std::size_t p = find_word(s, "mutex");
+      if (p >= 5 && s.compare(p - 5, 5, "std::") == 0) {
+        out.push_back(
+            {rel, i + 1, "mutex-guard",
+             "naked std::mutex — use xaon::util::Mutex (annotation-visible, "
+             "util/sync.hpp) and XAON_GUARDED_BY"});
+        continue;
+      }
+    }
+    // `Mutex name;` member declaration: the file must say what it
+    // guards. (Token-level heuristic: any Mutex member declaration in a
+    // file with zero XAON_GUARDED_BY annotations is flagged.)
+    const std::size_t m = find_word(s, "Mutex");
+    if (m != std::string::npos && !has_guarded_by) {
+      const std::size_t before = s.find_first_not_of(" \t");
+      const bool decl_like =
+          (before == m || s.compare(before, m - before, "mutable ") == 0 ||
+           (m >= 6 && s.compare(m - 6, 6, "util::") == 0)) &&
+          s.find(';') != std::string::npos && s.find('(') == std::string::npos;
+      if (decl_like) {
+        out.push_back({rel, i + 1, "mutex-guard",
+                       "Mutex member but no XAON_GUARDED_BY in this file — "
+                       "annotate the data it protects"});
+      }
+    }
+  }
+}
+
+void rule_iostream(const std::string& rel, const StrippedFile& f,
+                   std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& s = f.code[i];
+    const std::size_t h = s.find('#');
+    if (h == std::string::npos) continue;
+    if (s.find("include", h) != std::string::npos &&
+        s.find("<iostream>") != std::string::npos) {
+      out.push_back({rel, i + 1, "iostream",
+                     "#include <iostream> in library code (bench/tools/"
+                     "tests only)"});
+    }
+  }
+}
+
+void rule_pragma_once(const std::string& rel, const StrippedFile& f,
+                      std::vector<Finding>& out) {
+  if (!is_header(rel)) return;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (line_is_blank_or_comment(f.code[i])) continue;
+    const std::string& s = f.code[i];
+    const std::size_t h = s.find('#');
+    if (h != std::string::npos) {
+      if (s.find("pragma", h) != std::string::npos &&
+          s.find("once") != std::string::npos) {
+        return;  // #pragma once up top
+      }
+      if (s.find("ifndef", h) != std::string::npos) return;  // classic guard
+    }
+    out.push_back({rel, 1, "pragma-once",
+                   "header does not open with #pragma once or an include "
+                   "guard"});
+    return;
+  }
+  // Empty header: fine.
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+struct LintResult {
+  std::vector<Finding> findings;     // after allow() suppression
+  std::vector<Finding> suppressed;   // waived by allow()
+  std::set<std::pair<std::string, std::size_t>> expect_unmatched;  // self-test
+  std::size_t files = 0;
+};
+
+void lint_file(const fs::path& path, const std::string& rel, bool self_test,
+               LintResult& res,
+               std::vector<std::pair<Finding, bool>>* expect_log) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "xlint: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const StrippedFile f = strip(ss.str());
+  ++res.files;
+
+  std::vector<Finding> raw_findings;
+  if (is_hot_path(rel, self_test)) rule_hot_alloc(rel, f, raw_findings);
+  rule_mutex_guard(rel, f, raw_findings);
+  rule_iostream(rel, f, raw_findings);
+  rule_pragma_once(rel, f, raw_findings);
+
+  // allow() applies to its own line and the line directly below.
+  std::set<std::pair<std::size_t, std::string>> allows;
+  std::map<std::pair<std::size_t, std::string>, bool> expects;  // matched?
+  for (std::size_t i = 0; i < f.raw.size(); ++i) {
+    for (const std::string& r : directives(f.raw[i], "allow")) {
+      allows.insert({i + 1, r});
+      allows.insert({i + 2, r});
+    }
+    for (const std::string& r : directives(f.raw[i], "expect")) {
+      expects[{i + 1, r}] = false;
+    }
+  }
+
+  for (Finding& fd : raw_findings) {
+    if (allows.count({fd.line, fd.rule}) != 0) {
+      res.suppressed.push_back(fd);
+      continue;
+    }
+    if (self_test) {
+      auto it = expects.find({fd.line, fd.rule});
+      if (it != expects.end()) {
+        it->second = true;  // expected violation, fired where promised
+        continue;
+      }
+    }
+    res.findings.push_back(fd);
+  }
+  if (self_test) {
+    for (const auto& [key, matched] : expects) {
+      if (!matched) res.expect_unmatched.insert({rel, key.first});
+      if (expect_log != nullptr) {
+        expect_log->push_back(
+            {Finding{rel, key.first, key.second, ""}, matched});
+      }
+    }
+  }
+}
+
+void walk(const fs::path& root, const fs::path& sub, bool self_test,
+          LintResult& res) {
+  const fs::path dir = sub.empty() ? root : root / sub;
+  if (!fs::exists(dir)) return;
+  std::vector<fs::path> files;
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc" ||
+        ext == ".ipp") {
+      files.push_back(e.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& p : files) {
+    lint_file(p, fs::relative(p, root).generic_string(), self_test, res,
+              nullptr);
+  }
+}
+
+int run_lint(const fs::path& root) {
+  LintResult res;
+  walk(root, "include", false, res);
+  walk(root, "src", false, res);
+  if (res.files == 0) {
+    std::cerr << "xlint: no sources under " << root << "/{include,src}\n";
+    return 2;
+  }
+  std::sort(res.findings.begin(), res.findings.end());
+  for (const Finding& fd : res.findings) {
+    std::cout << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
+              << fd.message << "\n";
+  }
+  std::cout << "xlint: " << res.files << " files, " << res.findings.size()
+            << " violation(s), " << res.suppressed.size()
+            << " allow-listed\n";
+  return res.findings.empty() ? 0 : 1;
+}
+
+int run_self_test(const fs::path& dir) {
+  LintResult res;
+  walk(dir, "", true, res);
+  if (res.files == 0) {
+    std::cerr << "xlint: no fixture sources under " << dir << "\n";
+    return 2;
+  }
+  bool ok = true;
+  for (const Finding& fd : res.findings) {
+    std::cout << "self-test: UNEXPECTED finding " << fd.file << ":" << fd.line
+              << " [" << fd.rule << "] " << fd.message << "\n";
+    ok = false;
+  }
+  for (const auto& [file, line] : res.expect_unmatched) {
+    std::cout << "self-test: rule did NOT fire at " << file << ":" << line
+              << " (expect marker unmatched)\n";
+    ok = false;
+  }
+  std::cout << "xlint self-test: " << res.files << " fixture files, "
+            << (ok ? "all rules fired exactly as expected"
+                   : "MISMATCH — see above")
+            << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--self-test") {
+    return run_self_test(argv[2]);
+  }
+  if (argc == 2) {
+    return run_lint(argv[1]);
+  }
+  std::cerr << "usage: xlint <repo-root> | xlint --self-test <fixture-dir>\n";
+  return 2;
+}

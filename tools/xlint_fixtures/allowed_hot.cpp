@@ -1,0 +1,13 @@
+// xlint fixture ("hot" filename => hot rules active): allow() waives a
+// finding on its own line or the line directly below, so documented
+// cold paths inside hot files stay clean. No expects — this file must
+// produce zero findings.
+
+void setup_time() {
+  // xlint: allow(hot-new): setup-time allocation, runs once per process
+  int* p = new int(1);
+  delete p;
+  auto s = std::string("ok");  // xlint: allow(hot-string): cold error path
+  (void)s;
+  (void)p;
+}

@@ -1,0 +1,30 @@
+// Deliberately-bad xlint fixture ("hot" in the filename opts into the
+// hot-path rules). Every marked line must trip exactly the rule named
+// in its expect marker; unmarked lines must stay silent. This file is
+// linter input only — it is never compiled.
+#include <vector>
+
+void hot_path_offenders() {
+  int* leak = new int[4];            // xlint: expect(hot-new)
+  void* m = malloc(16);              // xlint: expect(hot-new)
+  void* r = realloc(m, 32);          // xlint: expect(hot-new)
+  auto s = std::string("boom");      // xlint: expect(hot-string)
+  auto b = std::string{};            // xlint: expect(hot-string)
+  auto n = std::to_string(42);       // xlint: expect(hot-string)
+  std::unordered_map<int, int> lut;  // xlint: expect(hot-map)
+  std::map<int, int> tree;           // xlint: expect(hot-map)
+  (void)leak;
+  (void)r;
+}
+
+void not_offenders(void* slot) {
+  // Placement-new is the arena idiom — it does not allocate.
+  new (slot) int(7);
+  // Mentions of `new` or std::string("...") inside comments and string
+  // literals must never fire.
+  const char* text = "call new and std::string(x) and malloc(1)";
+  (void)text;
+  // A declaration or reference is not a temporary.
+  std::vector<int> renewal;  // identifier containing 'new'
+  (void)renewal;
+}

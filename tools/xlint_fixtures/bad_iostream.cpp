@@ -1,0 +1,4 @@
+// xlint fixture: <iostream> is banned in library code.
+#include <iostream>  // xlint: expect(iostream)
+
+void shout() { std::cout << "hi\n"; }

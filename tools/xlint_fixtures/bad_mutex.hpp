@@ -1,0 +1,14 @@
+#pragma once
+// xlint fixture: naked std::mutex members and unannotated Mutex members
+// must both be flagged. Never compiled — linter input only.
+#include <mutex>
+
+struct NakedMutex {
+  std::mutex mu;  // xlint: expect(mutex-guard)
+  int data = 0;
+};
+
+struct UnguardedWrapped {
+  util::Mutex mu;  // xlint: expect(mutex-guard)
+  int data = 0;
+};

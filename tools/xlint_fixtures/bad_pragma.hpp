@@ -1,0 +1,4 @@
+// xlint: expect(pragma-once)
+// xlint fixture: a header with neither #pragma once nor an include
+// guard; the finding is reported at line 1.
+struct MissingGuard {};

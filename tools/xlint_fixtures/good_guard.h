@@ -1,0 +1,7 @@
+#ifndef XAON_TOOLS_XLINT_FIXTURES_GOOD_GUARD_H_
+#define XAON_TOOLS_XLINT_FIXTURES_GOOD_GUARD_H_
+// xlint fixture: a classic include guard satisfies pragma-once hygiene.
+
+struct ClassicallyGuarded {};
+
+#endif  // XAON_TOOLS_XLINT_FIXTURES_GOOD_GUARD_H_

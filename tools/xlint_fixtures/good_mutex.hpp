@@ -1,0 +1,8 @@
+#pragma once
+// xlint fixture: the sanctioned pattern — util::Mutex plus
+// XAON_GUARDED_BY stating what it protects — must produce no findings.
+
+struct Guarded {
+  util::Mutex mu;
+  int data XAON_GUARDED_BY(mu) = 0;
+};
