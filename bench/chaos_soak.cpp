@@ -160,14 +160,15 @@ int main(int argc, char** argv) {
     std::printf(
         "{\"bench\": \"chaos_soak\", \"use_case\": \"%s\", "
         "\"workers\": %zu, \"seed\": %llu, \"messages\": %llu, "
-        "\"seconds\": %.4f, \"msgs_per_sec\": %.1f, "
+        "\"seconds\": %.4f, \"wall_seconds\": %.4f, "
+        "\"msgs_per_sec\": %.1f, "
         "\"status_2xx\": %llu, \"status_4xx\": %llu, "
         "\"status_5xx\": %llu, \"forward_retries\": %llu, "
         "\"forward_shed\": %llu, \"forward_failures\": %llu, "
-        "\"failed\": %llu, \"invariant_ok\": %s}\n",
+        "\"failed\": %llu, \"invariant_ok\": %s, \"metrics\": %s}\n",
         name.c_str(), workers, static_cast<unsigned long long>(seed),
         static_cast<unsigned long long>(load.messages), load.seconds,
-        load.messages_per_second(),
+        load.wall_seconds, load.messages_per_second(),
         static_cast<unsigned long long>(load.status_2xx),
         static_cast<unsigned long long>(load.status_4xx),
         static_cast<unsigned long long>(load.status_5xx),
@@ -175,7 +176,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(load.forward_shed),
         static_cast<unsigned long long>(load.forward_failures),
         static_cast<unsigned long long>(load.failed),
-        one_response_each ? "true" : "false");
+        one_response_each ? "true" : "false",
+        load.metrics.to_json().c_str());
   }
 
   table.print();

@@ -79,15 +79,20 @@ int main(int argc, char** argv) {
     table.add_row({name, util::format("%.0f", load.messages_per_second()),
                    util::format("%.2f", allocs_per_msg),
                    util::format("%.1f", bytes_per_msg)});
+    // The MetricsSnapshot rides in the same JSON line: per-stage
+    // p50/p99 latency, per-worker message counts and busy time, the
+    // imbalance ratio and the probe-site registry.
     std::printf(
         "{\"bench\": \"host_throughput\", \"use_case\": \"%s\", "
         "\"workers\": %zu, \"messages\": %llu, \"seconds\": %.4f, "
-        "\"msgs_per_sec\": %.1f, \"allocs_per_msg\": %.2f, "
-        "\"bytes_per_msg\": %.1f, \"failed\": %llu}\n",
+        "\"wall_seconds\": %.4f, \"msgs_per_sec\": %.1f, "
+        "\"allocs_per_msg\": %.2f, \"bytes_per_msg\": %.1f, "
+        "\"failed\": %llu, \"metrics\": %s}\n",
         name.c_str(), workers,
         static_cast<unsigned long long>(load.messages), load.seconds,
-        load.messages_per_second(), allocs_per_msg, bytes_per_msg,
-        static_cast<unsigned long long>(load.failed));
+        load.wall_seconds, load.messages_per_second(), allocs_per_msg,
+        bytes_per_msg, static_cast<unsigned long long>(load.failed),
+        load.metrics.to_json().c_str());
   }
 
   table.print();

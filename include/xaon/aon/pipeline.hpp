@@ -9,6 +9,7 @@
 #include "xaon/http/message.hpp"
 #include "xaon/http/parser.hpp"
 #include "xaon/util/arena.hpp"
+#include "xaon/util/metrics.hpp"
 #include "xaon/xml/parser.hpp"
 #include "xaon/xpath/xpath.hpp"
 #include "xaon/xsd/validator.hpp"
@@ -93,6 +94,13 @@ class Pipeline {
     xpath::EvalScratch xpath;      ///< pooled node-set storage
     std::optional<xsd::Validator> validator;  ///< bound on first SV message
     Outcome outcome;               ///< reused result (reference API)
+
+    /// Optional per-worker metrics sink: when set, process_wire records
+    /// the parse / route / serialize stage spans into it (the forward
+    /// stage is recorded by the caller that owns the downstream send).
+    /// Recording is allocation-free; nullptr costs one branch per stage.
+    util::WorkerMetrics* metrics = nullptr;
+    std::uint64_t stage_start_ns = 0;  ///< internal stage-clock state
   };
 
   /// Processes an already-parsed request.

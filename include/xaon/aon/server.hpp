@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "xaon/aon/pipeline.hpp"
+#include "xaon/util/metrics.hpp"
 
 /// \file server.hpp
 /// Host-mode AON server: the paper's "XML server application" threading
@@ -55,22 +56,86 @@ struct ServerConfig {
   ForwardPolicy forward;
 };
 
+/// Explicit response-class buckets. `add` classifies by HTTP status
+/// range — every status lands in exactly one bucket, so the per-class
+/// sums always reconcile against the message count (`total()`); a 1xx
+/// or 3xx can never silently inflate the 4xx column.
+struct StatusBuckets {
+  std::uint64_t s1xx = 0;
+  std::uint64_t s2xx = 0;
+  std::uint64_t s3xx = 0;
+  std::uint64_t s4xx = 0;
+  std::uint64_t s5xx = 0;
+  std::uint64_t other = 0;  ///< outside 100-599 (a pipeline bug if ever hit)
+
+  void add(int status) {
+    if (status >= 200 && status < 300) {
+      ++s2xx;
+    } else if (status >= 400 && status < 500) {
+      ++s4xx;
+    } else if (status >= 500 && status < 600) {
+      ++s5xx;
+    } else if (status >= 300) {
+      ++s3xx;
+    } else if (status >= 100) {
+      ++s1xx;
+    } else {
+      ++other;
+    }
+  }
+
+  std::uint64_t total() const {
+    return s1xx + s2xx + s3xx + s4xx + s5xx + other;
+  }
+
+  void merge(const StatusBuckets& o) {
+    s1xx += o.s1xx;
+    s2xx += o.s2xx;
+    s3xx += o.s3xx;
+    s4xx += o.s4xx;
+    s5xx += o.s5xx;
+    other += o.other;
+  }
+};
+
 struct LoadResult {
   std::uint64_t messages = 0;
   std::uint64_t routed_primary = 0;
   std::uint64_t routed_error = 0;
   std::uint64_t failed = 0;  ///< HTTP/XML-level rejections
-  double seconds = 0;
 
-  /// Response-class buckets: every accepted message lands in exactly one
-  /// (status_2xx + status_4xx + status_5xx == messages).
+  /// Dispatch-to-drain window: first push to the moment the *last*
+  /// worker drained its queue. Excludes thread creation and join
+  /// teardown, so short runs no longer under-report throughput.
+  /// `messages_per_second()` divides by this window — it answers "how
+  /// fast did the gateway process the stream", not "how long did the
+  /// harness take".
+  double seconds = 0;
+  /// Full harness span (thread creation through join) — the old
+  /// `seconds` semantics, kept for end-to-end accounting.
+  double wall_seconds = 0;
+
+  /// Response-class buckets: every accepted message lands in exactly
+  /// one. The built-in pipeline only emits 2xx/4xx/5xx, so
+  /// status_2xx + status_4xx + status_5xx == messages there; run_load
+  /// asserts the all-bucket reconciliation unconditionally.
+  std::uint64_t status_1xx = 0;  ///< never produced today; counted, not folded
   std::uint64_t status_2xx = 0;
+  std::uint64_t status_3xx = 0;  ///< never produced today; counted, not folded
   std::uint64_t status_4xx = 0;  ///< pipeline rejections (400/403)
   std::uint64_t status_5xx = 0;  ///< downstream degradation (502/503)
+  std::uint64_t status_other = 0;  ///< outside 100-599 (pipeline bug)
   std::uint64_t forward_retries = 0;   ///< extra send attempts
   std::uint64_t forward_failures = 0;  ///< budgets exhausted on kFail (502)
   std::uint64_t forward_shed = 0;      ///< budgets exhausted on kBusy (503)
 
+  /// Merged per-worker / per-stage telemetry: parse / route / serialize
+  /// / forward latency tracks (p50/p90/p99/max), per-worker message and
+  /// busy-time accounting, the imbalance ratio, and the probe-site
+  /// registry — one JSON dump via `metrics.to_json()`.
+  util::MetricsSnapshot metrics;
+
+  /// Throughput over the dispatch-to-drain window (see `seconds`).
   double messages_per_second() const {
     return seconds > 0 ? static_cast<double>(messages) / seconds : 0.0;
   }
@@ -81,7 +146,11 @@ class Server {
   explicit Server(const ServerConfig& config);
 
   /// Processes `total_messages`, cycling through `wires` (pre-built
-  /// request bytes), distributed round-robin across workers. Blocks
+  /// request bytes), distributed round-robin across workers. The wire
+  /// cursor is decoupled from the worker cursor (its phase rotates by
+  /// one each full pass), so every worker sees every wire class even
+  /// when the worker count and wire count share a common factor —
+  /// per-worker cost stays representative for mixed workloads. Blocks
   /// until done.
   LoadResult run_load(const std::vector<std::string>& wires,
                       std::uint64_t total_messages);

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xaon/util/probe.hpp"
+#include "xaon/util/stats.hpp"
+
+/// \file metrics.hpp
+/// The per-worker metrics spine of the host-mode gateway.
+///
+/// The paper's contribution is *measurement*; a gateway that reports a
+/// single wall-clock throughput number cannot be characterized. This
+/// layer records, per worker and per pipeline stage, where each
+/// message's nanoseconds went — with the same discipline as the rest
+/// of the hot path: **zero heap allocation while recording**.
+///
+/// Ownership / merge model (mirrors Server::run_load's WorkerState):
+///  * One `WorkerMetrics` per worker thread, single-writer, fixed
+///    footprint (LogHistogram buckets + a few integers). Recording is
+///    an array index, a bucket increment and an add — no locks, no
+///    atomics, no allocator.
+///  * After join() the acceptor merges every worker's block into one
+///    `MetricsSnapshot` (allocation there is fine — it happens once,
+///    off the message path).
+///  * The snapshot is the single dump path: per-stage quantiles,
+///    per-worker message/busy accounting, the imbalance ratio, and the
+///    `util::probe` site registry all export through one
+///    `MetricsSnapshot::to_json()` in the bench JSON-line convention.
+///
+/// Overhead budget (DESIGN.md §"Observability"): at most six
+/// steady-clock reads per message (~20-30 ns each on x86), well under
+/// 1% of the cheapest use case's per-message cost; `tests/
+/// aon_alloc_test.cpp` holds the steady-state allocation count at zero
+/// with metrics enabled.
+
+namespace xaon::util {
+
+/// Nanosecond timestamp for stage spans (steady clock, monotonic).
+inline std::uint64_t metrics_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The per-message pipeline stages the gateway distinguishes.
+enum class Stage : std::uint8_t {
+  kParse = 0,      ///< HTTP wire -> request (first stage of process_wire)
+  kRoute = 1,      ///< use-case work: XML parse + XPath route / validate
+  kSerialize = 2,  ///< outbound wire serialization (forward_into)
+  kForward = 3,    ///< downstream send incl. retries (server-side)
+};
+inline constexpr std::size_t kStageCount = 4;
+
+/// Stable lower-case stage name ("parse", "route", "serialize",
+/// "forward") — these are the metric names in the JSON dump.
+std::string_view stage_name(Stage stage);
+
+/// Monotonic event counter. Trivial by design: the point is a common
+/// vocabulary for the snapshot dump, not clever encoding.
+struct Counter {
+  std::uint64_t value = 0;
+  void inc(std::uint64_t n = 1) { value += n; }
+  void merge(const Counter& other) { value += other.value; }
+};
+
+/// Last-value gauge with a high-water mark (e.g. queue depth samples).
+struct Gauge {
+  std::int64_t value = 0;
+  std::int64_t high = 0;
+  void set(std::int64_t v) {
+    value = v;
+    if (v > high) high = v;
+  }
+  void merge(const Gauge& other) {
+    value += other.value;
+    if (other.high > high) high = other.high;
+  }
+};
+
+/// Fixed-footprint latency distribution: a power-of-two LogHistogram
+/// for quantiles plus exact count/min/max/sum. `add` never allocates.
+class LatencyTrack {
+ public:
+  void add(std::uint64_t ns) {
+    hist_.add(ns);
+    sum_ += ns;
+    if (count_ == 0 || ns < min_) min_ = ns;
+    if (ns > max_) max_ = ns;
+    ++count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return min_; }
+  /// Exact observed maximum (the histogram alone would round it up to
+  /// its bucket's upper bound).
+  std::uint64_t max() const { return max_; }
+  std::uint64_t sum() const { return sum_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  /// Bucketed quantile (upper bound of the bucket holding the q-th
+  /// sample; within 2x of the exact value — see LogHistogram).
+  std::uint64_t quantile(double q) const { return hist_.quantile(q); }
+  const LogHistogram& histogram() const { return hist_; }
+
+  void merge(const LatencyTrack& other);
+
+ private:
+  LogHistogram hist_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// One worker thread's metrics block. Single writer (the owning
+/// worker); readers merge after join. Every record_* is allocation-free
+/// and lock-free — safe inside the zero-alloc steady-state contract.
+class WorkerMetrics {
+ public:
+  /// One pipeline stage's span for the current message.
+  void record_stage(Stage stage, std::uint64_t ns) {
+    stage_[static_cast<std::size_t>(stage)].add(ns);
+  }
+
+  /// The whole message's span (dequeue -> response decided, including
+  /// the forward). Also accumulates the worker's busy time.
+  void record_message(std::uint64_t ns) { message_.add(ns); }
+
+  const LatencyTrack& stage(Stage s) const {
+    return stage_[static_cast<std::size_t>(s)];
+  }
+  const LatencyTrack& message() const { return message_; }
+  std::uint64_t messages() const { return message_.count(); }
+  /// Seconds this worker spent processing (sum of message spans —
+  /// excludes queue-wait idle time).
+  double busy_seconds() const {
+    return static_cast<double>(message_.sum()) * 1e-9;
+  }
+
+ private:
+  LatencyTrack stage_[kStageCount];
+  LatencyTrack message_;
+};
+
+/// Merged view over every worker's metrics, produced after join.
+/// This is the one dump path: stages, message distribution, per-worker
+/// balance, and the probe-site registry all export through to_json().
+struct MetricsSnapshot {
+  struct Worker {
+    std::uint64_t messages = 0;
+    double busy_seconds = 0.0;
+  };
+  struct ProbeSite {
+    std::string_view name;  ///< views the process-global probe registry
+    probe::SiteKind kind = probe::SiteKind::kData;
+  };
+
+  LatencyTrack stages[kStageCount];
+  LatencyTrack message;
+  std::vector<Worker> workers;
+  std::vector<ProbeSite> probes;
+
+  /// Folds one worker's block in (order of calls = worker index).
+  void add_worker(const WorkerMetrics& w);
+
+  /// Snapshots the util::probe site registry so probes and metrics
+  /// share one registry and one dump path.
+  void capture_probe_sites();
+
+  std::uint64_t messages_total() const;
+  double busy_seconds_total() const;
+
+  /// Max-over-mean of per-worker message counts: 1.0 = perfectly
+  /// balanced, n_workers = one worker took everything. 0 when empty.
+  double imbalance() const;
+
+  /// One JSON object (no trailing newline) in the bench JSON-line
+  /// convention: {"stages":{"parse":{...},...},"message":{...},
+  /// "workers":[...],"imbalance":...,"probes":[...]}. Embed it as a
+  /// value in a bench line: printf("... \"metrics\": %s}", ...).
+  std::string to_json() const;
+};
+
+}  // namespace xaon::util

@@ -48,6 +48,9 @@ class LogHistogram {
   /// bucket containing the q-th sample. 0 when empty.
   std::uint64_t quantile(double q) const;
 
+  /// Bucket-wise sum of another histogram (per-worker merge at join).
+  void merge(const LogHistogram& other);
+
   static constexpr int kBuckets = 64;
   std::uint64_t bucket(int i) const { return buckets_[i]; }
 

@@ -8,6 +8,8 @@
 #   unit      default build, full ctest suite (tier-1 gate)
 #   lint      xlint invariant linter + its fixture self-test
 #   model     interleaving model checker (exhaustive + random schedules)
+#   metrics   per-worker metrics spine: zero-alloc recording + run_load
+#             stage/balance accounting
 #   tidy      clang-tidy profile           (skips without clang-tidy)
 #   tsan      ThreadSanitizer rerun of threaded tests (skips if TSan
 #             probe compile fails)
@@ -53,6 +55,10 @@ record lint $?
 note "model"
 ctest --test-dir "$repo_root/build" -L model --output-on-failure
 record model $?
+
+note "metrics"
+ctest --test-dir "$repo_root/build" -L metrics --output-on-failure
+record metrics $?
 
 if [ "$fast" -eq 1 ]; then
   note "summary (--fast)"

@@ -11,6 +11,27 @@
 
 namespace xaon::aon {
 
+namespace {
+
+// Stage clock over ProcessScratch::stage_start_ns: mark opens a span,
+// record closes it into the worker's metrics block and opens the next.
+// Both are single branches when no metrics sink is attached, and
+// allocation-free always (the steady-state contract of §5b holds with
+// metrics enabled).
+inline void stage_mark(Pipeline::ProcessScratch& state) {
+  if (state.metrics != nullptr) state.stage_start_ns = util::metrics_now_ns();
+}
+
+inline void stage_record(Pipeline::ProcessScratch& state, util::Stage stage) {
+  if (state.metrics != nullptr) {
+    const std::uint64_t now = util::metrics_now_ns();
+    state.metrics->record_stage(stage, now - state.stage_start_ns);
+    state.stage_start_ns = now;
+  }
+}
+
+}  // namespace
+
 std::string_view use_case_notation(UseCase use_case) {
   switch (use_case) {
     case UseCase::kForwardRequest: return "FR";
@@ -81,6 +102,9 @@ Pipeline::Outcome& Pipeline::forward_into(const http::Request& request,
                                           ProcessScratch& state,
                                           std::string_view extra_name,
                                           std::string_view extra_value) const {
+  // The routing decision is made the moment forward_into is entered;
+  // everything below is outbound serialization.
+  stage_record(state, util::Stage::kRoute);
   Outcome& out = state.outcome;
   out.reset();
   out.ok = true;
@@ -139,11 +163,16 @@ Pipeline::Outcome& Pipeline::forward_into(const http::Request& request,
   out.response.status = 200;
   out.response.headers.add("Content-Type", "text/plain");
   out.response.body.assign(primary ? "routed" : "routed-error");
+  stage_record(state, util::Stage::kSerialize);
   return out;
 }
 
 Pipeline::Outcome& Pipeline::process_into(const http::Request& request,
                                           ProcessScratch& state) const {
+  // Opens the route-or-validate span; forward_into (or an error return)
+  // closes it. When called via process_wire_into the clock was already
+  // advanced past the parse stage — re-stamping costs one clock read.
+  stage_mark(state);
   switch (use_case_) {
     case UseCase::kForwardRequest:
       // No content processing at all: the network-I/O extreme.
@@ -160,6 +189,7 @@ Pipeline::Outcome& Pipeline::process_into(const http::Request& request,
         out.response.body.assign("XML parse error: ");
         out.response.body += state.parsed.error.to_string();
         out.detail.assign(out.response.body);
+        stage_record(state, util::Stage::kRoute);
         return out;
       }
       // Paper: route primary iff //quantity/text() exists and equals "1".
@@ -184,6 +214,7 @@ Pipeline::Outcome& Pipeline::process_into(const http::Request& request,
         out.response.body.assign("XML parse error: ");
         out.response.body += state.parsed.error.to_string();
         out.detail.assign(out.response.body);
+        stage_record(state, util::Stage::kRoute);
         return out;
       }
       // The order payload is the first element child of soap:Body (or
@@ -263,6 +294,7 @@ Pipeline::Outcome& Pipeline::process_into(const http::Request& request,
 
 Pipeline::Outcome& Pipeline::process_wire_into(std::string_view wire,
                                                ProcessScratch& state) const {
+  stage_mark(state);
   state.parser.reset();
   const std::size_t consumed = state.parser.feed(wire);
   if (!state.parser.done() || consumed != wire.size()) {
@@ -272,8 +304,10 @@ Pipeline::Outcome& Pipeline::process_wire_into(std::string_view wire,
     out.response.reason.assign("Bad Request");
     out.detail.assign(state.parser.failed() ? state.parser.error()
                                             : "incomplete request");
+    stage_record(state, util::Stage::kParse);
     return out;
   }
+  stage_record(state, util::Stage::kParse);
   return process_into(state.parser.request(), state);
 }
 
@@ -300,6 +334,7 @@ Pipeline::Outcome Pipeline::process_wire(std::string_view wire,
                                          ProcessScratch* scratch) const {
   ProcessScratch local;
   ProcessScratch& state = scratch != nullptr ? *scratch : local;
+  stage_mark(state);
   state.parser.reset();
   const std::size_t consumed = state.parser.feed(wire);
   if (!state.parser.done() || consumed != wire.size()) {
@@ -309,8 +344,10 @@ Pipeline::Outcome Pipeline::process_wire(std::string_view wire,
     out.response.reason.assign("Bad Request");
     out.detail.assign(state.parser.failed() ? state.parser.error()
                                             : "incomplete request");
+    stage_record(state, util::Stage::kParse);
     return std::move(out);
   }
+  stage_record(state, util::Stage::kParse);
   // Unlike the reference-returning variant, the parsed request is moved
   // into the scratch so callers (e.g. trace capture) can keep it alive.
   state.request = state.parser.take_request();

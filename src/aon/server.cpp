@@ -7,6 +7,7 @@
 #include "xaon/util/annotations.hpp"
 #include "xaon/util/assert.hpp"
 #include "xaon/util/backoff.hpp"
+#include "xaon/util/metrics.hpp"
 #include "xaon/util/spsc_queue.hpp"
 
 /// Concurrency contract of run_load (audited for the TSan tier; the
@@ -55,12 +56,14 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
     std::uint64_t primary = 0;
     std::uint64_t error = 0;
     std::uint64_t failed = 0;
-    std::uint64_t s2xx = 0;
-    std::uint64_t s4xx = 0;
-    std::uint64_t s5xx = 0;
+    StatusBuckets status;
     std::uint64_t retries = 0;
     std::uint64_t fwd_failures = 0;
     std::uint64_t fwd_shed = 0;
+    util::WorkerMetrics metrics;
+    /// When this worker drained its queue and exited — read after
+    /// join(); max over workers closes the dispatch-to-drain window.
+    std::uint64_t finish_ns = 0;
   };
 
   std::vector<std::unique_ptr<WorkerState>> states;
@@ -80,6 +83,7 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
       // and the outcome are reused across every message this worker
       // handles — the steady-state path does not touch the allocator.
       Pipeline::ProcessScratch scratch;
+      scratch.metrics = &state->metrics;  // parse/route/serialize spans
       util::Backoff retry_backoff;
       // acquire: pairs with the acceptor's release store below — done
       // observed true implies every earlier push is visible (see the
@@ -88,6 +92,7 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
         return done.load(std::memory_order_acquire);
       };
       while (auto item = state->queue.pop_wait(stop)) {
+        const std::uint64_t msg_start = util::metrics_now_ns();
         const Pipeline::Outcome& outcome =
             pipeline_.process_wire(**item, scratch);
         ++state->processed;
@@ -104,6 +109,7 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
         // a dead downstream never wedges the queue.
         int status = outcome.response.status;
         if (outcome.ok && config_.downstream != nullptr) {
+          const std::uint64_t fwd_start = util::metrics_now_ns();
           SendStatus verdict = SendStatus::kAck;
           retry_backoff.reset();
           for (std::size_t attempt = 0;; ++attempt) {
@@ -123,24 +129,42 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
             status = 502;
             ++state->fwd_failures;
           }
+          state->metrics.record_stage(util::Stage::kForward,
+                                      util::metrics_now_ns() - fwd_start);
         }
-        if (status >= 200 && status < 300) {
-          ++state->s2xx;
-        } else if (status >= 500) {
-          ++state->s5xx;
-        } else {
-          ++state->s4xx;
-        }
+        // Explicit classification: a 1xx/3xx (or out-of-range) status
+        // lands in its own bucket, never silently in 4xx.
+        state->status.add(status);
+        state->metrics.record_message(util::metrics_now_ns() - msg_start);
       }
+      state->finish_ns = util::metrics_now_ns();
     });
   }
 
   // Dispatch round-robin (the acceptor thread role); push_wait spins
   // with bounded pause-backoff when a worker's queue is full.
+  //
+  // The wire cursor is deliberately NOT derived from the message index:
+  // with `wires[i % wires.size()]` and `states[i % n_workers]`, any
+  // common factor of the two counts locks each worker onto a fixed
+  // subset of wires (worker w only ever sees indices ≡ w modulo the
+  // gcd), skewing per-worker cost for mixed workloads. Instead the
+  // cursor walks every wire once per pass and the pass phase rotates by
+  // one each wraparound, so the worker/wire alignment drifts through
+  // every residue — each worker observes every wire class while each
+  // pass still covers each wire exactly once (uniform mix).
+  const std::uint64_t dispatch_start = util::metrics_now_ns();
+  std::size_t wire_pos = 0;    // position within the current pass
+  std::size_t wire_phase = 0;  // rotation applied to this pass
   for (std::uint64_t i = 0; i < total_messages; ++i) {
     WorkerState& target = *states[i % n_workers];
-    const std::string* wire = &wires[i % wires.size()];
-    target.queue.push_wait(wire);
+    std::size_t wire_idx = wire_pos + wire_phase;
+    if (wire_idx >= wires.size()) wire_idx -= wires.size();
+    target.queue.push_wait(&wires[wire_idx]);
+    if (++wire_pos == wires.size()) {
+      wire_pos = 0;
+      if (++wire_phase == wires.size()) wire_phase = 0;
+    }
   }
   // release: sequenced after the last push_wait, so workers acquiring
   // done==true cannot observe an emptier queue than the final state —
@@ -150,20 +174,38 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
   const auto end = std::chrono::steady_clock::now();
 
   LoadResult result;
+  std::uint64_t last_drain = dispatch_start;
   for (const auto& s : states) {
     result.messages += s->processed;
     result.routed_primary += s->primary;
     result.routed_error += s->error;
     result.failed += s->failed;
-    result.status_2xx += s->s2xx;
-    result.status_4xx += s->s4xx;
-    result.status_5xx += s->s5xx;
+    result.status_1xx += s->status.s1xx;
+    result.status_2xx += s->status.s2xx;
+    result.status_3xx += s->status.s3xx;
+    result.status_4xx += s->status.s4xx;
+    result.status_5xx += s->status.s5xx;
+    result.status_other += s->status.other;
     result.forward_retries += s->retries;
     result.forward_failures += s->fwd_failures;
     result.forward_shed += s->fwd_shed;
+    result.metrics.add_worker(s->metrics);
+    if (s->finish_ns > last_drain) last_drain = s->finish_ns;
   }
+  result.metrics.capture_probe_sites();
+  // Every processed message lands in exactly one status bucket — the
+  // explicit classification above makes this reconcile by construction;
+  // the check guards against a future bucket being added but not merged.
+  XAON_CHECK(result.status_1xx + result.status_2xx + result.status_3xx +
+                 result.status_4xx + result.status_5xx +
+                 result.status_other ==
+             result.messages);
+  // Dispatch-to-drain window (throughput denominator) vs. full harness
+  // span: see LoadResult. finish_ns is written by each worker before
+  // join(), which provides the happens-before edge for reading it here.
   result.seconds =
-      std::chrono::duration<double>(end - start).count();
+      static_cast<double>(last_drain - dispatch_start) * 1e-9;
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
   return result;
 }
 

@@ -1,0 +1,126 @@
+#include "xaon/util/metrics.hpp"
+
+#include <algorithm>
+
+#include "xaon/util/str.hpp"
+
+// Everything in this file runs off the message path (merge after join,
+// JSON dump) — allocation is fine here; the hot recording helpers live
+// inline in metrics.hpp and stay allocation-free.
+
+namespace xaon::util {
+
+std::string_view stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kParse: return "parse";
+    case Stage::kRoute: return "route";
+    case Stage::kSerialize: return "serialize";
+    case Stage::kForward: return "forward";
+  }
+  return "?";
+}
+
+void LatencyTrack::merge(const LatencyTrack& other) {
+  if (other.count_ == 0) return;
+  hist_.merge(other.hist_);
+  sum_ += other.sum_;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+}
+
+void MetricsSnapshot::add_worker(const WorkerMetrics& w) {
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    stages[s].merge(w.stage(static_cast<Stage>(s)));
+  }
+  message.merge(w.message());
+  workers.push_back(Worker{w.messages(), w.busy_seconds()});
+}
+
+void MetricsSnapshot::capture_probe_sites() {
+  probes.clear();
+  const std::uint32_t n = probe::site_count();
+  probes.reserve(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    probes.push_back(ProbeSite{probe::site_name(id), probe::site_kind(id)});
+  }
+}
+
+std::uint64_t MetricsSnapshot::messages_total() const {
+  std::uint64_t total = 0;
+  for (const Worker& w : workers) total += w.messages;
+  return total;
+}
+
+double MetricsSnapshot::busy_seconds_total() const {
+  double total = 0.0;
+  for (const Worker& w : workers) total += w.busy_seconds;
+  return total;
+}
+
+double MetricsSnapshot::imbalance() const {
+  if (workers.empty()) return 0.0;
+  std::uint64_t max_msgs = 0;
+  for (const Worker& w : workers) max_msgs = std::max(max_msgs, w.messages);
+  const double mean = static_cast<double>(messages_total()) /
+                      static_cast<double>(workers.size());
+  return mean > 0.0 ? static_cast<double>(max_msgs) / mean : 0.0;
+}
+
+namespace {
+
+const char* site_kind_name(probe::SiteKind kind) {
+  switch (kind) {
+    case probe::SiteKind::kLoop: return "loop";
+    case probe::SiteKind::kData: return "data";
+    case probe::SiteKind::kCall: return "call";
+  }
+  return "?";
+}
+
+void append_track(std::string& out, std::string_view name,
+                  const LatencyTrack& t) {
+  out += '"';
+  out += name;
+  out += format("\": {\"count\": %llu, \"p50_ns\": %llu, \"p90_ns\": %llu, "
+                "\"p99_ns\": %llu, \"max_ns\": %llu, \"mean_ns\": %.1f}",
+                static_cast<unsigned long long>(t.count()),
+                static_cast<unsigned long long>(t.quantile(0.50)),
+                static_cast<unsigned long long>(t.quantile(0.90)),
+                static_cast<unsigned long long>(t.quantile(0.99)),
+                static_cast<unsigned long long>(t.max()), t.mean());
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"stages\": {";
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    if (s != 0) out += ", ";
+    append_track(out, stage_name(static_cast<Stage>(s)), stages[s]);
+  }
+  out += "}, ";
+  append_track(out, "message", message);
+  out += format(", \"imbalance\": %.4f, \"workers\": [", imbalance());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += format("{\"messages\": %llu, \"busy_seconds\": %.6f}",
+                  static_cast<unsigned long long>(workers[i].messages),
+                  workers[i].busy_seconds);
+  }
+  out += "], \"probes\": [";
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "{\"name\": \"";
+    out += probes[i].name;
+    out += "\", \"kind\": \"";
+    out += site_kind_name(probes[i].kind);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace xaon::util

@@ -53,6 +53,11 @@ void LogHistogram::add(std::uint64_t value) {
   ++total_;
 }
 
+void LogHistogram::merge(const LogHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+}
+
 std::uint64_t LogHistogram::quantile(double q) const {
   if (total_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);

@@ -27,10 +27,14 @@ std::vector<std::string> make_wires() {
 
 // Allocations per message at steady state: warm the scratch (string
 // capacities, pooled vectors, thread-local VM state), then count.
+// Metrics recording is attached exactly as Server::run_load attaches
+// it — the zero-allocation contract must hold with the spine enabled.
 std::uint64_t steady_state_allocs(UseCase use_case) {
   const std::vector<std::string> wires = make_wires();
   Pipeline pipeline(use_case);
+  util::WorkerMetrics metrics;
   Pipeline::ProcessScratch scratch;
+  scratch.metrics = &metrics;
   for (int rep = 0; rep < 4; ++rep) {
     for (const std::string& wire : wires) {
       const Pipeline::Outcome& out = pipeline.process_wire(wire, scratch);
@@ -44,8 +48,23 @@ std::uint64_t steady_state_allocs(UseCase use_case) {
     }
   }
   const std::uint64_t messages = 4 * wires.size();
+  // The spine really was live: every counted message recorded spans.
+  EXPECT_EQ(metrics.stage(util::Stage::kParse).count(), 8 * wires.size());
   // Round up so even one allocation across the whole run registers.
   return (bench::alloc_count() + messages - 1) / messages;
+}
+
+TEST(AllocRegression, MetricsRecordingAllocatesNothing) {
+  util::WorkerMetrics metrics;
+  bench::reset_alloc_counter();
+  for (std::uint64_t i = 1; i <= 10000; ++i) {
+    metrics.record_stage(util::Stage::kParse, i);
+    metrics.record_stage(util::Stage::kRoute, i * 3);
+    metrics.record_stage(util::Stage::kForward, i * 7);
+    metrics.record_message(i * 11);
+  }
+  EXPECT_EQ(bench::alloc_count(), 0u);
+  EXPECT_EQ(metrics.messages(), 10000u);
 }
 
 TEST(AllocCounter, InterposerCountsNewAndDelete) {

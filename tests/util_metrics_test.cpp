@@ -1,0 +1,182 @@
+#include "xaon/util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xaon/util/probe.hpp"
+
+namespace xaon::util {
+namespace {
+
+TEST(LatencyTrack, TracksExactExtremesAndCount) {
+  LatencyTrack t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.quantile(0.5), 0u);
+  t.add(100);
+  t.add(7);
+  t.add(900);
+  EXPECT_EQ(t.count(), 3u);
+  EXPECT_EQ(t.min(), 7u);
+  EXPECT_EQ(t.max(), 900u);  // exact, not the 1023 bucket bound
+  EXPECT_EQ(t.sum(), 1007u);
+  EXPECT_NEAR(t.mean(), 1007.0 / 3.0, 1e-9);
+}
+
+TEST(LatencyTrack, QuantileMatchesHistogramBucketing) {
+  LatencyTrack t;
+  for (std::uint64_t v = 1; v <= 64; ++v) t.add(v);
+  // Median sample is 32 -> bucket [32,63].
+  EXPECT_EQ(t.quantile(0.5), 63u);
+  EXPECT_EQ(t.quantile(1.0), 127u);  // 64 lives in [64,127]
+  EXPECT_EQ(t.max(), 64u);           // but the exact max is kept
+}
+
+TEST(LatencyTrack, MergeCombinesDistributions) {
+  LatencyTrack a, b;
+  a.add(4);
+  a.add(8);
+  b.add(2);
+  b.add(1024);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 2u);
+  EXPECT_EQ(a.max(), 1024u);
+  EXPECT_EQ(a.sum(), 1038u);
+  LatencyTrack empty;
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 4u);
+  empty.merge(a);  // adopt
+  EXPECT_EQ(empty.count(), 4u);
+  EXPECT_EQ(empty.min(), 2u);
+}
+
+TEST(CounterAndGauge, Basics) {
+  Counter c;
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value, 42u);
+  Counter c2;
+  c2.inc(8);
+  c.merge(c2);
+  EXPECT_EQ(c.value, 50u);
+
+  Gauge g;
+  g.set(5);
+  g.set(11);
+  g.set(3);
+  EXPECT_EQ(g.value, 3);
+  EXPECT_EQ(g.high, 11);
+}
+
+TEST(WorkerMetrics, RecordsPerStageAndPerMessage) {
+  WorkerMetrics w;
+  w.record_stage(Stage::kParse, 100);
+  w.record_stage(Stage::kRoute, 1000);
+  w.record_stage(Stage::kSerialize, 200);
+  w.record_message(1500);
+  w.record_message(2500);
+  EXPECT_EQ(w.stage(Stage::kParse).count(), 1u);
+  EXPECT_EQ(w.stage(Stage::kRoute).max(), 1000u);
+  EXPECT_EQ(w.stage(Stage::kForward).count(), 0u);
+  EXPECT_EQ(w.messages(), 2u);
+  EXPECT_NEAR(w.busy_seconds(), 4000e-9, 1e-15);
+}
+
+TEST(MetricsSnapshot, MergesWorkersAndComputesImbalance) {
+  WorkerMetrics a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.record_stage(Stage::kParse, 10);
+    a.record_message(50);
+  }
+  for (int i = 0; i < 50; ++i) {
+    b.record_stage(Stage::kParse, 30);
+    b.record_message(70);
+  }
+  MetricsSnapshot snap;
+  snap.add_worker(a);
+  snap.add_worker(b);
+  EXPECT_EQ(snap.workers.size(), 2u);
+  EXPECT_EQ(snap.workers[0].messages, 100u);
+  EXPECT_EQ(snap.workers[1].messages, 50u);
+  EXPECT_EQ(snap.messages_total(), 150u);
+  EXPECT_EQ(snap.stages[0].count(), 150u);
+  EXPECT_EQ(snap.stages[0].min(), 10u);
+  EXPECT_EQ(snap.stages[0].max(), 30u);
+  EXPECT_EQ(snap.message.count(), 150u);
+  // max/mean: 100 / 75.
+  EXPECT_NEAR(snap.imbalance(), 100.0 / 75.0, 1e-12);
+  EXPECT_NEAR(snap.busy_seconds_total(), (100 * 50 + 50 * 70) * 1e-9, 1e-15);
+}
+
+TEST(MetricsSnapshot, EmptyImbalanceIsZero) {
+  MetricsSnapshot snap;
+  EXPECT_EQ(snap.imbalance(), 0.0);
+  WorkerMetrics idle;
+  snap.add_worker(idle);
+  EXPECT_EQ(snap.imbalance(), 0.0);  // 0 messages: no ratio to report
+}
+
+TEST(MetricsSnapshot, SurfacesProbeRegistry) {
+  // Probes and metrics share one registry and one dump path: a site
+  // registered through util::probe shows up in the snapshot.
+  const std::uint32_t id =
+      probe::register_site("metrics.test.site", probe::SiteKind::kLoop);
+  MetricsSnapshot snap;
+  snap.capture_probe_sites();
+  ASSERT_GT(snap.probes.size(), id);
+  bool found = false;
+  for (const auto& site : snap.probes) {
+    if (site.name == "metrics.test.site") {
+      EXPECT_EQ(site.kind, probe::SiteKind::kLoop);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MetricsSnapshot, JsonDumpCarriesStagesWorkersAndProbes) {
+  probe::register_site("metrics.test.json", probe::SiteKind::kData);
+  WorkerMetrics w;
+  w.record_stage(Stage::kParse, 10);
+  w.record_stage(Stage::kForward, 40);
+  w.record_message(64);
+  MetricsSnapshot snap;
+  snap.add_worker(w);
+  snap.capture_probe_sites();
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"route\""), std::string::npos);
+  EXPECT_NE(json.find("\"serialize\""), std::string::npos);
+  EXPECT_NE(json.find("\"forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"imbalance\""), std::string::npos);
+  EXPECT_NE(json.find("\"workers\""), std::string::npos);
+  EXPECT_NE(json.find("\"busy_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("metrics.test.json"), std::string::npos);
+  // Message track: quantiles come from the bucketed histogram (64 is
+  // in [64,127] -> 127), the max stays exact.
+  EXPECT_NE(json.find("\"message\": {\"count\": 1"), std::string::npos);
+  // Structural sanity: braces and brackets balance.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(StageNames, AreStable) {
+  EXPECT_EQ(stage_name(Stage::kParse), "parse");
+  EXPECT_EQ(stage_name(Stage::kRoute), "route");
+  EXPECT_EQ(stage_name(Stage::kSerialize), "serialize");
+  EXPECT_EQ(stage_name(Stage::kForward), "forward");
+}
+
+}  // namespace
+}  // namespace xaon::util

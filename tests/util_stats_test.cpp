@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "xaon/util/rng.hpp"
 
@@ -82,6 +85,85 @@ TEST(LogHistogram, ZeroGoesToFirstBucket) {
   h.add(0);
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.quantile(0.0), 1u);
+}
+
+// Differential: util::percentile (exact, interpolating) vs
+// LogHistogram::quantile (power-of-two bucketed) on shared samples.
+// The histogram's contract: quantile(q) is the upper bound of the
+// bucket holding the sample of rank floor(q*(n-1)) — so it is >= that
+// sample and < 2x it (bucket upper bound 2^(b+1)-1 < 2*2^b).
+TEST(LogHistogram, DifferentialAgainstExactPercentile) {
+  Xoshiro256ss rng(0xD1FF);
+  LogHistogram h;
+  std::vector<std::uint64_t> samples;
+  std::vector<double> exact_samples;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = 1 + rng.next() % (1u << 20);
+    h.add(v);
+    samples.push_back(v);
+    exact_samples.push_back(static_cast<double>(v));
+  }
+  std::sort(samples.begin(), samples.end());
+
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const std::size_t lo = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    const std::uint64_t rank_sample = samples[lo];
+    const std::uint64_t bucketed = h.quantile(q);
+    EXPECT_GE(bucketed, rank_sample) << "q=" << q;
+    EXPECT_LT(bucketed, 2 * rank_sample) << "q=" << q;
+    // And against the interpolating exact percentile: the bucketed
+    // value brackets it within the same factor-of-two envelope (the
+    // interpolated value lies between adjacent rank samples).
+    const double exact = percentile(exact_samples, q);
+    EXPECT_GE(static_cast<double>(bucketed) * 2.0, exact) << "q=" << q;
+  }
+}
+
+// Power-of-two boundaries: 2^k-1 is the last value of bucket k-1, 2^k
+// the first of bucket k — the reported quantile jumps across exactly
+// that edge.
+TEST(LogHistogram, PowerOfTwoBucketBoundaries) {
+  for (int k = 1; k <= 20; ++k) {
+    const std::uint64_t below = (1ull << k) - 1;
+    const std::uint64_t at = 1ull << k;
+    LogHistogram hb, ha;
+    hb.add(below);
+    ha.add(at);
+    EXPECT_EQ(hb.quantile(1.0), below) << "k=" << k;          // own upper bound
+    EXPECT_EQ(ha.quantile(1.0), (2ull << k) - 1) << "k=" << k;
+    EXPECT_EQ(hb.bucket(k - 1), 1u);
+    EXPECT_EQ(ha.bucket(k), 1u);
+  }
+}
+
+TEST(LogHistogram, Bucket63Saturates) {
+  LogHistogram h;
+  h.add(1ull << 63);
+  h.add(~0ull);
+  EXPECT_EQ(h.bucket(63), 2u);
+  // The top bucket has no finite upper bound; quantile reports the
+  // all-ones sentinel instead of (2<<63)-1 wrapping to garbage.
+  EXPECT_EQ(h.quantile(0.0), ~0ull);
+  EXPECT_EQ(h.quantile(1.0), ~0ull);
+}
+
+TEST(LogHistogram, MergeMatchesSequentialFill) {
+  Xoshiro256ss rng(99);
+  LogHistogram all, a, b;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.next() % (1u << 16);
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (int i = 0; i < LogHistogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket(i), all.bucket(i)) << "bucket " << i;
+  }
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+  }
 }
 
 TEST(Percentile, ExactValues) {

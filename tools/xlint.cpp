@@ -267,6 +267,12 @@ const char* const kHotPaths[] = {
     // util pieces the hot loop leans on
     "include/xaon/util/arena.hpp", "include/xaon/util/spsc_queue.hpp",
     "include/xaon/util/backoff.hpp",
+    // metrics: the recording helpers run once per message per stage —
+    // the whole point of the spine is that observation is free of
+    // allocation, so the inline record path is held to the same
+    // contract as the pipeline it measures. (src/util/metrics.cpp is
+    // merge/JSON code that runs after join, deliberately not listed.)
+    "include/xaon/util/metrics.hpp",
 };
 
 bool is_hot_path(const std::string& rel, bool self_test) {
