@@ -115,6 +115,9 @@ int main(int argc, char** argv) {
       flags.i64("workers", 4, "worker threads"));
   const std::uint64_t seed = static_cast<std::uint64_t>(
       flags.i64("seed", 0xC4A05, "fault schedule seed"));
+  const std::size_t route_cache = static_cast<std::size_t>(flags.i64(
+      "route_cache", static_cast<std::int64_t>(aon::kDefaultRouteCacheCapacity),
+      "per-worker CBR routing-cache capacity (0 disables)"));
   if (bench::handle_help(flags)) return 0;
 
   const std::vector<std::string> corpus = chaos_corpus(seed, 256);
@@ -139,6 +142,7 @@ int main(int argc, char** argv) {
     config.downstream = &downstream;
     config.forward.max_attempts = 2;
     config.forward.backoff_pauses = 1;
+    config.route_cache_capacity = route_cache;
     aon::Server server(config);
     const aon::LoadResult load = server.run_load(corpus, messages);
 
@@ -165,7 +169,8 @@ int main(int argc, char** argv) {
         "\"status_2xx\": %llu, \"status_4xx\": %llu, "
         "\"status_5xx\": %llu, \"forward_retries\": %llu, "
         "\"forward_shed\": %llu, \"forward_failures\": %llu, "
-        "\"failed\": %llu, \"invariant_ok\": %s, \"metrics\": %s}\n",
+        "\"failed\": %llu, \"invariant_ok\": %s, "
+        "\"cache_hit_rate\": %.4f, \"metrics\": %s}\n",
         name.c_str(), workers, static_cast<unsigned long long>(seed),
         static_cast<unsigned long long>(load.messages), load.seconds,
         load.wall_seconds, load.messages_per_second(),
@@ -177,6 +182,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(load.forward_failures),
         static_cast<unsigned long long>(load.failed),
         one_response_each ? "true" : "false",
+        load.metrics.route_cache.hit_rate(),
         load.metrics.to_json().c_str());
   }
 

@@ -21,6 +21,9 @@ int main(int argc, char** argv) {
       flags.i64("workers", 2, "worker threads (paper: one per CPU)"));
   const std::size_t mix = static_cast<std::size_t>(
       flags.i64("mix", 64, "distinct 5KB messages cycled through"));
+  const std::size_t route_cache = static_cast<std::size_t>(flags.i64(
+      "route_cache", static_cast<std::int64_t>(aon::kDefaultRouteCacheCapacity),
+      "per-worker CBR routing-cache capacity (0 disables)"));
   if (bench::handle_help(flags)) return 0;
 
   // AONBench-style 5 KB orders; half route primary (quantity=1), half
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
     aon::ServerConfig config;
     config.use_case = use_case;
     config.workers = workers;
+    config.route_cache_capacity = route_cache;
     aon::Server server(config);
     (void)server.run_load(wires, messages / 4);  // warm-up
     const aon::LoadResult load = server.run_load(wires, messages);
@@ -87,11 +91,12 @@ int main(int argc, char** argv) {
         "\"workers\": %zu, \"messages\": %llu, \"seconds\": %.4f, "
         "\"wall_seconds\": %.4f, \"msgs_per_sec\": %.1f, "
         "\"allocs_per_msg\": %.2f, \"bytes_per_msg\": %.1f, "
-        "\"failed\": %llu, \"metrics\": %s}\n",
+        "\"failed\": %llu, \"cache_hit_rate\": %.4f, \"metrics\": %s}\n",
         name.c_str(), workers,
         static_cast<unsigned long long>(load.messages), load.seconds,
         load.wall_seconds, load.messages_per_second(), allocs_per_msg,
         bytes_per_msg, static_cast<unsigned long long>(load.failed),
+        load.metrics.route_cache.hit_rate(),
         load.metrics.to_json().c_str());
   }
 

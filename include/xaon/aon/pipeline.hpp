@@ -6,9 +6,12 @@
 #include <string_view>
 #include <vector>
 
+#include <memory>
+
 #include "xaon/http/message.hpp"
 #include "xaon/http/parser.hpp"
 #include "xaon/util/arena.hpp"
+#include "xaon/util/cache.hpp"
 #include "xaon/util/metrics.hpp"
 #include "xaon/xml/parser.hpp"
 #include "xaon/xpath/xpath.hpp"
@@ -52,6 +55,34 @@ struct Endpoints {
   std::string primary = "http://backend.example:8080/orders";
   std::string error = "http://backend.example:8080/errors";
 };
+
+/// One cached CBR routing plan: where a *structural* XPath's first hit
+/// sits in any document sharing the keying tag-skeleton fingerprint.
+/// The plan records tree **positions**, never values — on a cache hit
+/// the pipeline re-reads the value at the recorded position from the
+/// current message, so value-varying messages with a repeated shape
+/// still route on their own content.
+struct RoutePlan {
+  enum class Kind : std::uint8_t {
+    kNoHit,     ///< the expression selected nothing: route decided empty
+    kNode,      ///< first hit is a text-like node at `path`
+    kAttr,      ///< first hit is attribute #`attr_ordinal` of node at `path`
+    kUncached,  ///< shape seen, but not plan-cacheable: run full eval
+  };
+  Kind kind = Kind::kNoHit;
+  std::vector<std::uint32_t> path;  ///< child indices, root -> hit node
+  std::uint32_t attr_ordinal = 0;   ///< 1-based, for kAttr
+};
+
+/// Per-worker structural routing cache: tag-skeleton fingerprint ->
+/// RoutePlan, bounded LRU. Lives in ProcessScratch (single-owner, no
+/// shared mutable state on the message path); hits are allocation-free.
+using RouteCache = util::LruCache<std::uint64_t, RoutePlan>;
+
+/// Default per-worker routing-cache capacity. Sized to hold the shape
+/// working set of a mixed AONBench workload (distinct message *shapes*,
+/// not messages) with room to spare; ~60 bytes/slot.
+inline constexpr std::size_t kDefaultRouteCacheCapacity = 128;
 
 /// One message-processing engine. Construction compiles the XPath /
 /// loads the schema; `process*` is const and thread-compatible, so the
@@ -101,6 +132,13 @@ class Pipeline {
     /// Recording is allocation-free; nullptr costs one branch per stage.
     util::WorkerMetrics* metrics = nullptr;
     std::uint64_t stage_start_ns = 0;  ///< internal stage-clock state
+
+    /// Structural routing cache for CBR (DESIGN.md §"Caching"): keyed by
+    /// the message's tag-skeleton fingerprint; a hit short-circuits the
+    /// XPath evaluation and re-reads the routing value at the cached
+    /// tree position. Per-worker and value-safe by construction; set
+    /// capacity 0 to disable (every message takes the full-eval path).
+    RouteCache route_cache{kDefaultRouteCacheCapacity};
   };
 
   /// Processes an already-parsed request.
@@ -136,7 +174,14 @@ class Pipeline {
   UseCase use_case_;
   Endpoints endpoints_;
   xpath::XPath quantity_xpath_;
-  xsd::Schema schema_;
+  /// True when quantity_xpath_ is a structural location path — the
+  /// soundness precondition of the routing cache (checked once here,
+  /// never per message).
+  bool cbr_cacheable_ = false;
+  /// Compiled schema, shared through the content-addressed schema cache
+  /// (xsd::load_schema_cached) — immutable, so one compilation serves
+  /// every pipeline and every worker thread.
+  std::shared_ptr<const xsd::Schema> schema_;
   std::vector<xsd::Regex> signatures_;  ///< DPI
   std::string hmac_key_;                ///< SEC
 };

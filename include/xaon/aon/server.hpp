@@ -54,6 +54,10 @@ struct ServerConfig {
   std::size_t queue_capacity = 512;
   Downstream* downstream = nullptr;  ///< optional next hop (not owned)
   ForwardPolicy forward;
+  /// Per-worker structural routing cache capacity (CBR); 0 disables the
+  /// cache so every message takes the full-evaluation path — the knob
+  /// the cache differential tests flip.
+  std::size_t route_cache_capacity = kDefaultRouteCacheCapacity;
 };
 
 /// Explicit response-class buckets. `add` classifies by HTTP status

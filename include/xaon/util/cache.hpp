@@ -1,0 +1,262 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file cache.hpp
+/// Content-aware caching primitives for the compiled-artifact caches
+/// (DESIGN.md §"Caching"): a bounded LRU map and a streaming 64-bit
+/// fingerprint.
+///
+/// The gateway pays the same compilation and evaluation work over
+/// near-identical inputs — XPath plans over one expression, XSD
+/// automatons over one schema, routing decisions over one message
+/// *shape*. These caches close that loop under the hot-path contract of
+/// §5b: `find` never touches the allocator (index walk + intrusive list
+/// splice only), so a warm cache serves hits with **zero heap
+/// allocation**; only `insert` — the miss path — may allocate. Each
+/// cache is single-owner (per worker, or mutex-guarded off the message
+/// path); nothing here is thread-safe by itself.
+
+namespace xaon::util {
+
+/// Hit/miss/insert/evict counters every cache exposes; merged across
+/// workers into the MetricsSnapshot and dumped in the bench JSON lines.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;  ///< accepted inserts (stores of a new key)
+  std::uint64_t evictions = 0;   ///< LRU entries displaced by inserts
+
+  std::uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+
+  void merge(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    evictions += other.evictions;
+  }
+
+  /// Appends `{"hits":..,"misses":..,"insertions":..,"evictions":..,
+  /// "hit_rate":..}` to `out` (bench JSON-line convention).
+  void append_json(std::string& out) const;
+};
+
+/// Streaming 64-bit content fingerprint (FNV-1a accumulation with a
+/// murmur-style final avalanche). Byte-oriented: the caller owns framing
+/// — `mix("ab"); mix("c")` and `mix("a"); mix("bc")` hash identically,
+/// so structured streams must interleave separator bytes (as the
+/// tag-skeleton fingerprint does). Collisions are possible in principle
+/// (64-bit digest); every consumer either keys immutable content (plan /
+/// schema caches, where a collision is unreachable without a content
+/// match) or falls back to full evaluation on resolution failure and
+/// documents the residual risk (route cache, DESIGN.md §"Caching").
+class Fingerprint64 {
+ public:
+  void mix_byte(std::uint8_t b) {
+    h_ = (h_ ^ b) * kPrime;
+  }
+
+  void mix(std::string_view bytes) {
+    std::uint64_t h = h_;
+    for (const char c : bytes) {
+      h = (h ^ static_cast<std::uint8_t>(c)) * kPrime;
+    }
+    h_ = h;
+  }
+
+  /// The avalanched digest; `mix` may continue afterwards (value() is
+  /// pure).
+  std::uint64_t value() const {
+    std::uint64_t v = h_;
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    v *= 0xc4ceb9fe1a85ec53ULL;
+    v ^= v >> 33;
+    return v;
+  }
+
+  /// One-shot convenience over a byte string.
+  static std::uint64_t of(std::string_view bytes) {
+    Fingerprint64 fp;
+    fp.mix(bytes);
+    return fp.value();
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+};
+
+/// Bounded LRU map with fixed storage: `capacity` slots, an
+/// open-chaining index and an intrusive recency list, all preallocated
+/// by set_capacity. `find` is allocation-free (the §5b hit-path
+/// contract); `insert` of a new key may allocate only inside the stored
+/// Value (e.g. a vector payload) and recycles the least-recently-used
+/// slot when full. A capacity of 0 disables the cache: every find
+/// misses, every insert is dropped.
+///
+/// Single-owner by design — one per worker (route cache) or externally
+/// mutex-guarded off the message path (plan / schema caches).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  LruCache() = default;
+  explicit LruCache(std::size_t capacity) { set_capacity(capacity); }
+
+  /// Clears the cache and rebuilds storage for `capacity` entries.
+  /// Counters survive (they describe the cache's lifetime, not one
+  /// generation); clear_stats() resets them separately.
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    slots_.clear();
+    slots_.resize(capacity);
+    std::size_t nbuckets = 1;
+    while (nbuckets < capacity * 2) nbuckets <<= 1;
+    buckets_.assign(capacity == 0 ? 0 : nbuckets, kNil);
+    mask_ = buckets_.empty() ? 0 : static_cast<std::uint32_t>(nbuckets - 1);
+    head_ = tail_ = kNil;
+    size_ = 0;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool enabled() const { return capacity_ != 0; }
+
+  /// Lookup; a hit refreshes the entry's recency. The pointer is valid
+  /// until the next insert/set_capacity/clear. Never allocates.
+  Value* find(const Key& key) {
+    if (capacity_ == 0) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    const std::uint32_t bucket =
+        static_cast<std::uint32_t>(Hash{}(key)) & mask_;
+    for (std::uint32_t i = buckets_[bucket]; i != kNil;
+         i = slots_[i].hash_next) {
+      if (slots_[i].key == key) {
+        ++stats_.hits;
+        touch(i);
+        return &slots_[i].value;
+      }
+    }
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  /// Inserts (or overwrites) `key`. A new key counts as an insertion and
+  /// evicts the LRU entry when full; overwriting an existing key updates
+  /// the value and recency without counting. Returns the stored value
+  /// (nullptr when capacity is 0 and the insert was dropped).
+  Value* insert(const Key& key, Value value) {
+    if (capacity_ == 0) return nullptr;
+    const std::uint32_t bucket =
+        static_cast<std::uint32_t>(Hash{}(key)) & mask_;
+    for (std::uint32_t i = buckets_[bucket]; i != kNil;
+         i = slots_[i].hash_next) {
+      if (slots_[i].key == key) {
+        slots_[i].value = std::move(value);
+        touch(i);
+        return &slots_[i].value;
+      }
+    }
+    std::uint32_t slot;
+    if (size_ == capacity_) {
+      slot = tail_;  // recycle the least-recently-used entry
+      unlink_list(slot);
+      unlink_chain(slot);
+      ++stats_.evictions;
+    } else {
+      slot = static_cast<std::uint32_t>(size_);
+      ++size_;
+    }
+    slots_[slot].key = key;
+    slots_[slot].value = std::move(value);
+    slots_[slot].hash_next = buckets_[bucket];
+    buckets_[bucket] = slot;
+    push_front(slot);
+    ++stats_.insertions;
+    return &slots_[slot].value;
+  }
+
+  /// Drops every entry; storage and counters are retained.
+  void clear() {
+    for (std::uint32_t& b : buckets_) b = kNil;
+    head_ = tail_ = kNil;
+    size_ = 0;
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  void clear_stats() { stats_ = CacheStats{}; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Slot {
+    Key key{};
+    Value value{};
+    std::uint32_t prev = kNil;       ///< recency list (head = most recent)
+    std::uint32_t next = kNil;
+    std::uint32_t hash_next = kNil;  ///< bucket chain
+  };
+
+  void push_front(std::uint32_t i) {
+    slots_[i].prev = kNil;
+    slots_[i].next = head_;
+    if (head_ != kNil) slots_[head_].prev = i;
+    head_ = i;
+    if (tail_ == kNil) tail_ = i;
+  }
+
+  void unlink_list(std::uint32_t i) {
+    const std::uint32_t p = slots_[i].prev;
+    const std::uint32_t n = slots_[i].next;
+    if (p != kNil) slots_[p].next = n; else head_ = n;
+    if (n != kNil) slots_[n].prev = p; else tail_ = p;
+  }
+
+  void unlink_chain(std::uint32_t i) {
+    const std::uint32_t bucket =
+        static_cast<std::uint32_t>(Hash{}(slots_[i].key)) & mask_;
+    std::uint32_t cur = buckets_[bucket];
+    if (cur == i) {
+      buckets_[bucket] = slots_[i].hash_next;
+      return;
+    }
+    while (cur != kNil) {
+      if (slots_[cur].hash_next == i) {
+        slots_[cur].hash_next = slots_[i].hash_next;
+        return;
+      }
+      cur = slots_[cur].hash_next;
+    }
+  }
+
+  void touch(std::uint32_t i) {
+    if (head_ == i) return;
+    unlink_list(i);
+    push_front(i);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> buckets_;
+  std::uint32_t mask_ = 0;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace xaon::util

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "xaon/util/cache.hpp"
 #include "xaon/util/probe.hpp"
 #include "xaon/util/stats.hpp"
 
@@ -145,9 +146,16 @@ class WorkerMetrics {
     return static_cast<double>(message_.sum()) * 1e-9;
   }
 
+  /// Final counters of this worker's structural routing cache, copied
+  /// once after the worker's message loop drains (a struct assignment,
+  /// not a per-message record).
+  void record_route_cache(const CacheStats& stats) { route_cache_ = stats; }
+  const CacheStats& route_cache() const { return route_cache_; }
+
  private:
   LatencyTrack stage_[kStageCount];
   LatencyTrack message_;
+  CacheStats route_cache_;
 };
 
 /// Merged view over every worker's metrics, produced after join.
@@ -167,6 +175,9 @@ struct MetricsSnapshot {
   LatencyTrack message;
   std::vector<Worker> workers;
   std::vector<ProbeSite> probes;
+  /// Structural routing cache counters summed over workers (the caches
+  /// themselves are per-worker; only their counts merge).
+  CacheStats route_cache;
 
   /// Folds one worker's block in (order of calls = worker index).
   void add_worker(const WorkerMetrics& w);

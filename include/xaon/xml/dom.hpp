@@ -154,4 +154,23 @@ class Document {
 /// is an element).
 std::size_t count_elements(const Node* n);
 
+/// Tag-skeleton fingerprint of the subtree rooted at `root`: a 64-bit
+/// digest of the *element structure stream* — node kinds in document
+/// order, element local names + namespace URIs, attribute names (local +
+/// namespace), PI targets, and explicit open/close framing — with every
+/// character-data **value excluded** (text content, CDATA content,
+/// attribute values, comment bodies, PI data). Two documents that differ
+/// only in values therefore share a fingerprint, while any structural
+/// change (element insert/delete/rename, attribute add/remove/rename,
+/// text node appearing or vanishing) changes it. Text and CDATA nodes
+/// contribute the same presence marker: they are interchangeable to
+/// every structural consumer (XPath `text()` matches both).
+///
+/// This is the key of the CBR structural routing cache (DESIGN.md
+/// §"Caching"): equal skeletons mean a structural XPath selects nodes at
+/// identical tree positions. Allocation-free (iterative walk via parent
+/// links). Collisions are possible in principle; consumers fall back to
+/// full evaluation when a cached plan fails to resolve.
+std::uint64_t skeleton_fingerprint(const Node* root);
+
 }  // namespace xaon::xml

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "xaon/util/cache.hpp"
 #include "xaon/xpath/value.hpp"
 
 /// \file xpath.hpp
@@ -68,10 +69,33 @@ class XPath {
   static XPath compile(std::string_view expr, CompileError* error = nullptr,
                        const NamespaceBindings& ns = {});
 
+  /// Like compile(), but served from a process-wide bounded LRU plan
+  /// cache keyed by (expression, bindings) — construction-path only
+  /// (mutex-guarded; never call per message). Compiled plans are
+  /// immutable and shared, so repeated gateway/pipeline construction
+  /// over the same expression pays compilation once. Failed
+  /// compilations are never cached.
+  static XPath compile_cached(std::string_view expr,
+                              CompileError* error = nullptr,
+                              const NamespaceBindings& ns = {});
+
+  /// Counters of the shared compile_cached plan cache.
+  static util::CacheStats shared_plan_cache_stats();
+
   bool valid() const { return impl_ != nullptr; }
 
   /// The original expression text.
   std::string_view expression() const;
+
+  /// True when the selection this expression performs depends only on
+  /// document *structure* (node kinds, names, nesting order) — never on
+  /// character-data values: a location path with no predicates, no
+  /// function calls and no filter base. For such expressions, two
+  /// documents with equal tag-skeleton fingerprints
+  /// (`xml::skeleton_fingerprint`) yield node-sets at identical tree
+  /// positions — the soundness condition of the CBR structural routing
+  /// cache. Conservative: false for anything it cannot prove.
+  bool structural() const;
 
   /// Evaluates with `context` as the context node (position 1 of 1).
   /// Runtime type mismatches (e.g. count() of a number) yield empty/zero
@@ -108,6 +132,32 @@ class XPath {
       : impl_(std::move(impl)) {}
 
   std::shared_ptr<const detail::Compiled> impl_;
+};
+
+/// Bounded LRU of compiled XPath plans keyed by (expression text,
+/// namespace bindings). Compilation is arena-allocating and
+/// grammar-driven — orders of magnitude costlier than the lookup — so a
+/// gateway that receives routing rules dynamically (or constructs many
+/// pipelines over one rule set) compiles each distinct expression once.
+/// Not thread-safe: one per worker, or guard externally (the shared
+/// XPath::compile_cached front-door does the latter).
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 64) : lru_(capacity) {}
+
+  /// Cached compilation. On a miss the expression is compiled and, when
+  /// valid, stored; failures pass through uncached with `error` filled.
+  XPath get(std::string_view expr, CompileError* error = nullptr,
+            const NamespaceBindings& ns = {});
+
+  std::size_t size() const { return lru_.size(); }
+  std::size_t capacity() const { return lru_.capacity(); }
+  const util::CacheStats& stats() const { return lru_.stats(); }
+  void clear() { lru_.clear(); }
+
+ private:
+  util::LruCache<std::string, XPath> lru_;
+  std::string key_;  ///< reused key buffer (length-prefixed, unambiguous)
 };
 
 }  // namespace xaon::xpath

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "xaon/util/cache.hpp"
 #include "xaon/xml/parser.hpp"
 #include "xaon/xsd/model.hpp"
 
@@ -35,5 +37,20 @@ LoadResult load_schema(std::string_view xsd_text);
 /// Loads from an already-parsed document (must outlive the call only;
 /// the schema copies what it needs).
 LoadResult load_schema(const xml::Document& doc);
+
+/// Content-addressed compiled-schema cache: loads `xsd_text` like
+/// load_schema(), but keyed by a fingerprint of the XSD bytes (schema
+/// identity == schema content), so repeated pipeline/gateway
+/// construction over the same schema parses, loads and compiles the
+/// content-model automatons exactly once. Returns a shared immutable
+/// schema — safe to validate against from any number of threads (the
+/// Validator only reads it). Returns nullptr on a load failure (filling
+/// `error`); failures are never cached. Mutex-guarded, construction-path
+/// only — never call per message.
+std::shared_ptr<const Schema> load_schema_cached(std::string_view xsd_text,
+                                                 std::string* error = nullptr);
+
+/// Counters of the shared schema cache.
+util::CacheStats schema_cache_stats();
 
 }  // namespace xaon::xsd

@@ -10,13 +10,18 @@
 #   model     interleaving model checker (exhaustive + random schedules)
 #   metrics   per-worker metrics spine: zero-alloc recording + run_load
 #             stage/balance accounting
+#   cache     compiled-artifact caches: LRU/fingerprint units, skeleton
+#             property tests, cached-vs-uncached differential
+#   labels    static audit: every tests/*_test.cpp registers under a
+#             label-carrying registrar, and every test label has a
+#             matching ctest preset
 #   tidy      clang-tidy profile           (skips without clang-tidy)
 #   tsan      ThreadSanitizer rerun of threaded tests (skips if TSan
 #             probe compile fails)
 #   sanitize  ASan+UBSan suite             (skips if ASan probe fails)
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast: unit + lint + model only.
+#   --fast: unit + lint + model + metrics + cache + labels only.
 set -u
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -59,6 +64,37 @@ record model $?
 note "metrics"
 ctest --test-dir "$repo_root/build" -L metrics --output-on-failure
 record metrics $?
+
+note "cache"
+ctest --test-dir "$repo_root/build" -L cache -j"$jobs" --output-on-failure
+record cache $?
+
+# Label coverage audit: a test file that registers without a label is
+# invisible to every `ctest -L` tier above — fail loudly instead.
+note "labels"
+labels_rc=0
+for f in "$repo_root"/tests/*_test.cpp "$repo_root"/tests/model/*_test.cpp; do
+  [ -e "$f" ] || continue
+  name=$(basename "$f" .cpp)
+  if ! grep -Eq "(xaon_test|xaon_labeled_test|xaon_register_labeled)\\($name[ )\"]" \
+       "$repo_root/tests/CMakeLists.txt"; then
+    echo "labels: $name has no label-carrying registration in tests/CMakeLists.txt"
+    labels_rc=1
+  fi
+done
+# Every label a labeled registration declares must have a ctest preset
+# (`unit` is the tier-1 default and is exercised by the full suite).
+for label in $(grep -Eo '(xaon_labeled_test|xaon_register_labeled)\([a-z_0-9]+ "?[a-z;]+"?' \
+                 "$repo_root/tests/CMakeLists.txt" \
+               | awk '{print $2}' | tr -d '"' | tr ';' '\n' | sort -u); do
+  [ "$label" = "unit" ] && continue
+  if ! grep -q "\"label\": \"$label\"" "$repo_root/CMakePresets.json"; then
+    echo "labels: label '$label' has no test preset in CMakePresets.json"
+    labels_rc=1
+  fi
+done
+[ "$labels_rc" -eq 0 ] && echo "labels: every test registered and every label has a preset."
+record labels $labels_rc
 
 if [ "$fast" -eq 1 ]; then
   note "summary (--fast)"

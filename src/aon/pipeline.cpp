@@ -1,5 +1,7 @@
 #include "xaon/aon/pipeline.hpp"
 
+#include <algorithm>
+
 #include "xaon/aon/messages.hpp"
 #include "xaon/crypto/sha1.hpp"
 #include "xaon/http/parser.hpp"
@@ -28,6 +30,115 @@ inline void stage_record(Pipeline::ProcessScratch& state, util::Stage stage) {
     state.metrics->record_stage(stage, now - state.stage_start_ns);
     state.stage_start_ns = now;
   }
+}
+
+// --- CBR structural routing cache helpers (DESIGN.md §"Caching") -------
+
+// Child-index path from `root` down to `target` (exclusive of root).
+// False when target is not in root's subtree (e.g. an ancestor-axis hit
+// above the context) — such hits stay uncacheable. Miss-path only.
+bool path_from_root(const xml::Node* root, const xml::Node* target,
+                    std::vector<std::uint32_t>& out) {
+  out.clear();
+  for (const xml::Node* n = target; n != root; n = n->parent) {
+    if (n == nullptr || n->parent == nullptr) return false;
+    std::uint32_t index = 0;
+    for (const xml::Node* s = n->prev_sibling; s != nullptr;
+         s = s->prev_sibling) {
+      ++index;
+    }
+    out.push_back(index);
+  }
+  std::reverse(out.begin(), out.end());
+  return true;
+}
+
+// Walks a cached child-index path in the *current* document. Returns
+// nullptr when the path runs off the tree (only reachable through a
+// fingerprint collision); callers fall back to full evaluation.
+const xml::Node* resolve_path(const xml::Node* root,
+                              const std::vector<std::uint32_t>& path) {
+  const xml::Node* n = root;
+  for (std::uint32_t index : path) {
+    const xml::Node* c = n->first_child;
+    while (c != nullptr && index > 0) {
+      c = c->next_sibling;
+      --index;
+    }
+    if (c == nullptr) return nullptr;
+    n = c;
+  }
+  return n;
+}
+
+// Builds the plan for a freshly evaluated node-set: position of the
+// first hit, or kUncached for hit kinds whose string-value needs a
+// descendant walk (element/document) — those keep full evaluation.
+RoutePlan make_route_plan(const xml::Node* root, const xpath::NodeSet& hits) {
+  RoutePlan plan;
+  if (hits.empty()) return plan;  // kNoHit
+  const xpath::NodeRef& first = hits.front();
+  plan.kind = RoutePlan::Kind::kUncached;
+  if (first.is_attr()) {
+    if (!path_from_root(root, first.node, plan.path)) return plan;
+    std::uint32_t ordinal = 1;
+    for (const xml::Attr* a = first.node->first_attr; a != nullptr;
+         a = a->next, ++ordinal) {
+      if (a == first.attr) {
+        plan.kind = RoutePlan::Kind::kAttr;
+        plan.attr_ordinal = ordinal;
+        return plan;
+      }
+    }
+    return plan;
+  }
+  if (first.node->type == xml::NodeType::kElement ||
+      first.node->type == xml::NodeType::kDocument) {
+    return plan;
+  }
+  if (!path_from_root(root, first.node, plan.path)) return plan;
+  plan.kind = RoutePlan::Kind::kNode;
+  return plan;
+}
+
+// Replays a cached plan against the current document: resolves the
+// recorded position and reads the value **from this message**. Returns
+// false (fall back to full evaluation) for kUncached plans or any
+// resolution mismatch. Allocation-free — the hit path of §5b.
+bool route_from_plan(const RoutePlan& plan, const xml::Node* root,
+                     bool& primary) {
+  switch (plan.kind) {
+    case RoutePlan::Kind::kNoHit:
+      primary = false;
+      return true;
+    case RoutePlan::Kind::kNode: {
+      const xml::Node* n = resolve_path(root, plan.path);
+      if (n == nullptr || n->is_element() ||
+          n->type == xml::NodeType::kDocument) {
+        return false;
+      }
+      // Same value the full path compares: xpath::string_value of a
+      // text-like node is its text.
+      primary = n->text == "1";
+      return true;
+    }
+    case RoutePlan::Kind::kAttr: {
+      const xml::Node* n = resolve_path(root, plan.path);
+      if (n == nullptr) return false;
+      std::uint32_t ordinal = plan.attr_ordinal;
+      const xml::Attr* a = n->first_attr;
+      while (a != nullptr && ordinal > 1) {
+        a = a->next;
+        --ordinal;
+      }
+      if (a == nullptr) return false;
+      primary = a->value == "1";
+      return true;
+    }
+    case RoutePlan::Kind::kUncached:
+      return false;
+  }
+  return false;
 }
 
 }  // namespace
@@ -64,15 +175,16 @@ const std::vector<std::string>& default_dpi_signatures() {
 Pipeline::Pipeline(UseCase use_case, Endpoints endpoints)
     : use_case_(use_case), endpoints_(std::move(endpoints)) {
   if (use_case_ == UseCase::kContentBasedRouting) {
-    // The paper's exact CBR expression.
+    // The paper's exact CBR expression, served from the shared plan
+    // cache: every pipeline over the same rule shares one compilation.
     xpath::CompileError error;
-    quantity_xpath_ = xpath::XPath::compile("//quantity/text()", &error);
+    quantity_xpath_ = xpath::XPath::compile_cached("//quantity/text()", &error);
     XAON_CHECK_MSG(quantity_xpath_.valid(), "CBR XPath failed to compile");
+    cbr_cacheable_ = quantity_xpath_.structural();
   }
   if (use_case_ == UseCase::kSchemaValidation) {
-    auto loaded = xsd::load_schema(order_schema_xsd());
-    XAON_CHECK_MSG(loaded.ok, "order schema failed to load");
-    schema_ = std::move(loaded.schema);
+    schema_ = xsd::load_schema_cached(order_schema_xsd());
+    XAON_CHECK_MSG(schema_ != nullptr, "order schema failed to load");
   }
   if (use_case_ == UseCase::kDeepInspection) {
     for (const std::string& pattern : default_dpi_signatures()) {
@@ -193,11 +305,31 @@ Pipeline::Outcome& Pipeline::process_into(const http::Request& request,
         return out;
       }
       // Paper: route primary iff //quantity/text() exists and equals "1".
-      const xpath::NodeSet& hits =
-          quantity_xpath_.select(state.parsed.document.root(), state.xpath);
+      //
+      // Structural routing cache: when the expression is structural and
+      // the message's tag skeleton has been routed before, replay the
+      // cached hit *position* and read the value from this message —
+      // skipping the full XPath evaluation. Any miss, uncacheable plan
+      // or resolution mismatch falls back to the full evaluation below
+      // (and a miss records the plan for the next message of this
+      // shape).
+      const xml::Node* root = state.parsed.document.root();
       bool primary = false;
-      if (!hits.empty()) {
-        primary = xpath::string_value(hits.front()) == "1";
+      bool decided = false;
+      if (cbr_cacheable_ && state.route_cache.enabled() && root != nullptr) {
+        const std::uint64_t shape = xml::skeleton_fingerprint(root);
+        if (const RoutePlan* plan = state.route_cache.find(shape)) {
+          decided = route_from_plan(*plan, root, primary);
+        } else {
+          const xpath::NodeSet& hits = quantity_xpath_.select(root, state.xpath);
+          state.route_cache.insert(shape, make_route_plan(root, hits));
+          primary = !hits.empty() && xpath::string_value(hits.front()) == "1";
+          decided = true;
+        }
+      }
+      if (!decided) {
+        const xpath::NodeSet& hits = quantity_xpath_.select(root, state.xpath);
+        primary = !hits.empty() && xpath::string_value(hits.front()) == "1";
       }
       return forward_into(request, primary,
                           primary ? "quantity=1" : "quantity!=1", state);
@@ -233,12 +365,12 @@ Pipeline::Outcome& Pipeline::process_into(const http::Request& request,
       const xsd::ElementDecl* decl =
           payload == nullptr
               ? nullptr
-              : schema_.find_global_element(payload->ns_uri, payload->local);
+              : schema_->find_global_element(payload->ns_uri, payload->local);
       if (decl == nullptr) {
         return forward_into(request, /*primary=*/false, "no declaration",
                             state);
       }
-      if (!state.validator) state.validator.emplace(schema_);
+      if (!state.validator) state.validator.emplace(*schema_);
       const xsd::ValidationResult& result =
           state.validator->validate_element_reuse(payload, decl);
       if (result.valid()) {

@@ -84,6 +84,9 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
       // handles — the steady-state path does not touch the allocator.
       Pipeline::ProcessScratch scratch;
       scratch.metrics = &state->metrics;  // parse/route/serialize spans
+      if (scratch.route_cache.capacity() != config_.route_cache_capacity) {
+        scratch.route_cache.set_capacity(config_.route_cache_capacity);
+      }
       util::Backoff retry_backoff;
       // acquire: pairs with the acceptor's release store below — done
       // observed true implies every earlier push is visible (see the
@@ -137,6 +140,9 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
         state->status.add(status);
         state->metrics.record_message(util::metrics_now_ns() - msg_start);
       }
+      // Queue drained: publish this worker's cache counters (one struct
+      // copy, off the message path; read by the acceptor after join).
+      state->metrics.record_route_cache(scratch.route_cache.stats());
       state->finish_ns = util::metrics_now_ns();
     });
   }

@@ -1,0 +1,19 @@
+#include "xaon/util/cache.hpp"
+
+#include <cstdio>
+
+namespace xaon::util {
+
+void CacheStats::append_json(std::string& out) const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"hits\": %llu, \"misses\": %llu, \"insertions\": %llu, "
+                "\"evictions\": %llu, \"hit_rate\": %.4f}",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(insertions),
+                static_cast<unsigned long long>(evictions), hit_rate());
+  out += buf;
+}
+
+}  // namespace xaon::util

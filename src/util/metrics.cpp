@@ -35,6 +35,7 @@ void MetricsSnapshot::add_worker(const WorkerMetrics& w) {
   }
   message.merge(w.message());
   workers.push_back(Worker{w.messages(), w.busy_seconds()});
+  route_cache.merge(w.route_cache());
 }
 
 void MetricsSnapshot::capture_probe_sites() {
@@ -110,7 +111,9 @@ std::string MetricsSnapshot::to_json() const {
                   static_cast<unsigned long long>(workers[i].messages),
                   workers[i].busy_seconds);
   }
-  out += "], \"probes\": [";
+  out += "], \"cache\": ";
+  route_cache.append_json(out);
+  out += ", \"probes\": [";
   for (std::size_t i = 0; i < probes.size(); ++i) {
     if (i != 0) out += ", ";
     out += "{\"name\": \"";

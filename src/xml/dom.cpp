@@ -1,5 +1,6 @@
 #include "xaon/xml/dom.hpp"
 
+#include "xaon/util/cache.hpp"
 #include "xaon/util/probe.hpp"
 
 namespace xaon::xml {
@@ -94,6 +95,81 @@ std::size_t count_elements(const Node* n) {
     count += count_elements(c);
   }
   return count;
+}
+
+namespace {
+
+// Skeleton stream markers. Separators (0x1F) frame variable-length name
+// fields so adjacent names cannot run together; the close marker (0x0F)
+// frames nesting so <a><b/></a><c/> and <a/><b/><c/> digest differently.
+enum : std::uint8_t {
+  kFpElement = 0x01,
+  kFpAttr = 0x02,
+  kFpAttrsEnd = 0x03,
+  kFpText = 0x04,     // text and CDATA: presence only, value excluded
+  kFpComment = 0x05,  // presence only, body excluded
+  kFpPi = 0x06,       // target included, data excluded
+  kFpDocument = 0x07,
+  kFpSep = 0x1F,
+  kFpClose = 0x0F,
+};
+
+inline void fp_open(util::Fingerprint64& fp, const Node* n) {
+  switch (n->type) {
+    case NodeType::kElement:
+      fp.mix_byte(kFpElement);
+      fp.mix(n->local);
+      fp.mix_byte(kFpSep);
+      fp.mix(n->ns_uri);
+      fp.mix_byte(kFpSep);
+      for (const Attr* a = n->first_attr; a != nullptr; a = a->next) {
+        fp.mix_byte(kFpAttr);
+        fp.mix(a->local);
+        fp.mix_byte(kFpSep);
+        fp.mix(a->ns_uri);
+        fp.mix_byte(kFpSep);
+      }
+      fp.mix_byte(kFpAttrsEnd);
+      break;
+    case NodeType::kText:
+    case NodeType::kCData:
+      fp.mix_byte(kFpText);
+      break;
+    case NodeType::kComment:
+      fp.mix_byte(kFpComment);
+      break;
+    case NodeType::kProcessingInstruction:
+      fp.mix_byte(kFpPi);
+      fp.mix(n->qname);  // the PI target
+      fp.mix_byte(kFpSep);
+      break;
+    case NodeType::kDocument:
+      fp.mix_byte(kFpDocument);
+      break;
+  }
+}
+
+}  // namespace
+
+std::uint64_t skeleton_fingerprint(const Node* root) {
+  util::Fingerprint64 fp;
+  if (root == nullptr) return fp.value();
+  const Node* n = root;
+  for (;;) {
+    fp_open(fp, n);
+    if (n->first_child != nullptr) {
+      n = n->first_child;
+      continue;
+    }
+    fp.mix_byte(kFpClose);
+    while (n != root && n->next_sibling == nullptr) {
+      n = n->parent;
+      fp.mix_byte(kFpClose);
+    }
+    if (n == root) break;
+    n = n->next_sibling;
+  }
+  return fp.value();
 }
 
 }  // namespace xaon::xml

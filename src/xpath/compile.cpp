@@ -5,6 +5,7 @@
 #include "lexer.hpp"
 #include "xaon/util/arena.hpp"
 #include "xaon/util/assert.hpp"
+#include "xaon/util/sync.hpp"
 #include "xaon/xpath/xpath.hpp"
 
 /// \file compile.cpp
@@ -574,6 +575,72 @@ XPath XPath::compile(std::string_view expr, CompileError* error,
 
 std::string_view XPath::expression() const {
   return impl_ ? std::string_view(impl_->expression) : std::string_view{};
+}
+
+bool XPath::structural() const {
+  if (impl_ == nullptr || impl_->root == nullptr) return false;
+  const detail::Expr* e = impl_->root;
+  // A plain location path: no filter-expression base (whose evaluation
+  // could be value-dependent) and no predicates anywhere — positional
+  // predicates are structural in principle, but a predicate can embed
+  // arbitrary value comparisons, so all are rejected conservatively.
+  if (e->kind != detail::ExprKind::kPath) return false;
+  if (e->base != nullptr || e->n_base_predicates != 0) return false;
+  for (std::uint32_t i = 0; i < e->n_steps; ++i) {
+    if (e->steps[i].n_predicates != 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Unambiguous (length-prefixed) cache key over expression + bindings:
+// no choice of separator byte can make two distinct (expr, ns) pairs
+// collide.
+void build_plan_key(std::string& key, std::string_view expr,
+                    const NamespaceBindings& ns) {
+  key.clear();
+  key += std::to_string(expr.size());
+  key += ':';
+  key += expr;
+  for (const auto& [prefix, uri] : ns) {
+    key += std::to_string(prefix.size());
+    key += ':';
+    key += prefix;
+    key += std::to_string(uri.size());
+    key += ':';
+    key += uri;
+  }
+}
+
+// Shared construction-path plan cache behind compile_cached. Guarded by
+// a plain mutex: callers compile at pipeline/gateway construction, never
+// per message, so contention is irrelevant and the per-worker no-shared-
+// state rule of §5b does not apply here.
+util::Mutex g_plan_mutex;
+PlanCache g_plan_cache XAON_GUARDED_BY(g_plan_mutex){64};
+
+}  // namespace
+
+XPath XPath::compile_cached(std::string_view expr, CompileError* error,
+                            const NamespaceBindings& ns) {
+  util::MutexLock lock(g_plan_mutex);
+  return g_plan_cache.get(expr, error, ns);
+}
+
+util::CacheStats XPath::shared_plan_cache_stats() {
+  util::MutexLock lock(g_plan_mutex);
+  return g_plan_cache.stats();
+}
+
+XPath PlanCache::get(std::string_view expr, CompileError* error,
+                     const NamespaceBindings& ns) {
+  build_plan_key(key_, expr, ns);
+  if (const XPath* cached = lru_.find(key_)) return *cached;
+  XPath compiled = XPath::compile(expr, error, ns);
+  if (!compiled.valid()) return compiled;  // failures pass through uncached
+  lru_.insert(key_, compiled);
+  return compiled;
 }
 
 Value XPath::evaluate(const xml::Node* context) const {

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "xaon/util/str.hpp"
+#include "xaon/util/sync.hpp"
 
 namespace xaon::xsd {
 
@@ -507,6 +508,44 @@ LoadResult load_schema(std::string_view xsd_text) {
     return result;
   }
   return load_schema(parsed.document);
+}
+
+namespace {
+
+// Shared construction-path schema cache behind load_schema_cached.
+// Content-addressed: the key is a fingerprint of the full XSD text, so
+// an entry can never go stale — changed schema text is a different key.
+// Guarded by a plain mutex; schemas load at pipeline construction,
+// never per message.
+util::Mutex g_schema_mutex;
+util::LruCache<std::uint64_t, std::shared_ptr<const Schema>> g_schema_cache
+    XAON_GUARDED_BY(g_schema_mutex){16};
+
+}  // namespace
+
+std::shared_ptr<const Schema> load_schema_cached(std::string_view xsd_text,
+                                                 std::string* error) {
+  const std::uint64_t key = util::Fingerprint64::of(xsd_text);
+  {
+    util::MutexLock lock(g_schema_mutex);
+    if (const auto* cached = g_schema_cache.find(key)) return *cached;
+  }
+  // Load outside the lock: compilation is the expensive part, and two
+  // threads racing the same schema merely both insert the same content.
+  LoadResult loaded = load_schema(xsd_text);
+  if (!loaded.ok) {
+    if (error != nullptr) *error = std::move(loaded.error);
+    return nullptr;
+  }
+  auto schema = std::make_shared<const Schema>(std::move(loaded.schema));
+  util::MutexLock lock(g_schema_mutex);
+  g_schema_cache.insert(key, schema);
+  return schema;
+}
+
+util::CacheStats schema_cache_stats() {
+  util::MutexLock lock(g_schema_mutex);
+  return g_schema_cache.stats();
 }
 
 }  // namespace xaon::xsd

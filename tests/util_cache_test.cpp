@@ -1,0 +1,202 @@
+// LRU cache unit tier (label: cache): capacity edge cases, eviction
+// order under touch, the eviction-counter invariant, and the §5b
+// hit-path contract — a warm find() never touches the allocator. Uses
+// the bench allocation counter's operator new interposer (single-TU
+// binaries only, which every test binary is).
+
+#define XAON_ALLOC_COUNT_INTERPOSE
+#include "../bench/alloc_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "xaon/util/cache.hpp"
+
+namespace xaon::util {
+namespace {
+
+using IntCache = LruCache<int, int>;
+
+TEST(LruCache, CapacityZeroDisablesEverything) {
+  IntCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.insert(1, 10), nullptr);  // dropped, not stored
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  // Dropped inserts are not insertions; disabled finds still count as
+  // misses so a disabled cache reports hit_rate 0, not NaN-ish silence.
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+TEST(LruCache, CapacityOneHoldsExactlyTheLastKey) {
+  IntCache cache(1);
+  cache.insert(1, 10);
+  ASSERT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(*cache.find(1), 10);
+  cache.insert(2, 20);  // evicts 1
+  EXPECT_EQ(cache.find(1), nullptr);
+  ASSERT_NE(cache.find(2), nullptr);
+  EXPECT_EQ(*cache.find(2), 20);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsedNotLeastRecentlyInserted) {
+  IntCache cache(3);
+  cache.insert(1, 10);
+  cache.insert(2, 20);
+  cache.insert(3, 30);
+  // Touch 1 (the oldest insert) — 2 becomes the LRU entry.
+  ASSERT_NE(cache.find(1), nullptr);
+  cache.insert(4, 40);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr) << "LRU entry must be the evictee";
+  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_NE(cache.find(4), nullptr);
+}
+
+TEST(LruCache, RepeatedTouchKeepsAnEntryAliveIndefinitely) {
+  IntCache cache(2);
+  cache.insert(1, 10);
+  for (int k = 2; k <= 50; ++k) {
+    ASSERT_NE(cache.find(1), nullptr) << "touched entry evicted at k=" << k;
+    cache.insert(k, k * 10);  // evicts the previous k, never 1
+  }
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(50), nullptr);
+  EXPECT_EQ(cache.find(49), nullptr);
+}
+
+TEST(LruCache, OverwriteUpdatesValueAndRecencyWithoutCounting) {
+  IntCache cache(2);
+  cache.insert(1, 10);
+  cache.insert(2, 20);
+  cache.insert(1, 11);  // overwrite: refreshes recency, no insertion count
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.insert(3, 30);  // 2 is now LRU
+  EXPECT_EQ(cache.find(2), nullptr);
+  ASSERT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(*cache.find(1), 11);
+}
+
+// The accounting identity the metrics layer relies on: every accepted
+// insert of a new key either occupies a fresh slot or displaces one, so
+//   evictions == insertions - residents.
+TEST(LruCache, EvictionCounterEqualsInsertionsMinusResidents) {
+  IntCache cache(7);
+  for (int k = 0; k < 100; ++k) cache.insert(k, k);
+  EXPECT_EQ(cache.stats().insertions, 100u);
+  EXPECT_EQ(cache.size(), 7u);
+  EXPECT_EQ(cache.stats().evictions,
+            cache.stats().insertions - cache.size());
+}
+
+TEST(LruCache, SetCapacityClearsEntriesButKeepsLifetimeCounters) {
+  IntCache cache(4);
+  cache.insert(1, 10);
+  (void)cache.find(1);
+  (void)cache.find(2);
+  cache.set_capacity(8);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(1), nullptr);  // generation gone
+  EXPECT_EQ(cache.stats().insertions, 1u);  // lifetime counters survive
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.clear_stats();
+  EXPECT_EQ(cache.stats().lookups(), 0u);
+}
+
+TEST(LruCache, ClearDropsEntriesAndReusesSlots) {
+  IntCache cache(3);
+  for (int k = 0; k < 3; ++k) cache.insert(k, k);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  for (int k = 10; k < 13; ++k) cache.insert(k, k);
+  EXPECT_EQ(cache.size(), 3u);
+  for (int k = 10; k < 13; ++k) EXPECT_NE(cache.find(k), nullptr);
+}
+
+// §5b hit-path contract: once warm, find() performs zero heap
+// allocations — it is an index walk plus an intrusive-list splice.
+TEST(LruCache, WarmHitsAreAllocationFree) {
+  LruCache<std::uint64_t, int> cache(16);
+  for (std::uint64_t k = 0; k < 16; ++k) cache.insert(k, static_cast<int>(k));
+  bench::reset_alloc_counter();
+  for (int rep = 0; rep < 1000; ++rep) {
+    for (std::uint64_t k = 0; k < 16; ++k) {
+      ASSERT_NE(cache.find(k), nullptr);
+    }
+  }
+  EXPECT_EQ(bench::alloc_count(), 0u);
+  EXPECT_EQ(cache.stats().hits, 16000u);
+}
+
+TEST(CacheStats, MergeAndHitRate) {
+  CacheStats a{8, 2, 3, 1};
+  CacheStats b{2, 8, 4, 2};
+  a.merge(b);
+  EXPECT_EQ(a.hits, 10u);
+  EXPECT_EQ(a.misses, 10u);
+  EXPECT_EQ(a.insertions, 7u);
+  EXPECT_EQ(a.evictions, 3u);
+  EXPECT_EQ(a.lookups(), 20u);
+  EXPECT_DOUBLE_EQ(a.hit_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(CacheStats{}.hit_rate(), 0.0);  // no division by zero
+}
+
+TEST(CacheStats, AppendJsonShape) {
+  CacheStats s{3, 1, 2, 0};
+  std::string out = "\"cache\": ";
+  s.append_json(out);
+  EXPECT_NE(out.find("\"hits\": 3"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"misses\": 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"insertions\": 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"evictions\": 0"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"hit_rate\": 0.75"), std::string::npos) << out;
+}
+
+TEST(Fingerprint64, FramingDistinguishesSplitStreams) {
+  // mix() is byte-oriented: identical byte streams hash identically
+  // regardless of call chunking...
+  Fingerprint64 a, b;
+  a.mix("ab");
+  a.mix("c");
+  b.mix("a");
+  b.mix("bc");
+  EXPECT_EQ(a.value(), b.value());
+  // ...so structured consumers must interleave separators, which do
+  // change the digest.
+  Fingerprint64 c;
+  c.mix("ab");
+  c.mix_byte(0x1F);
+  c.mix("c");
+  EXPECT_NE(c.value(), a.value());
+}
+
+TEST(Fingerprint64, ValueIsPureAndOfMatchesStreaming) {
+  Fingerprint64 fp;
+  fp.mix("hello");
+  const std::uint64_t first = fp.value();
+  EXPECT_EQ(fp.value(), first);  // value() does not consume state
+  fp.mix(" world");
+  EXPECT_NE(fp.value(), first);
+  EXPECT_EQ(Fingerprint64::of("hello"), first);
+}
+
+TEST(Fingerprint64, SmallInputsDoNotCollide) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 4096; ++i) {
+    std::string s = "key-" + std::to_string(i);
+    seen.insert(Fingerprint64::of(s));
+  }
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace xaon::util

@@ -1,0 +1,153 @@
+// Property tests for the tag-skeleton fingerprint (label: cache) — the
+// key of the CBR structural routing cache. The contract under test
+// (dom.hpp): value-only mutations preserve the digest, structural
+// mutations change it, and distinct skeletons do not collide in
+// practice (collision smoke over >10k generated shapes).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "xaon/aon/messages.hpp"
+#include "xaon/xml/parser.hpp"
+
+namespace xaon::xml {
+namespace {
+
+std::uint64_t fp_of(const std::string& doc_text,
+                    const ParseOptions& options = {}) {
+  ParseResult parsed = parse(doc_text, options);
+  EXPECT_TRUE(parsed.ok) << parsed.error.message << " in: " << doc_text;
+  return skeleton_fingerprint(parsed.document.root());
+}
+
+// ---- value-only mutations preserve the fingerprint -----------------
+
+TEST(SkeletonFingerprint, TextValueChangeIsInvisible) {
+  EXPECT_EQ(fp_of("<o><q>1</q></o>"), fp_of("<o><q>2</q></o>"));
+  EXPECT_EQ(fp_of("<o><q>1</q></o>"), fp_of("<o><q>999999</q></o>"));
+}
+
+TEST(SkeletonFingerprint, AttributeValueChangeIsInvisible) {
+  EXPECT_EQ(fp_of("<o id=\"1\"><q>1</q></o>"),
+            fp_of("<o id=\"2\"><q>7</q></o>"));
+}
+
+TEST(SkeletonFingerprint, CdataAndTextAreEquivalent) {
+  // Both are text-like content at the same position; the CBR value
+  // re-read treats them identically, so the skeleton must too.
+  EXPECT_EQ(fp_of("<o><q>1</q></o>"),
+            fp_of("<o><q><![CDATA[1]]></q></o>"));
+}
+
+TEST(SkeletonFingerprint, InterElementWhitespaceIsInvisible) {
+  // Default parse options drop whitespace-only text nodes, so
+  // pretty-printing does not change the shape.
+  EXPECT_EQ(fp_of("<o><a>1</a><b>2</b></o>"),
+            fp_of("<o>\n  <a>1</a>\n  <b>2</b>\n</o>"));
+}
+
+TEST(SkeletonFingerprint, RealOrderMessagesSameSeedSameShape) {
+  aon::MessageSpec a, b;
+  a.seed = b.seed = 42;
+  a.quantity = 1;
+  b.quantity = 2;  // the CBR routing value — a value-only difference
+  EXPECT_EQ(fp_of(aon::make_order_message(a)),
+            fp_of(aon::make_order_message(b)));
+}
+
+// ---- structural mutations change the fingerprint -------------------
+
+TEST(SkeletonFingerprint, ElementInsertChangesDigest) {
+  EXPECT_NE(fp_of("<o><q>1</q></o>"), fp_of("<o><q>1</q><x/></o>"));
+}
+
+TEST(SkeletonFingerprint, ElementDeleteChangesDigest) {
+  EXPECT_NE(fp_of("<o><a/><b/></o>"), fp_of("<o><a/></o>"));
+}
+
+TEST(SkeletonFingerprint, ElementRenameChangesDigest) {
+  EXPECT_NE(fp_of("<o><quantity>1</quantity></o>"),
+            fp_of("<o><quality>1</quality></o>"));
+}
+
+TEST(SkeletonFingerprint, AttributeAddChangesDigest) {
+  EXPECT_NE(fp_of("<o><q>1</q></o>"), fp_of("<o id=\"1\"><q>1</q></o>"));
+}
+
+TEST(SkeletonFingerprint, AttributeRenameChangesDigest) {
+  EXPECT_NE(fp_of("<o id=\"1\"/>"), fp_of("<o key=\"1\"/>"));
+}
+
+TEST(SkeletonFingerprint, NamespaceChangeChangesDigest) {
+  EXPECT_NE(fp_of("<o xmlns=\"urn:a\"><q>1</q></o>"),
+            fp_of("<o xmlns=\"urn:b\"><q>1</q></o>"));
+}
+
+TEST(SkeletonFingerprint, TextPresenceIsStructural) {
+  // <q></q> vs <q>1</q>: the cached plan records the *position* of a
+  // text node, so its appearance/disappearance must re-key the cache.
+  EXPECT_NE(fp_of("<o><q></q></o>"), fp_of("<o><q>1</q></o>"));
+}
+
+TEST(SkeletonFingerprint, NestingShapeIsStructural) {
+  // Same elements, same document order, different parentage.
+  EXPECT_NE(fp_of("<o><a><b/></a></o>"), fp_of("<o><a/><b/></o>"));
+}
+
+TEST(SkeletonFingerprint, SiblingSplitIsStructural) {
+  // Name-boundary confusion: <ab/><c/> vs <a/><bc/> — separator bytes
+  // in the digest must keep adjacent names from concatenating.
+  EXPECT_NE(fp_of("<o><ab/><c/></o>"), fp_of("<o><a/><bc/></o>"));
+}
+
+TEST(SkeletonFingerprint, RealOrderMessagesDifferentSeedDifferentShape) {
+  // Different seeds vary the filler element count — a structural
+  // difference the cache must key on.
+  aon::MessageSpec a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(fp_of(aon::make_order_message(a)),
+            fp_of(aon::make_order_message(b)));
+}
+
+// ---- collision smoke -----------------------------------------------
+
+// Generates the i-th distinct tree shape: each of 14 bits decides
+// whether the next element nests one level deeper or starts a sibling,
+// so every i in [0, 2^14) yields a structurally distinct document
+// built from only two element names.
+std::string shape_doc(unsigned i) {
+  std::string doc = "<r>";
+  unsigned depth = 0;
+  for (int bit = 0; bit < 14; ++bit) {
+    if ((i >> bit) & 1u) {
+      doc += "<a>";
+      ++depth;
+    } else {
+      doc += "<b/>";
+    }
+  }
+  for (; depth > 0; --depth) doc += "</a>";
+  doc += "</r>";
+  return doc;
+}
+
+TEST(SkeletonFingerprint, NoCollisionsAcross16kDistinctShapes) {
+  std::set<std::uint64_t> seen;
+  const unsigned kShapes = 1u << 14;  // 16384 > the required 10k
+  for (unsigned i = 0; i < kShapes; ++i) {
+    const auto [it, fresh] = seen.insert(fp_of(shape_doc(i)));
+    ASSERT_TRUE(fresh) << "collision at shape " << i;
+  }
+  EXPECT_EQ(seen.size(), kShapes);
+}
+
+TEST(SkeletonFingerprint, DeterministicAcrossReparses) {
+  const std::string doc(aon::make_order_message({}));
+  EXPECT_EQ(fp_of(doc), fp_of(doc));
+}
+
+}  // namespace
+}  // namespace xaon::xml

@@ -267,6 +267,10 @@ const char* const kHotPaths[] = {
     // util pieces the hot loop leans on
     "include/xaon/util/arena.hpp", "include/xaon/util/spsc_queue.hpp",
     "include/xaon/util/backoff.hpp",
+    // cache: LruCache::find is the per-message route-cache hit path —
+    // held to the zero-allocation contract like the pipeline around it
+    // (insert, the miss path, may allocate inside the stored value).
+    "include/xaon/util/cache.hpp",
     // metrics: the recording helpers run once per message per stage —
     // the whole point of the spine is that observation is free of
     // allocation, so the inline record path is held to the same
