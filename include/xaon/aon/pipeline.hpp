@@ -10,6 +10,7 @@
 
 #include "xaon/http/message.hpp"
 #include "xaon/http/parser.hpp"
+#include "xaon/util/annotations.hpp"
 #include "xaon/util/arena.hpp"
 #include "xaon/util/cache.hpp"
 #include "xaon/util/metrics.hpp"
@@ -154,9 +155,10 @@ class Pipeline {
   /// invalidated by the next call through the same scratch. No
   /// per-message copies of the request or outcome are made.
   const Outcome& process(const http::Request& request,
-                         ProcessScratch& scratch) const;
+                         ProcessScratch& scratch XAON_LIFETIME_BOUND) const;
   const Outcome& process_wire(std::string_view wire,
-                              ProcessScratch& scratch) const;
+                              ProcessScratch& scratch XAON_LIFETIME_BOUND)
+      const;
 
  private:
   Outcome& process_into(const http::Request& request,

@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "xaon/util/annotations.hpp"
+
 /// \file message.hpp
 /// HTTP/1.1 message model. The AON server proxies HTTP POST requests
 /// carrying XML payloads (the paper's FR/CBR/SV use cases all arrive
@@ -26,11 +28,15 @@ class HeaderMap {
   /// Replaces every existing `name` header with one instance.
   void set(std::string_view name, std::string_view value);
 
-  /// First value for `name`, or nullopt.
-  std::optional<std::string_view> get(std::string_view name) const;
+  /// First value for `name`, or nullopt. The view aliases this map's
+  /// entry storage: it dangles when the header is removed/cleared or the
+  /// map is destroyed.
+  std::optional<std::string_view> get(std::string_view name) const
+      XAON_LIFETIME_BOUND;
 
-  /// All values for `name` in order.
-  std::vector<std::string_view> get_all(std::string_view name) const;
+  /// All values for `name` in order (same lifetime contract as get()).
+  std::vector<std::string_view> get_all(std::string_view name) const
+      XAON_LIFETIME_BOUND;
 
   bool has(std::string_view name) const { return get(name).has_value(); }
 
@@ -46,7 +52,9 @@ class HeaderMap {
     std::string name;
     std::string value;
   };
-  const std::vector<Entry>& entries() const { return headers_; }
+  const std::vector<Entry>& entries() const XAON_LIFETIME_BOUND {
+    return headers_;
+  }
 
  private:
   std::vector<Entry> headers_;

@@ -62,3 +62,52 @@
 /// (e.g. condition-variable wait predicates invoked under the lock).
 #define XAON_NO_THREAD_SAFETY_ANALYSIS \
   XAON_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Memory-lifetime annotations (DESIGN.md §"Arena lifetime contract").
+//
+// The arena-backed message hot path hands out pointers and string_views
+// that all dangle at once when the per-message Arena::reset() runs.
+// Three layers make that contract machine-checked instead of folklore:
+// the xlint arena rule pack (token-level dataflow, every build), these
+// lifetime annotations (Clang's -Wdangling, call-site escapes the token
+// pass can't see), and the poisoned debug arena (ASan, run time).
+
+/// `[[clang::lifetimebound]]`: declares that the function's return value
+/// refers to storage owned by the annotated parameter (or by `*this`
+/// when placed after the member function's cv-qualifiers). Clang's
+/// -Wdangling then diagnoses call sites that keep the result alive
+/// longer than the bound argument — e.g. binding the view returned by
+/// `Arena::intern` on a temporary arena, or holding a DOM accessor
+/// result past the document. No-op on gcc (attribute unknown there).
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define XAON_LIFETIME_BOUND [[clang::lifetimebound]]
+#endif
+#endif
+#ifndef XAON_LIFETIME_BOUND
+#define XAON_LIFETIME_BOUND  // no-op off-Clang
+#endif
+
+/// Marks a struct/class whose string_view or node-pointer members alias
+/// arena storage (or another registry with explicit lifetime): the type
+/// is *tied* to that arena and must never outlive its next reset().
+/// Expands to nothing — it exists for the reader and for xlint's
+/// `view-member` rule, which flags view/node-pointer members in any
+/// unmarked struct. Write it between the class-key and the name:
+/// `struct XAON_ARENA_TIED Node { ... };`
+#define XAON_ARENA_TIED
+
+/// AddressSanitizer feature detection, shared by the poisoned debug
+/// arena (util/arena.hpp) and its death tests. gcc defines
+/// __SANITIZE_ADDRESS__; Clang reports it via __has_feature.
+#if defined(__SANITIZE_ADDRESS__)
+#define XAON_HAS_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define XAON_HAS_ASAN 1
+#endif
+#endif
+#ifndef XAON_HAS_ASAN
+#define XAON_HAS_ASAN 0
+#endif

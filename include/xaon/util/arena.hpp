@@ -8,6 +8,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "xaon/util/annotations.hpp"
+
 /// \file arena.hpp
 /// Chunked bump allocator.
 ///
@@ -23,6 +25,32 @@
 /// a per-message arena reaches a steady state where no allocation ever
 /// goes to the system allocator — the property the AON hot path depends
 /// on. `release()` gives the memory back.
+///
+/// ## Debug guards (DESIGN.md §"Arena lifetime contract")
+///
+/// Every pointer an arena hands out dangles wholesale at the next
+/// reset() — a bug that reads stale-but-valid bytes and corrupts
+/// verdicts silently. Guarded builds make such escapes a deterministic
+/// crash instead:
+///
+///  * **kPoison** (default under ASan): the whole retained chunk is
+///    `__asan_poison_memory_region`ed on reset() and each allocation
+///    unpoisons exactly its user bytes, so any use-after-reset or
+///    overflow into the red-zone gap between allocations dies with an
+///    ASan use-after-poison report.
+///  * **kCanary** (default in !NDEBUG non-ASan builds): the alignment
+///    pad and a `kRedZoneBytes` gap after each allocation are filled
+///    with `kCanaryByte` and re-checked on the next reset()/release() —
+///    an overflow between allocations aborts via XAON_CHECK.
+///  * **kOff** (default in NDEBUG non-ASan builds): the exact PR-1
+///    layout and zero guard overhead — allocations are contiguous.
+///
+/// The mode is fixed per arena at construction; tests pass an explicit
+/// mode to exercise canaries in any build.
+
+#if XAON_HAS_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
 
 namespace xaon::util {
 
@@ -30,8 +58,35 @@ class Arena {
  public:
   static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
 
-  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
-      : chunk_bytes_(chunk_bytes) {}
+  /// Red-zone gap inserted after every allocation in guarded modes.
+  static constexpr std::size_t kRedZoneBytes = 16;
+
+  /// Fill byte of canary-guarded gaps (kCanary mode).
+  static constexpr std::byte kCanaryByte{0xCD};
+
+  enum class GuardMode : std::uint8_t {
+    kOff,     ///< contiguous bump allocation, no checking (release)
+    kCanary,  ///< canary-filled gaps, verified on reset()/release()
+    kPoison,  ///< ASan-poisoned free space + red zones (needs ASan)
+  };
+
+  /// kPoison under ASan, kCanary in plain debug, kOff in release.
+  static constexpr GuardMode default_guard_mode() {
+#if XAON_HAS_ASAN
+    return GuardMode::kPoison;
+#elif !defined(NDEBUG)
+    return GuardMode::kCanary;
+#else
+    return GuardMode::kOff;
+#endif
+  }
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes,
+                 GuardMode guard = default_guard_mode())
+      : chunk_bytes_(chunk_bytes),
+        guard_(guard == GuardMode::kPoison && !XAON_HAS_ASAN
+                   ? GuardMode::kCanary  // poisoning needs ASan; degrade
+                   : guard) {}
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
@@ -40,13 +95,17 @@ class Arena {
 
   /// Allocates `bytes` with the given alignment. Never returns nullptr;
   /// allocation failure aborts (this library treats OOM as fatal).
-  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+  /// The result aliases storage owned by this arena and dangles at the
+  /// next reset()/release().
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t))
+      XAON_LIFETIME_BOUND;
 
   /// Constructs a T in the arena. T must be trivially destructible —
   /// enforced at compile time so leaks of nontrivial resources are
   /// impossible by construction.
   template <typename T, typename... Args>
-  T* make(Args&&... args) {
+  T* make(Args&&... args) XAON_LIFETIME_BOUND {
     static_assert(std::is_trivially_destructible_v<T>,
                   "arena objects are never destroyed; T must be trivially "
                   "destructible");
@@ -56,7 +115,7 @@ class Arena {
 
   /// Allocates an uninitialized array of trivially-destructible T.
   template <typename T>
-  T* make_array(std::size_t n) {
+  T* make_array(std::size_t n) XAON_LIFETIME_BOUND {
     static_assert(std::is_trivially_destructible_v<T>);
     return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
   }
@@ -64,7 +123,7 @@ class Arena {
   /// Copies `s` into the arena and returns a view of the stable copy.
   /// The copy is NUL-terminated (handy for C-style diagnostics) but the
   /// terminator is not part of the returned view.
-  std::string_view intern(std::string_view s);
+  std::string_view intern(std::string_view s) XAON_LIFETIME_BOUND;
 
   /// Rewinds the arena: all pointers obtained from it dangle, but the
   /// chunks already reserved are retained and reused by subsequent
@@ -72,17 +131,41 @@ class Arena {
   /// reset-per-message loop performs zero system allocations. When the
   /// previous cycle spilled into multiple chunks they are coalesced
   /// (folded into the preferred chunk size) so the steady state is a
-  /// single contiguous chunk.
+  /// single contiguous chunk — unless shrink_on_reset() is set, in
+  /// which case spill chunks are released and the first chunk is kept
+  /// at its original size (bounded footprint over coalesced speed).
+  ///
+  /// Guarded modes verify canaries / re-poison the retained space here,
+  /// so a buffer overflow between allocations or a pointer that
+  /// survives the reset is caught at the reset boundary or on its next
+  /// dereference.
   void reset();
 
   /// Releases every chunk back to the system; all pointers dangle.
   void release();
+
+  /// When set, reset() releases every chunk but the first instead of
+  /// coalescing spill into a bigger chunk — long-running workers trade
+  /// the single-chunk steady state for a hard memory bound. Off by
+  /// default (the PR-1 zero-allocation steady state).
+  void set_shrink_on_reset(bool on) { shrink_on_reset_ = on; }
+  bool shrink_on_reset() const { return shrink_on_reset_; }
+
+  GuardMode guard_mode() const { return guard_; }
 
   /// Total bytes handed out by allocate() since construction/reset.
   std::size_t bytes_allocated() const { return bytes_allocated_; }
 
   /// Total bytes reserved from the system (>= bytes_allocated).
   std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Reserved bytes currently *unused* — capacity the arena retains for
+  /// future cycles (free space in the active chunk plus every chunk not
+  /// yet bumped into). Right after reset() this equals bytes_reserved();
+  /// a retained high-water that keeps climbing across messages is an
+  /// arena that grows without bound (surfaced as a gauge in
+  /// util::MetricsSnapshot).
+  std::size_t bytes_retained() const;
 
   /// Number of chunks currently held.
   std::size_t chunk_count() const { return chunks_.size(); }
@@ -94,14 +177,22 @@ class Arena {
   };
 
   void add_chunk(std::size_t min_bytes);
+  void guard_gap(std::byte* from, std::byte* to);  ///< fill/record a gap
+  void check_canaries() const;
 
   std::size_t chunk_bytes_;
+  GuardMode guard_;
+  bool shrink_on_reset_ = false;
   std::vector<Chunk> chunks_;
   std::size_t active_ = 0;  ///< chunk currently bump-allocated from
   std::byte* cursor_ = nullptr;
   std::byte* limit_ = nullptr;
   std::size_t bytes_allocated_ = 0;
   std::size_t bytes_reserved_ = 0;
+  /// kCanary bookkeeping: every guarded gap, re-verified on reset().
+  /// Cleared (capacity retained) each cycle, so the steady state stays
+  /// allocation-free after warm-up.
+  std::vector<std::pair<std::byte*, std::uint32_t>> canary_gaps_;
 };
 
 }  // namespace xaon::util

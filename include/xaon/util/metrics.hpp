@@ -152,10 +152,25 @@ class WorkerMetrics {
   void record_route_cache(const CacheStats& stats) { route_cache_ = stats; }
   const CacheStats& route_cache() const { return route_cache_; }
 
+  /// Per-message arena footprint: bytes the DOM arena handed out for
+  /// the message just processed, and bytes it holds reserved-but-unused
+  /// (`Arena::bytes_allocated()` / `bytes_retained()`). Two Gauge::set
+  /// calls — allocation-free, inside the steady-state contract. The
+  /// high-water marks spot messages that spill the arena's first chunk
+  /// (each spill is a reset-time coalesce, i.e. a hidden allocation).
+  void record_arena(std::size_t allocated_bytes, std::size_t retained_bytes) {
+    arena_allocated_.set(static_cast<std::int64_t>(allocated_bytes));
+    arena_retained_.set(static_cast<std::int64_t>(retained_bytes));
+  }
+  const Gauge& arena_allocated() const { return arena_allocated_; }
+  const Gauge& arena_retained() const { return arena_retained_; }
+
  private:
   LatencyTrack stage_[kStageCount];
   LatencyTrack message_;
   CacheStats route_cache_;
+  Gauge arena_allocated_;
+  Gauge arena_retained_;
 };
 
 /// Merged view over every worker's metrics, produced after join.
@@ -167,7 +182,8 @@ struct MetricsSnapshot {
     double busy_seconds = 0.0;
   };
   struct ProbeSite {
-    std::string_view name;  ///< views the process-global probe registry
+    // xlint: allow(view-member): views the process-global probe registry
+    std::string_view name;  ///< registry lives for the whole process
     probe::SiteKind kind = probe::SiteKind::kData;
   };
 
@@ -178,6 +194,11 @@ struct MetricsSnapshot {
   /// Structural routing cache counters summed over workers (the caches
   /// themselves are per-worker; only their counts merge).
   CacheStats route_cache;
+  /// DOM-arena footprint gauges merged over workers: `value` sums the
+  /// workers' last-message footprints, `high` keeps the fleet-wide
+  /// high-water mark (Gauge::merge semantics).
+  Gauge arena_allocated;
+  Gauge arena_retained;
 
   /// Folds one worker's block in (order of calls = worker index).
   void add_worker(const WorkerMetrics& w);

@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "xaon/util/annotations.hpp"
+
 /// \file str.hpp
 /// ASCII string helpers shared by the XML, HTTP and CLI layers.
 /// Locale-independent on purpose: XML and HTTP define their own ASCII
@@ -34,11 +36,15 @@ bool iequals(std::string_view a, std::string_view b);
 /// Lowercases ASCII letters; other bytes pass through.
 std::string to_lower(std::string_view s);
 
-/// Strips leading and trailing ASCII whitespace.
-std::string_view trim(std::string_view s);
+/// Strips leading and trailing ASCII whitespace. The result views `s`'s
+/// bytes — binding it from a temporary string dangles (-Wdangling on
+/// Clang via the annotation).
+std::string_view trim(std::string_view s XAON_LIFETIME_BOUND);
 
-/// Splits on a single separator char; keeps empty fields.
-std::vector<std::string_view> split(std::string_view s, char sep);
+/// Splits on a single separator char; keeps empty fields. Every field
+/// views `s`'s bytes (same lifetime contract as trim()).
+std::vector<std::string_view> split(std::string_view s XAON_LIFETIME_BOUND,
+                                    char sep);
 
 bool starts_with(std::string_view s, std::string_view prefix);
 bool ends_with(std::string_view s, std::string_view suffix);

@@ -23,7 +23,7 @@
 
 namespace xaon::xml {
 
-class Builder {
+class XAON_ARENA_TIED Builder {
  public:
   /// Starts a document whose root element is `root_qname`.
   explicit Builder(std::string_view root_qname);

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "xaon/util/annotations.hpp"
 #include "xaon/util/arena.hpp"
 
 /// \file dom.hpp
@@ -13,7 +14,10 @@
 /// no per-node heap traffic, perfect locality for tree walks (which the
 /// probe layer turns into the address streams the cache simulator sees),
 /// and O(1) wholesale teardown. All string_views point into the arena and
-/// live exactly as long as the Document.
+/// live exactly as long as the Document — the XAON_ARENA_TIED markers and
+/// XAON_LIFETIME_BOUND accessor annotations make that contract visible to
+/// xlint's view-member rule and Clang's -Wdangling respectively
+/// (DESIGN.md §"Arena lifetime contract").
 
 namespace xaon::xml {
 
@@ -27,7 +31,7 @@ enum class NodeType : std::uint8_t {
 };
 
 /// Attribute: singly-linked per element, in document order.
-struct Attr {
+struct XAON_ARENA_TIED Attr {
   std::string_view qname;   ///< as written, e.g. "soap:encodingStyle"
   std::string_view prefix;  ///< "" when unprefixed
   std::string_view local;   ///< local part
@@ -38,7 +42,7 @@ struct Attr {
 
 /// A DOM node. Element nodes use the name/ns fields and children;
 /// text-like nodes use `text`.
-struct Node {
+struct XAON_ARENA_TIED Node {
   NodeType type = NodeType::kElement;
 
   std::string_view qname;   ///< element qname / PI target
@@ -65,16 +69,17 @@ struct Node {
 
   /// First child element with the given local name (any namespace),
   /// or nullptr.
-  const Node* child_element(std::string_view local_name) const;
+  const Node* child_element(std::string_view local_name) const
+      XAON_LIFETIME_BOUND;
 
   /// First child element of any name, or nullptr.
-  const Node* first_child_element() const;
+  const Node* first_child_element() const XAON_LIFETIME_BOUND;
 
   /// Next sibling element, or nullptr.
-  const Node* next_sibling_element() const;
+  const Node* next_sibling_element() const XAON_LIFETIME_BOUND;
 
   /// Attribute lookup by qname as written; nullptr when absent.
-  const Attr* attr(std::string_view attr_qname) const;
+  const Attr* attr(std::string_view attr_qname) const XAON_LIFETIME_BOUND;
 
   /// Concatenation of all descendant text/CDATA (allocates).
   std::string text_content() const;
@@ -92,7 +97,7 @@ struct Node {
 /// the caller's arena, which the caller resets wholesale between
 /// messages — the zero-allocation message hot path. An externally-backed
 /// Document never outlives its arena's next reset().
-class Document {
+class XAON_ARENA_TIED Document {
  public:
   Document() = default;
 
@@ -123,12 +128,12 @@ class Document {
 
   /// The synthetic document node (type kDocument); never null after a
   /// successful parse.
-  Node* doc_node() { return doc_; }
-  const Node* doc_node() const { return doc_; }
+  Node* doc_node() XAON_LIFETIME_BOUND { return doc_; }
+  const Node* doc_node() const XAON_LIFETIME_BOUND { return doc_; }
 
   /// The root element, or nullptr for an empty document.
-  Node* root();
-  const Node* root() const;
+  Node* root() XAON_LIFETIME_BOUND;
+  const Node* root() const XAON_LIFETIME_BOUND;
 
   util::Arena& arena() { return external_ != nullptr ? *external_ : own_arena_; }
   const util::Arena& arena() const {

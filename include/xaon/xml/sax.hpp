@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <string_view>
 
+#include "xaon/util/annotations.hpp"
 #include "xaon/xml/error.hpp"
 #include "xaon/xml/parser.hpp"
 
@@ -15,7 +16,7 @@ namespace xaon::xml {
 
 /// One attribute as delivered to a SaxHandler. Views are valid only for
 /// the duration of the callback.
-struct SaxAttr {
+struct XAON_ARENA_TIED SaxAttr {
   std::string_view qname;
   std::string_view prefix;
   std::string_view local;

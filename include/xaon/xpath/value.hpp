@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "xaon/util/annotations.hpp"
 #include "xaon/xml/dom.hpp"
 
 /// \file value.hpp
@@ -14,7 +15,9 @@ namespace xaon::xpath {
 
 /// A member of a node-set: either a tree node or an attribute "node"
 /// (XPath treats attributes as nodes; our DOM stores them off-tree).
-struct NodeRef {
+/// Arena-tied through the pointed-to nodes: a NodeRef (and any NodeSet
+/// holding one) dangles when the document's arena resets.
+struct XAON_ARENA_TIED NodeRef {
   const xml::Node* node = nullptr;  ///< owner element for attributes
   const xml::Attr* attr = nullptr;  ///< non-null => attribute node
 
@@ -68,7 +71,7 @@ class Value {
   std::string to_string() const;
 
   /// Node-set accessor; aborts if kind() != kNodeSet.
-  const NodeSet& nodes() const;
+  const NodeSet& nodes() const XAON_LIFETIME_BOUND;
 
   /// XPath number formatting (shared with string()).
   static std::string format_number(double d);

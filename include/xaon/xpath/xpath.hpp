@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "xaon/util/annotations.hpp"
 #include "xaon/util/cache.hpp"
 #include "xaon/xpath/value.hpp"
 
@@ -85,7 +86,7 @@ class XPath {
   bool valid() const { return impl_ != nullptr; }
 
   /// The original expression text.
-  std::string_view expression() const;
+  std::string_view expression() const XAON_LIFETIME_BOUND;
 
   /// True when the selection this expression performs depends only on
   /// document *structure* (node kinds, names, nesting order) — never on
@@ -113,7 +114,8 @@ class XPath {
 
   /// Zero-allocation select: the result lives in `scratch` and is valid
   /// until the next evaluation through the same scratch.
-  const NodeSet& select(const xml::Node* context, EvalScratch& scratch) const;
+  const NodeSet& select(const xml::Node* context,
+                        EvalScratch& scratch XAON_LIFETIME_BOUND) const;
 
   /// evaluate() then boolean() — the CBR routing decision.
   bool test(const xml::Node* context) const;

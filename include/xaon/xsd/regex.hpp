@@ -5,6 +5,8 @@
 #include <string>
 #include <string_view>
 
+#include "xaon/util/annotations.hpp"
+
 /// \file regex.hpp
 /// XML Schema pattern-facet regular expressions.
 ///
@@ -39,8 +41,8 @@ class Regex {
   /// position.
   bool search(std::string_view text) const;
 
-  /// The source pattern.
-  std::string_view pattern() const;
+  /// The source pattern (views storage owned by the compiled program).
+  std::string_view pattern() const XAON_LIFETIME_BOUND;
 
   /// Number of compiled VM instructions (exposed for tests/benchmarks).
   std::size_t program_size() const;

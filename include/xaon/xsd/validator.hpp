@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "xaon/util/annotations.hpp"
 #include "xaon/xml/dom.hpp"
 #include "xaon/xsd/model.hpp"
 
@@ -52,7 +53,8 @@ class Validator {
   /// heap allocation at steady state. The returned reference is
   /// invalidated by the next validate_element_reuse() or reset().
   const ValidationResult& validate_element_reuse(const xml::Node* element,
-                                                 const ElementDecl* decl);
+                                                 const ElementDecl* decl)
+      XAON_LIFETIME_BOUND;
 
   /// Clears per-message state (reported errors); internal buffer
   /// capacity is retained for the next message.

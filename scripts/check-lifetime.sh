@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# Lifetime-annotation check: verifies the XAON_LIFETIME_BOUND
+# ([[clang::lifetimebound]]) annotations across the arena/DOM/XPath/str
+# APIs both ways under Clang:
+#
+#   positive  a TU including every annotated header compiles clean with
+#             -Wdangling -Werror (the annotations introduce no noise on
+#             correct code);
+#   negative  a deliberately-dangling use (binding a view to a
+#             temporary's storage) MUST produce the warning — proving
+#             the annotations actually bite, not just parse.
+#
+# Degrades to a no-op (exit 0) with a notice when no clang++ is on
+# PATH: the annotation macro expands to nothing on gcc, so there is
+# nothing to check there. Same convention as run-clang-tidy.sh.
+#
+# Usage: scripts/check-lifetime.sh
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "check-lifetime: clang++ not found on PATH; skipping (not a failure)."
+  echo "check-lifetime: XAON_LIFETIME_BOUND is a no-op on gcc — install clang to enable."
+  exit 0
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+flags="-std=c++20 -fsyntax-only -I$repo_root/include -Wdangling -Werror"
+
+# Positive: every annotated public header, warning-clean.
+cat > "$tmp/clean.cpp" <<'EOF'
+#include "xaon/aon/pipeline.hpp"
+#include "xaon/http/message.hpp"
+#include "xaon/util/arena.hpp"
+#include "xaon/util/str.hpp"
+#include "xaon/xml/dom.hpp"
+#include "xaon/xpath/xpath.hpp"
+#include "xaon/xsd/regex.hpp"
+#include "xaon/xsd/validator.hpp"
+
+std::string_view fine(std::string_view s) { return xaon::util::trim(s); }
+EOF
+if ! clang++ $flags "$tmp/clean.cpp"; then
+  echo "check-lifetime: FAIL — annotated headers are not -Wdangling-clean."
+  exit 1
+fi
+
+# Negative: a view bound to a temporary's bytes must warn (and with
+# -Werror, fail to compile). If this COMPILES, the annotations are dead.
+cat > "$tmp/dangle.cpp" <<'EOF'
+#include <string>
+
+#include "xaon/util/str.hpp"
+
+std::string_view oops() {
+  // trim()'s result views its argument; the argument dies at the end
+  // of the full-expression. XAON_LIFETIME_BOUND makes Clang see it.
+  return xaon::util::trim(std::string("temporary storage"));
+}
+EOF
+if clang++ $flags "$tmp/dangle.cpp" 2>/dev/null; then
+  echo "check-lifetime: FAIL — deliberate dangling use compiled silently;"
+  echo "check-lifetime: XAON_LIFETIME_BOUND annotations are not taking effect."
+  exit 1
+fi
+
+echo "check-lifetime: annotated headers clean; deliberate dangle caught. OK."
+exit 0

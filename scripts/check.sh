@@ -7,6 +7,9 @@
 # Tiers:
 #   unit      default build, full ctest suite (tier-1 gate)
 #   lint      xlint invariant linter + its fixture self-test
+#   lifetime  arena lifetime contract: xlint arena dataflow rules,
+#             allow-directive inventory, Clang -Wdangling annotation
+#             check (skips inside without clang++), canary death tests
 #   model     interleaving model checker (exhaustive + random schedules)
 #   metrics   per-worker metrics spine: zero-alloc recording + run_load
 #             stage/balance accounting
@@ -21,7 +24,8 @@
 #   sanitize  ASan+UBSan suite             (skips if ASan probe fails)
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast: unit + lint + model + metrics + cache + labels only.
+#   --fast: unit + lint + lifetime + model + metrics + cache + labels
+#           only.
 set -u
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -56,6 +60,10 @@ record unit $?
 note "lint"
 ctest --test-dir "$repo_root/build" -L lint --output-on-failure
 record lint $?
+
+note "lifetime"
+ctest --test-dir "$repo_root/build" -L lifetime --output-on-failure
+record lifetime $?
 
 note "model"
 ctest --test-dir "$repo_root/build" -L model --output-on-failure

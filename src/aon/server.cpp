@@ -139,6 +139,11 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
         // lands in its own bucket, never silently in 4xx.
         state->status.add(status);
         state->metrics.record_message(util::metrics_now_ns() - msg_start);
+        // The arena still holds this message's DOM (it resets at the
+        // START of the next message), so its footprint right here IS
+        // the message's arena cost. Two gauge stores, allocation-free.
+        state->metrics.record_arena(scratch.arena.bytes_allocated(),
+                                    scratch.arena.bytes_retained());
       }
       // Queue drained: publish this worker's cache counters (one struct
       // copy, off the message path; read by the acceptor after join).

@@ -7,6 +7,29 @@
 
 namespace xaon::util {
 
+namespace {
+
+// Poisoning compiles away entirely off-ASan; callers stay branch-only.
+inline void poison(const std::byte* p, std::size_t n) {
+#if XAON_HAS_ASAN
+  __asan_poison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+inline void unpoison(const std::byte* p, std::size_t n) {
+#if XAON_HAS_ASAN
+  __asan_unpoison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+}  // namespace
+
 void Arena::add_chunk(std::size_t min_bytes) {
   const std::size_t size = std::max(chunk_bytes_, min_bytes);
   Chunk chunk;
@@ -15,16 +38,41 @@ void Arena::add_chunk(std::size_t min_bytes) {
   cursor_ = chunk.data.get();
   limit_ = cursor_ + size;
   bytes_reserved_ += size;
+  // A poison-guarded arena keeps every byte it has not handed out
+  // poisoned; allocate() unpoisons exactly the user region, so the
+  // alignment pad and red-zone gap stay lethal to stray reads/writes.
+  if (guard_ == GuardMode::kPoison) poison(cursor_, size);
   chunks_.push_back(std::move(chunk));
   active_ = chunks_.size() - 1;
+}
+
+void Arena::guard_gap(std::byte* from, std::byte* to) {
+  if (to <= from) return;
+  const std::size_t n = static_cast<std::size_t>(to - from);
+  std::memset(from, std::to_integer<int>(kCanaryByte), n);
+  canary_gaps_.emplace_back(from, static_cast<std::uint32_t>(n));
+}
+
+void Arena::check_canaries() const {
+  for (const auto& [p, n] : canary_gaps_) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      XAON_CHECK_MSG(p[i] == kCanaryByte,
+                     "arena canary smashed — out-of-bounds write between "
+                     "allocations (see DESIGN.md §\"Arena lifetime "
+                     "contract\")");
+    }
+  }
 }
 
 void* Arena::allocate(std::size_t bytes, std::size_t align) {
   XAON_DCHECK(align != 0 && (align & (align - 1)) == 0);
   if (bytes == 0) bytes = 1;
+  // Guarded modes append a red-zone gap after the user region so
+  // adjacent allocations can never be overrun silently.
+  const std::size_t tail = guard_ != GuardMode::kOff ? kRedZoneBytes : 0;
   auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
   std::uintptr_t aligned = (addr + (align - 1)) & ~(align - 1);
-  std::size_t needed = (aligned - addr) + bytes;
+  std::size_t needed = (aligned - addr) + bytes + tail;
   if (cursor_ == nullptr ||
       needed > static_cast<std::size_t>(limit_ - cursor_)) {
     // Advance through chunks retained by reset() before reserving more.
@@ -34,20 +82,28 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
       limit_ = cursor_ + chunks_[active_].size;
       addr = reinterpret_cast<std::uintptr_t>(cursor_);
       aligned = (addr + (align - 1)) & ~(align - 1);
-      needed = (aligned - addr) + bytes;
+      needed = (aligned - addr) + bytes + tail;
       if (needed <= static_cast<std::size_t>(limit_ - cursor_)) break;
     }
     if (cursor_ == nullptr ||
         needed > static_cast<std::size_t>(limit_ - cursor_)) {
-      add_chunk(bytes + align);
+      add_chunk(bytes + align + tail);
       addr = reinterpret_cast<std::uintptr_t>(cursor_);
       aligned = (addr + (align - 1)) & ~(align - 1);
-      needed = (aligned - addr) + bytes;
+      needed = (aligned - addr) + bytes + tail;
     }
   }
+  std::byte* const gap_start = cursor_;
+  std::byte* const user = reinterpret_cast<std::byte*>(aligned);
   cursor_ += needed;
   bytes_allocated_ += bytes;
-  return reinterpret_cast<void*>(aligned);
+  if (guard_ == GuardMode::kPoison) {
+    unpoison(user, bytes);
+  } else if (guard_ == GuardMode::kCanary) {
+    guard_gap(gap_start, user);   // alignment pad
+    guard_gap(user + bytes, cursor_);  // trailing red zone
+  }
+  return user;
 }
 
 std::string_view Arena::intern(std::string_view s) {
@@ -57,24 +113,60 @@ std::string_view Arena::intern(std::string_view s) {
   return {p, s.size()};
 }
 
+std::size_t Arena::bytes_retained() const {
+  if (chunks_.empty()) return 0;
+  std::size_t free_bytes = static_cast<std::size_t>(limit_ - cursor_);
+  for (std::size_t i = active_ + 1; i < chunks_.size(); ++i) {
+    free_bytes += chunks_[i].size;
+  }
+  return free_bytes;
+}
+
 void Arena::reset() {
+  // Verify the gaps BEFORE any chunk is released: an overflow between
+  // allocations is reported at the boundary of the cycle that did it.
+  if (guard_ == GuardMode::kCanary) {
+    check_canaries();
+    canary_gaps_.clear();  // capacity retained — steady state stays clean
+  }
   if (chunks_.size() > 1) {
-    // The last cycle spilled; fold the total into the preferred chunk
-    // size so the next cycle fits in one chunk and reaches steady state.
-    chunk_bytes_ = std::max(chunk_bytes_, bytes_reserved_);
-    chunks_.clear();
-    bytes_reserved_ = 0;
-    cursor_ = nullptr;
-    limit_ = nullptr;
+    if (shrink_on_reset_) {
+      // Bounded-footprint mode: give the spill back, keep chunk 0 at its
+      // original size. The next cycle may reserve again — that is the
+      // explicit trade this knob makes.
+      chunks_.resize(1);
+      bytes_reserved_ = chunks_[0].size;
+      cursor_ = chunks_[0].data.get();
+      limit_ = cursor_ + chunks_[0].size;
+    } else {
+      // The last cycle spilled; fold the total into the preferred chunk
+      // size so the next cycle fits in one chunk and reaches steady
+      // state.
+      chunk_bytes_ = std::max(chunk_bytes_, bytes_reserved_);
+      chunks_.clear();
+      bytes_reserved_ = 0;
+      cursor_ = nullptr;
+      limit_ = nullptr;
+    }
   } else if (!chunks_.empty()) {
     cursor_ = chunks_[0].data.get();
     limit_ = cursor_ + chunks_[0].size;
   }
   active_ = 0;
   bytes_allocated_ = 0;
+  // Everything the arena still holds is now logically dead until the
+  // next allocate() — poison it wholesale so any pointer that escaped
+  // the reset boundary dies on first use instead of reading stale bytes.
+  if (guard_ == GuardMode::kPoison) {
+    for (const Chunk& c : chunks_) poison(c.data.get(), c.size);
+  }
 }
 
 void Arena::release() {
+  if (guard_ == GuardMode::kCanary) {
+    check_canaries();
+    canary_gaps_.clear();
+  }
   chunks_.clear();
   active_ = 0;
   cursor_ = nullptr;

@@ -36,6 +36,8 @@ void MetricsSnapshot::add_worker(const WorkerMetrics& w) {
   message.merge(w.message());
   workers.push_back(Worker{w.messages(), w.busy_seconds()});
   route_cache.merge(w.route_cache());
+  arena_allocated.merge(w.arena_allocated());
+  arena_retained.merge(w.arena_retained());
 }
 
 void MetricsSnapshot::capture_probe_sites() {
@@ -113,6 +115,13 @@ std::string MetricsSnapshot::to_json() const {
   }
   out += "], \"cache\": ";
   route_cache.append_json(out);
+  out += format(", \"arena\": {\"allocated_bytes\": %lld, "
+                "\"allocated_high_bytes\": %lld, \"retained_bytes\": %lld, "
+                "\"retained_high_bytes\": %lld}",
+                static_cast<long long>(arena_allocated.value),
+                static_cast<long long>(arena_allocated.high),
+                static_cast<long long>(arena_retained.value),
+                static_cast<long long>(arena_retained.high));
   out += ", \"probes\": [";
   for (std::size_t i = 0; i < probes.size(); ++i) {
     if (i != 0) out += ", ";

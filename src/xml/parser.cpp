@@ -6,7 +6,7 @@
 namespace xaon::xml {
 
 /// Builds the arena DOM from parser-core events.
-class DomBuilder final : public detail::EventSink {
+class XAON_ARENA_TIED DomBuilder final : public detail::EventSink {
  public:
   explicit DomBuilder(Document& doc) : doc_(doc) {
     doc_.doc_ = doc_.arena().make<Node>();

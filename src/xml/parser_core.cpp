@@ -30,7 +30,7 @@ const Sites& sites() {
   return s;
 }
 
-class Core {
+class XAON_ARENA_TIED Core {
  public:
   Core(std::string_view input, const ParseOptions& options,
        util::Arena& arena, EventSink& sink, ParserScratch& scratch)

@@ -16,14 +16,14 @@
 
 namespace xaon::xml::detail {
 
-struct ResolvedName {
+struct XAON_ARENA_TIED ResolvedName {
   std::string_view qname;
   std::string_view prefix;
   std::string_view local;
   std::string_view ns_uri;
 };
 
-struct AttrEvent {
+struct XAON_ARENA_TIED AttrEvent {
   ResolvedName name;
   std::string_view value;
 };
@@ -49,12 +49,12 @@ struct CoreResult {
 
 /// Raw (pre-namespace-resolution) attribute as collected from a start
 /// tag.
-struct RawAttr {
+struct XAON_ARENA_TIED RawAttr {
   std::string_view qname;
   std::string_view value;
 };
 
-struct NsBinding {
+struct XAON_ARENA_TIED NsBinding {
   std::string_view prefix;
   std::string_view uri;
   std::size_t depth;

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "xaon/util/annotations.hpp"
+
 /// \file ast.hpp  (internal)
 /// Arena-allocated XPath expression tree. All nodes are trivially
 /// destructible; string payloads are interned into the compile arena.
@@ -61,7 +63,7 @@ enum class Fn : std::uint8_t {
 
 struct Expr;
 
-struct Step {
+struct XAON_ARENA_TIED Step {
   Axis axis = Axis::kChild;
   NodeTestKind test = NodeTestKind::kAnyName;
   std::string_view local;    ///< for kName
@@ -70,7 +72,7 @@ struct Step {
   std::uint32_t n_predicates = 0;
 };
 
-struct Expr {
+struct XAON_ARENA_TIED Expr {
   ExprKind kind = ExprKind::kNumber;
 
   // Binary / unary operands.

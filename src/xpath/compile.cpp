@@ -25,6 +25,7 @@ struct Compiled {
 namespace {
 
 struct FnSig {
+  // xlint: allow(view-member): views string literals (static storage)
   std::string_view name;
   Fn fn;
   int min_args;
@@ -60,6 +61,7 @@ constexpr FnSig kFunctions[] = {
 };
 
 struct AxisName {
+  // xlint: allow(view-member): views string literals (static storage)
   std::string_view name;
   Axis axis;
 };

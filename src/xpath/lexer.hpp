@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "xaon/util/annotations.hpp"
+
 /// \file lexer.hpp  (internal)
 /// XPath 1.0 tokenizer, including the spec's operator-name
 /// disambiguation rule (`and`, `or`, `div`, `mod` and `*` are operators
@@ -27,7 +29,7 @@ enum class Tok : std::uint8_t {
   kAxisName,    // name directly followed by '::'
 };
 
-struct Token {
+struct XAON_ARENA_TIED Token {
   Tok kind = Tok::kEnd;
   std::string_view text;   // for names/literals/numbers
   double number = 0.0;

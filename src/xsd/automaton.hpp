@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "xaon/util/annotations.hpp"
 #include "xaon/xsd/model.hpp"
 
 /// \file automaton.hpp  (internal)
@@ -28,7 +29,7 @@ class ContentAutomaton {
   /// to the offending child (== names.size() when the sequence ended
   /// prematurely) and `expected` to a diagnostic list of acceptable
   /// element names at that point.
-  struct Symbol {
+  struct XAON_ARENA_TIED Symbol {
     std::string_view ns_uri;
     std::string_view local;
   };

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "xaon/util/annotations.hpp"
 #include "xaon/util/str.hpp"
 #include "xaon/util/sync.hpp"
 
@@ -24,7 +25,7 @@ std::string_view resolve_prefix(const xml::Node* node,
   return {};
 }
 
-struct QRef {
+struct XAON_ARENA_TIED QRef {
   std::string_view ns;
   std::string_view local;
 };

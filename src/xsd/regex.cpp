@@ -43,7 +43,7 @@ namespace {
 const std::uint32_t kStepSite =
     probe::site("xsd.regex.step", probe::SiteKind::kLoop);
 
-class Compiler {
+class XAON_ARENA_TIED Compiler {
  public:
   Compiler(std::string_view pattern, Regex::Program& prog)
       : in_(pattern), prog_(prog) {}

@@ -12,6 +12,7 @@ namespace xaon::xsd {
 namespace {
 
 struct NameMap {
+  // xlint: allow(view-member): views string literals (static storage)
   std::string_view name;
   BuiltinType type;
 };

@@ -22,14 +22,14 @@ namespace detail {
 /// Per-recursion-depth buffers for the content-model match. Each depth
 /// gets its own frame (a parent's child list must survive while its
 /// children recurse); frames are cleared and reused across messages.
-struct WalkFrame {
+struct XAON_ARENA_TIED WalkFrame {
   std::vector<const xml::Node*> children;
   std::vector<ContentAutomaton::Symbol> symbols;
   std::vector<const ElementDecl*> matched;
   std::string expected;
 };
 
-struct WalkScratch {
+struct XAON_ARENA_TIED WalkScratch {
   std::vector<std::unique_ptr<WalkFrame>> frames;
   std::vector<const xml::Node*> stack;  ///< ancestor chain for lazy paths
   std::string text_buf;                 ///< simple-content accumulation

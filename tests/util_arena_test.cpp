@@ -145,5 +145,96 @@ TEST(Arena, ZeroByteAllocationsAreDistinct) {
   EXPECT_NE(p, q);
 }
 
+TEST(Arena, OverAlignedAllocations) {
+  // Alignments far past alignof(max_align_t) — the arena must honor
+  // them even when they exceed the natural chunk start alignment.
+  Arena arena(1024);
+  for (std::size_t align : {128u, 256u, 4096u}) {
+    for (int i = 0; i < 4; ++i) {
+      void* p = arena.allocate(8, align);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << "align=" << align;
+      std::memset(p, 0x5A, 8);
+    }
+  }
+}
+
+TEST(Arena, AllocationExactlyAtChunkBoundary) {
+  // An allocation that exactly fills the remaining space must succeed
+  // in place; the next byte-sized allocation must come from new space,
+  // never overlap. Guards add a red zone, so size the filler off the
+  // live free space rather than a hard-coded chunk size.
+  Arena arena(512, Arena::GuardMode::kOff);
+  void* first = arena.allocate(1, 1);
+  const std::size_t remaining = arena.bytes_reserved() - 1;
+  void* fill = arena.allocate(remaining, 1);
+  EXPECT_EQ(static_cast<char*>(fill),
+            static_cast<char*>(first) + 1);  // contiguous, kOff layout
+  EXPECT_EQ(arena.bytes_allocated(), arena.bytes_reserved());
+  void* next = arena.allocate(1, 1);
+  EXPECT_GT(arena.chunk_count(), 1u);
+  EXPECT_NE(next, nullptr);
+}
+
+TEST(Arena, ShrinkOnResetReleasesSpill) {
+  Arena arena(256);
+  arena.set_shrink_on_reset(true);
+  for (int i = 0; i < 100; ++i) arena.allocate(64, 8);
+  EXPECT_GT(arena.chunk_count(), 1u);
+  arena.reset();
+  // All spill chunks went back; the first chunk stays at its original
+  // (tiny) size instead of being coalesced into a bigger one.
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.bytes_reserved(), 256u);
+  // The trade is explicit: the same workload reserves again.
+  for (int i = 0; i < 100; ++i) arena.allocate(64, 8);
+  EXPECT_GT(arena.chunk_count(), 1u);
+}
+
+TEST(Arena, BytesRetainedTracksUnusedReserve) {
+  Arena arena(1024, Arena::GuardMode::kOff);
+  EXPECT_EQ(arena.bytes_retained(), 0u);  // nothing reserved yet
+  arena.allocate(100, 1);
+  EXPECT_EQ(arena.bytes_retained(), arena.bytes_reserved() - 100);
+  arena.reset();
+  // Right after reset every reserved byte is retained for reuse.
+  EXPECT_EQ(arena.bytes_retained(), arena.bytes_reserved());
+  arena.release();
+  EXPECT_EQ(arena.bytes_retained(), 0u);
+}
+
+TEST(Arena, GuardModeDefaultsAndDegrade) {
+#if XAON_HAS_ASAN
+  EXPECT_EQ(Arena::default_guard_mode(), Arena::GuardMode::kPoison);
+#elif !defined(NDEBUG)
+  EXPECT_EQ(Arena::default_guard_mode(), Arena::GuardMode::kCanary);
+#else
+  EXPECT_EQ(Arena::default_guard_mode(), Arena::GuardMode::kOff);
+#endif
+  // Requesting poisoning without ASan degrades to canaries rather than
+  // silently running unguarded.
+  Arena arena(1024, Arena::GuardMode::kPoison);
+  if (XAON_HAS_ASAN) {
+    EXPECT_EQ(arena.guard_mode(), Arena::GuardMode::kPoison);
+  } else {
+    EXPECT_EQ(arena.guard_mode(), Arena::GuardMode::kCanary);
+  }
+}
+
+TEST(Arena, CanaryModeCleanCycleSurvivesReset) {
+  // Well-behaved allocations must sail through canary verification for
+  // many reset cycles (the per-message reuse pattern).
+  Arena arena(512, Arena::GuardMode::kCanary);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 20; ++i) {
+      auto* p = static_cast<char*>(arena.allocate(24, 8));
+      std::memset(p, cycle, 24);  // write every user byte, only those
+    }
+    arena.reset();
+  }
+  std::string_view v = arena.intern("still alive");
+  EXPECT_EQ(v, "still alive");
+}
+
 }  // namespace
 }  // namespace xaon::util

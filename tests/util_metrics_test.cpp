@@ -171,6 +171,35 @@ TEST(MetricsSnapshot, JsonDumpCarriesStagesWorkersAndProbes) {
   EXPECT_EQ(json.back(), '}');
 }
 
+TEST(WorkerMetrics, ArenaGaugesTrackFootprintAndHighWater) {
+  WorkerMetrics w;
+  w.record_arena(4096, 60 * 1024);
+  w.record_arena(2048, 62 * 1024);  // smaller message; high-water sticks
+  EXPECT_EQ(w.arena_allocated().value, 2048);
+  EXPECT_EQ(w.arena_allocated().high, 4096);
+  EXPECT_EQ(w.arena_retained().value, 62 * 1024);
+  EXPECT_EQ(w.arena_retained().high, 62 * 1024);
+}
+
+TEST(MetricsSnapshot, MergesArenaGaugesAndDumpsThem) {
+  WorkerMetrics a;
+  a.record_arena(1000, 3000);
+  WorkerMetrics b;
+  b.record_arena(500, 8000);
+  MetricsSnapshot snap;
+  snap.add_worker(a);
+  snap.add_worker(b);
+  // Gauge::merge: values sum across workers, highs keep the max.
+  EXPECT_EQ(snap.arena_allocated.value, 1500);
+  EXPECT_EQ(snap.arena_allocated.high, 1000);
+  EXPECT_EQ(snap.arena_retained.value, 11000);
+  EXPECT_EQ(snap.arena_retained.high, 8000);
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"arena\": {\"allocated_bytes\": 1500"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"retained_high_bytes\": 8000"), std::string::npos);
+}
+
 TEST(StageNames, AreStable) {
   EXPECT_EQ(stage_name(Stage::kParse), "parse");
   EXPECT_EQ(stage_name(Stage::kRoute), "route");

@@ -24,10 +24,38 @@
 //   pragma-once  every header opens with `#pragma once` (or a classic
 //                #ifndef/#define include guard)
 //
+// Arena lifetime rules (dataflow over a brace-scope statement stream —
+// the machine-checked half of DESIGN.md §"Arena lifetime contract"):
+//
+//   arena-escape a function taking `Arena&`/`Arena*` may not `return`
+//                a pointer/view derived from the arena (allocate /
+//                intern / make / make_array, or a local assigned from
+//                one), nor store one into a member (`foo_ = ...` /
+//                `this->foo = ...`) — escaping values outlive the next
+//                reset(). Waive with `// xlint: allow(arena-escape)`
+//                stating who owns the lifetime.
+//   view-member  no `std::string_view` members and no `Node*`/`Attr*`
+//                members in a struct/class that does not carry the
+//                XAON_ARENA_TIED marker (util/annotations.hpp) — the
+//                marker is the documented admission that the object
+//                dangles when its backing storage goes away.
+//   reset-order  no use of an arena-derived local after a visible
+//                `.reset()` / `.release()` / `clear_scratch()` of an
+//                arena in the same scope chain — the classic
+//                use-after-reset bug the poisoned debug arena aborts on
+//                at runtime; this catches it at lint time.
+//
 // Suppression: a finding is waived when its line, or the line directly
 // above it, carries `// xlint: allow(<rule>)` — make the comment say
 // *why*. Rules fire on comment- and string-stripped text, so the
 // directive itself can never trigger a rule.
+//
+// `xlint --list-allows <root>` prints every allow() directive under
+// include/ + src/ as TAB-separated `file:line  rule  reason` lines —
+// the machine-readable waiver inventory CI audits (an allow with no
+// stated reason prints an empty third field, easy to grep for).
+// `xlint --rules base|arena|all <root>` restricts which rule family
+// runs (the `lifetime` ctest tier runs `--rules arena`).
 //
 // Self-test: `xlint --self-test <dir>` lints a fixture directory in
 // which every intended violation is marked `// xlint: expect(<rule>)`,
@@ -430,13 +458,362 @@ void rule_pragma_once(const std::string& rel, const StrippedFile& f,
 }
 
 // ---------------------------------------------------------------------------
+// Arena lifetime rules.
+//
+// A single pass over the file's statement stream with a brace-depth
+// scope stack. Token-level dataflow, deliberately conservative: an
+// identifier is "an arena" when it was declared `Arena x` / bound as an
+// `Arena&` parameter, or when its name contains "arena" (catches member
+// chains like `scratch.arena` without type resolution); a local is
+// "arena-derived" when it is assigned from `<arena>.allocate/intern/
+// make/make_array` or from another derived local.
+
+struct ArenaScope {
+  bool struct_scope = false;  // opened by struct/class (not enum class)
+  bool arena_tied = false;    // head carries XAON_ARENA_TIED
+  bool arena_fn = false;      // function with an Arena&/Arena* parameter
+  std::set<std::string> arena_vars;
+  std::map<std::string, bool> derived;  // local -> invalidated by reset?
+};
+
+bool ident_is_arena_ish(const std::string& id) {
+  std::string low;
+  for (char c : id) {
+    low.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return low.find("arena") != std::string::npos;
+}
+
+// The identifier ending just before `pos` (whitespace skipped).
+std::string ident_before(const std::string& s, std::size_t pos) {
+  while (pos > 0 && std::isspace(static_cast<unsigned char>(s[pos - 1]))) {
+    --pos;
+  }
+  const std::size_t end = pos;
+  while (pos > 0 && is_ident(s[pos - 1])) --pos;
+  return s.substr(pos, end - pos);
+}
+
+// The identifier starting at/after `pos`, skipping whitespace and the
+// declarator decorations `&` / `*` (so `Arena& name` yields "name").
+std::string ident_after(const std::string& s, std::size_t pos) {
+  while (pos < s.size() &&
+         (std::isspace(static_cast<unsigned char>(s[pos])) || s[pos] == '&' ||
+          s[pos] == '*')) {
+    ++pos;
+  }
+  const std::size_t begin = pos;
+  while (pos < s.size() && is_ident(s[pos])) ++pos;
+  return s.substr(begin, pos - begin);
+}
+
+bool is_arena_expr(const std::string& id,
+                   const std::vector<ArenaScope>& stack) {
+  if (id.empty()) return false;
+  for (const ArenaScope& sc : stack) {
+    if (sc.arena_vars.count(id) != 0) return true;
+  }
+  return ident_is_arena_ish(id);
+}
+
+// True when `stmt` contains `<recv>.name(...)` / `<recv>->name<...>(...)`
+// with an arena-ish receiver.
+bool has_arena_member_call(const std::string& stmt, const std::string& name,
+                           bool allow_template_args,
+                           const std::vector<ArenaScope>& stack) {
+  for (std::size_t p = find_word(stmt, name); p != std::string::npos;
+       p = find_word(stmt, name, p + 1)) {
+    std::size_t recv_end;
+    if (p >= 1 && stmt[p - 1] == '.') {
+      recv_end = p - 1;
+    } else if (p >= 2 && stmt[p - 2] == '-' && stmt[p - 1] == '>') {
+      recv_end = p - 2;
+    } else {
+      continue;
+    }
+    const char nxt = first_nonspace_after(stmt, p + name.size());
+    if (nxt != '(' && !(allow_template_args && nxt == '<')) continue;
+    if (is_arena_expr(ident_before(stmt, recv_end), stack)) return true;
+  }
+  return false;
+}
+
+bool stmt_has_arena_deriv(const std::string& stmt,
+                          const std::vector<ArenaScope>& stack) {
+  return has_arena_member_call(stmt, "allocate", false, stack) ||
+         has_arena_member_call(stmt, "intern", false, stack) ||
+         has_arena_member_call(stmt, "make", true, stack) ||
+         has_arena_member_call(stmt, "make_array", true, stack);
+}
+
+bool stmt_has_arena_reset(const std::string& stmt,
+                          const std::vector<ArenaScope>& stack) {
+  if (has_arena_member_call(stmt, "reset", false, stack) ||
+      has_arena_member_call(stmt, "release", false, stack)) {
+    return true;
+  }
+  const std::size_t p = find_word(stmt, "clear_scratch");
+  return p != std::string::npos &&
+         first_nonspace_after(stmt, p + 13) == '(';
+}
+
+// Position of the first top-level assignment `=` (not ==, <=, +=, ...).
+std::size_t assign_pos(const std::string& s) {
+  int par = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '(' || c == '[') ++par;
+    if (c == ')' || c == ']') --par;
+    if (c != '=' || par != 0) continue;
+    const char prev = i > 0 ? s[i - 1] : '\0';
+    const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+    if (next == '=') {
+      ++i;  // skip ==
+      continue;
+    }
+    if (prev == '=' || prev == '!' || prev == '<' || prev == '>' ||
+        prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+        prev == '%' || prev == '&' || prev == '|' || prev == '^') {
+      continue;
+    }
+    return i;
+  }
+  return std::string::npos;
+}
+
+void rule_arena(const std::string& rel, const StrippedFile& f,
+                std::vector<Finding>& out) {
+  std::vector<ArenaScope> stack(1);
+  std::string chunk;          // text since the last '{' '}' or ';'
+  std::size_t chunk_line = 0; // 1-based line of its first non-space char
+  int paren = 0;
+  bool in_pp = false;  // inside a (possibly continued) # directive
+
+  auto in_arena_fn = [&stack] {
+    for (const ArenaScope& sc : stack) {
+      if (sc.arena_fn) return true;
+    }
+    return false;
+  };
+
+  auto find_derived_use = [&stack](const std::string& stmt,
+                                   std::size_t from) -> std::string {
+    for (const ArenaScope& sc : stack) {
+      for (const auto& [name, stale] : sc.derived) {
+        if (find_word(stmt, name, from) != std::string::npos) return name;
+      }
+    }
+    return {};
+  };
+
+  auto handle_statement = [&](const std::string& stmt, std::size_t line) {
+    if (stmt.find_first_not_of(" \t") == std::string::npos) return;
+    const bool deriv = stmt_has_arena_deriv(stmt, stack);
+    const std::size_t eq = assign_pos(stmt);
+    const std::string lhs =
+        eq == std::string::npos ? std::string() : ident_before(stmt, eq);
+    const bool is_return = find_word(stmt, "return") != std::string::npos;
+    const std::size_t this_arrow = stmt.find("this->");
+    const bool member_lhs =
+        eq != std::string::npos && !lhs.empty() &&
+        (lhs.back() == '_' ||
+         (this_arrow != std::string::npos && this_arrow < eq));
+
+    // reset-order: any mention of a stale derived local is a
+    // use-after-reset, unless the statement re-derives / reassigns it.
+    for (ArenaScope& sc : stack) {
+      for (auto& [name, stale] : sc.derived) {
+        if (!stale || find_word(stmt, name) == std::string::npos) continue;
+        const bool redefined =
+            eq != std::string::npos && lhs == name &&
+            (deriv || find_word(stmt, name, eq + 1) == std::string::npos);
+        if (!redefined) {
+          out.push_back({rel, line, "reset-order",
+                         "`" + name +
+                             "` derives from an arena that has since been "
+                             "reset — stale pointer/view use"});
+        }
+        stale = false;  // re-derived, reassigned, or reported once
+      }
+    }
+
+    // `Arena name{...}` / `Arena name(...)` local declarations.
+    const std::size_t ap = find_word(stmt, "Arena");
+    if (ap != std::string::npos) {
+      const std::string v = ident_after(stmt, ap + 5);
+      if (!v.empty()) stack.back().arena_vars.insert(v);
+    }
+
+    if (deriv) {
+      if (is_return && in_arena_fn()) {
+        out.push_back({rel, line, "arena-escape",
+                       "returning an arena-derived pointer/view from a "
+                       "function taking Arena& — dies at the next reset()"});
+      } else if (member_lhs && in_arena_fn()) {
+        out.push_back({rel, line, "arena-escape",
+                       "storing an arena-derived pointer/view into a member "
+                       "from a function taking Arena&"});
+      } else if (eq != std::string::npos && !lhs.empty()) {
+        stack.back().derived[lhs] = false;
+      }
+    } else {
+      // Escapes of an already-derived local. Only the exact-identifier
+      // forms (`return p;`, `member_ = p;`) are claimed — a wrapping
+      // expression (`return p != nullptr;`) changes what escapes in
+      // ways a token scan cannot judge, so it stays silent.
+      auto trim = [](std::string s) {
+        while (!s.empty() &&
+               std::isspace(static_cast<unsigned char>(s.front()))) {
+          s.erase(s.begin());
+        }
+        while (!s.empty() &&
+               std::isspace(static_cast<unsigned char>(s.back()))) {
+          s.pop_back();
+        }
+        return s;
+      };
+      auto is_derived_local = [&stack](const std::string& name) {
+        for (const ArenaScope& sc : stack) {
+          if (sc.derived.count(name) != 0) return true;
+        }
+        return false;
+      };
+      std::string escapee;
+      if (is_return) {
+        escapee = trim(stmt.substr(find_word(stmt, "return") + 6));
+      } else if (member_lhs) {
+        escapee = trim(stmt.substr(eq + 1));
+      }
+      const bool bare_ident =
+          !escapee.empty() &&
+          std::all_of(escapee.begin(), escapee.end(), is_ident);
+      if (bare_ident && is_derived_local(escapee) && in_arena_fn()) {
+        out.push_back({rel, line, "arena-escape",
+                       is_return
+                           ? "returning arena-derived local `" + escapee +
+                                 "` from a function taking Arena&"
+                           : "storing arena-derived local `" + escapee +
+                                 "` into a member from a function taking "
+                                 "Arena&"});
+      } else if (eq != std::string::npos && !lhs.empty()) {
+        const std::string used = find_derived_use(stmt, eq + 1);
+        if (!used.empty() && lhs != used) {
+          stack.back().derived[lhs] = false;  // derived-ness propagates
+        }
+      }
+    }
+
+    if (stmt_has_arena_reset(stmt, stack)) {
+      for (ArenaScope& sc : stack) {
+        for (auto& kv : sc.derived) kv.second = true;
+      }
+    }
+
+    // view-member: a data-member declaration inside an unmarked struct.
+    const ArenaScope& top = stack.back();
+    if (top.struct_scope && !top.arena_tied &&
+        stmt.find('(') == std::string::npos && !is_return &&
+        find_word(stmt, "using") == std::string::npos &&
+        find_word(stmt, "typedef") == std::string::npos &&
+        find_word(stmt, "friend") == std::string::npos &&
+        find_word(stmt, "static") == std::string::npos) {
+      if (find_word(stmt, "string_view") != std::string::npos) {
+        out.push_back({rel, line, "view-member",
+                       "string_view member in a struct without "
+                       "XAON_ARENA_TIED — mark the type or own the bytes"});
+      } else {
+        for (const char* t : {"Node", "Attr"}) {
+          const std::size_t p = find_word(stmt, t);
+          if (p != std::string::npos &&
+              first_nonspace_after(stmt, p + std::string(t).size()) == '*') {
+            out.push_back({rel, line, "view-member",
+                           std::string(t) +
+                               "* member in a struct without XAON_ARENA_TIED "
+                               "— dangles at the owning arena's reset()"});
+            break;
+          }
+        }
+      }
+    }
+  };
+
+  for (std::size_t li = 0; li < f.code.size(); ++li) {
+    const std::string& s = f.code[li];
+    if (in_pp || first_nonspace_after(s, 0) == '#') {
+      in_pp = !f.raw[li].empty() && f.raw[li].back() == '\\';
+      continue;
+    }
+    for (std::size_t ci = 0; ci < s.size(); ++ci) {
+      const char c = s[ci];
+      if (c == '(') ++paren;
+      if (c == ')' && paren > 0) --paren;
+      if (c == '{' && paren == 0) {
+        ArenaScope sc;
+        const bool is_struct =
+            (find_word(chunk, "struct") != std::string::npos ||
+             find_word(chunk, "class") != std::string::npos) &&
+            find_word(chunk, "enum") == std::string::npos &&
+            chunk.find('(') == std::string::npos;
+        if (is_struct) {
+          sc.struct_scope = true;
+          sc.arena_tied =
+              find_word(chunk, "XAON_ARENA_TIED") != std::string::npos;
+        } else {
+          std::size_t ap = find_word(chunk, "Arena");
+          const std::size_t op = chunk.find('(');
+          if (ap != std::string::npos && op != std::string::npos && ap > op) {
+            // Arena&/Arena* parameters of the function being opened.
+            for (; ap != std::string::npos;
+                 ap = find_word(chunk, "Arena", ap + 1)) {
+              const std::string v = ident_after(chunk, ap + 5);
+              if (!v.empty()) {
+                sc.arena_fn = true;
+                sc.arena_vars.insert(v);
+              }
+            }
+          } else if (ap != std::string::npos && op == std::string::npos) {
+            // `Arena name{` brace-initialized declaration.
+            const std::string v = ident_after(chunk, ap + 5);
+            if (!v.empty()) stack.back().arena_vars.insert(v);
+          }
+        }
+        stack.push_back(sc);
+        chunk.clear();
+        chunk_line = 0;
+      } else if (c == '}' && paren == 0) {
+        chunk.clear();
+        chunk_line = 0;
+        if (stack.size() > 1) stack.pop_back();
+      } else if (c == ';' && paren == 0) {
+        handle_statement(chunk, chunk_line != 0 ? chunk_line : li + 1);
+        chunk.clear();
+        chunk_line = 0;
+      } else {
+        if (chunk_line == 0 &&
+            !std::isspace(static_cast<unsigned char>(c))) {
+          chunk_line = li + 1;
+        }
+        chunk.push_back(c);
+      }
+    }
+    chunk.push_back(' ');  // the line break separates tokens
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
+
+// Which rule families run: the base hygiene set, the arena lifetime
+// dataflow set, or both (default).
+enum RuleSet : unsigned { kRulesBase = 1u, kRulesArena = 2u,
+                          kRulesAll = kRulesBase | kRulesArena };
 
 struct LintResult {
   std::vector<Finding> findings;     // after allow() suppression
   std::vector<Finding> suppressed;   // waived by allow()
   std::set<std::pair<std::string, std::size_t>> expect_unmatched;  // self-test
   std::size_t files = 0;
+  unsigned rules = kRulesAll;
 };
 
 void lint_file(const fs::path& path, const std::string& rel, bool self_test,
@@ -453,10 +830,15 @@ void lint_file(const fs::path& path, const std::string& rel, bool self_test,
   ++res.files;
 
   std::vector<Finding> raw_findings;
-  if (is_hot_path(rel, self_test)) rule_hot_alloc(rel, f, raw_findings);
-  rule_mutex_guard(rel, f, raw_findings);
-  rule_iostream(rel, f, raw_findings);
-  rule_pragma_once(rel, f, raw_findings);
+  if ((res.rules & kRulesBase) != 0) {
+    if (is_hot_path(rel, self_test)) rule_hot_alloc(rel, f, raw_findings);
+    rule_mutex_guard(rel, f, raw_findings);
+    rule_iostream(rel, f, raw_findings);
+    rule_pragma_once(rel, f, raw_findings);
+  }
+  if ((res.rules & kRulesArena) != 0) {
+    rule_arena(rel, f, raw_findings);
+  }
 
   // allow() applies to its own line and the line directly below.
   std::set<std::pair<std::size_t, std::string>> allows;
@@ -516,8 +898,9 @@ void walk(const fs::path& root, const fs::path& sub, bool self_test,
   }
 }
 
-int run_lint(const fs::path& root) {
+int run_lint(const fs::path& root, unsigned rules) {
   LintResult res;
+  res.rules = rules;
   walk(root, "include", false, res);
   walk(root, "src", false, res);
   if (res.files == 0) {
@@ -560,15 +943,97 @@ int run_self_test(const fs::path& dir) {
   return ok ? 0 : 1;
 }
 
+// Prints every `xlint: allow(<rule>)` directive under include/ + src/
+// as `file:line<TAB>rule<TAB>reason` — the waiver inventory CI audits.
+int run_list_allows(const fs::path& root) {
+  struct AllowSite {
+    std::string file;
+    std::size_t line;
+    std::string rule;
+    std::string reason;
+  };
+  std::vector<AllowSite> sites;
+  std::size_t files = 0;
+  for (const char* sub : {"include", "src"}) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+      if (!e.is_regular_file()) continue;
+      const std::string ext = e.path().extension().string();
+      if (ext != ".hpp" && ext != ".h" && ext != ".cpp" && ext != ".cc" &&
+          ext != ".ipp") {
+        continue;
+      }
+      std::ifstream in(e.path(), std::ios::binary);
+      if (!in) {
+        std::cerr << "xlint: cannot read " << e.path() << "\n";
+        return 2;
+      }
+      ++files;
+      const std::string rel = fs::relative(e.path(), root).generic_string();
+      std::string line;
+      for (std::size_t no = 1; std::getline(in, line); ++no) {
+        const std::string key = "xlint: allow(";
+        for (std::size_t p = line.find(key); p != std::string::npos;
+             p = line.find(key, p + 1)) {
+          const std::size_t open = p + key.size();
+          const std::size_t close = line.find(')', open);
+          if (close == std::string::npos) continue;
+          std::string reason;
+          std::size_t r = close + 1;
+          if (r < line.size() && line[r] == ':') ++r;
+          while (r < line.size() &&
+                 std::isspace(static_cast<unsigned char>(line[r]))) {
+            ++r;
+          }
+          reason = line.substr(r);
+          while (!reason.empty() &&
+                 std::isspace(static_cast<unsigned char>(reason.back()))) {
+            reason.pop_back();
+          }
+          sites.push_back({rel, no, line.substr(open, close - open), reason});
+        }
+      }
+    }
+  }
+  if (files == 0) {
+    std::cerr << "xlint: no sources under " << root << "/{include,src}\n";
+    return 2;
+  }
+  std::sort(sites.begin(), sites.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+  });
+  for (const AllowSite& s : sites) {
+    std::cout << s.file << ":" << s.line << "\t" << s.rule << "\t" << s.reason
+              << "\n";
+  }
+  std::cerr << "xlint: " << sites.size() << " allow directive(s) in " << files
+            << " files\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::string(argv[1]) == "--self-test") {
     return run_self_test(argv[2]);
   }
-  if (argc == 2) {
-    return run_lint(argv[1]);
+  if (argc == 3 && std::string(argv[1]) == "--list-allows") {
+    return run_list_allows(argv[2]);
   }
-  std::cerr << "usage: xlint <repo-root> | xlint --self-test <fixture-dir>\n";
+  if (argc == 4 && std::string(argv[1]) == "--rules") {
+    const std::string which = argv[2];
+    unsigned rules = 0;
+    if (which == "all") rules = kRulesAll;
+    if (which == "base") rules = kRulesBase;
+    if (which == "arena") rules = kRulesArena;
+    if (rules != 0) return run_lint(argv[3], rules);
+  }
+  if (argc == 2) {
+    return run_lint(argv[1], kRulesAll);
+  }
+  std::cerr << "usage: xlint [--rules all|base|arena] <repo-root>\n"
+               "       xlint --self-test <fixture-dir>\n"
+               "       xlint --list-allows <repo-root>\n";
   return 2;
 }

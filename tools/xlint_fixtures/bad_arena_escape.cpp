@@ -1,0 +1,43 @@
+// Deliberately-bad xlint fixture for the arena-escape rule: a function
+// taking Arena& may not leak an arena-derived pointer/view through its
+// return value or into a member — both outlive the arena's next
+// reset(). Linter input only — this file is never compiled.
+
+const char* leak_via_local(util::Arena& arena) {
+  const char* p = arena.intern("boom");
+  return p;  // xlint: expect(arena-escape)
+}
+
+void* leak_direct(util::Arena& arena) {
+  return arena.allocate(16, 8);  // xlint: expect(arena-escape)
+}
+
+struct XAON_ARENA_TIED Holder {
+  const char* name_ = nullptr;
+
+  void bind(util::Arena& arena) {
+    name_ = arena.intern("leak");  // xlint: expect(arena-escape)
+  }
+
+  void bind_through_this(util::Arena& arena) {
+    this->name_ = arena.intern("leak");  // xlint: expect(arena-escape)
+  }
+
+  void bind_local_then_member(util::Arena& arena) {
+    const char* tmp = arena.intern("leak");
+    name_ = tmp;  // xlint: expect(arena-escape)
+  }
+};
+
+// The sanctioned form: the waiver names who owns the lifetime.
+const char* blessed_escape(util::Arena& arena) {
+  // xlint: allow(arena-escape): caller owns the arena and outlives it
+  return arena.intern("ok");
+}
+
+// Not escapes: values computed FROM a derived pointer (not the pointer
+// itself) may leave freely, and purely local use is the normal idiom.
+bool local_use_only(util::Arena& arena) {
+  const char* p = arena.intern("scratch");
+  return p != nullptr;
+}

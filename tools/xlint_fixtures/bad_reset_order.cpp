@@ -1,0 +1,39 @@
+// Deliberately-bad xlint fixture for the reset-order rule: once an
+// arena is visibly reset()/release()d, every local derived from it is a
+// stale pointer/view — the bug the poisoned debug arena aborts on at
+// runtime, caught here at lint time. Never compiled.
+
+void stale_after_reset(util::Arena& arena) {
+  const char* p = arena.intern("v");
+  arena.reset();
+  consume(p);  // xlint: expect(reset-order)
+}
+
+void stale_through_member_chain(Scratch& scratch) {
+  const char* name = scratch.arena.intern("n");
+  scratch.arena.reset();
+  consume(name);  // xlint: expect(reset-order)
+}
+
+void stale_after_release(util::Arena& arena) {
+  void* block = arena.allocate(64, 8);
+  arena.release();
+  consume(block);  // xlint: expect(reset-order)
+}
+
+// Not stale: re-deriving after the reset makes the local fresh again —
+// this is exactly the per-message reuse pattern the pipeline runs.
+void fine_rederive(util::Arena& arena) {
+  const char* p = arena.intern("v");
+  arena.reset();
+  p = arena.intern("w");
+  consume(p);
+}
+
+// Not stale: resetting some unrelated object does not invalidate
+// arena-derived locals (the receiver must look like an arena).
+void fine_unrelated_reset(util::Arena& arena, Parser& parser) {
+  const char* p = arena.intern("v");
+  parser.reset();
+  consume(p);
+}

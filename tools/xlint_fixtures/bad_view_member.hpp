@@ -1,0 +1,36 @@
+#pragma once
+// Deliberately-bad xlint fixture for the view-member rule: string_view
+// and DOM-pointer members are lifetime liabilities, so a struct holding
+// one must carry XAON_ARENA_TIED — the documented admission that the
+// object dangles when its backing storage goes away. Never compiled.
+
+struct UnmarkedView {
+  std::string_view name;  // xlint: expect(view-member)
+  int count = 0;
+};
+
+struct UnmarkedNodePtr {
+  const xml::Node* first = nullptr;  // xlint: expect(view-member)
+};
+
+struct UnmarkedAttrPtr {
+  const xml::Attr* attr = nullptr;  // xlint: expect(view-member)
+};
+
+// The sanctioned form: the marker states the contract.
+struct XAON_ARENA_TIED MarkedView {
+  std::string_view name;
+  const xml::Node* node = nullptr;
+  const xml::Attr* attr = nullptr;
+};
+
+// Owning members need no marker; neither do non-member locals.
+struct OwningMembers {
+  std::string name;
+  std::vector<int> counts;
+};
+
+inline void locals_are_fine() {
+  std::string_view local = "stack-scoped";
+  consume(local);
+}
