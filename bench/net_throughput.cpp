@@ -1,0 +1,171 @@
+// Real-network gateway throughput: messages/s per use case (FR / CBR /
+// SV) through the xaon::net epoll transport over loopback TCP, driven
+// by an in-process keep-alive client fleet — the socket-level analogue
+// of host_throughput (the paper's appliance numbers are socket-level:
+// Fig. 2 / Table 3 isolate the stack over loopback the same way). Also
+// reports steady-state heap allocations per message across the WHOLE
+// server process while the load runs: accept -> epoll read -> parse ->
+// route -> serialize -> write must hold the §5b zero-alloc contract,
+// not just the pipeline in isolation. Each use case emits one JSON
+// line with the same schema as host_throughput (BENCH_*.json).
+
+#define XAON_ALLOC_COUNT_INTERPOSE
+#include "alloc_counter.hpp"
+
+#include "bench_common.hpp"
+
+#include <thread>
+
+#include "xaon/aon/messages.hpp"
+#include "xaon/http/parser.hpp"
+#include "xaon/net/downstream.hpp"
+#include "xaon/net/server.hpp"
+#include "xaon/net/socket.hpp"
+#include "xaon/util/metrics.hpp"
+
+using namespace xaon;
+
+namespace {
+
+/// One client thread: a keep-alive connection cycling through the wire
+/// mix, lock-step request/response. Returns messages that got a 2xx.
+std::uint64_t drive_client(std::uint16_t port,
+                           const std::vector<std::string>& wires,
+                           std::uint64_t count, std::uint64_t cursor0) {
+  net::BlockingClient client;
+  if (!client.connect(port)) return 0;
+  http::ResponseParser parser;
+  std::uint64_t ok = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string& wire = wires[(cursor0 + i) % wires.size()];
+    if (!client.send(wire)) break;
+    const int status = client.read_response(parser);
+    if (status < 0) break;
+    if (status >= 200 && status < 300) ++ok;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::uint64_t messages = static_cast<std::uint64_t>(
+      flags.i64("messages", 8000, "messages per measured run (all clients)"));
+  const std::size_t workers = static_cast<std::size_t>(
+      flags.i64("workers", 2, "event-loop threads (paper: one per CPU)"));
+  const std::size_t clients = static_cast<std::size_t>(
+      flags.i64("clients", 4, "keep-alive client connections"));
+  const std::size_t mix = static_cast<std::size_t>(
+      flags.i64("mix", 64, "distinct 5KB messages cycled through"));
+  const std::size_t route_cache = static_cast<std::size_t>(flags.i64(
+      "route_cache", static_cast<std::int64_t>(aon::kDefaultRouteCacheCapacity),
+      "per-worker CBR routing-cache capacity (0 disables)"));
+  if (bench::handle_help(flags)) return 0;
+
+  std::vector<std::string> wires;
+  wires.reserve(mix);
+  for (std::size_t i = 0; i < mix; ++i) {
+    aon::MessageSpec spec;
+    spec.seed = i + 1;
+    spec.quantity = static_cast<std::uint32_t>(i % 2) + 1;
+    wires.push_back(aon::make_post_wire(spec));
+  }
+
+  const aon::UseCase cases[] = {aon::UseCase::kForwardRequest,
+                                aon::UseCase::kContentBasedRouting,
+                                aon::UseCase::kSchemaValidation};
+
+  util::TextTable table("Real-network (loopback TCP) gateway throughput");
+  table.set_header({"Use case", "msgs/s", "allocs/msg", "bytes/msg"});
+  table.set_tsv(true);
+
+  for (aon::UseCase use_case : cases) {
+    const std::string name(aon::use_case_notation(use_case));
+
+    // A healthy sink behind the gateway so the forward path writes
+    // real bytes to a second socket, like the appliance it models.
+    net::SinkServer sink;
+    std::string error;
+    if (!sink.start(&error)) {
+      std::fprintf(stderr, "sink: %s\n", error.c_str());
+      return 1;
+    }
+    net::SocketDownstream downstream(sink.port());
+
+    net::ServerConfig config;
+    config.use_case = use_case;
+    config.workers = workers;
+    config.downstream = &downstream;
+    config.route_cache_capacity = route_cache;
+    net::Server server(config);
+    if (!server.start(&error)) {
+      std::fprintf(stderr, "server: %s\n", error.c_str());
+      return 1;
+    }
+
+    const std::uint64_t per_client = messages / clients;
+    auto run_fleet = [&](std::uint64_t count) {
+      std::vector<std::thread> fleet;
+      std::vector<std::uint64_t> ok(clients, 0);
+      fleet.reserve(clients);
+      for (std::size_t c = 0; c < clients; ++c) {
+        fleet.emplace_back([&, c] {
+          ok[c] = drive_client(server.port(), wires, count, c * 17);
+        });
+      }
+      for (auto& t : fleet) t.join();
+      std::uint64_t total = 0;
+      for (const std::uint64_t v : ok) total += v;
+      return total;
+    };
+
+    // Warm-up grows every reusable buffer (connection out-buffers,
+    // parser storage, arenas) to working capacity, then the measured
+    // run counts process-wide allocations.
+    (void)run_fleet(per_client / 4 + 1);
+    bench::reset_alloc_counter();
+    const std::uint64_t t0 = util::metrics_now_ns();
+    const std::uint64_t ok = run_fleet(per_client);
+    const std::uint64_t t1 = util::metrics_now_ns();
+    const std::uint64_t sent = per_client * clients;
+    // Client-side allocations ride the same interposer; the fleet's
+    // steady state is also allocation-free (retained parser/buffer
+    // capacity), so the quotient stays honest about the server.
+    const double allocs_per_msg = static_cast<double>(bench::alloc_count()) /
+                                  static_cast<double>(sent);
+    const double bytes_per_msg = static_cast<double>(bench::alloc_bytes()) /
+                                 static_cast<double>(sent);
+    const double wall_seconds = static_cast<double>(t1 - t0) * 1e-9;
+    const double msgs_per_sec =
+        wall_seconds > 0.0 ? static_cast<double>(ok) / wall_seconds : 0.0;
+
+    const net::ServerStats& stats = server.stop();
+    sink.stop();
+
+    table.add_row({name, util::format("%.0f", msgs_per_sec),
+                   util::format("%.2f", allocs_per_msg),
+                   util::format("%.1f", bytes_per_msg)});
+    std::printf(
+        "{\"bench\": \"net_throughput\", \"use_case\": \"%s\", "
+        "\"workers\": %zu, \"clients\": %zu, \"messages\": %llu, "
+        "\"seconds\": %.4f, \"wall_seconds\": %.4f, \"msgs_per_sec\": %.1f, "
+        "\"allocs_per_msg\": %.2f, \"bytes_per_msg\": %.1f, "
+        "\"failed\": %llu, \"forward_shed\": %llu, "
+        "\"forward_failures\": %llu, \"cache_hit_rate\": %.4f, "
+        "\"sink_bytes\": %llu, \"metrics\": %s}\n",
+        name.c_str(), workers, clients,
+        static_cast<unsigned long long>(stats.messages),
+        stats.metrics.busy_seconds_total(), wall_seconds, msgs_per_sec,
+        allocs_per_msg, bytes_per_msg,
+        static_cast<unsigned long long>(stats.failed),
+        static_cast<unsigned long long>(stats.forward_shed),
+        static_cast<unsigned long long>(stats.forward_failures),
+        stats.metrics.route_cache.hit_rate(),
+        static_cast<unsigned long long>(sink.bytes_received()),
+        stats.metrics.to_json().c_str());
+  }
+
+  table.print();
+  return 0;
+}

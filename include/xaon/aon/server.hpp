@@ -29,10 +29,11 @@ enum class SendStatus : std::uint8_t {
   kFail,  ///< hard failure — retried, then reported as 502
 };
 
-/// The next hop a processed message is forwarded to. Host mode has no
-/// real network, so implementations are in-process doubles (healthy,
-/// flaky, slow, dead). `send` is called concurrently from every worker
-/// and must be thread-safe.
+/// The next hop a processed message is forwarded to. Host mode uses
+/// in-process doubles (healthy, flaky, slow, dead); the real-socket
+/// implementation is `net::SocketDownstream`, which maps connect/write
+/// deadlines onto the same verdicts (xaon/net/downstream.hpp). `send`
+/// is called concurrently from every worker and must be thread-safe.
 class Downstream {
  public:
   virtual ~Downstream() = default;

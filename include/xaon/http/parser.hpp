@@ -104,6 +104,10 @@ class MessageParser {
   std::size_t header_bytes_ = 0;
   bool chunked_ = false;
   bool has_length_ = false;
+  /// kChunkData terminator sub-state: '\r' of the post-payload CRLF
+  /// seen, '\n' still owed. The terminator must be an exact CRLF —
+  /// anything else is kBadChunk (see feed_impl).
+  bool chunk_cr_seen_ = false;
   std::size_t max_body_ = 16 * 1024 * 1024;
   std::size_t max_header_count_ = 128;
   std::size_t max_header_bytes_ = 256 * 1024;

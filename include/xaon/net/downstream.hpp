@@ -1,0 +1,98 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "xaon/aon/server.hpp"
+#include "xaon/net/socket.hpp"
+#include "xaon/util/annotations.hpp"
+#include "xaon/util/sync.hpp"
+
+/// \file downstream.hpp
+/// Real-socket forward path for `xaon::net`: a `Downstream` that writes
+/// each outbound wire to a loopback TCP peer, and the sink peer the
+/// tests and bench stand up behind it. Together they close the loop the
+/// host-mode doubles only model — the transport's 502/503 shedding now
+/// reacts to actual kernel behavior (connect refusals, full send
+/// buffers) instead of scripted verdicts.
+
+namespace xaon::net {
+
+/// Socket-backed `aon::Downstream`: each send checks out a pooled
+/// loopback connection, performs a nonblocking connect (first use) and
+/// nonblocking writes under one wall-clock deadline, and returns the
+/// connection to the pool on success. Deadline mapping (DESIGN.md
+/// §"Transport"):
+///
+///   - connect/write past the deadline  -> kBusy (peer alive but slow;
+///     the caller's retry budget decides between retry and 503)
+///   - refusal / reset / socket error   -> kFail (hard 502 after the
+///     retry budget)
+///   - wire fully written               -> kAck
+///
+/// Thread-safe: workers share the pool under a mutex; the socket I/O
+/// itself happens outside the lock on the checked-out fd, so one slow
+/// peer write never serializes the other workers' sends.
+class SocketDownstream : public aon::Downstream {
+ public:
+  /// Forwards to 127.0.0.1:`port`. `deadline_ms` bounds each send's
+  /// total connect+write wall-clock time.
+  explicit SocketDownstream(std::uint16_t port, std::uint32_t deadline_ms = 50);
+  ~SocketDownstream() override;
+
+  aon::SendStatus send(std::string_view wire) override;
+
+  /// Drops every pooled connection (e.g. after the peer restarts).
+  void close_all();
+
+ private:
+  int check_out();           ///< pooled fd or -1 (caller then connects)
+  void check_in(int fd);     ///< return a healthy fd to the pool
+
+  const std::uint16_t port_;
+  const std::uint32_t deadline_ms_;
+  util::Mutex mu_;
+  std::vector<int> idle_ XAON_GUARDED_BY(mu_);  ///< pooled connections
+};
+
+/// Loopback peer that accepts connections and discards whatever
+/// arrives, counting bytes — the "healthy downstream" stand-in for the
+/// transport tests and `bench/net_throughput`. Single poll() thread;
+/// not a performance actor, just a correct one. Stop to get totals.
+class SinkServer {
+ public:
+  SinkServer() = default;
+  ~SinkServer();
+
+  /// Binds 127.0.0.1 (kernel-assigned port) and starts the thread.
+  bool start(std::string* error = nullptr);
+  std::uint16_t port() const { return port_; }
+
+  /// Joins the thread and closes every connection. Idempotent.
+  void stop();
+
+  /// Total payload bytes drained (readable while running).
+  std::uint64_t bytes_received() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  /// Connections accepted so far.
+  std::uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  Fd listen_fd_;
+  Fd stop_event_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+};
+
+}  // namespace xaon::net

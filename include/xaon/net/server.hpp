@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "xaon/aon/pipeline.hpp"
+#include "xaon/aon/server.hpp"
+#include "xaon/util/metrics.hpp"
+
+/// \file server.hpp
+/// Real-network AON server: an epoll-based nonblocking TCP transport
+/// terminating the HTTP connections the paper's appliance terminates
+/// (its Fig. 2 / Table 3 numbers are socket-level). One acceptor thread
+/// accepts on the loopback listener and hands fds round-robin to
+/// per-worker event loops; each worker drives the incremental
+/// `http::MessageParser` over whatever read chunks the kernel delivers,
+/// supports HTTP/1.1 keep-alive pipelining, and reuses one arena-backed
+/// `Pipeline::ProcessScratch` across every message it handles — the
+/// parse → route → serialize path stays allocation-free at steady
+/// state, same contract as the host-mode server (DESIGN.md §5b).
+///
+/// The forward path mirrors host mode: an optional `aon::Downstream`
+/// (see `net::SocketDownstream` for the real-socket one) with the
+/// bounded `ForwardPolicy` retry budget; an exhausted budget degrades
+/// the one message to 502/503 and the event loop moves on. DESIGN.md
+/// §"Transport" documents the connection state machine and the
+/// timeout → shed mapping.
+
+namespace xaon::net {
+
+struct ServerConfig {
+  aon::UseCase use_case = aon::UseCase::kForwardRequest;
+  std::size_t workers = 2;  ///< event-loop threads (paper: one per CPU)
+  /// Loopback port to bind; 0 = kernel-assigned (read it back via
+  /// `Server::port()` once started).
+  std::uint16_t port = 0;
+  /// Capacity of each worker's acceptor→worker fd handoff ring.
+  std::size_t handoff_capacity = 256;
+  /// Per-read buffer; also the largest chunk the parser sees at once.
+  std::size_t read_chunk = 64 * 1024;
+  /// Per-message HTTP body cap (`MessageParser::set_max_body`).
+  std::size_t max_body = 16 * 1024 * 1024;
+  aon::Downstream* downstream = nullptr;  ///< optional next hop (not owned)
+  aon::ForwardPolicy forward;
+  /// Per-worker CBR structural routing cache capacity (0 disables).
+  std::size_t route_cache_capacity = aon::kDefaultRouteCacheCapacity;
+};
+
+/// Merged results, valid after `stop()`. The shape mirrors
+/// `aon::LoadResult` so benches emit the same JSON-line schema; the
+/// transport-level counters (accepted/closed/EAGAIN/short-writes,
+/// bytes in/out) ride inside `metrics` as `util::NetCounters`.
+struct ServerStats {
+  std::uint64_t messages = 0;        ///< requests fully parsed + processed
+  std::uint64_t routed_primary = 0;
+  std::uint64_t routed_error = 0;
+  std::uint64_t failed = 0;          ///< HTTP/XML-level rejections
+  aon::StatusBuckets status;         ///< response classes, reconciled
+  std::uint64_t forward_retries = 0;
+  std::uint64_t forward_failures = 0;  ///< budget exhausted on kFail (502)
+  std::uint64_t forward_shed = 0;      ///< budget exhausted on kBusy (503)
+  util::MetricsSnapshot metrics;
+};
+
+/// The transport server. start() binds and spawns the threads; stop()
+/// tears everything down and merges per-worker state into stats().
+class Server {
+ public:
+  explicit Server(const ServerConfig& config);
+  ~Server();  ///< stops if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1 and starts acceptor + worker threads. False (with
+  /// `*error`) on bind/listen/epoll failure.
+  bool start(std::string* error = nullptr);
+
+  /// The bound loopback port (valid after start()).
+  std::uint16_t port() const;
+
+  bool running() const;
+
+  /// Stops accepting, closes every connection, joins all threads and
+  /// merges worker state. Idempotent; returns the merged stats.
+  const ServerStats& stop();
+
+  /// Merged stats (meaningful after stop()).
+  const ServerStats& stats() const;
+
+  const ServerConfig& config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xaon::net

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "xaon/http/parser.hpp"
+
+/// \file socket.hpp
+/// Thin POSIX socket layer under the real-network transport
+/// (`xaon::net`): an RAII fd, loopback listen/connect helpers, and a
+/// blocking client connection for tests and the bench client fleet.
+/// Everything here is loopback TCP — the paper's appliance terminates
+/// real sockets, and loopback is how its Fig. 2 baseline isolates the
+/// protocol stack from the physical link.
+
+namespace xaon::net {
+
+/// RAII file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the held fd (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// O_NONBLOCK on; false on fcntl failure.
+bool set_nonblocking(int fd);
+
+/// TCP_NODELAY on (the request/response pattern here is latency-bound;
+/// Nagle would serialize the keep-alive pipeline). False on failure.
+bool set_nodelay(int fd);
+
+/// Nonblocking listener bound to 127.0.0.1:`port` (0 = kernel-assigned;
+/// the bound port is written to `*bound_port`). Invalid Fd + `*error`
+/// on failure.
+Fd listen_tcp(std::uint16_t port, std::uint16_t* bound_port,
+              std::string* error);
+
+/// Blocking loopback connect (client side of tests/bench).
+Fd connect_tcp(std::uint16_t port, std::string* error);
+
+/// Writes all of `data` (blocking fd; EINTR-safe). False on error.
+bool write_all(int fd, std::string_view data);
+
+/// One blocking keep-alive client connection: writes request wires,
+/// reads responses through an incremental `http::ResponseParser`.
+/// Response bytes beyond the current message stay buffered, so a
+/// pipelined burst (N writes, then N reads) parses correctly however
+/// the kernel segments the stream. The receive buffer and parser
+/// capacity are retained across messages — a warm client adds nothing
+/// to the per-message allocation count.
+class BlockingClient {
+ public:
+  bool connect(std::uint16_t port, std::string* error = nullptr);
+  bool connected() const { return fd_.valid(); }
+  void close();
+
+  /// Sends raw request bytes (one wire or a pipelined batch).
+  bool send(std::string_view bytes);
+
+  /// Blocks until one full response is parsed; returns its status, or
+  /// -1 on EOF / socket error / parse error. `parser` is reset on
+  /// entry and holds the response on return.
+  int read_response(http::ResponseParser& parser);
+
+ private:
+  Fd fd_;
+  std::string pending_;    ///< unconsumed response bytes
+  std::size_t pos_ = 0;    ///< parse cursor into pending_
+};
+
+}  // namespace xaon::net

@@ -84,6 +84,28 @@ struct Gauge {
   }
 };
 
+/// Transport-level counters of the real-socket server (`xaon::net`).
+/// Same ownership discipline as the rest of the block: one instance per
+/// worker, written only by its event loop (plain increments,
+/// allocation-free), merged into the snapshot after join.
+struct NetCounters {
+  std::uint64_t accepted = 0;      ///< connections handed to this worker
+  std::uint64_t closed = 0;        ///< connections fully torn down
+  std::uint64_t read_eagain = 0;   ///< reads that drained to EAGAIN
+  std::uint64_t short_writes = 0;  ///< writes the kernel took partially
+  std::uint64_t bytes_in = 0;      ///< request bytes off the wire
+  std::uint64_t bytes_out = 0;     ///< response bytes onto the wire
+
+  void merge(const NetCounters& o) {
+    accepted += o.accepted;
+    closed += o.closed;
+    read_eagain += o.read_eagain;
+    short_writes += o.short_writes;
+    bytes_in += o.bytes_in;
+    bytes_out += o.bytes_out;
+  }
+};
+
 /// Fixed-footprint latency distribution: a power-of-two LogHistogram
 /// for quantiles plus exact count/min/max/sum. `add` never allocates.
 class LatencyTrack {
@@ -165,12 +187,18 @@ class WorkerMetrics {
   const Gauge& arena_allocated() const { return arena_allocated_; }
   const Gauge& arena_retained() const { return arena_retained_; }
 
+  /// Transport counters, incremented in place by the owning worker's
+  /// event loop (`xaon::net`); zero for in-process (host-mode) workers.
+  NetCounters& net() { return net_; }
+  const NetCounters& net() const { return net_; }
+
  private:
   LatencyTrack stage_[kStageCount];
   LatencyTrack message_;
   CacheStats route_cache_;
   Gauge arena_allocated_;
   Gauge arena_retained_;
+  NetCounters net_;
 };
 
 /// Merged view over every worker's metrics, produced after join.
@@ -199,6 +227,9 @@ struct MetricsSnapshot {
   /// high-water mark (Gauge::merge semantics).
   Gauge arena_allocated;
   Gauge arena_retained;
+  /// Transport counters summed over workers (all zero for host-mode
+  /// in-process runs — the "net" JSON block still appears, at zero).
+  NetCounters net;
 
   /// Folds one worker's block in (order of calls = worker index).
   void add_worker(const WorkerMetrics& w);

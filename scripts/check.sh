@@ -15,6 +15,9 @@
 #             stage/balance accounting
 #   cache     compiled-artifact caches: LRU/fingerprint units, skeleton
 #             property tests, cached-vs-uncached differential
+#   net       real-network transport: loopback TCP through the epoll
+#             event loops (framing over kernel-segmented reads,
+#             keep-alive pipelining, socket-downstream 502/503)
 #   labels    static audit: every tests/*_test.cpp registers under a
 #             label-carrying registrar, and every test label has a
 #             matching ctest preset
@@ -24,8 +27,8 @@
 #   sanitize  ASan+UBSan suite             (skips if ASan probe fails)
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast: unit + lint + lifetime + model + metrics + cache + labels
-#           only.
+#   --fast: unit + lint + lifetime + model + metrics + cache + net +
+#           labels only.
 set -u
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -76,6 +79,10 @@ record metrics $?
 note "cache"
 ctest --test-dir "$repo_root/build" -L cache -j"$jobs" --output-on-failure
 record cache $?
+
+note "net"
+ctest --test-dir "$repo_root/build" -L net --output-on-failure
+record net $?
 
 # Label coverage audit: a test file that registers without a label is
 # invisible to every `ctest -L` tier above — fail loudly instead.

@@ -48,6 +48,7 @@ void MessageParser::reset_impl() {
   header_bytes_ = 0;
   chunked_ = false;
   has_length_ = false;
+  chunk_cr_seen_ = false;
 }
 
 std::size_t MessageParser::feed_impl(std::string_view data,
@@ -108,6 +109,15 @@ std::size_t MessageParser::feed_impl(std::string_view data,
             auto te = headers->get("Transfer-Encoding");
             if (te && util::contains(util::to_lower(std::string(*te)),  // xlint: allow(hot-string): rare Transfer-Encoding branch, not the common-case framing
                                      "chunked")) {
+              // RFC 7230 §3.3.3: a message carrying both a chunked
+              // Transfer-Encoding and a Content-Length is a
+              // request-smuggling vector (two peers can frame the body
+              // differently) — reject instead of letting one win.
+              if (headers->has("Content-Length")) {
+                fail(ParseError::kBadContentLength,
+                     "Content-Length with chunked Transfer-Encoding");
+                return consumed;
+              }
               chunked_ = true;
               state_ = ParseState::kChunkSize;
             } else if (auto cl = headers->get("Content-Length")) {
@@ -115,6 +125,19 @@ std::size_t MessageParser::feed_impl(std::string_view data,
               if (!n) {
                 fail(ParseError::kBadContentLength, "bad Content-Length");
                 return consumed;
+              }
+              // Duplicate Content-Length headers must agree (RFC 7230
+              // §3.3.3) — `get` above returns only the first, so a
+              // second differing value would otherwise win at whichever
+              // peer reads the other one. Entry walk, no allocation.
+              for (const auto& e : headers->entries()) {
+                if (!util::iequals(e.name, "Content-Length")) continue;
+                auto m = util::parse_u64(util::trim(e.value));
+                if (!m || *m != *n) {
+                  fail(ParseError::kBadContentLength,
+                       "conflicting Content-Length headers");
+                  return consumed;
+                }
               }
               if (*n > max_body_) {
                 fail(ParseError::kBodyTooLarge, "body exceeds limit");
@@ -159,8 +182,21 @@ std::size_t MessageParser::feed_impl(std::string_view data,
         } else {  // kChunkTrailer
           if (line.empty()) {
             state_ = ParseState::kDone;
+          } else {
+            // Trailer values are ignored, but the lines are charged to
+            // the same budgets as the header section — an endless
+            // trailer stream is an endless header section and must hit
+            // the same wall.
+            if (++header_count_ > max_header_count_) {
+              fail(ParseError::kTooManyHeaders, "too many trailer lines");
+              return consumed;
+            }
+            header_bytes_ += line.size();
+            if (header_bytes_ > max_header_bytes_) {
+              fail(ParseError::kHeadersTooLarge, "trailer section too large");
+              return consumed;
+            }
           }
-          // Non-empty trailer lines are consumed and ignored.
         }
         line_buf_.clear();
         break;
@@ -188,10 +224,26 @@ std::size_t MessageParser::feed_impl(std::string_view data,
           body_remaining_ -= take;
           break;
         }
-        // Consume the CRLF after the chunk payload.
+        // The chunk payload must be terminated by an exact CRLF (RFC
+        // 7230 §4.1). A tolerant scan-to-'\n' here would silently
+        // swallow arbitrary garbage between payload and terminator
+        // (`payloadXXXX\n`) — a framing desync a smuggler can exploit.
         const char c = data[consumed];
         ++consumed;
-        if (c == '\n') state_ = ParseState::kChunkSize;
+        if (!chunk_cr_seen_) {
+          if (c != '\r') {
+            fail(ParseError::kBadChunk, "bad chunk terminator");
+            return consumed;
+          }
+          chunk_cr_seen_ = true;
+          break;
+        }
+        if (c != '\n') {
+          fail(ParseError::kBadChunk, "bad chunk terminator");
+          return consumed;
+        }
+        chunk_cr_seen_ = false;
+        state_ = ParseState::kChunkSize;
         break;
       }
       case ParseState::kDone:

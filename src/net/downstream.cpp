@@ -1,0 +1,228 @@
+#include "xaon/net/downstream.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "xaon/util/metrics.hpp"  // metrics_now_ns for the deadline clock
+
+namespace xaon::net {
+
+namespace {
+
+std::uint64_t now_ms() { return util::metrics_now_ns() / 1'000'000; }
+
+/// Nonblocking loopback connect bounded by `deadline_abs_ms`.
+/// Returns the connected fd, or -1 with `*busy` telling timeout (true)
+/// apart from hard refusal (false).
+int connect_deadline(std::uint16_t port, std::uint64_t deadline_abs_ms,
+                     bool* busy) {
+  *busy = false;
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    set_nodelay(fd);
+    return fd;
+  }
+  if (errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  for (;;) {
+    const std::uint64_t now = now_ms();
+    if (now >= deadline_abs_ms) {
+      ::close(fd);
+      *busy = true;  // peer did not answer in time — transient
+      return -1;
+    }
+    pollfd p{fd, POLLOUT, 0};
+    const int r = ::poll(&p, 1, static_cast<int>(deadline_abs_ms - now));
+    if (r < 0 && errno == EINTR) continue;
+    if (r == 0) {
+      ::close(fd);
+      *busy = true;
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;  // refused / unreachable — hard failure
+    }
+    set_nodelay(fd);
+    return fd;
+  }
+}
+
+}  // namespace
+
+SocketDownstream::SocketDownstream(std::uint16_t port,
+                                   std::uint32_t deadline_ms)
+    : port_(port), deadline_ms_(deadline_ms) {}
+
+SocketDownstream::~SocketDownstream() { close_all(); }
+
+int SocketDownstream::check_out() {
+  util::MutexLock lock(mu_);
+  if (idle_.empty()) return -1;
+  const int fd = idle_.back();
+  idle_.pop_back();
+  return fd;
+}
+
+void SocketDownstream::check_in(int fd) {
+  util::MutexLock lock(mu_);
+  idle_.push_back(fd);
+}
+
+void SocketDownstream::close_all() {
+  util::MutexLock lock(mu_);
+  for (const int fd : idle_) ::close(fd);
+  idle_.clear();
+}
+
+aon::SendStatus SocketDownstream::send(std::string_view wire) {
+  const std::uint64_t deadline = now_ms() + deadline_ms_;
+  int fd = check_out();
+  bool fresh = false;
+  if (fd < 0) {
+    bool busy = false;
+    fd = connect_deadline(port_, deadline, &busy);
+    if (fd < 0) return busy ? aon::SendStatus::kBusy : aon::SendStatus::kFail;
+    fresh = true;
+  }
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + pos, wire.size() - pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const std::uint64_t now = now_ms();
+      if (now >= deadline) {
+        // A pooled fd that stalls may just be a dead peer's stale
+        // socket; a fresh one stalling really is backpressure. Either
+        // way the connection is in an unknown half-written state —
+        // drop it and report transient overload.
+        ::close(fd);
+        return aon::SendStatus::kBusy;
+      }
+      pollfd p{fd, POLLOUT, 0};
+      const int r = ::poll(&p, 1, static_cast<int>(deadline - now));
+      if (r < 0 && errno != EINTR) {
+        ::close(fd);
+        return aon::SendStatus::kFail;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE/ECONNRESET on a pooled fd usually means the peer closed an
+    // idle connection — retrying on a fresh socket is the caller's
+    // retry budget's job, but a stale pool shouldn't burn an attempt:
+    // reconnect once inline before giving a verdict.
+    ::close(fd);
+    if (!fresh && pos == 0) {
+      bool busy = false;
+      fd = connect_deadline(port_, deadline, &busy);
+      if (fd < 0) {
+        return busy ? aon::SendStatus::kBusy : aon::SendStatus::kFail;
+      }
+      fresh = true;
+      continue;
+    }
+    return aon::SendStatus::kFail;
+  }
+  check_in(fd);
+  return aon::SendStatus::kAck;
+}
+
+SinkServer::~SinkServer() { stop(); }
+
+bool SinkServer::start(std::string* error) {
+  listen_fd_ = listen_tcp(0, &port_, error);
+  if (!listen_fd_.valid()) return false;
+  stop_event_.reset(::eventfd(0, EFD_CLOEXEC));
+  if (!stop_event_.valid()) {
+    if (error != nullptr) error->assign("eventfd failed");
+    listen_fd_.reset();
+    return false;
+  }
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void SinkServer::stop() {
+  if (!thread_.joinable()) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(stop_event_.get(), &one, sizeof(one));
+  thread_.join();
+  listen_fd_.reset();
+  stop_event_.reset();
+}
+
+void SinkServer::run() {
+  std::vector<pollfd> fds;
+  fds.push_back({listen_fd_.get(), POLLIN, 0});
+  fds.push_back({stop_event_.get(), POLLIN, 0});
+  char buf[64 * 1024];
+  for (;;) {
+    for (auto& p : fds) p.revents = 0;
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;  // EAGAIN: drained
+        fds.push_back({fd, POLLIN, 0});
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Drain data connections; drop the closed ones (swap-erase keeps
+    // the first two control slots in place).
+    for (std::size_t i = 2; i < fds.size();) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        ++i;
+        continue;
+      }
+      bool open = true;
+      for (;;) {
+        const ssize_t n = ::read(fds[i].fd, buf, sizeof(buf));
+        if (n > 0) {
+          bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        open = false;  // EOF or error
+        break;
+      }
+      if (open) {
+        ++i;
+      } else {
+        ::close(fds[i].fd);
+        fds[i] = fds.back();
+        fds.pop_back();
+      }
+    }
+  }
+  for (std::size_t i = 2; i < fds.size(); ++i) ::close(fds[i].fd);
+}
+
+}  // namespace xaon::net

@@ -1,0 +1,167 @@
+#include "xaon/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "xaon/util/str.hpp"
+
+namespace xaon::net {
+
+namespace {
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+void set_error(std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = util::format("%s: %s", what, std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_nodelay(int fd) {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+Fd listen_tcp(std::uint16_t port, std::uint16_t* bound_port,
+              std::string* error) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return Fd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    set_error(error, "bind");
+    return Fd();
+  }
+  if (::listen(fd.get(), 512) != 0) {
+    set_error(error, "listen");
+    return Fd();
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      set_error(error, "getsockname");
+      return Fd();
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+Fd connect_tcp(std::uint16_t port, std::string* error) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return Fd();
+  }
+  sockaddr_in addr = loopback_addr(port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    set_error(error, "connect");
+    return Fd();
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + pos, data.size() - pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool BlockingClient::connect(std::uint16_t port, std::string* error) {
+  fd_ = connect_tcp(port, error);
+  pending_.clear();
+  pos_ = 0;
+  return fd_.valid();
+}
+
+void BlockingClient::close() {
+  fd_.reset();
+  pending_.clear();
+  pos_ = 0;
+}
+
+bool BlockingClient::send(std::string_view bytes) {
+  return fd_.valid() && write_all(fd_.get(), bytes);
+}
+
+int BlockingClient::read_response(http::ResponseParser& parser) {
+  if (!fd_.valid()) return -1;
+  parser.reset();
+  char buf[16 * 1024];
+  for (;;) {
+    if (pos_ < pending_.size()) {
+      const std::string_view view(pending_.data() + pos_,
+                                  pending_.size() - pos_);
+      pos_ += parser.feed(view);
+      if (parser.done()) {
+        if (pos_ == pending_.size()) {
+          pending_.clear();
+          pos_ = 0;
+        }
+        return parser.response().status;
+      }
+      if (parser.failed()) return -1;
+    }
+    // Everything buffered is consumed: drop it before reading more so
+    // the buffer never grows past one read chunk + one partial message.
+    if (pos_ == pending_.size()) {
+      pending_.clear();
+      pos_ = 0;
+    }
+    ssize_t n;
+    do {
+      n = ::read(fd_.get(), buf, sizeof(buf));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return -1;  // EOF or socket error mid-response
+    pending_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace xaon::net

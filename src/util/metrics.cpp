@@ -38,6 +38,7 @@ void MetricsSnapshot::add_worker(const WorkerMetrics& w) {
   route_cache.merge(w.route_cache());
   arena_allocated.merge(w.arena_allocated());
   arena_retained.merge(w.arena_retained());
+  net.merge(w.net());
 }
 
 void MetricsSnapshot::capture_probe_sites() {
@@ -122,6 +123,15 @@ std::string MetricsSnapshot::to_json() const {
                 static_cast<long long>(arena_allocated.high),
                 static_cast<long long>(arena_retained.value),
                 static_cast<long long>(arena_retained.high));
+  out += format(", \"net\": {\"accepted\": %llu, \"closed\": %llu, "
+                "\"read_eagain\": %llu, \"short_writes\": %llu, "
+                "\"bytes_in\": %llu, \"bytes_out\": %llu}",
+                static_cast<unsigned long long>(net.accepted),
+                static_cast<unsigned long long>(net.closed),
+                static_cast<unsigned long long>(net.read_eagain),
+                static_cast<unsigned long long>(net.short_writes),
+                static_cast<unsigned long long>(net.bytes_in),
+                static_cast<unsigned long long>(net.bytes_out));
   out += ", \"probes\": [";
   for (std::size_t i = 0; i < probes.size(); ++i) {
     if (i != 0) out += ", ";

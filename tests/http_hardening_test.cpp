@@ -111,5 +111,163 @@ TEST(HttpHardening, ErrorNamesAreStable) {
                "body-too-large");
 }
 
+// --- Body-framing fixes (chunk terminator / conflicting lengths /
+// trailer budgets). Every case runs twice — the whole wire in one feed
+// and byte-at-a-time — and both feeds must land in the same terminal
+// state with the same error code: the framing decisions may not depend
+// on how the bytes were segmented.
+
+struct FeedOutcome {
+  bool done = false;
+  bool failed = false;
+  ParseError code = ParseError::kNone;
+  std::string body;
+};
+
+FeedOutcome feed_whole(std::string_view wire,
+                       void (*tune)(RequestParser&) = nullptr) {
+  RequestParser p;
+  if (tune != nullptr) tune(p);
+  p.feed(wire);
+  return {p.done(), p.failed(), p.error_code(),
+          p.done() ? p.request().body : std::string()};
+}
+
+FeedOutcome feed_bytewise(std::string_view wire,
+                          void (*tune)(RequestParser&) = nullptr) {
+  RequestParser p;
+  if (tune != nullptr) tune(p);
+  for (char c : wire) {
+    p.feed(std::string_view(&c, 1));
+    if (p.done() || p.failed()) break;
+  }
+  return {p.done(), p.failed(), p.error_code(),
+          p.done() ? p.request().body : std::string()};
+}
+
+// Asserts whole-buffer and byte-at-a-time agreement, returns the
+// (shared) outcome for further checks.
+FeedOutcome feed_both(std::string_view wire,
+                      void (*tune)(RequestParser&) = nullptr) {
+  const FeedOutcome whole = feed_whole(wire, tune);
+  const FeedOutcome bytewise = feed_bytewise(wire, tune);
+  EXPECT_EQ(whole.done, bytewise.done) << wire;
+  EXPECT_EQ(whole.failed, bytewise.failed) << wire;
+  EXPECT_EQ(whole.code, bytewise.code) << wire;
+  EXPECT_EQ(whole.body, bytewise.body) << wire;
+  return whole;
+}
+
+TEST(HttpFraming, ChunkTerminatorGarbageRejected) {
+  // Pre-fix, the scan-to-'\n' terminator silently swallowed the XXXX
+  // garbage and accepted the message.
+  const FeedOutcome out = feed_both(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhelloXXXX\r\n0\r\n\r\n");
+  ASSERT_TRUE(out.failed);
+  EXPECT_EQ(out.code, ParseError::kBadChunk);
+}
+
+TEST(HttpFraming, ChunkTerminatorBareLfRejected) {
+  // The terminator must be the exact CRLF; a bare LF is a framing
+  // mismatch with the sender, not a tolerable sloppiness.
+  const FeedOutcome out = feed_both(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\n0\r\n\r\n");
+  ASSERT_TRUE(out.failed);
+  EXPECT_EQ(out.code, ParseError::kBadChunk);
+}
+
+TEST(HttpFraming, ChunkTerminatorCrOnlyRejected) {
+  const FeedOutcome out = feed_both(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\r0\r\n\r\n");
+  ASSERT_TRUE(out.failed);
+  EXPECT_EQ(out.code, ParseError::kBadChunk);
+}
+
+TEST(HttpFraming, ChunkedCrlfTerminatorsStillAccepted) {
+  const FeedOutcome out = feed_both(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n");
+  ASSERT_TRUE(out.done);
+  EXPECT_EQ(out.body, "hello world");
+}
+
+TEST(HttpFraming, DuplicateContentLengthDifferingRejected) {
+  // Pre-fix, headers.get() returned the first value and the second was
+  // silently ignored — the classic smuggling desync.
+  const FeedOutcome out = feed_both(
+      "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 7\r\n\r\n"
+      "hello..");
+  ASSERT_TRUE(out.failed);
+  EXPECT_EQ(out.code, ParseError::kBadContentLength);
+}
+
+TEST(HttpFraming, DuplicateContentLengthIdenticalAccepted) {
+  // RFC 7230 §3.3.3 allows collapsing duplicates that agree.
+  const FeedOutcome out = feed_both(
+      "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n"
+      "hello");
+  ASSERT_TRUE(out.done);
+  EXPECT_EQ(out.body, "hello");
+}
+
+TEST(HttpFraming, ContentLengthWithChunkedRejected) {
+  // Pre-fix, chunked won and the Content-Length was silently dropped.
+  const FeedOutcome out = feed_both(
+      "POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n0\r\n\r\n");
+  ASSERT_TRUE(out.failed);
+  EXPECT_EQ(out.code, ParseError::kBadContentLength);
+}
+
+TEST(HttpFraming, TrailerLinesChargedToHeaderCount) {
+  // Pre-fix, trailer lines were consumed and ignored without touching
+  // the header budgets — a peer could stream trailers forever.
+  const auto tune = [](RequestParser& p) { p.set_max_header_count(4); };
+  std::string wire =
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n";
+  for (int i = 0; i < 8; ++i) wire += "X-Trailer: v\r\n";
+  wire += "\r\n";
+  const FeedOutcome out = feed_both(wire, +tune);
+  ASSERT_TRUE(out.failed);
+  EXPECT_EQ(out.code, ParseError::kTooManyHeaders);
+}
+
+TEST(HttpFraming, TrailerBytesChargedToHeaderBytes) {
+  const auto tune = [](RequestParser& p) { p.set_max_header_bytes(96); };
+  std::string wire =
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\nX-Pad: ";
+  wire.append(200, 'a');
+  wire += "\r\n\r\n";
+  const FeedOutcome out = feed_both(wire, +tune);
+  ASSERT_TRUE(out.failed);
+  EXPECT_EQ(out.code, ParseError::kHeadersTooLarge);
+}
+
+TEST(HttpFraming, TrailersWithinBudgetAccepted) {
+  const FeedOutcome out = feed_both(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\nX-Trailer: v\r\nX-Other: w\r\n\r\n");
+  ASSERT_TRUE(out.done);
+  EXPECT_EQ(out.body, "abc");
+}
+
+TEST(HttpFraming, TrailerBudgetContinuesHeaderBudget) {
+  // Headers and trailers draw from one counter: 3 headers + 2 trailers
+  // against a limit of 4 must fail, even though neither section alone
+  // exceeds it.
+  const auto tune = [](RequestParser& p) { p.set_max_header_count(4); };
+  const FeedOutcome out = feed_both(
+      "POST / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n"
+      "0\r\nX-T1: v\r\nX-T2: v\r\n\r\n",
+      +tune);
+  ASSERT_TRUE(out.failed);
+  EXPECT_EQ(out.code, ParseError::kTooManyHeaders);
+}
+
 }  // namespace
 }  // namespace xaon::http

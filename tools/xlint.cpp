@@ -292,6 +292,13 @@ const char* const kHotPaths[] = {
     // aon: the pipeline + server worker loop
     "src/aon/pipeline.cpp", "src/aon/server.cpp",
     "include/xaon/aon/pipeline.hpp", "include/xaon/aon/server.hpp",
+    // net: the epoll event loop (read -> parse -> process -> write) and
+    // the socket layer's per-message client/downstream paths — same
+    // zero-alloc steady-state contract as the host-mode worker loop
+    // (src/net/downstream.cpp connect/pool code is setup/recovery, not
+    // per-message, deliberately not listed).
+    "src/net/server.cpp", "include/xaon/net/server.hpp",
+    "include/xaon/net/socket.hpp", "include/xaon/net/downstream.hpp",
     // util pieces the hot loop leans on
     "include/xaon/util/arena.hpp", "include/xaon/util/spsc_queue.hpp",
     "include/xaon/util/backoff.hpp",
