@@ -10,6 +10,7 @@
 
 #include "xaon/aon/messages.hpp"
 #include "xaon/aon/server.hpp"
+#include "xaon/util/scan.hpp"
 
 using namespace xaon;
 
@@ -24,7 +25,20 @@ int main(int argc, char** argv) {
   const std::size_t route_cache = static_cast<std::size_t>(flags.i64(
       "route_cache", static_cast<std::int64_t>(aon::kDefaultRouteCacheCapacity),
       "per-worker CBR routing-cache capacity (0 disables)"));
+  const std::string scan_impl_flag =
+      flags.str("scan_impl", "", "scan kernel impl (scalar|swar|sse2|avx2)");
   if (bench::handle_help(flags)) return 0;
+  if (!scan_impl_flag.empty()) {
+    util::scan::Impl want = util::scan::active_impl();
+    if (!util::scan::parse_impl(scan_impl_flag, &want) ||
+        util::scan::set_impl(want) != want) {
+      std::fprintf(stderr, "host_throughput: scan impl '%s' unavailable\n",
+                   scan_impl_flag.c_str());
+      return 2;
+    }
+  }
+  const std::string_view scan_impl =
+      util::scan::impl_name(util::scan::active_impl());
 
   // AONBench-style 5 KB orders; half route primary (quantity=1), half
   // to the error endpoint, seeds vary the filler so the parse never
@@ -83,6 +97,16 @@ int main(int argc, char** argv) {
     table.add_row({name, util::format("%.0f", load.messages_per_second()),
                    util::format("%.2f", allocs_per_msg),
                    util::format("%.1f", bytes_per_msg)});
+    // Payload bandwidth: request wire bytes through the gateway per
+    // processing second — the trajectory's MB/s companion to msgs/s.
+    std::uint64_t wire_bytes = 0;
+    for (const std::string& wire : wires) wire_bytes += wire.size();
+    const double avg_wire =
+        static_cast<double>(wire_bytes) / static_cast<double>(wires.size());
+    const double mb_per_s =
+        load.seconds > 0.0
+            ? avg_wire * static_cast<double>(load.messages) / load.seconds / 1e6
+            : 0.0;
     // The MetricsSnapshot rides in the same JSON line: per-stage
     // p50/p99 latency, per-worker message counts and busy time, the
     // imbalance ratio and the probe-site registry.
@@ -90,11 +114,13 @@ int main(int argc, char** argv) {
         "{\"bench\": \"host_throughput\", \"use_case\": \"%s\", "
         "\"workers\": %zu, \"messages\": %llu, \"seconds\": %.4f, "
         "\"wall_seconds\": %.4f, \"msgs_per_sec\": %.1f, "
+        "\"mb_per_s\": %.2f, \"scan_impl\": \"%.*s\", "
         "\"allocs_per_msg\": %.2f, \"bytes_per_msg\": %.1f, "
         "\"failed\": %llu, \"cache_hit_rate\": %.4f, \"metrics\": %s}\n",
         name.c_str(), workers,
         static_cast<unsigned long long>(load.messages), load.seconds,
-        load.wall_seconds, load.messages_per_second(), allocs_per_msg,
+        load.wall_seconds, load.messages_per_second(), mb_per_s,
+        static_cast<int>(scan_impl.size()), scan_impl.data(), allocs_per_msg,
         bytes_per_msg, static_cast<unsigned long long>(load.failed),
         load.metrics.route_cache.hit_rate(),
         load.metrics.to_json().c_str());

@@ -1,0 +1,135 @@
+// Per-kernel scanning throughput: GB/s for every compiled scan
+// implementation (scalar / swar / sse2 / avx2) on short (16B),
+// SOAP-typical (5KB) and long (1MB) inputs. Inputs are built so each
+// kernel scans the whole buffer (no early match) — the number is the
+// classify-and-skip bandwidth ceiling the lexer hot loops draw on.
+// One JSON line per (kernel, impl, size) for trajectory tracking.
+
+#include "bench_common.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "xaon/util/metrics.hpp"
+#include "xaon/util/scan.hpp"
+#include "xaon/util/table.hpp"
+
+using namespace xaon;
+namespace scan = xaon::util::scan;
+
+namespace {
+
+const scan::ByteClass kMarkup = scan::ByteClass::of("<&");
+const scan::ByteClass kNameChars = [] {
+  scan::ByteClass c;
+  c.add_range('a', 'z');
+  c.add_range('A', 'Z');
+  c.add_range('0', '9');
+  c.add(static_cast<unsigned char>('_'));
+  c.add(static_cast<unsigned char>(':'));
+  c.add(static_cast<unsigned char>('-'));
+  c.add(static_cast<unsigned char>('.'));
+  c.add_high();
+  return c;
+}();
+
+struct Kernel {
+  const char* name;
+  /// Runs the kernel over the whole buffer; returns the kernel result
+  /// (== n for these no-match inputs) so the call cannot be elided.
+  std::size_t (*run)(const char* p, std::size_t n);
+  /// Fill byte pattern: every byte of the input is drawn from here.
+  const char* fill;
+};
+
+const Kernel kKernels[] = {
+    {"find_byte",
+     [](const char* p, std::size_t n) { return scan::find_byte(p, n, 'X'); },
+     "abcdefgh"},
+    {"find_any_of",
+     [](const char* p, std::size_t n) {
+       return scan::find_any_of(p, n, kMarkup);
+     },
+     "abcdefgh"},
+    {"skip_while_class",
+     [](const char* p, std::size_t n) {
+       return scan::skip_while_class(p, n, kNameChars);
+     },
+     "abc:def-"},
+    {"find_crlf",
+     [](const char* p, std::size_t n) { return scan::find_crlf(p, n); },
+     "abcd\refg"},  // lone CRs: candidate hits, never a pair
+    {"match_name_run",
+     [](const char* p, std::size_t n) { return scan::match_name_run(p, n); },
+     "abc:def-"},
+    {"skip_xml_whitespace",
+     [](const char* p, std::size_t n) {
+       return scan::skip_xml_whitespace(p, n);
+     },
+     " \t \n \r "},
+    {"find_markup_or_amp",
+     [](const char* p, std::size_t n) {
+       return scan::find_markup_or_amp(p, n);
+     },
+     "abcdefgh"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::uint64_t target_ms = static_cast<std::uint64_t>(
+      flags.i64("ms", 20, "measure time per (kernel, impl, size)"));
+  if (bench::handle_help(flags)) return 0;
+
+  const std::size_t sizes[] = {16, 5 * 1024, 1024 * 1024};
+
+  util::TextTable table("Scan kernel bandwidth (GB/s)");
+  table.set_header({"Kernel", "impl", "size", "GB/s"});
+  table.set_tsv(true);
+
+  for (const Kernel& k : kKernels) {
+    for (std::size_t impl_i = 0; impl_i < scan::kImplCount; ++impl_i) {
+      const auto impl = static_cast<scan::Impl>(impl_i);
+      if (!scan::impl_available(impl)) continue;
+      if (scan::set_impl(impl) != impl) continue;
+      for (const std::size_t size : sizes) {
+        std::vector<char> buf(size);
+        const std::size_t fill_len = std::strlen(k.fill);
+        for (std::size_t i = 0; i < size; ++i) {
+          buf[i] = k.fill[i % fill_len];
+        }
+        // Warm-up, then iterate until the time budget is spent.
+        std::size_t sink = 0;
+        for (int i = 0; i < 8; ++i) sink += k.run(buf.data(), size);
+        const std::uint64_t t0 = util::metrics_now_ns();
+        const std::uint64_t budget = target_ms * 1000000ull;
+        std::uint64_t bytes = 0;
+        std::uint64_t elapsed = 0;
+        do {
+          for (int i = 0; i < 64; ++i) sink += k.run(buf.data(), size);
+          bytes += 64ull * size;
+          elapsed = util::metrics_now_ns() - t0;
+        } while (elapsed < budget);
+        if (sink == 0) std::fputs("", stderr);  // keep the result live
+        const double seconds = static_cast<double>(elapsed) * 1e-9;
+        const double gb_per_s =
+            seconds > 0.0 ? static_cast<double>(bytes) / seconds / 1e9 : 0.0;
+        const std::string_view impl_name = scan::impl_name(impl);
+        table.add_row({k.name, std::string(impl_name),
+                       util::format("%zu", size),
+                       util::format("%.2f", gb_per_s)});
+        std::printf(
+            "{\"bench\": \"micro_scan\", \"kernel\": \"%s\", "
+            "\"impl\": \"%.*s\", \"size_bytes\": %zu, \"gb_per_s\": %.3f, "
+            "\"bytes\": %llu, \"seconds\": %.4f}\n",
+            k.name, static_cast<int>(impl_name.size()), impl_name.data(),
+            size, gb_per_s, static_cast<unsigned long long>(bytes), seconds);
+      }
+    }
+  }
+  scan::set_impl(scan::best_impl());
+
+  table.print();
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include "xaon/net/server.hpp"
 #include "xaon/net/socket.hpp"
 #include "xaon/util/metrics.hpp"
+#include "xaon/util/scan.hpp"
 
 using namespace xaon;
 
@@ -61,7 +62,20 @@ int main(int argc, char** argv) {
   const std::size_t route_cache = static_cast<std::size_t>(flags.i64(
       "route_cache", static_cast<std::int64_t>(aon::kDefaultRouteCacheCapacity),
       "per-worker CBR routing-cache capacity (0 disables)"));
+  const std::string scan_impl_flag =
+      flags.str("scan_impl", "", "scan kernel impl (scalar|swar|sse2|avx2)");
   if (bench::handle_help(flags)) return 0;
+  if (!scan_impl_flag.empty()) {
+    util::scan::Impl want = util::scan::active_impl();
+    if (!util::scan::parse_impl(scan_impl_flag, &want) ||
+        util::scan::set_impl(want) != want) {
+      std::fprintf(stderr, "net_throughput: scan impl '%s' unavailable\n",
+                   scan_impl_flag.c_str());
+      return 2;
+    }
+  }
+  const std::string_view scan_impl =
+      util::scan::impl_name(util::scan::active_impl());
 
   std::vector<std::string> wires;
   wires.reserve(mix);
@@ -139,6 +153,16 @@ int main(int argc, char** argv) {
     const double wall_seconds = static_cast<double>(t1 - t0) * 1e-9;
     const double msgs_per_sec =
         wall_seconds > 0.0 ? static_cast<double>(ok) / wall_seconds : 0.0;
+    // Payload bandwidth: request wire bytes acknowledged per wall
+    // second — the trajectory's MB/s companion to msgs/s.
+    std::uint64_t wire_bytes = 0;
+    for (const std::string& wire : wires) wire_bytes += wire.size();
+    const double avg_wire =
+        static_cast<double>(wire_bytes) / static_cast<double>(wires.size());
+    const double mb_per_s =
+        wall_seconds > 0.0
+            ? avg_wire * static_cast<double>(ok) / wall_seconds / 1e6
+            : 0.0;
 
     const net::ServerStats& stats = server.stop();
     sink.stop();
@@ -150,6 +174,7 @@ int main(int argc, char** argv) {
         "{\"bench\": \"net_throughput\", \"use_case\": \"%s\", "
         "\"workers\": %zu, \"clients\": %zu, \"messages\": %llu, "
         "\"seconds\": %.4f, \"wall_seconds\": %.4f, \"msgs_per_sec\": %.1f, "
+        "\"mb_per_s\": %.2f, \"scan_impl\": \"%.*s\", "
         "\"allocs_per_msg\": %.2f, \"bytes_per_msg\": %.1f, "
         "\"failed\": %llu, \"forward_shed\": %llu, "
         "\"forward_failures\": %llu, \"cache_hit_rate\": %.4f, "
@@ -157,6 +182,7 @@ int main(int argc, char** argv) {
         name.c_str(), workers, clients,
         static_cast<unsigned long long>(stats.messages),
         stats.metrics.busy_seconds_total(), wall_seconds, msgs_per_sec,
+        mb_per_s, static_cast<int>(scan_impl.size()), scan_impl.data(),
         allocs_per_msg, bytes_per_msg,
         static_cast<unsigned long long>(stats.failed),
         static_cast<unsigned long long>(stats.forward_shed),

@@ -9,6 +9,7 @@
 
 #include "xaon/util/cache.hpp"
 #include "xaon/util/probe.hpp"
+#include "xaon/util/scan.hpp"
 #include "xaon/util/stats.hpp"
 
 /// \file metrics.hpp
@@ -192,6 +193,14 @@ class WorkerMetrics {
   NetCounters& net() { return net_; }
   const NetCounters& net() const { return net_; }
 
+  /// Final scan-kernel counters (util::scan thread-local bytes/calls),
+  /// copied once after the worker's loop drains — the observable side
+  /// of the bulk-scanning layer: bytes-per-kernel-call is the
+  /// bytes-per-branch improvement Table 5/6 motivates. Zero when probe
+  /// capture forced the scalar probe-annotated loops.
+  void record_scan(const scan::Counters& c) { scan_ = c; }
+  const scan::Counters& scan_counters() const { return scan_; }
+
  private:
   LatencyTrack stage_[kStageCount];
   LatencyTrack message_;
@@ -199,6 +208,7 @@ class WorkerMetrics {
   Gauge arena_allocated_;
   Gauge arena_retained_;
   NetCounters net_;
+  scan::Counters scan_;
 };
 
 /// Merged view over every worker's metrics, produced after join.
@@ -230,6 +240,9 @@ struct MetricsSnapshot {
   /// Transport counters summed over workers (all zero for host-mode
   /// in-process runs — the "net" JSON block still appears, at zero).
   NetCounters net;
+  /// Scan-kernel work summed over workers ("scan" JSON block; zero in
+  /// probe-capture runs, where the scalar fallback loops do the work).
+  scan::Counters scan;
 
   /// Folds one worker's block in (order of calls = worker index).
   void add_worker(const WorkerMetrics& w);

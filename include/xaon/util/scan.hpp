@@ -1,0 +1,209 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// \file scan.hpp
+/// Bulk byte-scanning kernels for the tokenizer hot loops.
+///
+/// The paper's Table 5/6 analysis pins the AON server's cost on
+/// branch-heavy byte scanning: XML workloads execute roughly twice the
+/// branch frequency of netperf, and branch misprediction drives CPI on
+/// both measured microarchitectures. The lexer loops this layer
+/// replaces retired one-plus branches per input byte; each kernel here
+/// classifies 8 (SWAR), 16 (SSE2) or 32 (AVX2) bytes per iteration and
+/// branches once per *block*, so the predictor sees a short, strongly
+/// biased stream instead of a data-dependent per-byte one.
+///
+/// Contract (every implementation, every kernel):
+///  * Never reads past `p + n` — blocks narrower than the vector width
+///    fall through to a scalar tail, so kernels are ASan-clean at every
+///    length including 0 (where `p` may be null).
+///  * Returns byte-identical results across scalar / SWAR / SSE2 / AVX2
+///    (proven differentially by tests/util_scan_test.cpp).
+///  * Allocation-free and iostream-free (xlint kHotPaths).
+///
+/// Dispatch: the widest implementation the CPU supports is selected
+/// once at startup (CPUID), overridable with the `XAON_SCAN_IMPL`
+/// environment variable (`scalar|swar|sse2|avx2`) or `set_impl()` for
+/// benching and differential tests.
+///
+/// Probe-mode contract (DESIGN.md §"Scanning kernels"): these kernels
+/// carry no `probe::branch` sites. Consumers that feed the Table 5/6
+/// branch-frequency reproduction keep their original probe-annotated
+/// byte loops and take them whenever a `probe::Recorder` is installed
+/// on the thread; the bulk kernels run only in the unrecorded
+/// (production) mode, where they additionally account scanned bytes
+/// and calls into thread-local counters (-> MetricsSnapshot "scan").
+
+namespace xaon::util::scan {
+
+/// Implementation tiers, narrowest first. kScalar is the reference the
+/// differential tests compare against; kSwar is the portable fallback
+/// (uint64_t SWAR); kSse2/kAvx2 exist only on x86 hosts.
+enum class Impl : std::uint8_t {
+  kScalar = 0,
+  kSwar = 1,
+  kSse2 = 2,
+  kAvx2 = 3,
+};
+inline constexpr std::size_t kImplCount = 4;
+
+/// Stable lower-case name ("scalar", "swar", "sse2", "avx2") — used in
+/// bench JSON lines and the XAON_SCAN_IMPL override.
+std::string_view impl_name(Impl impl);
+
+/// Parses an impl name; returns false (and leaves *out alone) on an
+/// unknown name.
+bool parse_impl(std::string_view name, Impl* out);
+
+/// True when this build/CPU can execute `impl`.
+bool impl_available(Impl impl);
+
+/// The widest implementation this CPU supports.
+Impl best_impl();
+
+/// The currently dispatched implementation.
+Impl active_impl();
+
+/// Activates `impl` if available and returns it; otherwise leaves the
+/// dispatch unchanged and returns the still-active implementation.
+/// Not thread-safe against concurrent scans — call it from test/bench
+/// setup, not while workers run.
+Impl set_impl(Impl impl);
+
+/// A 256-bit byte-membership bitmap plus the derived nibble tables the
+/// AVX2 classifier uses. Build it once (static const / constexpr) and
+/// pass it to find_any_of / skip_while_class; construction is O(set
+/// size), membership tests are O(1).
+class ByteClass {
+ public:
+  constexpr ByteClass() = default;
+
+  /// Class containing exactly the bytes of `members`.
+  static constexpr ByteClass of(std::string_view members) {
+    ByteClass c;
+    for (char m : members) c.add(static_cast<unsigned char>(m));
+    return c;
+  }
+
+  constexpr void add(unsigned char c) {
+    if (contains(c)) return;
+    bits_[c >> 6] |= std::uint64_t{1} << (c & 63);
+    if (c < 0x80) {
+      lo_tab_[c & 0x0F] |= static_cast<unsigned char>(1u << (c >> 4));
+    } else {
+      ++high_count_;
+    }
+  }
+
+  constexpr void add_range(unsigned char lo, unsigned char hi) {
+    for (unsigned c = lo; c <= hi; ++c) add(static_cast<unsigned char>(c));
+  }
+
+  /// Adds every byte with the top bit set (0x80..0xFF) — the shape the
+  /// XML name/text classes use (UTF-8 pass-through).
+  constexpr void add_high() { add_range(0x80, 0xFF); }
+
+  constexpr bool contains(unsigned char c) const {
+    return (bits_[c >> 6] >> (c & 63)) & 1;
+  }
+
+  /// True when membership of bytes >= 0x80 is uniform (all in or all
+  /// out) — the precondition for the AVX2 nibble-table classifier; a
+  /// non-uniform high half falls back to the bytewise path.
+  constexpr bool high_uniform() const {
+    return high_count_ == 0 || high_count_ == 128;
+  }
+  constexpr bool high_member() const { return high_count_ == 128; }
+
+  const std::uint64_t* bits() const { return bits_; }
+  const unsigned char* lo_tab() const { return lo_tab_; }
+
+ private:
+  std::uint64_t bits_[4] = {0, 0, 0, 0};
+  /// lo_tab_[b & 15] has bit (b >> 4) set iff ASCII byte b is a member:
+  /// the 8x16 pshufb classification grid (bytes >= 0x80 are handled by
+  /// the uniform high flag).
+  unsigned char lo_tab_[16] = {0};
+  std::uint16_t high_count_ = 0;
+};
+
+/// Scanned-work accounting, accumulated per thread by every kernel
+/// call: `bytes` counts bytes the caller advanced over (the kernel's
+/// return value — identical across implementations by the differential
+/// contract), `calls` counts kernel invocations. bytes/branch-ish
+/// observability: each call costs O(bytes/width) block branches where
+/// the scalar loop cost O(bytes).
+struct Counters {
+  std::uint64_t bytes = 0;
+  std::uint64_t calls = 0;
+
+  void merge(const Counters& o) {
+    bytes += o.bytes;
+    calls += o.calls;
+  }
+};
+
+/// The calling thread's counters (mutable reference — workers reset at
+/// loop entry and publish into WorkerMetrics after draining).
+Counters& thread_counters();
+void reset_thread_counters();
+
+// --- kernels ---------------------------------------------------------------
+// All return a count in [0, n]: the index of the first byte matching
+// the kernel's predicate, or n when no byte matches ("skip" kernels
+// phrase the same value as the length of the matching prefix).
+
+/// Index of the first occurrence of `c`, or n.
+std::size_t find_byte(const char* p, std::size_t n, char c);
+
+/// Index of the first byte that is a member of `cls`, or n.
+std::size_t find_any_of(const char* p, std::size_t n, const ByteClass& cls);
+
+/// Length of the longest prefix whose bytes are all members of `cls`.
+std::size_t skip_while_class(const char* p, std::size_t n,
+                             const ByteClass& cls);
+
+/// Index of the first "\r\n" pair, or n. A lone trailing '\r' at p[n-1]
+/// is NOT a match (the caller sees the pair only once the '\n' arrives
+/// — incremental feeds stay split-offset independent).
+std::size_t find_crlf(const char* p, std::size_t n);
+
+/// Length of the longest prefix of XML NameChars (xml::is_name_char:
+/// [A-Za-z0-9_:.-] plus every byte >= 0x80).
+std::size_t match_name_run(const char* p, std::size_t n);
+
+/// Length of the longest prefix of XML whitespace (space, tab, CR, LF).
+std::size_t skip_xml_whitespace(const char* p, std::size_t n);
+
+/// Index of the first '<' or '&' — the two bytes that terminate an XML
+/// content-text run — or n.
+std::size_t find_markup_or_amp(const char* p, std::size_t n);
+
+// string_view conveniences (same kernels).
+inline std::size_t find_byte(std::string_view s, char c) {
+  return find_byte(s.data(), s.size(), c);
+}
+inline std::size_t find_any_of(std::string_view s, const ByteClass& cls) {
+  return find_any_of(s.data(), s.size(), cls);
+}
+inline std::size_t skip_while_class(std::string_view s,
+                                    const ByteClass& cls) {
+  return skip_while_class(s.data(), s.size(), cls);
+}
+inline std::size_t find_crlf(std::string_view s) {
+  return find_crlf(s.data(), s.size());
+}
+inline std::size_t match_name_run(std::string_view s) {
+  return match_name_run(s.data(), s.size());
+}
+inline std::size_t skip_xml_whitespace(std::string_view s) {
+  return skip_xml_whitespace(s.data(), s.size());
+}
+inline std::size_t find_markup_or_amp(std::string_view s) {
+  return find_markup_or_amp(s.data(), s.size());
+}
+
+}  // namespace xaon::util::scan

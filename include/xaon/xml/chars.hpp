@@ -53,4 +53,9 @@ int utf8_encode(std::uint32_t cp, char* buf);
 /// returns the replacement char or '\0' when `name` is not predefined.
 char predefined_entity(std::string_view name);
 
+/// Like predefined_entity, but returns the replacement as a view of a
+/// static literal (empty when `name` is not predefined) — no scratch
+/// string needed on the resolution path.
+std::string_view predefined_entity_text(std::string_view name);
+
 }  // namespace xaon::xml

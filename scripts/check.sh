@@ -18,6 +18,9 @@
 #   net       real-network transport: loopback TCP through the epoll
 #             event loops (framing over kernel-segmented reads,
 #             keep-alive pipelining, socket-downstream 502/503)
+#   scan      bulk-scanning kernels: scalar/SWAR/SSE2/AVX2 differential
+#             agreement, every-length tail safety, parser-level
+#             impl/probe-mode differential
 #   labels    static audit: every tests/*_test.cpp registers under a
 #             label-carrying registrar, and every test label has a
 #             matching ctest preset
@@ -28,7 +31,7 @@
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast: unit + lint + lifetime + model + metrics + cache + net +
-#           labels only.
+#           scan + labels only.
 set -u
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -83,6 +86,10 @@ record cache $?
 note "net"
 ctest --test-dir "$repo_root/build" -L net --output-on-failure
 record net $?
+
+note "scan"
+ctest --test-dir "$repo_root/build" -L scan -j"$jobs" --output-on-failure
+record scan $?
 
 # Label coverage audit: a test file that registers without a label is
 # invisible to every `ctest -L` tier above — fail loudly instead.

@@ -87,6 +87,9 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
       if (scratch.route_cache.capacity() != config_.route_cache_capacity) {
         scratch.route_cache.set_capacity(config_.route_cache_capacity);
       }
+      // Scan-kernel counters are thread-local; start this worker's
+      // window at zero so the drain-time copy below is exact.
+      util::scan::reset_thread_counters();
       util::Backoff retry_backoff;
       // acquire: pairs with the acceptor's release store below — done
       // observed true implies every earlier push is visible (see the
@@ -148,6 +151,7 @@ LoadResult Server::run_load(const std::vector<std::string>& wires,
       // Queue drained: publish this worker's cache counters (one struct
       // copy, off the message path; read by the acceptor after join).
       state->metrics.record_route_cache(scratch.route_cache.stats());
+      state->metrics.record_scan(util::scan::thread_counters());
       state->finish_ns = util::metrics_now_ns();
     });
   }

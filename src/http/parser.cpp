@@ -1,6 +1,7 @@
 #include "xaon/http/parser.hpp"
 
 #include "xaon/util/probe.hpp"
+#include "xaon/util/scan.hpp"
 #include "xaon/util/str.hpp"
 #include "xaon/xml/chars.hpp"
 
@@ -10,10 +11,14 @@ namespace detail {
 
 namespace {
 
+namespace scan = xaon::util::scan;
+
 const std::uint32_t kLineSite =
     probe::site("http.parse.line", probe::SiteKind::kLoop);
 const std::uint32_t kStateSite =
     probe::site("http.parse.state", probe::SiteKind::kData);
+
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
 
 bool parse_header_line(std::string_view line, HeaderMap* headers,
                        std::string* error) {
@@ -53,6 +58,10 @@ void MessageParser::reset_impl() {
 
 std::size_t MessageParser::feed_impl(std::string_view data,
                                      HeaderMap* headers, std::string* body) {
+  // Bulk line scanning runs only when no probe::Recorder is installed:
+  // probe capture (Table 5/6 trace mode) keeps the byte-at-a-time loop
+  // so the recorded http.parse.line branch shape is unchanged.
+  const bool bulk = probe::recorder() == nullptr;
   std::size_t consumed = 0;
   while (consumed < data.size() && state_ != ParseState::kDone &&
          state_ != ParseState::kError) {
@@ -63,15 +72,35 @@ std::size_t MessageParser::feed_impl(std::string_view data,
       case ParseState::kChunkSize:
       case ParseState::kChunkTrailer: {
         // Line-oriented states: accumulate until CRLF (LF tolerated).
-        const char c = data[consumed];
-        ++consumed;
-        if (!probe::branch(kLineSite, c == '\n')) {
-          line_buf_.push_back(c);
-          if (line_buf_.size() > 64 * 1024) {
+        if (bulk) {
+          // Grab everything up to the next '\n' in one scan. The append
+          // is clamped to one byte over the line budget so an over-long
+          // line fails at exactly the same consumed count as the
+          // byte-at-a-time path.
+          const char* base = data.data() + consumed;
+          const std::size_t avail = data.size() - consumed;
+          const std::size_t nl = scan::find_byte(base, avail, '\n');
+          const std::size_t take =
+              std::min(nl, kMaxLineBytes + 1 - line_buf_.size());
+          line_buf_.append(base, take);
+          consumed += take;
+          if (line_buf_.size() > kMaxLineBytes) {
             fail(ParseError::kHeaderLineTooLong, "header line too long");
             return consumed;
           }
-          break;
+          if (nl == avail) break;  // no '\n' yet: wait for more input
+          ++consumed;              // the '\n'
+        } else {
+          const char c = data[consumed];
+          ++consumed;
+          if (!probe::branch(kLineSite, c == '\n')) {
+            line_buf_.push_back(c);
+            if (line_buf_.size() > kMaxLineBytes) {
+              fail(ParseError::kHeaderLineTooLong, "header line too long");
+              return consumed;
+            }
+            break;
+          }
         }
         std::string_view line = line_buf_;
         if (!line.empty() && line.back() == '\r') {

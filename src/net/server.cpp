@@ -193,6 +193,9 @@ class Worker {
 
  private:
   void run() {
+    // Scan-kernel counters are thread-local to this event loop; start
+    // the window at zero so the drain-time copy below is exact.
+    util::scan::reset_thread_counters();
     epoll_event events[64];
     for (;;) {
       const int n = ::epoll_wait(epoll_fd_.get(), events, 64, -1);
@@ -234,6 +237,7 @@ class Worker {
     }
     // Off the message path: publish the route cache counters once.
     metrics.record_route_cache(scratch_.route_cache.stats());
+    metrics.record_scan(util::scan::thread_counters());
   }
 
   void drain_eventfd() {

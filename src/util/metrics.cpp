@@ -39,6 +39,7 @@ void MetricsSnapshot::add_worker(const WorkerMetrics& w) {
   arena_allocated.merge(w.arena_allocated());
   arena_retained.merge(w.arena_retained());
   net.merge(w.net());
+  scan.merge(w.scan_counters());
 }
 
 void MetricsSnapshot::capture_probe_sites() {
@@ -132,6 +133,12 @@ std::string MetricsSnapshot::to_json() const {
                 static_cast<unsigned long long>(net.short_writes),
                 static_cast<unsigned long long>(net.bytes_in),
                 static_cast<unsigned long long>(net.bytes_out));
+  out += format(", \"scan\": {\"bytes\": %llu, \"calls\": %llu, "
+                "\"impl\": \"%.*s\"}",
+                static_cast<unsigned long long>(scan.bytes),
+                static_cast<unsigned long long>(scan.calls),
+                static_cast<int>(scan::impl_name(scan::active_impl()).size()),
+                scan::impl_name(scan::active_impl()).data());
   out += ", \"probes\": [";
   for (std::size_t i = 0; i < probes.size(); ++i) {
     if (i != 0) out += ", ";

@@ -1,0 +1,881 @@
+#include "xaon/util/scan.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define XAON_SCAN_X86 1
+#include <immintrin.h>
+#else
+#define XAON_SCAN_X86 0
+#endif
+
+// Every kernel comes in up to four implementations that must agree
+// byte-for-byte (tests/util_scan_test.cpp runs the differential). The
+// scalar bodies are the executable specification; SWAR/SSE2/AVX2 are
+// the same predicates evaluated 8/16/32 bytes per branch. None of them
+// reads past p + n: vector blocks run only while a full block fits and
+// the remainder always falls through to the scalar tail.
+
+namespace xaon::util::scan {
+
+namespace {
+
+// --- scalar reference ------------------------------------------------------
+
+bool is_name_byte(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':' || c == '-' ||
+         c == '.' || c >= 0x80;
+}
+
+bool is_ws_byte(unsigned char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+std::size_t find_byte_scalar(const char* p, std::size_t n, char c) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] == c) return i;
+  }
+  return n;
+}
+
+std::size_t find_any_scalar(const char* p, std::size_t n,
+                            const ByteClass& cls) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cls.contains(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+std::size_t skip_class_scalar(const char* p, std::size_t n,
+                              const ByteClass& cls) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!cls.contains(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+std::size_t find_crlf_scalar(const char* p, std::size_t n) {
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (p[i] == '\r' && p[i + 1] == '\n') return i;
+  }
+  return n;
+}
+
+std::size_t name_run_scalar(const char* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_name_byte(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+std::size_t skip_ws_scalar(const char* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_ws_byte(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+std::size_t find_markup_scalar(const char* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] == '<' || p[i] == '&') return i;
+  }
+  return n;
+}
+
+// --- SWAR over uint64_t ----------------------------------------------------
+// Little-endian only: first_marked maps the lowest set high-bit to the
+// lowest-addressed byte via ctz. On a big-endian host the SWAR tier
+// simply reuses the scalar bodies (still available, still agreeing).
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define XAON_SCAN_SWAR 1
+
+constexpr std::uint64_t kOnes = 0x0101010101010101ULL;
+constexpr std::uint64_t kHighs = 0x8080808080808080ULL;
+
+std::uint64_t load64(const char* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+constexpr std::uint64_t bcast(unsigned char b) { return kOnes * b; }
+
+/// High bit set in every byte of x that is zero (exact, no false
+/// positives — Hacker's Delight "find first zero byte").
+constexpr std::uint64_t zero_bytes(std::uint64_t x) {
+  return (x - kOnes) & ~x & kHighs;
+}
+
+constexpr std::uint64_t eq_bytes(std::uint64_t x, unsigned char b) {
+  return zero_bytes(x ^ bcast(b));
+}
+
+/// Byte index of the lowest marked byte in a high-bit mask.
+std::size_t first_marked(std::uint64_t mask) {
+  return static_cast<std::size_t>(__builtin_ctzll(mask)) >> 3;
+}
+
+/// High bit set where byte >= lo. Valid only when every byte of `xlow`
+/// has its top bit clear (mask with ~kHighs first): adding 0x80 then
+/// subtracting lo cannot borrow across byte lanes.
+constexpr std::uint64_t ge7(std::uint64_t xlow, unsigned char lo) {
+  return ((xlow | kHighs) - bcast(lo)) & kHighs;
+}
+
+/// High bit set where lo <= byte <= hi (ASCII ranges, hi < 0x80).
+constexpr std::uint64_t in_range7(std::uint64_t xlow, unsigned char lo,
+                                  unsigned char hi) {
+  return ge7(xlow, lo) & ~ge7(xlow, static_cast<unsigned char>(hi + 1));
+}
+
+std::size_t find_byte_swar(const char* p, std::size_t n, char c) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t m =
+        eq_bytes(load64(p + i), static_cast<unsigned char>(c));
+    if (m != 0) return i + first_marked(m);
+  }
+  for (; i < n; ++i) {
+    if (p[i] == c) return i;
+  }
+  return n;
+}
+
+std::size_t find_markup_swar(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t w = load64(p + i);
+    const std::uint64_t m = eq_bytes(w, '<') | eq_bytes(w, '&');
+    if (m != 0) return i + first_marked(m);
+  }
+  for (; i < n; ++i) {
+    if (p[i] == '<' || p[i] == '&') return i;
+  }
+  return n;
+}
+
+std::size_t skip_ws_swar(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t w = load64(p + i);
+    const std::uint64_t ws = eq_bytes(w, ' ') | eq_bytes(w, '\t') |
+                             eq_bytes(w, '\r') | eq_bytes(w, '\n');
+    const std::uint64_t stop = ~ws & kHighs;
+    if (stop != 0) return i + first_marked(stop);
+  }
+  for (; i < n; ++i) {
+    if (!is_ws_byte(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+std::size_t name_run_swar(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t w = load64(p + i);
+    const std::uint64_t high = w & kHighs;  // >= 0x80: always a NameChar
+    // Range tests run on the low 7 bits; a high byte's low bits may
+    // alias into a range, but `high` already marks it a member, so the
+    // union stays exact.
+    const std::uint64_t xl = w & ~kHighs;
+    const std::uint64_t name =
+        high | in_range7(xl, 'a', 'z') | in_range7(xl, 'A', 'Z') |
+        in_range7(xl, '0', '9') | eq_bytes(w, '_') | eq_bytes(w, ':') |
+        eq_bytes(w, '-') | eq_bytes(w, '.');
+    const std::uint64_t stop = ~name & kHighs;
+    if (stop != 0) return i + first_marked(stop);
+  }
+  for (; i < n; ++i) {
+    if (!is_name_byte(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+std::size_t find_crlf_swar(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t m = eq_bytes(load64(p + i), '\r');
+    while (m != 0) {
+      const std::size_t idx = i + first_marked(m);
+      if (idx + 1 < n && p[idx + 1] == '\n') return idx;
+      m &= m - 1;  // clear the lowest candidate, keep scanning
+    }
+  }
+  for (; i + 1 < n; ++i) {
+    if (p[i] == '\r' && p[i + 1] == '\n') return i;
+  }
+  return n;
+}
+
+#else
+#define XAON_SCAN_SWAR 0
+#endif  // little-endian
+
+// --- SSE2 ------------------------------------------------------------------
+// Specialized kernels only: SSE2 has no byte shuffle, so the generic
+// ByteClass kernels stay on the bytewise path at this tier (the nibble
+// classifier needs pshufb, which arrives with the AVX2 tier here).
+
+#if XAON_SCAN_X86
+
+#define XAON_TARGET_SSE2 __attribute__((target("sse2")))
+#define XAON_TARGET_AVX2 __attribute__((target("avx2")))
+
+XAON_TARGET_SSE2 std::size_t find_byte_sse2(const char* p, std::size_t n,
+                                            char c) {
+  std::size_t i = 0;
+  const __m128i needle = _mm_set1_epi8(c);
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const unsigned m = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(x, needle)));
+    if (m != 0) return i + static_cast<std::size_t>(__builtin_ctz(m));
+  }
+  for (; i < n; ++i) {
+    if (p[i] == c) return i;
+  }
+  return n;
+}
+
+XAON_TARGET_SSE2 std::size_t find_markup_sse2(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  const __m128i lt = _mm_set1_epi8('<');
+  const __m128i amp = _mm_set1_epi8('&');
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const unsigned m = static_cast<unsigned>(_mm_movemask_epi8(
+        _mm_or_si128(_mm_cmpeq_epi8(x, lt), _mm_cmpeq_epi8(x, amp))));
+    if (m != 0) return i + static_cast<std::size_t>(__builtin_ctz(m));
+  }
+  for (; i < n; ++i) {
+    if (p[i] == '<' || p[i] == '&') return i;
+  }
+  return n;
+}
+
+XAON_TARGET_SSE2 std::size_t skip_ws_sse2(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  const __m128i sp = _mm_set1_epi8(' ');
+  const __m128i tab = _mm_set1_epi8('\t');
+  const __m128i cr = _mm_set1_epi8('\r');
+  const __m128i lf = _mm_set1_epi8('\n');
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const __m128i ws = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(x, sp), _mm_cmpeq_epi8(x, tab)),
+        _mm_or_si128(_mm_cmpeq_epi8(x, cr), _mm_cmpeq_epi8(x, lf)));
+    const unsigned stop =
+        ~static_cast<unsigned>(_mm_movemask_epi8(ws)) & 0xFFFFu;
+    if (stop != 0) return i + static_cast<std::size_t>(__builtin_ctz(stop));
+  }
+  for (; i < n; ++i) {
+    if (!is_ws_byte(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+/// 0xFF where lo <= byte <= hi, unsigned compare built from saturating
+/// subtraction (SSE2 has only signed byte compares).
+XAON_TARGET_SSE2 __m128i range_mask_sse2(__m128i x, char lo, char hi) {
+  const __m128i below = _mm_subs_epu8(x, _mm_set1_epi8(hi));  // 0 iff x <= hi
+  const __m128i above = _mm_subs_epu8(_mm_set1_epi8(lo), x);  // 0 iff x >= lo
+  return _mm_cmpeq_epi8(_mm_or_si128(below, above), _mm_setzero_si128());
+}
+
+XAON_TARGET_SSE2 std::size_t name_run_sse2(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  const __m128i us = _mm_set1_epi8('_');
+  const __m128i co = _mm_set1_epi8(':');
+  const __m128i da = _mm_set1_epi8('-');
+  const __m128i dot = _mm_set1_epi8('.');
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const __m128i ranges = _mm_or_si128(
+        _mm_or_si128(range_mask_sse2(x, 'a', 'z'),
+                     range_mask_sse2(x, 'A', 'Z')),
+        range_mask_sse2(x, '0', '9'));
+    const __m128i punct = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(x, us), _mm_cmpeq_epi8(x, co)),
+        _mm_or_si128(_mm_cmpeq_epi8(x, da), _mm_cmpeq_epi8(x, dot)));
+    unsigned name = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_or_si128(ranges, punct)));
+    name |= static_cast<unsigned>(_mm_movemask_epi8(x));  // >= 0x80
+    const unsigned stop = ~name & 0xFFFFu;
+    if (stop != 0) return i + static_cast<std::size_t>(__builtin_ctz(stop));
+  }
+  for (; i < n; ++i) {
+    if (!is_name_byte(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+XAON_TARGET_SSE2 std::size_t find_crlf_sse2(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  const __m128i cr = _mm_set1_epi8('\r');
+  const __m128i lf = _mm_set1_epi8('\n');
+  // The LF vector is the CR vector's window shifted by one byte, so a
+  // pair straddling the block edge still matches; needs one byte past
+  // the block, hence i + 17 <= n.
+  for (; i + 17 <= n; i += 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i + 1));
+    const unsigned m = static_cast<unsigned>(_mm_movemask_epi8(
+        _mm_and_si128(_mm_cmpeq_epi8(a, cr), _mm_cmpeq_epi8(b, lf))));
+    if (m != 0) return i + static_cast<std::size_t>(__builtin_ctz(m));
+  }
+  for (; i + 1 < n; ++i) {
+    if (p[i] == '\r' && p[i + 1] == '\n') return i;
+  }
+  return n;
+}
+
+// --- AVX2 ------------------------------------------------------------------
+//
+// Two hard-won shape rules for the AVX2 kernels, both measured on the
+// real pipeline (CBR/SV end-to-end, not just micro_scan):
+//
+// 1. Never call the SSE2 kernels for the tails: those are compiled as
+//    legacy-SSE (non-VEX), and entering them with dirty upper YMM
+//    halves costs a many-hundred-cycle state transition on Intel
+//    cores — GCC does not reliably emit vzeroupper before local
+//    cross-target calls (measured: ~25x on sub-block inputs, -30%
+//    end-to-end). The 128-bit blocks below use _mm_* intrinsics
+//    *inside* the target("avx2") functions, so they compile to VEX and
+//    transition nothing.
+// 2. Lead with one 128-bit block and only enter the 256-bit loop for
+//    data past it. Parser scans are called with the whole remaining
+//    input but usually stop within a few bytes (a name, a quote, one
+//    space), so per-call latency of the first block dominates — and
+//    the 128-bit chain is cheaper to start (no 256-bit warm-up or
+//    license involvement for short scans).
+
+XAON_TARGET_AVX2 unsigned find_byte_mask128(const char* p, char c) {
+  const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return static_cast<unsigned>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(x, _mm_set1_epi8(c))));
+}
+
+XAON_TARGET_AVX2 std::size_t find_byte_avx2(const char* p, std::size_t n,
+                                            char c) {
+  std::size_t i = 0;
+  if (n >= 16) {
+    const unsigned m = find_byte_mask128(p, c);
+    if (m != 0) return static_cast<std::size_t>(__builtin_ctz(m));
+    i = 16;
+    if (i + 32 <= n) {
+      const __m256i needle = _mm256_set1_epi8(c);
+      for (; i + 32 <= n; i += 32) {
+        const __m256i x =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+        const unsigned m2 = static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(x, needle)));
+        if (m2 != 0) return i + static_cast<std::size_t>(__builtin_ctz(m2));
+      }
+    }
+    if (i + 16 <= n) {
+      const unsigned t = find_byte_mask128(p + i, c);
+      if (t != 0) return i + static_cast<std::size_t>(__builtin_ctz(t));
+      i += 16;
+    }
+  }
+  for (; i < n; ++i) {
+    if (p[i] == c) return i;
+  }
+  return n;
+}
+
+XAON_TARGET_AVX2 unsigned markup_mask128(const char* p) {
+  const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return static_cast<unsigned>(_mm_movemask_epi8(
+      _mm_or_si128(_mm_cmpeq_epi8(x, _mm_set1_epi8('<')),
+                   _mm_cmpeq_epi8(x, _mm_set1_epi8('&')))));
+}
+
+XAON_TARGET_AVX2 std::size_t find_markup_avx2(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  if (n >= 16) {
+    const unsigned m = markup_mask128(p);
+    if (m != 0) return static_cast<std::size_t>(__builtin_ctz(m));
+    i = 16;
+    if (i + 32 <= n) {
+      const __m256i lt = _mm256_set1_epi8('<');
+      const __m256i amp = _mm256_set1_epi8('&');
+      for (; i + 32 <= n; i += 32) {
+        const __m256i x =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+        const unsigned m2 = static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_or_si256(_mm256_cmpeq_epi8(x, lt),
+                                                 _mm256_cmpeq_epi8(x, amp))));
+        if (m2 != 0) return i + static_cast<std::size_t>(__builtin_ctz(m2));
+      }
+    }
+    if (i + 16 <= n) {
+      const unsigned t = markup_mask128(p + i);
+      if (t != 0) return i + static_cast<std::size_t>(__builtin_ctz(t));
+      i += 16;
+    }
+  }
+  for (; i < n; ++i) {
+    if (p[i] == '<' || p[i] == '&') return i;
+  }
+  return n;
+}
+
+/// Member mask: 1-bits where the byte IS whitespace.
+XAON_TARGET_AVX2 unsigned ws_mask128(const char* p) {
+  const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m128i ws = _mm_or_si128(
+      _mm_or_si128(_mm_cmpeq_epi8(x, _mm_set1_epi8(' ')),
+                   _mm_cmpeq_epi8(x, _mm_set1_epi8('\t'))),
+      _mm_or_si128(_mm_cmpeq_epi8(x, _mm_set1_epi8('\r')),
+                   _mm_cmpeq_epi8(x, _mm_set1_epi8('\n'))));
+  return static_cast<unsigned>(_mm_movemask_epi8(ws));
+}
+
+XAON_TARGET_AVX2 std::size_t skip_ws_avx2(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  if (n >= 16) {
+    const unsigned stop = ~ws_mask128(p) & 0xFFFFu;
+    if (stop != 0) return static_cast<std::size_t>(__builtin_ctz(stop));
+    i = 16;
+    if (i + 32 <= n) {
+      const __m256i sp = _mm256_set1_epi8(' ');
+      const __m256i tab = _mm256_set1_epi8('\t');
+      const __m256i cr = _mm256_set1_epi8('\r');
+      const __m256i lf = _mm256_set1_epi8('\n');
+      for (; i + 32 <= n; i += 32) {
+        const __m256i x =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+        const __m256i ws = _mm256_or_si256(
+            _mm256_or_si256(_mm256_cmpeq_epi8(x, sp),
+                            _mm256_cmpeq_epi8(x, tab)),
+            _mm256_or_si256(_mm256_cmpeq_epi8(x, cr),
+                            _mm256_cmpeq_epi8(x, lf)));
+        const unsigned s2 = ~static_cast<unsigned>(_mm256_movemask_epi8(ws));
+        if (s2 != 0) return i + static_cast<std::size_t>(__builtin_ctz(s2));
+      }
+    }
+    if (i + 16 <= n) {
+      const unsigned t = ~ws_mask128(p + i) & 0xFFFFu;
+      if (t != 0) return i + static_cast<std::size_t>(__builtin_ctz(t));
+      i += 16;
+    }
+  }
+  for (; i < n; ++i) {
+    if (!is_ws_byte(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+XAON_TARGET_AVX2 __m256i range_mask_avx2(__m256i x, char lo, char hi) {
+  const __m256i below = _mm256_subs_epu8(x, _mm256_set1_epi8(hi));
+  const __m256i above = _mm256_subs_epu8(_mm256_set1_epi8(lo), x);
+  return _mm256_cmpeq_epi8(_mm256_or_si256(below, above),
+                           _mm256_setzero_si256());
+}
+
+/// VEX-encoded 128-bit range mask for the AVX2 kernels' tails (NOT the
+/// legacy-SSE range_mask_sse2 — see the transition note above).
+XAON_TARGET_AVX2 __m128i range_mask128_avx2(__m128i x, char lo, char hi) {
+  const __m128i below = _mm_subs_epu8(x, _mm_set1_epi8(hi));
+  const __m128i above = _mm_subs_epu8(_mm_set1_epi8(lo), x);
+  return _mm_cmpeq_epi8(_mm_or_si128(below, above), _mm_setzero_si128());
+}
+
+/// Member mask: 1-bits where the byte is a NameChar.
+XAON_TARGET_AVX2 unsigned name_mask128(const char* p) {
+  const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m128i ranges =
+      _mm_or_si128(_mm_or_si128(range_mask128_avx2(x, 'a', 'z'),
+                                range_mask128_avx2(x, 'A', 'Z')),
+                   range_mask128_avx2(x, '0', '9'));
+  const __m128i punct = _mm_or_si128(
+      _mm_or_si128(_mm_cmpeq_epi8(x, _mm_set1_epi8('_')),
+                   _mm_cmpeq_epi8(x, _mm_set1_epi8(':'))),
+      _mm_or_si128(_mm_cmpeq_epi8(x, _mm_set1_epi8('-')),
+                   _mm_cmpeq_epi8(x, _mm_set1_epi8('.'))));
+  unsigned name = static_cast<unsigned>(
+      _mm_movemask_epi8(_mm_or_si128(ranges, punct)));
+  name |= static_cast<unsigned>(_mm_movemask_epi8(x));  // >= 0x80
+  return name;
+}
+
+XAON_TARGET_AVX2 std::size_t name_run_avx2(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  if (n >= 16) {
+    const unsigned stop = ~name_mask128(p) & 0xFFFFu;
+    if (stop != 0) return static_cast<std::size_t>(__builtin_ctz(stop));
+    i = 16;
+    if (i + 32 <= n) {
+      const __m256i us = _mm256_set1_epi8('_');
+      const __m256i co = _mm256_set1_epi8(':');
+      const __m256i da = _mm256_set1_epi8('-');
+      const __m256i dot = _mm256_set1_epi8('.');
+      for (; i + 32 <= n; i += 32) {
+        const __m256i x =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+        const __m256i ranges = _mm256_or_si256(
+            _mm256_or_si256(range_mask_avx2(x, 'a', 'z'),
+                            range_mask_avx2(x, 'A', 'Z')),
+            range_mask_avx2(x, '0', '9'));
+        const __m256i punct = _mm256_or_si256(
+            _mm256_or_si256(_mm256_cmpeq_epi8(x, us),
+                            _mm256_cmpeq_epi8(x, co)),
+            _mm256_or_si256(_mm256_cmpeq_epi8(x, da),
+                            _mm256_cmpeq_epi8(x, dot)));
+        unsigned name = static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_or_si256(ranges, punct)));
+        name |= static_cast<unsigned>(_mm256_movemask_epi8(x));  // >= 0x80
+        const unsigned stop2 = ~name;
+        if (stop2 != 0) {
+          return i + static_cast<std::size_t>(__builtin_ctz(stop2));
+        }
+      }
+    }
+    if (i + 16 <= n) {
+      const unsigned t = ~name_mask128(p + i) & 0xFFFFu;
+      if (t != 0) return i + static_cast<std::size_t>(__builtin_ctz(t));
+      i += 16;
+    }
+  }
+  for (; i < n; ++i) {
+    if (!is_name_byte(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+/// CR-at-i AND LF-at-i+1 mask; reads p[0..16], so needs 17 valid bytes.
+XAON_TARGET_AVX2 unsigned crlf_mask128(const char* p) {
+  const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 1));
+  return static_cast<unsigned>(_mm_movemask_epi8(
+      _mm_and_si128(_mm_cmpeq_epi8(a, _mm_set1_epi8('\r')),
+                    _mm_cmpeq_epi8(b, _mm_set1_epi8('\n')))));
+}
+
+XAON_TARGET_AVX2 std::size_t find_crlf_avx2(const char* p, std::size_t n) {
+  std::size_t i = 0;
+  if (n >= 17) {
+    const unsigned m = crlf_mask128(p);
+    if (m != 0) return static_cast<std::size_t>(__builtin_ctz(m));
+    i = 16;
+    if (i + 33 <= n) {
+      const __m256i cr = _mm256_set1_epi8('\r');
+      const __m256i lf = _mm256_set1_epi8('\n');
+      for (; i + 33 <= n; i += 32) {
+        const __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+        const __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 1));
+        const unsigned m2 = static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_and_si256(
+                _mm256_cmpeq_epi8(a, cr), _mm256_cmpeq_epi8(b, lf))));
+        if (m2 != 0) return i + static_cast<std::size_t>(__builtin_ctz(m2));
+      }
+    }
+    if (i + 17 <= n) {
+      const unsigned t = crlf_mask128(p + i);
+      if (t != 0) return i + static_cast<std::size_t>(__builtin_ctz(t));
+      i += 16;
+    }
+  }
+  for (; i + 1 < n; ++i) {
+    if (p[i] == '\r' && p[i + 1] == '\n') return i;
+  }
+  return n;
+}
+
+/// Nibble-table classifier (pshufb): membership of ASCII byte b is
+/// lo_tab[b & 15] & (1 << (b >> 4)); pshufb's bit-7 zeroing plus the
+/// zeroed upper half of hi_tab make every byte >= 0x80 classify as
+/// non-member, and the uniform high flag patches those lanes from the
+/// sign-bit movemask. Classes whose high half is NOT uniform cannot be
+/// encoded this way and take the bytewise path instead.
+XAON_TARGET_AVX2 unsigned class_member_mask_avx2(__m256i x,
+                                                 const ByteClass& cls) {
+  const __m256i lo_tab = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(cls.lo_tab())));
+  const __m256i hi_tab = _mm256_broadcastsi128_si256(
+      _mm_setr_epi8(1, 2, 4, 8, 16, 32, 64, static_cast<char>(128), 0, 0, 0,
+                    0, 0, 0, 0, 0));
+  const __m256i hi_nib = _mm256_and_si256(_mm256_srli_epi16(x, 4),
+                                          _mm256_set1_epi8(0x0F));
+  const __m256i hits = _mm256_and_si256(_mm256_shuffle_epi8(lo_tab, x),
+                                        _mm256_shuffle_epi8(hi_tab, hi_nib));
+  unsigned member = ~static_cast<unsigned>(_mm256_movemask_epi8(
+      _mm256_cmpeq_epi8(hits, _mm256_setzero_si256())));
+  if (cls.high_member()) {
+    member |= static_cast<unsigned>(_mm256_movemask_epi8(x));
+  }
+  return member;
+}
+
+/// 128-bit lane of the same classifier for the kernels' tails.
+XAON_TARGET_AVX2 unsigned class_member_mask128_avx2(__m128i x,
+                                                    const ByteClass& cls) {
+  const __m128i lo_tab =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(cls.lo_tab()));
+  const __m128i hi_tab =
+      _mm_setr_epi8(1, 2, 4, 8, 16, 32, 64, static_cast<char>(128), 0, 0, 0,
+                    0, 0, 0, 0, 0);
+  const __m128i hi_nib =
+      _mm_and_si128(_mm_srli_epi16(x, 4), _mm_set1_epi8(0x0F));
+  const __m128i hits = _mm_and_si128(_mm_shuffle_epi8(lo_tab, x),
+                                     _mm_shuffle_epi8(hi_tab, hi_nib));
+  unsigned member = ~static_cast<unsigned>(_mm_movemask_epi8(
+                        _mm_cmpeq_epi8(hits, _mm_setzero_si128()))) &
+                    0xFFFFu;
+  if (cls.high_member()) {
+    member |= static_cast<unsigned>(_mm_movemask_epi8(x));
+  }
+  return member;
+}
+
+XAON_TARGET_AVX2 std::size_t find_any_avx2(const char* p, std::size_t n,
+                                           const ByteClass& cls) {
+  if (!cls.high_uniform()) return find_any_scalar(p, n, cls);
+  std::size_t i = 0;
+  if (n >= 16) {
+    const unsigned m = class_member_mask128_avx2(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)), cls);
+    if (m != 0) return static_cast<std::size_t>(__builtin_ctz(m));
+    i = 16;
+    for (; i + 32 <= n; i += 32) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+      const unsigned m2 = class_member_mask_avx2(x, cls);
+      if (m2 != 0) return i + static_cast<std::size_t>(__builtin_ctz(m2));
+    }
+    if (i + 16 <= n) {
+      const unsigned t = class_member_mask128_avx2(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i)), cls);
+      if (t != 0) return i + static_cast<std::size_t>(__builtin_ctz(t));
+      i += 16;
+    }
+  }
+  for (; i < n; ++i) {
+    if (cls.contains(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+XAON_TARGET_AVX2 std::size_t skip_class_avx2(const char* p, std::size_t n,
+                                             const ByteClass& cls) {
+  if (!cls.high_uniform()) return skip_class_scalar(p, n, cls);
+  std::size_t i = 0;
+  if (n >= 16) {
+    const unsigned stop =
+        ~class_member_mask128_avx2(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)), cls) &
+        0xFFFFu;
+    if (stop != 0) return static_cast<std::size_t>(__builtin_ctz(stop));
+    i = 16;
+    for (; i + 32 <= n; i += 32) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+      const unsigned s2 = ~class_member_mask_avx2(x, cls);
+      if (s2 != 0) return i + static_cast<std::size_t>(__builtin_ctz(s2));
+    }
+    if (i + 16 <= n) {
+      const unsigned t =
+          ~class_member_mask128_avx2(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i)), cls) &
+          0xFFFFu;
+      if (t != 0) return i + static_cast<std::size_t>(__builtin_ctz(t));
+      i += 16;
+    }
+  }
+  for (; i < n; ++i) {
+    if (!cls.contains(static_cast<unsigned char>(p[i]))) return i;
+  }
+  return n;
+}
+
+#endif  // XAON_SCAN_X86
+
+// --- dispatch --------------------------------------------------------------
+
+struct KernelTable {
+  std::size_t (*find_byte)(const char*, std::size_t, char);
+  std::size_t (*find_any_of)(const char*, std::size_t, const ByteClass&);
+  std::size_t (*skip_while_class)(const char*, std::size_t, const ByteClass&);
+  std::size_t (*find_crlf)(const char*, std::size_t);
+  std::size_t (*match_name_run)(const char*, std::size_t);
+  std::size_t (*skip_xml_whitespace)(const char*, std::size_t);
+  std::size_t (*find_markup_or_amp)(const char*, std::size_t);
+};
+
+constexpr KernelTable kScalarTable = {
+    find_byte_scalar, find_any_scalar,  skip_class_scalar,  find_crlf_scalar,
+    name_run_scalar,  skip_ws_scalar,   find_markup_scalar,
+};
+
+#if XAON_SCAN_SWAR
+// The generic ByteClass kernels stay bytewise at the SWAR tier: a
+// 256-bit membership table has no branch-free uint64 evaluation, and a
+// wrong "vectorization" here would just hide the fallback cost.
+constexpr KernelTable kSwarTable = {
+    find_byte_swar, find_any_scalar, skip_class_scalar, find_crlf_swar,
+    name_run_swar,  skip_ws_swar,    find_markup_swar,
+};
+#else
+constexpr KernelTable kSwarTable = kScalarTable;
+#endif
+
+#if XAON_SCAN_X86
+constexpr KernelTable kSse2Table = {
+    find_byte_sse2, find_any_scalar, skip_class_scalar, find_crlf_sse2,
+    name_run_sse2,  skip_ws_sse2,    find_markup_sse2,
+};
+constexpr KernelTable kAvx2Table = {
+    find_byte_avx2, find_any_avx2,   skip_class_avx2,   find_crlf_avx2,
+    name_run_avx2,  skip_ws_avx2,    find_markup_avx2,
+};
+#endif
+
+const KernelTable* table_for(Impl impl) {
+  switch (impl) {
+    case Impl::kScalar: return &kScalarTable;
+    case Impl::kSwar: return &kSwarTable;
+#if XAON_SCAN_X86
+    case Impl::kSse2: return &kSse2Table;
+    case Impl::kAvx2: return &kAvx2Table;
+#else
+    case Impl::kSse2:
+    case Impl::kAvx2: return &kScalarTable;
+#endif
+  }
+  return &kScalarTable;
+}
+
+struct Dispatch {
+  Impl impl;
+  const KernelTable* table;
+};
+
+Dispatch initial_dispatch() {
+  Impl impl = best_impl();
+  if (const char* env = std::getenv("XAON_SCAN_IMPL")) {
+    Impl parsed = impl;
+    if (parse_impl(env, &parsed) && impl_available(parsed)) impl = parsed;
+  }
+  return Dispatch{impl, table_for(impl)};
+}
+
+Dispatch& dispatch() {
+  static Dispatch d = initial_dispatch();
+  return d;
+}
+
+thread_local Counters tl_counters;
+
+/// One accounting point for every public kernel: the return value is
+/// the bytes the caller advances over, identical across tiers.
+inline std::size_t account(std::size_t r) {
+  tl_counters.bytes += r;
+  ++tl_counters.calls;
+  return r;
+}
+
+}  // namespace
+
+std::string_view impl_name(Impl impl) {
+  switch (impl) {
+    case Impl::kScalar: return "scalar";
+    case Impl::kSwar: return "swar";
+    case Impl::kSse2: return "sse2";
+    case Impl::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool parse_impl(std::string_view name, Impl* out) {
+  for (std::size_t i = 0; i < kImplCount; ++i) {
+    const Impl impl = static_cast<Impl>(i);
+    if (name == impl_name(impl)) {
+      *out = impl;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool impl_available(Impl impl) {
+  switch (impl) {
+    case Impl::kScalar:
+    case Impl::kSwar:
+      return true;
+    case Impl::kSse2:
+#if XAON_SCAN_X86
+      return __builtin_cpu_supports("sse2") != 0;
+#else
+      return false;
+#endif
+    case Impl::kAvx2:
+#if XAON_SCAN_X86
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Impl best_impl() {
+  if (impl_available(Impl::kAvx2)) return Impl::kAvx2;
+  if (impl_available(Impl::kSse2)) return Impl::kSse2;
+  return Impl::kSwar;
+}
+
+Impl active_impl() { return dispatch().impl; }
+
+Impl set_impl(Impl impl) {
+  if (impl_available(impl)) {
+    dispatch() = Dispatch{impl, table_for(impl)};
+  }
+  return dispatch().impl;
+}
+
+Counters& thread_counters() { return tl_counters; }
+
+void reset_thread_counters() { tl_counters = Counters{}; }
+
+std::size_t find_byte(const char* p, std::size_t n, char c) {
+  return account(dispatch().table->find_byte(p, n, c));
+}
+
+std::size_t find_any_of(const char* p, std::size_t n, const ByteClass& cls) {
+  return account(dispatch().table->find_any_of(p, n, cls));
+}
+
+std::size_t skip_while_class(const char* p, std::size_t n,
+                             const ByteClass& cls) {
+  return account(dispatch().table->skip_while_class(p, n, cls));
+}
+
+std::size_t find_crlf(const char* p, std::size_t n) {
+  return account(dispatch().table->find_crlf(p, n));
+}
+
+std::size_t match_name_run(const char* p, std::size_t n) {
+  return account(dispatch().table->match_name_run(p, n));
+}
+
+std::size_t skip_xml_whitespace(const char* p, std::size_t n) {
+  return account(dispatch().table->skip_xml_whitespace(p, n));
+}
+
+std::size_t find_markup_or_amp(const char* p, std::size_t n) {
+  return account(dispatch().table->find_markup_or_amp(p, n));
+}
+
+}  // namespace xaon::util::scan

@@ -6,7 +6,14 @@
 #include <cstdlib>
 #include <limits>
 
+#include "xaon/util/scan.hpp"
+
 namespace xaon::util {
+
+namespace {
+/// is_ascii_space's byte set (wider than XML whitespace: adds \f, \v).
+constexpr scan::ByteClass kAsciiSpace = scan::ByteClass::of(" \t\r\n\f\v");
+}  // namespace
 
 bool iequals(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) return false;
@@ -23,9 +30,8 @@ std::string to_lower(std::string_view s) {
 }
 
 std::string_view trim(std::string_view s) {
-  std::size_t b = 0;
+  const std::size_t b = scan::skip_while_class(s.data(), s.size(), kAsciiSpace);
   std::size_t e = s.size();
-  while (b < e && is_ascii_space(s[b])) ++b;
   while (e > b && is_ascii_space(s[e - 1])) --e;
   return s.substr(b, e - b);
 }
@@ -33,11 +39,12 @@ std::string_view trim(std::string_view s) {
 std::vector<std::string_view> split(std::string_view s, char sep) {
   std::vector<std::string_view> out;
   std::size_t start = 0;
-  for (std::size_t i = 0; i <= s.size(); ++i) {
-    if (i == s.size() || s[i] == sep) {
-      out.push_back(s.substr(start, i - start));
-      start = i + 1;
-    }
+  for (;;) {
+    const std::string_view rest = s.substr(start);
+    const std::size_t hit = scan::find_byte(rest.data(), rest.size(), sep);
+    out.push_back(rest.substr(0, hit));
+    if (hit == rest.size()) break;
+    start += hit + 1;
   }
   return out;
 }

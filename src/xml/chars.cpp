@@ -37,4 +37,13 @@ char predefined_entity(std::string_view name) {
   return '\0';
 }
 
+std::string_view predefined_entity_text(std::string_view name) {
+  if (name == "lt") return "<";
+  if (name == "gt") return ">";
+  if (name == "amp") return "&";
+  if (name == "apos") return "'";
+  if (name == "quot") return "\"";
+  return {};
+}
+
 }  // namespace xaon::xml

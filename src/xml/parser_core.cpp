@@ -4,6 +4,7 @@
 #include <string>
 
 #include "xaon/util/probe.hpp"
+#include "xaon/util/scan.hpp"
 #include "xaon/util/str.hpp"
 #include "xaon/xml/chars.hpp"
 
@@ -12,6 +13,16 @@ namespace xaon::xml::detail {
 namespace {
 
 namespace probe = xaon::probe;
+namespace scan = xaon::util::scan;
+
+/// Attribute-value terminators: the closing quote, markup/reference
+/// starters, and the whitespace bytes that normalize to ' ' (plain
+/// spaces copy through unchanged, so they are not stops).
+constexpr scan::ByteClass kAttrStopsDq = scan::ByteClass::of("\"<&\t\r\n");
+constexpr scan::ByteClass kAttrStopsSq = scan::ByteClass::of("'<&\t\r\n");
+/// DOCTYPE structural bytes: quoted-literal delimiters, the internal
+/// subset brackets, and the closing '>'.
+constexpr scan::ByteClass kDoctypeStops = scan::ByteClass::of("\"'[]>");
 
 /// Probe sites for the tokenizer hot loops. Registered once per process;
 /// ids are stable, so the simulated branch predictors see consistent PCs.
@@ -59,13 +70,7 @@ class XAON_ARENA_TIED Core {
   char peek_at(std::size_t k) const {
     return pos_ + k < in_.size() ? in_[pos_ + k] : '\0';
   }
-  void advance() {
-    if (in_[pos_] == '\n') {
-      ++line_;
-      line_start_ = pos_ + 1;
-    }
-    ++pos_;
-  }
+  void advance() { ++pos_; }
   bool consume(char c) {
     if (!eof() && peek() == c) {
       advance();
@@ -81,6 +86,10 @@ class XAON_ARENA_TIED Core {
     return false;
   }
   void skip_space() {
+    if (bulk_) {
+      pos_ += scan::skip_xml_whitespace(in_.data() + pos_, in_.size() - pos_);
+      return;
+    }
     while (!eof() && is_space(peek())) advance();
   }
 
@@ -88,8 +97,19 @@ class XAON_ARENA_TIED Core {
                           ErrorCode code = ErrorCode::kSyntax) {
     if (result_.error.empty()) {
       result_.error.offset = pos_;
-      result_.error.line = line_;
-      result_.error.column = pos_ - line_start_ + 1;
+      // Line/column are derived here, on the cold path: the cursor no
+      // longer tracks newlines per byte (that bookkeeping was a branch
+      // per input byte in the hot loops the scan kernels replace).
+      std::size_t line = 1;
+      std::size_t line_start = doc_start_;
+      for (std::size_t i = doc_start_; i < pos_; ++i) {
+        if (in_[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
+      }
+      result_.error.line = line;
+      result_.error.column = pos_ - line_start + 1;
       result_.error.code = code;
       result_.error.message = std::move(message);
     }
@@ -99,7 +119,7 @@ class XAON_ARENA_TIED Core {
   // --- scanning ----------------------------------------------------------
   bool scan_name(std::string_view* out);
   bool scan_attr_value(std::string_view* out);
-  bool scan_reference(std::string* out);
+  bool scan_reference(std::string_view* out);
   bool parse_misc(bool prolog);
   bool parse_doctype();
   bool parse_comment(std::string_view* out);
@@ -125,12 +145,19 @@ class XAON_ARENA_TIED Core {
   EventSink& sink_;
 
   std::size_t pos_ = 0;
-  std::size_t line_ = 1;
-  std::size_t line_start_ = 0;
+  std::size_t doc_start_ = 0;  ///< first byte after the BOM, if any
   std::size_t depth_ = 0;
   std::size_t reference_count_ = 0;  ///< entity/char refs this document
   bool root_seen_ = false;
   bool aborted_ = false;
+  /// Bulk scanning runs only when no probe::Recorder is installed on
+  /// this thread: probe capture (the Table 5/6 uarch trace mode) keeps
+  /// the original probe::branch-annotated per-byte loops so the
+  /// recorded branch shapes are unchanged.
+  const bool bulk_ = probe::recorder() == nullptr;
+  /// Scratch for one UTF-8-encoded numeric character reference; the
+  /// view scan_reference returns for the numeric case points here.
+  char ref_buf_[4] = {0, 0, 0, 0};
 
   // Reusable buffers owned by the caller's ParserScratch. raw_attrs_ and
   // attr_buf_ are only live between a start tag's '<' and its
@@ -150,8 +177,12 @@ bool Core::scan_name(std::string_view* out) {
   const std::size_t start = pos_;
   if (eof() || !is_name_start(peek())) return fail("expected name");
   advance();
-  while (probe::branch(sites().name_scan, !eof() && is_name_char(peek()))) {
-    advance();
+  if (bulk_) {
+    pos_ += scan::match_name_run(in_.data() + pos_, in_.size() - pos_);
+  } else {
+    while (probe::branch(sites().name_scan, !eof() && is_name_char(peek()))) {
+      advance();
+    }
   }
   std::string_view raw = in_.substr(start, pos_ - start);
   probe::load(raw.data(), static_cast<std::uint32_t>(raw.size()));
@@ -159,8 +190,11 @@ bool Core::scan_name(std::string_view* out) {
   return true;
 }
 
-bool Core::scan_reference(std::string* out) {
-  // Caller consumed '&'.
+bool Core::scan_reference(std::string_view* out) {
+  // Caller consumed '&'. The returned view is either a static literal
+  // (the five predefined entities) or ref_buf_ (numeric references) —
+  // no heap traffic on either path; it stays valid until the next
+  // scan_reference call, so callers append it immediately.
   if (++reference_count_ > opt_.max_entity_expansions) {
     return fail("too many entity references", ErrorCode::kEntityLimit);
   }
@@ -185,22 +219,21 @@ bool Core::scan_reference(std::string* out) {
       advance();
     }
     if (!any || !consume(';')) return fail("malformed character reference");
-    char buf[4];
-    const int n = utf8_encode(cp, buf);
+    const int n = utf8_encode(cp, ref_buf_);
     if (n == 0) return fail("invalid character reference");
-    out->append(buf, static_cast<std::size_t>(n));
+    *out = std::string_view(ref_buf_, static_cast<std::size_t>(n));
     probe::alu(4);
     return true;
   }
   std::string_view name;
   if (!scan_name(&name)) return fail("malformed entity reference");
   if (!consume(';')) return fail("entity reference missing ';'");
-  const char c = predefined_entity(name);
-  if (probe::branch(sites().entity, c == '\0')) {
+  const std::string_view text = predefined_entity_text(name);
+  if (probe::branch(sites().entity, text.empty())) {
     pos_ = start;  // report at the reference
     return fail("unknown entity '&" + std::string(name) + ";'");  // xlint: allow(hot-string): cold error path — message built only on parse failure
   }
-  out->push_back(c);
+  *out = text;
   return true;
 }
 
@@ -214,8 +247,18 @@ bool Core::scan_attr_value(std::string_view* out) {
     return fail("attribute value must be quoted");
   }
   scratch_.clear();
+  const scan::ByteClass& stops = quote == '"' ? kAttrStopsDq : kAttrStopsSq;
   const std::size_t run_start = pos_;
   while (!eof()) {
+    if (bulk_) {
+      // Everything up to the next stop byte copies through verbatim
+      // (plain spaces included — they normalize to themselves).
+      const std::size_t run =
+          scan::find_any_of(in_.data() + pos_, in_.size() - pos_, stops);
+      scratch_.append(in_.data() + pos_, run);
+      pos_ += run;
+      if (eof()) break;
+    }
     const char c = peek();
     if (c == quote) {
       probe::load(in_.data() + run_start,
@@ -227,7 +270,9 @@ bool Core::scan_attr_value(std::string_view* out) {
     if (c == '<') return fail("'<' in attribute value");
     if (c == '&') {
       advance();
-      if (!scan_reference(&scratch_)) return false;
+      std::string_view ref;
+      if (!scan_reference(&ref)) return false;
+      scratch_.append(ref);
       continue;
     }
     // Attribute-value normalization: whitespace -> space.
@@ -241,6 +286,10 @@ bool Core::parse_comment(std::string_view* out) {
   // Caller consumed "<!--".
   const std::size_t start = pos_;
   while (!eof()) {
+    if (bulk_ && peek() != '-') {
+      pos_ += scan::find_byte(in_.data() + pos_, in_.size() - pos_, '-');
+      if (eof()) break;
+    }
     if (peek() == '-' && peek_at(1) == '-') {
       if (peek_at(2) != '>') return fail("'--' not allowed in comment");
       std::string_view body = in_.substr(start, pos_ - start);
@@ -263,6 +312,10 @@ bool Core::parse_pi(std::string_view* target, std::string_view* data) {
   skip_space();
   const std::size_t start = pos_;
   while (!eof()) {
+    if (bulk_ && peek() != '?') {
+      pos_ += scan::find_byte(in_.data() + pos_, in_.size() - pos_, '?');
+      if (eof()) break;
+    }
     if (peek() == '?' && peek_at(1) == '>') {
       *target = name;
       *data = in_.substr(start, pos_ - start);
@@ -279,6 +332,10 @@ bool Core::parse_cdata(std::string_view* out) {
   // Caller consumed "<![CDATA[".
   const std::size_t start = pos_;
   while (!eof()) {
+    if (bulk_ && peek() != ']') {
+      pos_ += scan::find_byte(in_.data() + pos_, in_.size() - pos_, ']');
+      if (eof()) break;
+    }
     if (peek() == ']' && peek_at(1) == ']' && peek_at(2) == '>') {
       std::string_view body = in_.substr(start, pos_ - start);
       probe::load(body.data(), static_cast<std::uint32_t>(body.size()));
@@ -299,11 +356,20 @@ bool Core::parse_doctype() {
   // not processed (documented limitation).
   int bracket = 0;
   while (!eof()) {
+    if (bulk_) {
+      pos_ +=
+          scan::find_any_of(in_.data() + pos_, in_.size() - pos_, kDoctypeStops);
+      if (eof()) break;
+    }
     const char c = peek();
     if (c == '"' || c == '\'') {
       const char q = c;
       advance();
-      while (!eof() && peek() != q) advance();
+      if (bulk_) {
+        pos_ += scan::find_byte(in_.data() + pos_, in_.size() - pos_, q);
+      } else {
+        while (!eof() && peek() != q) advance();
+      }
       if (eof()) return fail("unterminated literal in DOCTYPE");
       advance();
       continue;
@@ -322,6 +388,10 @@ bool Core::parse_doctype() {
 bool Core::parse_xml_decl() {
   // Caller consumed "<?xml". Accept version/encoding/standalone loosely.
   while (!eof()) {
+    if (bulk_ && peek() != '?') {
+      pos_ += scan::find_byte(in_.data() + pos_, in_.size() - pos_, '?');
+      if (eof()) break;
+    }
     if (peek() == '?' && peek_at(1) == '>') {
       advance();
       advance();
@@ -505,6 +575,21 @@ bool Core::parse_content(const ResolvedName& parent) {
   };
 
   while (!eof()) {
+    if (bulk_) {
+      // Bulk-copy the content-text run up to the next '<' or '&'. The
+      // whitespace-only flag is re-derived from the run itself: the run
+      // is all-whitespace iff skip_xml_whitespace consumes it whole.
+      const char* base = in_.data() + pos_;
+      const std::size_t run = scan::find_markup_or_amp(base, in_.size() - pos_);
+      if (run != 0) {
+        if (pending_ws_only && scan::skip_xml_whitespace(base, run) != run) {
+          pending_ws_only = false;
+        }
+        pending_text.append(base, run);
+        pos_ += run;
+        if (eof()) break;
+      }
+    }
     const char c = peek();
     if (probe::branch(sites().content_scan, c != '<' && c != '&')) {
       pending_ws_only = pending_ws_only && is_space(c);
@@ -514,10 +599,10 @@ bool Core::parse_content(const ResolvedName& parent) {
     }
     if (c == '&') {
       advance();
-      const std::size_t before = pending_text.size();
-      if (!scan_reference(&pending_text)) return false;
+      std::string_view ref;
+      if (!scan_reference(&ref)) return false;
+      pending_text.append(ref);
       // References never count as ignorable whitespace.
-      (void)before;
       pending_ws_only = false;
       continue;
     }
@@ -631,7 +716,7 @@ CoreResult Core::run() {
   // Optional BOM.
   if (in_.substr(0, 3) == "\xEF\xBB\xBF") {
     pos_ = 3;
-    line_start_ = 3;
+    doc_start_ = 3;
   }
   // Optional XML declaration (must be first).
   if (in_.substr(pos_).substr(0, 5) == "<?xml" &&

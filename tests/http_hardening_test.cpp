@@ -6,6 +6,7 @@
 #include <string>
 
 #include "xaon/http/parser.hpp"
+#include "xaon/util/scan.hpp"
 
 namespace xaon::http {
 namespace {
@@ -145,16 +146,36 @@ FeedOutcome feed_bytewise(std::string_view wire,
           p.done() ? p.request().body : std::string()};
 }
 
-// Asserts whole-buffer and byte-at-a-time agreement, returns the
-// (shared) outcome for further checks.
+// Asserts whole-buffer and byte-at-a-time agreement — under every
+// available scan-kernel implementation (scalar/swar/sse2/avx2): the
+// framing decisions may depend neither on how the bytes were segmented
+// nor on which bulk kernel did the line scanning. Returns the (shared)
+// outcome for further checks.
 FeedOutcome feed_both(std::string_view wire,
                       void (*tune)(RequestParser&) = nullptr) {
+  namespace scan = xaon::util::scan;
   const FeedOutcome whole = feed_whole(wire, tune);
   const FeedOutcome bytewise = feed_bytewise(wire, tune);
   EXPECT_EQ(whole.done, bytewise.done) << wire;
   EXPECT_EQ(whole.failed, bytewise.failed) << wire;
   EXPECT_EQ(whole.code, bytewise.code) << wire;
   EXPECT_EQ(whole.body, bytewise.body) << wire;
+  for (std::size_t i = 0; i < scan::kImplCount; ++i) {
+    const auto impl = static_cast<scan::Impl>(i);
+    if (!scan::impl_available(impl)) continue;
+    scan::set_impl(impl);
+    const FeedOutcome w = feed_whole(wire, tune);
+    const FeedOutcome b = feed_bytewise(wire, tune);
+    EXPECT_EQ(w.done, whole.done) << scan::impl_name(impl) << ": " << wire;
+    EXPECT_EQ(w.failed, whole.failed) << scan::impl_name(impl) << ": " << wire;
+    EXPECT_EQ(w.code, whole.code) << scan::impl_name(impl) << ": " << wire;
+    EXPECT_EQ(w.body, whole.body) << scan::impl_name(impl) << ": " << wire;
+    EXPECT_EQ(b.done, whole.done) << scan::impl_name(impl) << ": " << wire;
+    EXPECT_EQ(b.failed, whole.failed) << scan::impl_name(impl) << ": " << wire;
+    EXPECT_EQ(b.code, whole.code) << scan::impl_name(impl) << ": " << wire;
+    EXPECT_EQ(b.body, whole.body) << scan::impl_name(impl) << ": " << wire;
+  }
+  scan::set_impl(scan::best_impl());
   return whole;
 }
 

@@ -1,0 +1,387 @@
+// Differential proof of the bulk-scanning kernels: every compiled
+// implementation (scalar / SWAR / SSE2 / AVX2) must agree byte-for-byte
+// with the scalar reference on randomized inputs, on every length 0..64
+// against exact-sized heap buffers (the sanitize preset turns any
+// one-past-the-end vector load into an ASan report), and on the
+// classifier edge bytes 0x00 / 0x7F / 0x80 / 0xFF. Also covers the
+// dispatch plumbing (impl names, env-independent set_impl, counters)
+// and the consumer-level differential: the XML parser must produce the
+// same documents under every impl and under probe capture (where the
+// scalar probe-annotated loops take over).
+
+#include "xaon/util/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xaon/util/probe.hpp"
+#include "xaon/util/rng.hpp"
+#include "xaon/util/str.hpp"
+#include "xaon/xml/chars.hpp"
+#include "xaon/xml/parser.hpp"
+
+namespace xaon::util::scan {
+namespace {
+
+std::vector<Impl> available_impls() {
+  std::vector<Impl> impls;
+  for (std::size_t i = 0; i < kImplCount; ++i) {
+    const auto impl = static_cast<Impl>(i);
+    if (impl_available(impl)) impls.push_back(impl);
+  }
+  return impls;
+}
+
+/// Restores the CPU-best dispatch when a test that switches impls ends.
+struct ImplGuard {
+  ~ImplGuard() { set_impl(best_impl()); }
+};
+
+/// Copies `s` into an exactly-sized heap allocation so ASan flags any
+/// kernel read past `p + n` — a right-sized std::string would hide tail
+/// overreads inside its capacity slack.
+struct ExactBuf {
+  explicit ExactBuf(std::string_view s)
+      : mem(s.empty() ? nullptr : new char[s.size()]), n(s.size()) {
+    if (n != 0) std::memcpy(mem.get(), s.data(), n);
+  }
+  const char* data() const { return mem.get(); }
+  std::unique_ptr<char[]> mem;
+  std::size_t n;
+};
+
+/// Runs every kernel under every available impl on `s` (via an
+/// exact-sized buffer) and checks each against the scalar reference.
+void check_all_kernels(std::string_view s, const ByteClass& cls) {
+  ImplGuard guard;
+  const ExactBuf buf(s);
+  ASSERT_EQ(set_impl(Impl::kScalar), Impl::kScalar);
+  const std::size_t ref_find = find_byte(buf.data(), buf.n, 'x');
+  const std::size_t ref_any = find_any_of(buf.data(), buf.n, cls);
+  const std::size_t ref_skip = skip_while_class(buf.data(), buf.n, cls);
+  const std::size_t ref_crlf = find_crlf(buf.data(), buf.n);
+  const std::size_t ref_name = match_name_run(buf.data(), buf.n);
+  const std::size_t ref_ws = skip_xml_whitespace(buf.data(), buf.n);
+  const std::size_t ref_markup = find_markup_or_amp(buf.data(), buf.n);
+  for (Impl impl : available_impls()) {
+    ASSERT_EQ(set_impl(impl), impl);
+    const auto name = impl_name(impl);
+    EXPECT_EQ(find_byte(buf.data(), buf.n, 'x'), ref_find) << name;
+    EXPECT_EQ(find_any_of(buf.data(), buf.n, cls), ref_any) << name;
+    EXPECT_EQ(skip_while_class(buf.data(), buf.n, cls), ref_skip) << name;
+    EXPECT_EQ(find_crlf(buf.data(), buf.n), ref_crlf) << name;
+    EXPECT_EQ(match_name_run(buf.data(), buf.n), ref_name) << name;
+    EXPECT_EQ(skip_xml_whitespace(buf.data(), buf.n), ref_ws) << name;
+    EXPECT_EQ(find_markup_or_amp(buf.data(), buf.n), ref_markup) << name;
+  }
+}
+
+TEST(ScanDispatch, ImplNamesRoundTrip) {
+  for (std::size_t i = 0; i < kImplCount; ++i) {
+    const auto impl = static_cast<Impl>(i);
+    Impl parsed = Impl::kScalar;
+    ASSERT_TRUE(parse_impl(impl_name(impl), &parsed)) << impl_name(impl);
+    EXPECT_EQ(parsed, impl);
+  }
+  Impl parsed = Impl::kAvx2;
+  EXPECT_FALSE(parse_impl("neon", &parsed));
+  EXPECT_EQ(parsed, Impl::kAvx2);  // untouched on failure
+}
+
+TEST(ScanDispatch, ScalarAndSwarAlwaysAvailable) {
+  EXPECT_TRUE(impl_available(Impl::kScalar));
+  EXPECT_TRUE(impl_available(Impl::kSwar));
+}
+
+TEST(ScanDispatch, SetImplActivatesAvailableOnly) {
+  ImplGuard guard;
+  for (Impl impl : available_impls()) {
+    EXPECT_EQ(set_impl(impl), impl);
+    EXPECT_EQ(active_impl(), impl);
+  }
+  if (!impl_available(Impl::kAvx2)) {
+    const Impl before = active_impl();
+    EXPECT_EQ(set_impl(Impl::kAvx2), before);  // refused, unchanged
+  }
+}
+
+TEST(ScanDispatch, BestImplIsAvailable) {
+  EXPECT_TRUE(impl_available(best_impl()));
+}
+
+TEST(ScanCounters, BytesAndCallsAccumulate) {
+  reset_thread_counters();
+  const std::string s(100, 'a');
+  EXPECT_EQ(find_byte(s.data(), s.size(), 'x'), 100u);
+  EXPECT_EQ(skip_xml_whitespace(s.data(), s.size()), 0u);
+  const Counters& c = thread_counters();
+  EXPECT_EQ(c.calls, 2u);
+  EXPECT_EQ(c.bytes, 100u);  // the return values, summed
+  reset_thread_counters();
+  EXPECT_EQ(thread_counters().calls, 0u);
+  EXPECT_EQ(thread_counters().bytes, 0u);
+}
+
+TEST(ScanByteClass, MembershipMatchesDefinition) {
+  ByteClass cls = ByteClass::of("<&");
+  for (unsigned c = 0; c < 256; ++c) {
+    EXPECT_EQ(cls.contains(static_cast<unsigned char>(c)),
+              c == '<' || c == '&')
+        << c;
+  }
+  EXPECT_TRUE(cls.high_uniform());
+  EXPECT_FALSE(cls.high_member());
+  cls.add_high();
+  EXPECT_TRUE(cls.high_uniform());
+  EXPECT_TRUE(cls.high_member());
+  for (unsigned c = 0x80; c < 256; ++c) {
+    EXPECT_TRUE(cls.contains(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(ScanByteClass, EdgeBytes) {
+  // 0x00, 0x7F, 0x80, 0xFF exercise both bitmap ends and both nibble
+  // table corners (and, for 0x80/0xFF, the non-uniform high path).
+  const unsigned char edges[] = {0x00, 0x7F, 0x80, 0xFF};
+  for (unsigned char e : edges) {
+    ByteClass cls;
+    cls.add(e);
+    for (unsigned c = 0; c < 256; ++c) {
+      EXPECT_EQ(cls.contains(static_cast<unsigned char>(c)), c == e) << +e;
+    }
+    if (e >= 0x80) {
+      EXPECT_FALSE(cls.high_uniform());
+    } else {
+      EXPECT_TRUE(cls.high_uniform());
+    }
+  }
+}
+
+TEST(ScanKernels, MatchNameRunAgreesWithIsNameChar) {
+  // Place every byte value after a name-char prefix long enough to land
+  // the probe byte inside a full vector block for every width.
+  ImplGuard guard;
+  for (unsigned c = 0; c < 256; ++c) {
+    std::string s(40, 'a');
+    s += static_cast<char>(c);
+    s += "tail";
+    const std::size_t expect =
+        xml::is_name_char(static_cast<char>(c)) ? 45u : 40u;
+    const ExactBuf buf(s);
+    for (Impl impl : available_impls()) {
+      ASSERT_EQ(set_impl(impl), impl);
+      // A stop inside "tail"? 't','a','i','l' are all name chars, so a
+      // name-char probe byte runs to the end of the buffer.
+      const std::size_t got = match_name_run(buf.data(), buf.n);
+      EXPECT_EQ(got, expect) << impl_name(impl) << " byte " << c;
+    }
+  }
+}
+
+TEST(ScanKernels, SkipXmlWhitespaceAgreesWithIsSpace) {
+  ImplGuard guard;
+  for (unsigned c = 0; c < 256; ++c) {
+    std::string s(40, ' ');
+    s += static_cast<char>(c);
+    s.append(10, ' ');
+    const std::size_t expect = xml::is_space(static_cast<char>(c)) ? 51u : 40u;
+    const ExactBuf buf(s);
+    for (Impl impl : available_impls()) {
+      ASSERT_EQ(set_impl(impl), impl);
+      EXPECT_EQ(skip_xml_whitespace(buf.data(), buf.n), expect)
+          << impl_name(impl) << " byte " << c;
+    }
+  }
+}
+
+TEST(ScanKernels, EveryLengthZeroTo64TailSafe) {
+  // Exact-sized heap buffers at every length 0..64: under the sanitize
+  // preset any vector load past p+n is an ASan report, and the results
+  // must still agree across impls. The content cycles all four edge
+  // bytes plus matches for every kernel.
+  static const char kCycle[] = "a<b& \t\r\nx-._:09AZ\x00\x7f\x80\xff\r\n\r";
+  const std::string_view cycle(kCycle, sizeof(kCycle) - 1);
+  ByteClass cls = ByteClass::of("<&\r");
+  for (std::size_t len = 0; len <= 64; ++len) {
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i) s += cycle[i % cycle.size()];
+    check_all_kernels(s, cls);
+  }
+}
+
+TEST(ScanKernels, LoneTrailingCrIsNotCrlf) {
+  ImplGuard guard;
+  for (std::size_t len : {1u, 8u, 9u, 16u, 17u, 31u, 32u, 33u, 64u}) {
+    std::string s(len, 'a');
+    s.back() = '\r';
+    const ExactBuf buf(s);
+    for (Impl impl : available_impls()) {
+      ASSERT_EQ(set_impl(impl), impl);
+      EXPECT_EQ(find_crlf(buf.data(), buf.n), buf.n)
+          << impl_name(impl) << " len " << len;
+    }
+  }
+}
+
+TEST(ScanKernels, CrlfStraddlingBlockBoundaries) {
+  // A CRLF pair at every offset of a 70-byte buffer crosses the 8/16/32
+  // block edges (including the overlapped next-byte load at i+width).
+  ImplGuard guard;
+  for (std::size_t at = 0; at + 1 < 70; ++at) {
+    std::string s(70, 'a');
+    s[at] = '\r';
+    s[at + 1] = '\n';
+    const ExactBuf buf(s);
+    for (Impl impl : available_impls()) {
+      ASSERT_EQ(set_impl(impl), impl);
+      EXPECT_EQ(find_crlf(buf.data(), buf.n), at)
+          << impl_name(impl) << " at " << at;
+    }
+  }
+}
+
+TEST(ScanKernels, RandomizedDifferential) {
+  // Random buffers at block-boundary-straddling lengths, with the
+  // special bytes dense enough that every kernel both matches and runs
+  // long stretches. Random ByteClasses cover uniform and non-uniform
+  // high halves (the AVX2 classifier's fast and fallback paths).
+  Xoshiro256ss rng(0xC0FFEE);
+  static const char kSpecials[] = "<&\r\n\t 'x\"-:._";
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t len = rng.next_below(160);
+    std::string s;
+    s.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (rng.next_below(4) == 0) {
+        s += kSpecials[rng.next_below(sizeof(kSpecials) - 1)];
+      } else {
+        s += static_cast<char>(rng.next_below(256));
+      }
+    }
+    ByteClass cls;
+    const std::size_t members = 1 + rng.next_below(8);
+    for (std::size_t m = 0; m < members; ++m) {
+      cls.add(static_cast<unsigned char>(rng.next_below(128)));
+    }
+    if (rng.next_below(3) == 0) {
+      cls.add_high();  // uniform-high member class
+    } else if (rng.next_below(3) == 0) {
+      cls.add(static_cast<unsigned char>(128 + rng.next_below(128)));
+    }
+    check_all_kernels(s, cls);
+  }
+}
+
+TEST(ScanKernels, NullDataAtZeroLength) {
+  // string_view{}.data() may be nullptr; kernels must not touch it.
+  const ByteClass cls = ByteClass::of("x");
+  EXPECT_EQ(find_byte(nullptr, 0, 'x'), 0u);
+  EXPECT_EQ(find_any_of(nullptr, 0, cls), 0u);
+  EXPECT_EQ(skip_while_class(nullptr, 0, cls), 0u);
+  EXPECT_EQ(find_crlf(nullptr, 0), 0u);
+  EXPECT_EQ(match_name_run(nullptr, 0), 0u);
+  EXPECT_EQ(skip_xml_whitespace(nullptr, 0), 0u);
+  EXPECT_EQ(find_markup_or_amp(nullptr, 0), 0u);
+}
+
+// --- consumer-level differential -------------------------------------------
+
+/// Null recorder: installing it flips the parser onto the probe-mode
+/// scalar loops without recording anything.
+class NullRecorder : public probe::Recorder {
+ public:
+  void on_load(const void*, std::uint32_t) override {}
+  void on_store(const void*, std::uint32_t) override {}
+  void on_branch(std::uint32_t, bool) override {}
+  void on_alu(std::uint32_t) override {}
+};
+
+/// Canonical serialization of a parse outcome: success flag, error
+/// details, and a structural walk of the document.
+std::string parse_fingerprint(std::string_view doc) {
+  const xml::ParseResult r = xml::parse(doc);
+  std::string out = r.ok ? "ok\n" : "error\n";
+  if (!r.ok) {
+    out += r.error.message;
+    out += format("@%zu line %zu col %zu\n", r.error.offset, r.error.line,
+                  r.error.column);
+    return out;
+  }
+  // Walk the DOM depth-first.
+  struct Walk {
+    static void node(const xml::Node* n, std::string& out) {
+      for (; n != nullptr; n = n->next_sibling) {
+        out += format("%d[", static_cast<int>(n->type));
+        out.append(n->qname);
+        out += '|';
+        out.append(n->text);
+        for (const xml::Attr* a = n->first_attr; a != nullptr; a = a->next) {
+          out += ' ';
+          out.append(a->qname);
+          out += '=';
+          out.append(a->value);
+        }
+        out += ']';
+        node(n->first_child, out);
+        out += '\n';
+      }
+    }
+  };
+  Walk::node(r.document.root(), out);
+  return out;
+}
+
+TEST(ScanXmlDifferential, SameDocumentsUnderEveryImplAndProbeMode) {
+  const std::string_view docs[] = {
+      "<root/>",
+      "<a><b>hello</b><c>world</c></a>",
+      "<a>  lots   of   text with &amp; entities &#x20AC; </a>",
+      R"(<item id="42" name="wid get" note="a&#9;b&quot;c"/>)",
+      "<a>\n<b>\n</wrong>\n</a>",  // error: line/column must agree too
+      "<a><![CDATA[raw < & data]]><!-- comment --><?pi data?></a>",
+      "<ns:a xmlns:ns='u'>x<ns:b attr='&lt;'/> </ns:a>",
+      "<a>unterminated",
+      "<a v='missing",
+      "<!DOCTYPE d [<!ENTITY x 'y'>]><d>text</d>",
+  };
+  ImplGuard guard;
+  for (std::string_view doc : docs) {
+    ASSERT_EQ(set_impl(Impl::kScalar), Impl::kScalar);
+    const std::string ref = parse_fingerprint(doc);
+    for (Impl impl : available_impls()) {
+      ASSERT_EQ(set_impl(impl), impl);
+      EXPECT_EQ(parse_fingerprint(doc), ref) << impl_name(impl) << ": " << doc;
+    }
+    // Probe capture active: the scalar probe-annotated loops take over
+    // and must land on the identical outcome.
+    NullRecorder rec;
+    probe::ScopedRecorder scoped(&rec);
+    EXPECT_EQ(parse_fingerprint(doc), ref) << "probe mode: " << doc;
+  }
+}
+
+TEST(ScanXmlDifferential, ProbeModeRecordsLexSites) {
+  // The fallback contract, observed from the recorder's side: with a
+  // recorder installed the per-byte loops run and report the xml.lex
+  // branch sites that perf_shapes_test's Table 5/6 reproduction needs.
+  class CountingRecorder : public NullRecorder {
+   public:
+    void on_branch(std::uint32_t, bool) override { ++branches; }
+    std::uint64_t branches = 0;
+  };
+  CountingRecorder rec;
+  {
+    probe::ScopedRecorder scoped(&rec);
+    const auto r = xml::parse("<a>some content text</a>");
+    ASSERT_TRUE(r.ok);
+  }
+  // 16+ content bytes -> at least that many content_scan branch events.
+  EXPECT_GE(rec.branches, 16u);
+}
+
+}  // namespace
+}  // namespace xaon::util::scan

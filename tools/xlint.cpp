@@ -312,6 +312,11 @@ const char* const kHotPaths[] = {
     // contract as the pipeline it measures. (src/util/metrics.cpp is
     // merge/JSON code that runs after join, deliberately not listed.)
     "include/xaon/util/metrics.hpp",
+    // scan: the bulk-scanning kernels ARE the lexer hot loops — every
+    // byte of every message flows through them, so allocation or
+    // iostream sites here would break the zero-alloc contract at its
+    // tightest point.
+    "include/xaon/util/scan.hpp", "src/util/scan.cpp",
 };
 
 bool is_hot_path(const std::string& rel, bool self_test) {
